@@ -1,0 +1,50 @@
+// Reproduces Figure 4: time to fix with Ocasta vs manual fixing, from the
+// user study on errors #11, #13, #15 and #16.
+//
+// The paper measured 19 participants: with Ocasta, the human time is trial
+// creation plus screenshot selection (the machine search runs unattended);
+// manually, participants troubleshot with a 5-minute cutoff, and only
+// error #16 was fixed by most. Here 19 simulated participants run against
+// each error's actual repair outcome (screenshot count from the Table IV
+// pipeline).
+#include <cstdio>
+
+#include "analysis/stats.h"
+#include "bench_util.h"
+#include "repair/user_model.h"
+#include "scenarios/harness.h"
+
+using namespace ocasta;
+using namespace ocasta::bench;
+
+int main() {
+  const std::vector<ParticipantProfile> participants = StudyParticipants(/*seed=*/2014);
+  Rng rng(41);
+
+  TextTable table({"Case", "Ocasta avg", "Manual avg", "Manual fixed", "Screens inspected"});
+  for (const UserStudyErrorParams& error : UserStudyErrors()) {
+    const ErrorScenario scenario = ScenarioById(error.error_id);
+    const ScenarioRun run =
+        RunScenario(MachineByName(scenario.machine), scenario, ScenarioRunOptions{});
+
+    std::vector<double> ocasta_s;
+    std::vector<double> manual_s;
+    int manual_fixed = 0;
+    for (const ParticipantProfile& participant : participants) {
+      const ParticipantOutcome outcome =
+          SimulateParticipant(rng, participant, error, run.ocasta.unique_screenshots);
+      ocasta_s.push_back(static_cast<double>(outcome.ocasta_total) / kMicrosPerSecond);
+      manual_s.push_back(static_cast<double>(outcome.manual_time) / kMicrosPerSecond);
+      if (outcome.manual_fixed) ++manual_fixed;
+    }
+    table.add_row({std::to_string(error.error_id), StrFormat("%.0fs", Mean(ocasta_s)),
+                   StrFormat("%.0fs%s", Mean(manual_s), manual_fixed < 19 ? " (lower bound)" : ""),
+                   StrFormat("%d/19", manual_fixed),
+                   std::to_string(run.ocasta.unique_screenshots)});
+  }
+  std::printf("Figure 4: user time to fix with Ocasta vs manual (19 simulated participants)\n"
+              "(paper: Ocasta saves significant effort on every error; only case 16 was\n"
+              " commonly fixed manually, lowering its manual average)\n\n%s",
+              table.render().c_str());
+  return 0;
+}

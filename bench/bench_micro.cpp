@@ -1,0 +1,159 @@
+// Microbenchmarks (google-benchmark): throughput of the substrate pieces —
+// TTKV recording and time-travel queries, the five config-file codecs, the
+// co-modification window pass, correlation computation, and HAC.
+#include <benchmark/benchmark.h>
+
+#include "clustering/correlation.h"
+#include "clustering/engine.h"
+#include "clustering/hac.h"
+#include "clustering/window.h"
+#include "common/rng.h"
+#include "parsers/codec.h"
+#include "ttkv/ttkv.h"
+
+namespace ocasta {
+namespace {
+
+// ----- TTKV -----------------------------------------------------------------
+
+void BM_TtkvRecordWrite(benchmark::State& state) {
+  const size_t num_keys = static_cast<size_t>(state.range(0));
+  std::vector<std::string> keys;
+  for (size_t i = 0; i < num_keys; ++i) keys.push_back("app/key" + std::to_string(i));
+  Rng rng(1);
+  TimeMicros t = 0;
+  TTKV ttkv;
+  for (auto _ : state) {
+    t += kMicrosPerSecond;
+    ttkv.record_write(keys[rng.next_below(num_keys)], Value(static_cast<int64_t>(t)), t);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TtkvRecordWrite)->Arg(100)->Arg(10000);
+
+void BM_TtkvValueAt(benchmark::State& state) {
+  TTKV ttkv;
+  const int versions = static_cast<int>(state.range(0));
+  for (int i = 0; i < versions; ++i) {
+    ttkv.record_write("key", Value(static_cast<int64_t>(i)), i * kMicrosPerSecond);
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    const TimeMicros t = static_cast<TimeMicros>(rng.next_below(versions)) * kMicrosPerSecond;
+    benchmark::DoNotOptimize(ttkv.value_at("key", t));
+  }
+}
+BENCHMARK(BM_TtkvValueAt)->Arg(16)->Arg(1024);
+
+void BM_TtkvSerializeRoundTrip(benchmark::State& state) {
+  TTKV ttkv;
+  Rng rng(3);
+  for (int k = 0; k < 200; ++k) {
+    const std::string key = "app/key" + std::to_string(k);
+    for (int v = 0; v < 20; ++v) {
+      ttkv.record_write(key, Value("value" + std::to_string(v)), (k * 20 + v) * kMicrosPerSecond);
+    }
+  }
+  for (auto _ : state) {
+    const std::string bytes = ttkv.Serialize();
+    benchmark::DoNotOptimize(TTKV::Deserialize(bytes));
+    state.SetBytesProcessed(state.bytes_processed() + static_cast<int64_t>(bytes.size()));
+  }
+}
+BENCHMARK(BM_TtkvSerializeRoundTrip);
+
+// ----- Parsers ---------------------------------------------------------------
+
+ConfigMap SampleConfig(size_t n) {
+  ConfigMap map;
+  for (size_t i = 0; i < n; ++i) {
+    // Single top-level segment so the XML codec (one root) handles it too.
+    const std::string base =
+        "config/section" + std::to_string(i % 10) + "/key" + std::to_string(i);
+    switch (i % 4) {
+      case 0: map[base] = Value(true); break;
+      case 1: map[base] = Value(static_cast<int64_t>(i)); break;
+      case 2: map[base] = Value("value " + std::to_string(i)); break;
+      default: map[base] = Value(std::vector<std::string>{"a", "b", "c"}); break;
+    }
+  }
+  return map;
+}
+
+void BM_CodecRoundTrip(benchmark::State& state) {
+  const auto format = static_cast<ConfigFormat>(state.range(0));
+  const FormatCodec& codec = CodecFor(format);
+  // INI cannot represent lists; restrict to scalar-friendly content.
+  ConfigMap map = SampleConfig(200);
+  if (format == ConfigFormat::kIni || format == ConfigFormat::kPlainText) {
+    for (auto& [key, value] : map) {
+      if (value.type() == ValueType::kStringList) value = Value("flattened");
+    }
+  }
+  const std::string text = codec.Serialize(map);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Parse(text));
+    state.SetBytesProcessed(state.bytes_processed() + static_cast<int64_t>(text.size()));
+  }
+  state.SetLabel(FormatName(format));
+}
+BENCHMARK(BM_CodecRoundTrip)
+    ->Arg(static_cast<int>(ConfigFormat::kIni))
+    ->Arg(static_cast<int>(ConfigFormat::kPlainText))
+    ->Arg(static_cast<int>(ConfigFormat::kJson))
+    ->Arg(static_cast<int>(ConfigFormat::kXml))
+    ->Arg(static_cast<int>(ConfigFormat::kPskv));
+
+// ----- Clustering -------------------------------------------------------------
+
+std::vector<WriteEvent> SyntheticWrites(size_t num_keys, size_t num_groups) {
+  Rng rng(7);
+  std::vector<WriteEvent> events;
+  TimeMicros t = 0;
+  for (size_t g = 0; g < num_groups; ++g) {
+    t += Seconds(30);
+    const uint32_t base = static_cast<uint32_t>(rng.next_below(num_keys));
+    const size_t size = 1 + rng.next_below(5);
+    for (size_t i = 0; i < size; ++i) {
+      events.push_back({t + static_cast<TimeMicros>(i) * Seconds(0.1),
+                        static_cast<uint32_t>((base + i) % num_keys), false});
+    }
+  }
+  return events;
+}
+
+void BM_WindowGrouping(benchmark::State& state) {
+  const auto events = SyntheticWrites(500, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GroupWrites(events, Seconds(1)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events.size()));
+}
+BENCHMARK(BM_WindowGrouping)->Arg(1000)->Arg(10000);
+
+void BM_CorrelationAndHac(benchmark::State& state) {
+  const size_t num_keys = static_cast<size_t>(state.range(0));
+  const auto events = SyntheticWrites(num_keys, num_keys * 4);
+  const auto groups = GroupWrites(events, Seconds(1));
+  for (auto _ : state) {
+    const CorrelationResult corr = ComputeCorrelations(groups, num_keys);
+    PairTable distances;
+    for (const auto& [pair, value] : corr.correlation.raw()) {
+      distances.Set(static_cast<uint32_t>(pair >> 32), static_cast<uint32_t>(pair & 0xffffffffu),
+                    1.0 / value);
+    }
+    std::vector<uint32_t> ids;
+    for (uint32_t i = 0; i < num_keys; ++i) {
+      if (corr.group_counts[i] > 0) ids.push_back(i);
+    }
+    benchmark::DoNotOptimize(
+        AgglomerativeCluster(ids, distances, Linkage::kComplete, 0.5));
+  }
+}
+BENCHMARK(BM_CorrelationAndHac)->Arg(100)->Arg(750);
+
+}  // namespace
+}  // namespace ocasta
+
+BENCHMARK_MAIN();

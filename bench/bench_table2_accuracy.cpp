@@ -1,0 +1,131 @@
+// Reproduces Table II: applications and the accuracy of their identified
+// clusters, plus the Section VI-A oversized/undersized breakdown.
+//
+// Paper reference (multi/total clusters, accuracy):
+//   MS Outlook 33/82 97.0% | Evolution 18/65 38.9% | IE 9/12 66.7%
+//   Chrome 1/34 100% | MS Word 18/110 100% | GNOME Edit 1/7 0.0%
+//   MS Paint 2/8 50.0% | Eye of GNOME 0/5 N/A | Acrobat 120/550 95.8%
+//   Explorer 32/91 84.4% | WMP 21/41 90.5% | overall 88.6% (72.3% mean)
+//
+// Clusters come from each application's per-user aggregated TTKV (window
+// 1 s, correlation threshold 2, complete linkage), judged against schema
+// ground truth.
+#include <cstdio>
+
+#include "analysis/ground_truth.h"
+#include "apps/catalog.h"
+#include "bench_util.h"
+#include "clustering/engine.h"
+
+using namespace ocasta;
+using namespace ocasta::bench;
+
+int main() {
+  TextTable table({"Application", "#Keys", "#Clusters", "%Accuracy", "Oversized", "Undersized"});
+  size_t total_keys = 0;
+  size_t total_multi = 0;
+  size_t total_all = 0;
+  size_t total_correct = 0;
+  double accuracy_sum = 0;
+  size_t accuracy_apps = 0;
+
+  for (const AppSchema& schema : AllAppSchemas()) {
+    const auto hosts = MachinesHosting(schema.name);
+    if (hosts.empty()) continue;
+    const TTKV ttkv = BuildAppTtkvAcrossMachines(hosts, schema.name);
+    const ClusterSet clusters = ClusterKeys(ttkv, ClusteringParams{});
+    const GroundTruth truth = GroundTruth::FromSchema(schema);
+    const AccuracyReport report = EvaluateClusters(schema.name, clusters, ttkv, truth);
+
+    table.add_row({report.app, std::to_string(report.keys_accessed),
+                   StrFormat("%zu/%zu", report.multi_clusters, report.total_clusters),
+                   report.multi_clusters == 0 ? "N/A"
+                                              : StrFormat("%.1f%%", 100.0 * report.accuracy()),
+                   std::to_string(report.oversized), std::to_string(report.undersized)});
+    total_keys += report.keys_accessed;
+    total_multi += report.multi_clusters;
+    total_all += report.total_clusters;
+    total_correct += report.correct_multi;
+    if (report.multi_clusters > 0) {
+      accuracy_sum += report.accuracy();
+      ++accuracy_apps;
+    }
+  }
+
+  const double overall =
+      total_multi == 0 ? 0.0 : 100.0 * static_cast<double>(total_correct) /
+                                   static_cast<double>(total_multi);
+  table.add_row({"Total", std::to_string(total_keys),
+                 StrFormat("%zu/%zu", total_multi, total_all), StrFormat("%.1f%%", overall), "",
+                 ""});
+
+  std::printf("Table II: Applications and their clusters identified by Ocasta\n");
+  std::printf("(window 1s, correlation threshold 2, complete linkage)\n\n%s\n",
+              table.render().c_str());
+  std::printf("Overall accuracy (total correct / total multi-key): %.1f%%  [paper: 88.6%%]\n",
+              overall);
+  std::printf("Mean per-application accuracy:                      %.1f%%  [paper: 72.3%%]\n",
+              100.0 * accuracy_sum / static_cast<double>(accuracy_apps));
+
+  // Section VI-A: the 1-second timestamp granularity is the dominant
+  // oversized-cluster cause — compare against a hypothetical finer trace
+  // (window 0 => only identical timestamps cluster; our simulated traces
+  // quantise to 1 s just like the paper's infrastructure).
+  size_t oversized_1s = 0;
+  size_t oversized_0s = 0;
+  for (const AppSchema& schema : AllAppSchemas()) {
+    const auto hosts = MachinesHosting(schema.name);
+    if (hosts.empty()) continue;
+    const TTKV ttkv = BuildAppTtkvAcrossMachines(hosts, schema.name);
+    const GroundTruth truth = GroundTruth::FromSchema(schema);
+    ClusteringParams params;
+    const AccuracyReport at_1s =
+        EvaluateClusters(schema.name, ClusterKeys(ttkv, params), ttkv, truth);
+    params.window_seconds = 0.0;
+    const AccuracyReport at_0s =
+        EvaluateClusters(schema.name, ClusterKeys(ttkv, params), ttkv, truth);
+    oversized_1s += at_1s.oversized;
+    oversized_0s += at_0s.oversized;
+  }
+  std::printf("\nSection VI-A: oversized clusters at 1s window: %zu; at 0s window: %zu\n",
+              oversized_1s, oversized_0s);
+  std::printf("(the paper attributes most oversized clusters to the 1-second\n"
+              " timestamp granularity of its trace collection)\n");
+
+  // Robustness: the headline accuracy must not be a single-seed artifact.
+  // Regenerate every machine with shifted seeds and recompute the overall
+  // number.
+  std::printf("\nSeed robustness (overall accuracy under re-generated usage):\n");
+  for (uint64_t seed_shift : {101u, 202u, 303u}) {
+    std::vector<MachineTrace> machines;
+    for (MachineProfile profile : Table1Profiles()) {
+      profile.seed += seed_shift;
+      machines.push_back(GenerateMachineTrace(profile));
+    }
+    size_t multi = 0;
+    size_t correct = 0;
+    for (const AppSchema& schema : AllAppSchemas()) {
+      std::vector<const MachineTrace*> hosts;
+      for (const MachineTrace& machine : machines) {
+        for (const std::string& hosted : machine.profile.apps) {
+          if (hosted == schema.name) {
+            hosts.push_back(&machine);
+            break;
+          }
+        }
+      }
+      if (hosts.empty()) continue;
+      const TTKV ttkv = BuildAppTtkvAcrossMachines(hosts, schema.name);
+      const AccuracyReport report = EvaluateClusters(
+          schema.name, ClusterKeys(ttkv, ClusteringParams{}), ttkv,
+          GroundTruth::FromSchema(schema));
+      multi += report.multi_clusters;
+      correct += report.correct_multi;
+    }
+    std::printf("  seed+%llu: %.1f%% (%zu/%zu)\n",
+                static_cast<unsigned long long>(seed_shift),
+                100.0 * static_cast<double>(correct) / static_cast<double>(multi), correct,
+                multi);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces Table IV: Ocasta recovery performance on the 16 errors.
+//
+// For each error: average cluster size, trials to find the offending
+// cluster (DFS), time to find vs time to search everything, unique
+// screenshots, and whether Ocasta / Ocasta-NoClust fixed it. The paper's
+// headline shapes:
+//   - Ocasta fixes all 16 (errors #2 and #4 only after tuning the
+//     threshold/window, as in Section VI-B);
+//   - NoClust fails the 5 errors needing multi-key rollback (2,4,6,7,9);
+//   - the cluster-count sort finds the offending cluster well before the
+//     full search completes (~78% faster in the paper).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "scenarios/harness.h"
+
+using namespace ocasta;
+using namespace ocasta::bench;
+
+int main() {
+  TextTable table({"Case", "Cl.Size", "Trials", "Time(find/all)", "Screens", "Ocasta", "NoClust",
+                   "Params"});
+  double saved_ratio_sum = 0;
+  size_t fixed_count = 0;
+  size_t noclust_fixed = 0;
+  double screens_sum = 0;
+
+  for (const ErrorScenario& scenario : AllScenarios()) {
+    const MachineTrace& machine = MachineByName(scenario.machine);
+
+    ScenarioRunOptions options;
+    ScenarioRun run = RunScenario(machine, scenario, options);
+    std::string params_note = "default";
+    if (!run.ocasta.fixed && scenario.needs_tuning) {
+      // The paper's remediation: lower the threshold (and widen the window
+      // for error #2) until the offending settings cluster together.
+      options.use_tuned_params = true;
+      run = RunScenario(machine, scenario, options);
+      params_note = StrFormat("tuned t=%.0f w=%.0fs", scenario.tuned_threshold,
+                              scenario.tuned_window_seconds);
+    }
+
+    table.add_row(
+        {std::to_string(scenario.id), std::to_string(run.offending_cluster_size),
+         std::to_string(run.ocasta.trials_to_fix),
+         StrFormat("%s/%s", FormatMinSec(run.ocasta.time_to_fix).c_str(),
+                   FormatMinSec(run.ocasta.total_time).c_str()),
+         std::to_string(run.ocasta.unique_screenshots), run.ocasta.fixed ? "Y" : "N",
+         run.noclust.fixed ? "Y" : "N", params_note});
+
+    if (run.ocasta.fixed) {
+      ++fixed_count;
+      screens_sum += static_cast<double>(run.ocasta.unique_screenshots);
+      if (run.ocasta.total_time > 0) {
+        saved_ratio_sum += 1.0 - static_cast<double>(run.ocasta.time_to_fix) /
+                                     static_cast<double>(run.ocasta.total_time);
+      }
+    }
+    if (run.noclust.fixed) ++noclust_fixed;
+  }
+
+  std::printf("Table IV: Ocasta recovery performance (DFS, injection 14 days before trace end)\n\n%s\n",
+              table.render().c_str());
+  std::printf("Ocasta fixed %zu/16 errors (paper: 16/16, two after tuning)\n", fixed_count);
+  std::printf("NoClust fixed %zu/16 errors (paper: 11/16 — fails 2,4,6,7,9)\n", noclust_fixed);
+  std::printf("Cluster sort found the offending cluster %.0f%% faster than searching all\n"
+              "clusters on average (paper: 78%%)\n",
+              100.0 * saved_ratio_sum / static_cast<double>(fixed_count));
+  std::printf("Average screenshots the user examines: %.1f (paper: ~3, worst case 11)\n",
+              screens_sum / static_cast<double>(fixed_count));
+  return 0;
+}

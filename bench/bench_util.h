@@ -1,0 +1,64 @@
+// Shared helpers for the bench harness binaries.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "workload/generator.h"
+#include "workload/profiles.h"
+
+namespace ocasta::bench {
+
+// Generates all nine Table I machines once (deterministic seeds).
+inline const std::vector<MachineTrace>& AllMachines() {
+  static const std::vector<MachineTrace> machines = [] {
+    std::vector<MachineTrace> out;
+    for (const MachineProfile& profile : Table1Profiles()) {
+      std::fprintf(stderr, "[gen] %s...\n", profile.name.c_str());
+      out.push_back(GenerateMachineTrace(profile));
+    }
+    return out;
+  }();
+  return machines;
+}
+
+inline const MachineTrace& MachineByName(const std::string& name) {
+  for (const MachineTrace& machine : AllMachines()) {
+    if (machine.profile.name == name) return machine;
+  }
+  throw Error("unknown machine: " + name);
+}
+
+// Machines hosting an application, in Table I order (per-user aggregation).
+inline std::vector<const MachineTrace*> MachinesHosting(const std::string& app) {
+  std::vector<const MachineTrace*> hosts;
+  for (const MachineTrace& machine : AllMachines()) {
+    for (const std::string& hosted : machine.profile.apps) {
+      if (hosted == app) {
+        hosts.push_back(&machine);
+        break;
+      }
+    }
+  }
+  return hosts;
+}
+
+// "6.76M" / "67.72K" rendering used by Table I.
+inline std::string HumanCount(uint64_t n) {
+  if (n >= 1'000'000) return StrFormat("%.2fM", static_cast<double>(n) / 1e6);
+  if (n >= 1'000) return StrFormat("%.2fK", static_cast<double>(n) / 1e3);
+  return std::to_string(n);
+}
+
+inline std::string HumanBytes(size_t n) {
+  if (n >= 1'000'000) return StrFormat("%.1fMB", static_cast<double>(n) / 1e6);
+  if (n >= 1'000) return StrFormat("%.1fKB", static_cast<double>(n) / 1e3);
+  return std::to_string(n) + "B";
+}
+
+}  // namespace ocasta::bench

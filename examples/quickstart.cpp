@@ -1,0 +1,54 @@
+// Quickstart: the whole Ocasta pipeline on one machine.
+//
+//   1. Simulate a Linux desktop (Evolution, Eye of GNOME, GNOME Edit) for
+//      25 days, logging every configuration access into a trace.
+//   2. Build Evolution's time-travel key-value store (TTKV) from the trace.
+//   3. Cluster its configuration keys (window 1 s, correlation threshold 2).
+//   4. Break Evolution ("starts in offline mode unexpectedly" — error #8),
+//      then let Ocasta's repair search find the offending cluster and fix it.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "clustering/engine.h"
+#include "scenarios/harness.h"
+#include "workload/generator.h"
+#include "workload/profiles.h"
+
+using namespace ocasta;
+
+int main() {
+  // 1. Record a deployment.
+  const MachineProfile profile = ProfileByName("Linux-1");
+  std::printf("Simulating %s: %d days, %zu applications...\n", profile.name.c_str(),
+              profile.days, profile.apps.size());
+  const MachineTrace machine = GenerateMachineTrace(profile);
+  const TraceStats stats = machine.trace.Stats();
+  std::printf("  trace: %llu writes/deletes over %.0f days\n",
+              static_cast<unsigned long long>(stats.writes), stats.days);
+
+  // 2. The TTKV for one application.
+  const TTKV ttkv = BuildAppTtkv(machine, kEvolution);
+  std::printf("  Evolution TTKV: %zu keys, %llu writes\n", ttkv.num_keys(),
+              static_cast<unsigned long long>(ttkv.stats().writes));
+
+  // 3. Cluster related configuration settings.
+  const ClusterSet clusters = ClusterKeys(ttkv, ClusteringParams{});
+  std::printf("  clusters: %zu total, %zu with more than one key (avg size %.1f)\n",
+              clusters.size(), clusters.multi_cluster_count(),
+              clusters.average_multi_cluster_size());
+
+  // 4. Break it, then repair it.
+  const ErrorScenario scenario = ScenarioById(8);
+  std::printf("\nInjecting error #%d: %s\n", scenario.id, scenario.description.c_str());
+  const ScenarioRun run = RunScenario(machine, scenario, ScenarioRunOptions{});
+  std::printf("  Ocasta:   %s after %zu trials (%s to find, %s to search everything),\n"
+              "            %zu screenshots for the user to inspect\n",
+              run.ocasta.fixed ? "FIXED" : "not fixed", run.ocasta.trials_to_fix,
+              FormatMinSec(run.ocasta.time_to_fix).c_str(),
+              FormatMinSec(run.ocasta.total_time).c_str(), run.ocasta.unique_screenshots);
+  std::printf("  NoClust:  %s\n", run.noclust.fixed ? "FIXED" : "not fixed");
+  std::printf("  offending cluster size: %zu\n", run.offending_cluster_size);
+  return run.ocasta.fixed ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// The paper's Figure 1a / error #2 story, end to end.
+//
+// MS Word keeps a recently-used-documents list in the registry: "Max
+// Display" bounds how many "Item N" keys are valid, and shrinking the list
+// deletes the extra Item keys. Undoing such a change therefore needs the
+// dominant key AND the deleted items restored together — the archetypal
+// multi-key configuration error.
+//
+// This example shows the full arc:
+//   1. at the default clustering threshold (correlation 2) the MRU cluster
+//      is undersized — Max Display rarely changes while items churn on
+//      every document open, so their correlation is below 2 — and the
+//      repair search fails;
+//   2. single-key rollback (Ocasta-NoClust) also fails;
+//   3. with the paper's remediation (threshold 1, window 30 s) the whole
+//      MRU group clusters together and one rollback fixes the error.
+#include <cstdio>
+
+#include "clustering/engine.h"
+#include "scenarios/harness.h"
+#include "workload/generator.h"
+#include "workload/profiles.h"
+
+using namespace ocasta;
+
+namespace {
+
+void Report(const char* label, const ScenarioRun& run) {
+  std::printf("%-34s %s", label, run.ocasta.fixed ? "FIXED" : "failed");
+  if (run.ocasta.fixed) {
+    std::printf(" (offending cluster: %zu keys, %zu trials, %s)",
+                run.offending_cluster_size, run.ocasta.trials_to_fix,
+                FormatMinSec(run.ocasta.time_to_fix).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Generating the Windows 7 trace (MS Word, 42 days)...\n");
+  const MachineTrace machine = GenerateMachineTrace(ProfileByName("Windows 7"));
+  const ErrorScenario scenario = ScenarioById(2);
+  std::printf("Error #2: %s\n\n", scenario.description.c_str());
+
+  // Show why the default parameters split the MRU group.
+  const TTKV ttkv = BuildAppTtkv(machine, kWord);
+  const ClusterSet default_clusters = ClusterKeys(ttkv, ClusteringParams{});
+  const std::string max_display =
+      "HKEY_CURRENT_USER\\Software\\Microsoft\\Office\\12.0\\Word\\Options\\Max Display";
+  const std::string item1 =
+      "HKEY_CURRENT_USER\\Software\\Microsoft\\Office\\12.0\\Word\\File MRU\\Item 1";
+  const bool together = default_clusters.cluster_of(ttkv.key_id(max_display)) ==
+                        default_clusters.cluster_of(ttkv.key_id(item1));
+  std::printf("Default params (window 1s, threshold 2):\n");
+  std::printf("  'Max Display' clustered with 'Item 1'?  %s\n", together ? "yes" : "no");
+  std::printf("  (items churn on every document open; the dominant key changes rarely,\n"
+              "   so their correlation is below the always-together threshold)\n\n");
+
+  ScenarioRunOptions options;
+  const ScenarioRun default_run = RunScenario(machine, scenario, options);
+  Report("Ocasta, default parameters:", default_run);
+  std::printf("%-34s %s\n", "NoClust (single-key rollback):",
+              default_run.noclust.fixed ? "FIXED" : "failed");
+
+  options.use_tuned_params = true;
+  const ScenarioRun tuned_run = RunScenario(machine, scenario, options);
+  std::printf("\nAfter tuning (threshold 1, window 30s — the paper's remediation):\n");
+  Report("Ocasta, tuned parameters:", tuned_run);
+
+  const bool ok = !default_run.ocasta.fixed && !default_run.noclust.fixed && tuned_run.ocasta.fixed;
+  std::printf("\n%s\n", ok ? "Reproduced the paper's error-#2 behaviour."
+                           : "Unexpected outcome — see EXPERIMENTS.md.");
+  return ok ? 0 : 1;
+}

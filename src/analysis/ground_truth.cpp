@@ -1,0 +1,96 @@
+#include "analysis/ground_truth.h"
+
+#include <algorithm>
+
+namespace ocasta {
+
+GroundTruth GroundTruth::FromSchema(const AppSchema& schema) {
+  GroundTruth truth;
+  int next_id = 0;
+  for (const SchemaGroup& group : schema.groups) {
+    if (group.related && group.keys.size() > 1) {
+      const int id = next_id++;
+      for (const KeySpec& key : group.keys) {
+        truth.group_of_[key.path] = id;
+        truth.members_[id].push_back(key.path);
+      }
+    } else {
+      // Independent keys (singles, noise, and every key of a coincidence
+      // group) are their own singleton groups.
+      for (const KeySpec& key : group.keys) {
+        truth.group_of_[key.path] = next_id++;
+      }
+    }
+  }
+  for (const KeySpec& key : schema.readonly_keys) {
+    truth.group_of_[key.path] = next_id++;
+  }
+  return truth;
+}
+
+int GroundTruth::GroupOf(const std::string& key) const {
+  auto it = group_of_.find(key);
+  if (it != group_of_.end()) return it->second;
+  // Unknown keys hash to unique negative ids derived from the name, so two
+  // distinct unknown keys never compare related.
+  return -1 - static_cast<int>(std::hash<std::string>{}(key) % 1000003);
+}
+
+bool GroundTruth::AllRelated(const std::vector<std::string>& keys) const {
+  if (keys.size() < 2) return true;
+  const int id = GroupOf(keys.front());
+  for (const std::string& key : keys) {
+    if (GroupOf(key) != id) return false;
+  }
+  // Two unknown keys could collide on the hashed id only if equal strings.
+  return id >= 0 || keys.size() == 1;
+}
+
+std::vector<std::string> GroundTruth::GroupMembers(const std::string& key) const {
+  const int id = GroupOf(key);
+  auto it = members_.find(id);
+  return it == members_.end() ? std::vector<std::string>{} : it->second;
+}
+
+AccuracyReport EvaluateClusters(const std::string& app, const ClusterSet& clusters,
+                                const TTKV& ttkv, const GroundTruth& truth) {
+  AccuracyReport report;
+  report.app = app;
+  report.keys_accessed = ttkv.num_keys();
+  report.total_clusters = clusters.size();
+
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    const KeyCluster& cluster = clusters.cluster(c);
+    if (cluster.size() < 2) continue;
+    ++report.multi_clusters;
+
+    std::vector<std::string> names;
+    names.reserve(cluster.size());
+    for (uint32_t id : cluster.keys) names.push_back(ttkv.key_name(id));
+
+    ClusterJudgement judgement;
+    judgement.cluster_index = c;
+    if (!truth.AllRelated(names)) {
+      judgement.verdict = ClusterVerdict::kOversized;
+      ++report.oversized;
+    } else {
+      // Correct. Exact iff it contains every *modified* key of its group.
+      ++report.correct_multi;
+      judgement.verdict = ClusterVerdict::kExact;
+      for (const std::string& member : truth.GroupMembers(names.front())) {
+        if (std::find(names.begin(), names.end(), member) != names.end()) continue;
+        if (!ttkv.contains(member)) continue;
+        const VersionedRecord& record = ttkv.record(member);
+        if (record.write_count + record.delete_count > 0) {
+          judgement.verdict = ClusterVerdict::kUndersized;
+          ++report.undersized;
+          break;
+        }
+      }
+    }
+    report.judgements.push_back(judgement);
+  }
+  return report;
+}
+
+}  // namespace ocasta

@@ -1,0 +1,81 @@
+// Ground-truth comparison for Ocasta's clusters.
+//
+// The paper judged each multi-key cluster by hand: "We conservatively
+// consider a cluster as correctly identified if and only if there is a
+// dependency relationship among every configuration setting of the
+// cluster." Our schemas carry dependency ground truth, so the same
+// judgement is computed: a cluster is correct iff all members belong to
+// one related schema group; clusters mixing groups (or touching keys from
+// `related == false` coincidence groups) are oversized; clusters that are
+// strict subsets of their group's modified keys are undersized (but still
+// correct under the paper's conservative definition).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/schema.h"
+#include "clustering/cluster_set.h"
+#include "ttkv/ttkv.h"
+
+namespace ocasta {
+
+enum class ClusterVerdict : uint8_t {
+  kExact = 0,       // Equals its group's modified keys.
+  kUndersized = 1,  // Strict subset of one related group (still "correct").
+  kOversized = 2,   // Spans several groups or touches unrelated keys.
+};
+
+class GroundTruth {
+ public:
+  // Builds the key → dependency-group map from a schema. Keys of unrelated
+  // (coincidence) groups, noise keys and readonly keys each get their own
+  // singleton group id.
+  static GroundTruth FromSchema(const AppSchema& schema);
+
+  // Group id for a key; unknown keys get a unique implicit id (-1 family),
+  // never equal to another key's id.
+  int GroupOf(const std::string& key) const;
+
+  // True when every pair of keys is dependency-related (same group).
+  bool AllRelated(const std::vector<std::string>& keys) const;
+
+  // All keys of the group containing `key` (empty for independent keys).
+  std::vector<std::string> GroupMembers(const std::string& key) const;
+
+ private:
+  std::map<std::string, int> group_of_;
+  std::map<int, std::vector<std::string>> members_;
+};
+
+struct ClusterJudgement {
+  size_t cluster_index = 0;
+  ClusterVerdict verdict = ClusterVerdict::kExact;
+};
+
+// Table II-style accuracy summary for one application.
+struct AccuracyReport {
+  std::string app;
+  size_t keys_accessed = 0;    // "#Keys": every key seen in the TTKV.
+  size_t total_clusters = 0;   // Second number of "#Clusters".
+  size_t multi_clusters = 0;   // First number of "#Clusters".
+  size_t correct_multi = 0;    // Multi-key clusters judged correct.
+  size_t oversized = 0;
+  size_t undersized = 0;       // Correct-but-incomplete multi clusters.
+  std::vector<ClusterJudgement> judgements;  // Multi-key clusters only.
+
+  // Paper accuracy: correct multi / total multi (NaN-free: 0 when none).
+  double accuracy() const {
+    return multi_clusters == 0
+               ? 0.0
+               : static_cast<double>(correct_multi) / static_cast<double>(multi_clusters);
+  }
+};
+
+// Judges every multi-key cluster of `clusters` against ground truth.
+// `ttkv` provides key names and the set of modified keys (for exactness).
+AccuracyReport EvaluateClusters(const std::string& app, const ClusterSet& clusters,
+                                const TTKV& ttkv, const GroundTruth& truth);
+
+}  // namespace ocasta

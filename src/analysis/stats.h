@@ -1,0 +1,13 @@
+// Small statistics helpers used by the bench harness.
+#pragma once
+
+#include <vector>
+
+namespace ocasta {
+
+double Mean(const std::vector<double>& xs);
+double StdDev(const std::vector<double>& xs);
+// Linear-interpolated percentile, p in [0, 100].
+double Percentile(std::vector<double> xs, double p);
+
+}  // namespace ocasta

@@ -1,0 +1,594 @@
+#include "apps/catalog.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace ocasta {
+
+namespace {
+
+// ----- Key builders ---------------------------------------------------------
+
+KeySpec Toggle(std::string path, bool ui = false) {
+  KeySpec key;
+  key.path = std::move(path);
+  key.type = ValueType::kBool;
+  key.ui_visible = ui;
+  return key;
+}
+
+KeySpec IntKey(std::string path, int64_t lo, int64_t hi, bool ui = false) {
+  KeySpec key;
+  key.path = std::move(path);
+  key.type = ValueType::kInt;
+  key.int_min = lo;
+  key.int_max = hi;
+  key.ui_visible = ui;
+  return key;
+}
+
+KeySpec Choice(std::string path, std::vector<std::string> choices, bool ui = false) {
+  KeySpec key;
+  key.path = std::move(path);
+  key.type = ValueType::kString;
+  key.choices = std::move(choices);
+  key.ui_visible = ui;
+  return key;
+}
+
+KeySpec ListKey(std::string path, std::vector<std::string> pool, bool ui = false) {
+  KeySpec key;
+  key.path = std::move(path);
+  key.type = ValueType::kStringList;
+  key.choices = std::move(pool);
+  key.ui_visible = ui;
+  return key;
+}
+
+// ----- Bulk generation ------------------------------------------------------
+
+// Deterministic name pools for the long tail of settings. Chosen to look
+// like real per-area configuration names; statistics (not names) are what
+// the clustering consumes.
+const char* kAreas[] = {"toolbar", "window",  "view",    "editor",  "search",  "print",
+                        "security", "display", "network", "cache",   "font",    "color",
+                        "layout",   "history", "session", "plugin",  "update",  "privacy",
+                        "sync",     "zoom"};
+const char* kFields[] = {"enabled", "mode",  "size",    "width",  "height",  "style",
+                         "timeout", "order", "visible", "count",  "default", "auto"};
+const char* kChoices[] = {"small", "medium", "large", "classic", "modern", "compact"};
+
+std::string BulkPath(const std::string& prefix, char sep, size_t group_index,
+                     const char* field) {
+  const size_t area = group_index % (sizeof(kAreas) / sizeof(kAreas[0]));
+  std::string path = prefix;
+  path += sep;
+  path += kAreas[area];
+  if (group_index >= sizeof(kAreas) / sizeof(kAreas[0])) {
+    path += std::to_string(group_index / (sizeof(kAreas) / sizeof(kAreas[0])));
+  }
+  path += sep;
+  path += field;
+  return path;
+}
+
+KeySpec BulkKey(const std::string& prefix, char sep, size_t group_index, size_t field_index) {
+  const char* field = kFields[field_index % (sizeof(kFields) / sizeof(kFields[0]))];
+  std::string path = BulkPath(prefix, sep, group_index, field);
+  switch (field_index % 3) {
+    case 0: return Toggle(std::move(path));
+    case 1: return IntKey(std::move(path), 0, 50);
+    default: return Choice(std::move(path), {kChoices[0], kChoices[1], kChoices[2], kChoices[3]});
+  }
+}
+
+// Appends `count` related dependency groups. Sizes cycle through
+// `size_cycle` so the average is controlled deterministically.
+void AddBulkGroups(AppSchema& app, const std::string& prefix, char sep, size_t count,
+                   const std::vector<size_t>& size_cycle, double changes_per_day,
+                   double partial_update_prob, size_t name_salt = 0) {
+  for (size_t g = 0; g < count; ++g) {
+    SchemaGroup group;
+    group.name = StrFormat("%s-grp%zu", app.name.c_str(), g + name_salt);
+    group.related = true;
+    group.changes_per_day = changes_per_day;
+    group.partial_update_prob = partial_update_prob;
+    group.min_changes_per_trace = 1;
+    const size_t size = size_cycle[g % size_cycle.size()];
+    for (size_t k = 0; k < size; ++k) {
+      group.keys.push_back(BulkKey(prefix, sep, g + name_salt, k));
+    }
+    app.groups.push_back(std::move(group));
+  }
+}
+
+// Appends `count` unrelated settings that happen to be written together
+// (the paper's coincidental oversized-cluster source). Each fake group's
+// keys are semantically independent — ground truth marks clustering them
+// as an accuracy error.
+void AddFakeGroups(AppSchema& app, const std::string& prefix, char sep, size_t count,
+                   size_t size, double changes_per_day, size_t name_salt) {
+  for (size_t g = 0; g < count; ++g) {
+    SchemaGroup group;
+    group.name = StrFormat("%s-fake%zu", app.name.c_str(), g);
+    group.related = false;
+    group.changes_per_day = changes_per_day;
+    group.min_changes_per_trace = 2;
+    for (size_t k = 0; k < size; ++k) {
+      group.keys.push_back(BulkKey(prefix, sep, g + name_salt, k + 7));
+    }
+    app.groups.push_back(std::move(group));
+  }
+}
+
+// Appends `count` independent single-key settings.
+void AddSingles(AppSchema& app, const std::string& prefix, char sep, size_t count,
+                double changes_per_day, size_t name_salt) {
+  for (size_t i = 0; i < count; ++i) {
+    SchemaGroup group;
+    group.name = StrFormat("%s-single%zu", app.name.c_str(), i);
+    group.related = true;  // A lone key is trivially self-consistent.
+    group.changes_per_day = changes_per_day;
+    group.min_changes_per_trace = 1;
+    group.keys.push_back(BulkKey(prefix, sep, i + name_salt, (i % 12) + 1));
+    app.groups.push_back(std::move(group));
+  }
+}
+
+// Appends frequently-written non-configuration state (window geometry,
+// last-used paths): size-1 groups with per-session write activity.
+void AddNoise(AppSchema& app, const std::string& prefix, char sep,
+              std::vector<std::string> names, double rotations_per_session) {
+  for (auto& name : names) {
+    SchemaGroup group;
+    group.name = app.name + "-noise-" + name;
+    group.related = true;
+    group.kind = GroupKind::kUniform;
+    group.changes_per_day = 0.0;
+    group.rotations_per_session = rotations_per_session;
+    std::string path = prefix;
+    path += sep;
+    path += name;
+    group.keys.push_back(IntKey(std::move(path), 0, 2000));
+    app.groups.push_back(std::move(group));
+  }
+}
+
+// Appends keys that are read at start-up but never written.
+void AddReadonly(AppSchema& app, const std::string& prefix, char sep, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    std::string path = prefix;
+    path += sep;
+    path += "static";
+    path += sep;
+    path += StrFormat("%s%zu", kFields[i % (sizeof(kFields) / sizeof(kFields[0]))], i);
+    app.readonly_keys.push_back(Choice(std::move(path), {"builtin"}));
+  }
+}
+
+std::vector<std::string> DocPool(const char* stem, size_t n) {
+  std::vector<std::string> docs;
+  for (size_t i = 0; i < n; ++i) docs.push_back(StrFormat("%s%02zu", stem, i));
+  return docs;
+}
+
+}  // namespace
+
+// ----- MS Outlook (Windows registry) ----------------------------------------
+// 182 keys; 33 multi-key clusters of 82 (paper: 97.0% accurate).
+AppSchema BuildOutlook() {
+  AppSchema app;
+  app.name = kOutlook;
+  app.store = StoreKind::kRegistry;
+  const std::string p = "HKEY_CURRENT_USER\\Software\\Microsoft\\Office\\12.0\\Outlook";
+
+  // Error #1: the Navigation Pane group. Symptom key is ui-visible.
+  SchemaGroup nav;
+  nav.name = "outlook-nav-pane";
+  nav.changes_per_day = 0.03;
+  nav.min_changes_per_trace = 3;
+  nav.keys = {Toggle(p + "\\Preferences\\NavPaneVisible", /*ui=*/true),
+              IntKey(p + "\\Preferences\\NavPaneWidth", 120, 480)};
+  app.groups.push_back(std::move(nav));
+
+  AddBulkGroups(app, p, '\\', 31, {4, 3, 2, 5, 2, 4, 3, 6}, 0.035, 0.05);
+  AddFakeGroups(app, p, '\\', 1, 2, 0.02, 300);
+  AddSingles(app, p, '\\', 43, 0.05, 100);
+  AddNoise(app, p + "\\Preferences", '\\',
+           {"WindowX", "WindowY", "PaneSplit"}, 1.2);
+  AddReadonly(app, p, '\\', 17);
+  return app;
+}
+
+// ----- Evolution Mail (GConf) -----------------------------------------------
+// 183 keys; 18/65 clusters at 38.9% accuracy in the paper — dominated by
+// oversized clusters from settings-dialog bursts landing inside the
+// 1-second window (one observed Evolution cluster held six groups).
+AppSchema BuildEvolution() {
+  AppSchema app;
+  app.name = kEvolution;
+  app.store = StoreKind::kGconf;
+  const std::string p = "/apps/evolution";
+
+  // Error #8: offline mode.
+  SchemaGroup offline;
+  offline.name = "evolution-offline";
+  offline.changes_per_day = 0.04;
+  offline.min_changes_per_trace = 3;
+  offline.keys = {Toggle(p + "/shell/start_offline", /*ui=*/true),
+                  Toggle(p + "/shell/offline_sync")};
+  app.groups.push_back(std::move(offline));
+
+  // Error #9 and the paper's Figure 1c example: mark_seen governs
+  // mark_seen_timeout.
+  SchemaGroup mark_seen;
+  mark_seen.name = "evolution-mark-seen";
+  mark_seen.changes_per_day = 0.04;
+  mark_seen.min_changes_per_trace = 3;
+  mark_seen.keys = {Toggle(p + "/mail/display/mark_seen", /*ui=*/true),
+                    IntKey(p + "/mail/display/mark_seen_timeout", 500, 5000, /*ui=*/true)};
+  app.groups.push_back(std::move(mark_seen));
+
+  // Error #10: reply composition style.
+  SchemaGroup reply;
+  reply.name = "evolution-reply-style";
+  reply.changes_per_day = 0.04;
+  reply.min_changes_per_trace = 3;
+  reply.keys = {Choice(p + "/mail/composer/reply_style", {"top", "bottom", "quoted"}, /*ui=*/true),
+                Toggle(p + "/mail/composer/top_signature")};
+  app.groups.push_back(std::move(reply));
+
+  AddBulkGroups(app, p, '/', 26, {3, 2, 2, 3, 2}, 0.05, 0.04);
+  AddSingles(app, p, '/', 36, 0.06, 100);
+  AddNoise(app, p + "/mail/ui", '/', {"paned_size", "width"}, 0.8);
+  // The paper's dominant Evolution failure mode: applying a preferences
+  // dialog rewrites whole GConf sections, so unrelated dependency groups
+  // are *always* co-written and merge into oversized clusters (11 of 18
+  // multi-key clusters were wrong; one held six groups). Sections pair up
+  // 22 of the bulk groups into 11 always-co-written units, including one
+  // three-group section.
+  for (int s = 0; s < 10; ++s) {
+    app.write_sections.push_back({StrFormat("%s-grp%d", kEvolution, 2 * s),
+                                  StrFormat("%s-grp%d", kEvolution, 2 * s + 1)});
+  }
+  app.write_sections.push_back({StrFormat("%s-grp%d", kEvolution, 20),
+                                StrFormat("%s-grp%d", kEvolution, 21),
+                                StrFormat("%s-grp%d", kEvolution, 22)});
+  app.dialog_burst_prob = 0.2;
+  app.dialog_burst_max_groups = 3;
+  AddReadonly(app, p, '/', 77);
+  return app;
+}
+
+// ----- Internet Explorer (Windows registry) ----------------------------------
+// 33 keys; 9/12 clusters at 66.7% accuracy.
+AppSchema BuildInternetExplorer() {
+  AppSchema app;
+  app.name = kInternetExplorer;
+  app.store = StoreKind::kRegistry;
+  const std::string p = "HKEY_CURRENT_USER\\Software\\Microsoft\\Internet Explorer";
+
+  // Error #3: the add-on management dialog nag.
+  SchemaGroup addons;
+  addons.name = "ie-addons-dialog";
+  addons.changes_per_day = 0.03;
+  addons.min_changes_per_trace = 3;
+  addons.keys = {Toggle(p + "\\Ext\\DisableAddonLoadTimePerformanceNotifications", /*ui=*/true),
+                 Toggle(p + "\\Ext\\IgnoreFrameApprovalCheck")};
+  app.groups.push_back(std::move(addons));
+
+  AddBulkGroups(app, p, '\\', 5, {2, 3, 2}, 0.04, 0.05);
+  AddFakeGroups(app, p, '\\', 3, 2, 0.03, 200);
+  AddSingles(app, p, '\\', 4, 0.05, 100);
+  AddReadonly(app, p, '\\', 9);
+  return app;
+}
+
+// ----- Chrome Browser (JSON preferences file) ---------------------------------
+// 35 keys; a single multi-key cluster of 34, 100% accurate.
+AppSchema BuildChrome() {
+  AppSchema app;
+  app.name = kChrome;
+  app.store = StoreKind::kFile;
+  app.file_format = ConfigFormat::kJson;
+
+  SchemaGroup session;
+  session.name = "chrome-startup-session";
+  session.changes_per_day = 0.03;
+  session.min_changes_per_trace = 3;
+  session.keys = {IntKey("session/restore_on_startup", 0, 5),
+                  ListKey("session/startup_urls", DocPool("https://site", 8))};
+  app.groups.push_back(std::move(session));
+
+  // Errors #13 / #14: independent toggles.
+  SchemaGroup bookmark_bar;
+  bookmark_bar.name = "chrome-bookmark-bar";
+  bookmark_bar.changes_per_day = 0.035;
+  bookmark_bar.min_changes_per_trace = 3;
+  bookmark_bar.keys = {Toggle("bookmark_bar/show_on_all_tabs", /*ui=*/true)};
+  app.groups.push_back(std::move(bookmark_bar));
+
+  SchemaGroup home_button;
+  home_button.name = "chrome-home-button";
+  home_button.changes_per_day = 0.035;
+  home_button.min_changes_per_trace = 3;
+  home_button.keys = {Toggle("browser/show_home_button", /*ui=*/true)};
+  app.groups.push_back(std::move(home_button));
+
+  AddSingles(app, "browser", '/', 29, 0.045, 100);
+  AddNoise(app, "browser/window_placement", '/', {"right", "bottom"}, 0.6);
+  return app;
+}
+
+// ----- MS Word (Windows registry) ---------------------------------------------
+// 143 keys; 18/110 clusters, 100% accurate. Contains the paper's Figure 1a
+// example and error #2: the recently-used-documents MRU where "Max Display"
+// governs the validity of the Item N keys.
+AppSchema BuildWord() {
+  AppSchema app;
+  app.name = kWord;
+  app.store = StoreKind::kRegistry;
+  const std::string p = "HKEY_CURRENT_USER\\Software\\Microsoft\\Office\\12.0\\Word";
+
+  SchemaGroup mru;
+  mru.name = "word-file-mru";
+  mru.kind = GroupKind::kMruList;
+  mru.changes_per_day = 0.015;   // The user rarely resizes the list...
+  mru.min_changes_per_trace = 3;
+  mru.rotations_per_session = 2.0;  // ...but opens documents constantly.
+  mru.keys.push_back(IntKey(p + "\\Options\\Max Display", 1, 17, /*ui=*/true));
+  for (int i = 1; i <= 17; ++i) {
+    KeySpec item = Choice(StrFormat("%s\\File MRU\\Item %d", p.c_str(), i),
+                          DocPool("report", 40), /*ui=*/true);
+    mru.keys.push_back(std::move(item));
+  }
+  app.groups.push_back(std::move(mru));
+
+  AddBulkGroups(app, p, '\\', 17, {3, 2, 2, 3}, 0.04, 0.05);
+  AddSingles(app, p + "\\Options", '\\', 58, 0.05, 100);
+  AddNoise(app, p + "\\Options", '\\', {"WindowLeft", "WindowTop"}, 1.0);
+  AddReadonly(app, p, '\\', 22);
+  return app;
+}
+
+// ----- GNOME Edit (GConf) -------------------------------------------------------
+// 10 keys; the single multi-key cluster the paper found was wrong (0.0%):
+// two independent settings changed together once and never separately.
+AppSchema BuildGnomeEdit() {
+  AppSchema app;
+  app.name = kGnomeEdit;
+  app.store = StoreKind::kGconf;
+  const std::string p = "/apps/gedit-2";
+
+  // Error #12: document saving disabled.
+  SchemaGroup save;
+  save.name = "gedit-save";
+  save.changes_per_day = 0.03;
+  save.min_changes_per_trace = 3;
+  save.keys = {Toggle(p + "/preferences/editor/save/can_save", /*ui=*/true)};
+  app.groups.push_back(std::move(save));
+
+  SchemaGroup fake;
+  fake.name = "gedit-fake-pair";
+  fake.related = false;
+  fake.changes_per_day = 0.012;  // Rare enough to never be seen separately.
+  fake.min_changes_per_trace = 3;
+  fake.keys = {Toggle(p + "/preferences/editor/wrap_mode"),
+               IntKey(p + "/preferences/editor/tabs_size", 2, 8)};
+  app.groups.push_back(std::move(fake));
+
+  AddSingles(app, p + "/preferences", '/', 5, 0.05, 100);
+  AddReadonly(app, p, '/', 2);
+  return app;
+}
+
+// ----- MS Paint (Windows registry) ----------------------------------------------
+// 66 keys; 2 multi-key clusters, one correct (50.0%).
+AppSchema BuildPaint() {
+  AppSchema app;
+  app.name = kPaint;
+  app.store = StoreKind::kRegistry;
+  const std::string p = "HKEY_CURRENT_USER\\Software\\Microsoft\\Paint";
+
+  // Error #6: the floating text toolbar (8 related keys per Table IV).
+  SchemaGroup text_toolbar;
+  text_toolbar.name = "paint-text-toolbar";
+  text_toolbar.changes_per_day = 0.035;
+  text_toolbar.min_changes_per_trace = 3;
+  text_toolbar.keys = {Toggle(p + "\\View\\ShowTextTool", /*ui=*/true),
+                       IntKey(p + "\\Text\\ToolbarX", 0, 1600, /*ui=*/true),
+                       IntKey(p + "\\Text\\ToolbarY", 0, 1200),
+                       Choice(p + "\\Text\\FontName", {"Arial", "Courier", "Times"}),
+                       IntKey(p + "\\Text\\FontSize", 8, 72),
+                       Toggle(p + "\\Text\\Bold"),
+                       Toggle(p + "\\Text\\Italic"),
+                       IntKey(p + "\\Text\\Charset", 0, 255)};
+  app.groups.push_back(std::move(text_toolbar));
+
+  AddFakeGroups(app, p, '\\', 1, 2, 0.015, 200);
+  AddSingles(app, p + "\\General", '\\', 5, 0.05, 100);
+  AddNoise(app, p + "\\General", '\\', {"LastCanvasW", "LastCanvasH"}, 0.7);
+  AddReadonly(app, p, '\\', 47);
+  return app;
+}
+
+// ----- Eye of GNOME (GConf) -------------------------------------------------------
+// 5 keys; no multi-key clusters (accuracy N/A in Table II).
+AppSchema BuildEyeOfGnome() {
+  AppSchema app;
+  app.name = kEyeOfGnome;
+  app.store = StoreKind::kGconf;
+  const std::string p = "/apps/eog";
+
+  // Error #11: printing disabled.
+  SchemaGroup print;
+  print.name = "eog-print";
+  print.changes_per_day = 0.03;
+  print.min_changes_per_trace = 3;
+  print.keys = {Toggle(p + "/ui/can_print", /*ui=*/true)};
+  app.groups.push_back(std::move(print));
+
+  AddSingles(app, p + "/view", '/', 4, 0.05, 100);
+  return app;
+}
+
+// ----- Acrobat Reader (PostScript-style preferences file) ------------------------
+// 751 keys; 120/550 clusters at 95.8%. Hosts the paper's Figure 1b example
+// (the auto-complete trio) and errors #15/#16.
+AppSchema BuildAcrobat() {
+  AppSchema app;
+  app.name = kAcrobat;
+  app.store = StoreKind::kFile;
+  app.file_format = ConfigFormat::kPskv;
+
+  // Figure 1b: InlineAutoComplete governs RecordNewEntries + ShowDropDown.
+  SchemaGroup autocomplete;
+  autocomplete.name = "acrobat-autocomplete";
+  autocomplete.changes_per_day = 0.04;
+  autocomplete.min_changes_per_trace = 3;
+  autocomplete.keys = {Toggle("Forms/InlineAutoComplete"),
+                       Toggle("Forms/RecordNewEntries"),
+                       Toggle("Forms/ShowDropDown")};
+  app.groups.push_back(std::move(autocomplete));
+
+  // Error #15: menu bar visibility.
+  SchemaGroup menu_bar;
+  menu_bar.name = "acrobat-menu-bar";
+  menu_bar.changes_per_day = 0.03;
+  menu_bar.min_changes_per_trace = 3;
+  menu_bar.keys = {Toggle("Originals/ShowMenuBar", /*ui=*/true)};
+  app.groups.push_back(std::move(menu_bar));
+
+  // Error #16: the Find box on the toolbar.
+  SchemaGroup find_box;
+  find_box.name = "acrobat-find-box";
+  find_box.changes_per_day = 0.03;
+  find_box.min_changes_per_trace = 3;
+  find_box.keys = {Toggle("Toolbars/ShowFindBox", /*ui=*/true)};
+  app.groups.push_back(std::move(find_box));
+
+  AddBulkGroups(app, "AVGeneral", '/', 114, {3, 2, 2, 3, 2}, 0.05, 0.04);
+  AddFakeGroups(app, "AVGeneral", '/', 5, 2, 0.025, 400);
+  AddSingles(app, "Originals", '/', 425, 0.055, 100);
+  AddNoise(app, "AVGeneral/session", '/', {"splitter_pos", "last_zoom"}, 0.5);
+  AddReadonly(app, "FeatureLockDown", '/', 23);
+  return app;
+}
+
+// ----- Explorer (Windows registry) --------------------------------------------------
+// 298 keys; 32/91 clusters at 84.4%. Hosts errors #4 (Open-With master
+// list) and #7 (image window placement).
+AppSchema BuildExplorer() {
+  AppSchema app;
+  app.name = kExplorer;
+  app.store = StoreKind::kRegistry;
+  const std::string p = "HKEY_CURRENT_USER\\Software\\Microsoft\\Windows\\CurrentVersion\\Explorer";
+
+  // Error #4: the Open-With list for .flv. The MRU order key changes even
+  // when the application entries do not.
+  SchemaGroup open_with;
+  open_with.name = "explorer-openwith-flv";
+  open_with.kind = GroupKind::kMasterList;
+  open_with.changes_per_day = 0.02;
+  open_with.min_changes_per_trace = 3;
+  open_with.rotations_per_session = 0.4;
+  open_with.keys = {Choice(p + "\\FileExts\\.flv\\OpenWithList\\MRUList", {"ab", "ba", "a", "b"},
+                           /*ui=*/true),
+                    Choice(p + "\\FileExts\\.flv\\OpenWithList\\a",
+                           {"wmplayer.exe", "vlc.exe", "mpc.exe"}, /*ui=*/true),
+                    Choice(p + "\\FileExts\\.flv\\OpenWithList\\b",
+                           {"vlc.exe", "winamp.exe", "mpc.exe"}, /*ui=*/true)};
+  app.groups.push_back(std::move(open_with));
+
+  // Error #7: image viewer window placement (both keys must be consistent).
+  SchemaGroup img_window;
+  img_window.name = "explorer-image-window";
+  img_window.changes_per_day = 0.03;
+  img_window.min_changes_per_trace = 3;
+  img_window.keys = {Toggle(p + "\\ImagePreview\\Maximized", /*ui=*/true),
+                     Choice(p + "\\ImagePreview\\Placement",
+                            {"44,44,800,600", "0,0,1024,768", "100,80,640,480"}, /*ui=*/true)};
+  app.groups.push_back(std::move(img_window));
+
+  AddBulkGroups(app, p, '\\', 30, {3, 2, 4, 2, 3}, 0.04, 0.06);
+  AddFakeGroups(app, p, '\\', 5, 2, 0.025, 500);
+  AddSingles(app, p + "\\Advanced", '\\', 52, 0.05, 100);
+  AddNoise(app, p + "\\Streams", '\\', {"Desktop0", "Desktop1", "Settings"}, 1.5);
+  AddReadonly(app, p, '\\', 143);
+  return app;
+}
+
+// ----- Windows Media Player (Windows registry) --------------------------------------
+// 165 keys; 21/41 clusters at 90.5%. Hosts error #5 (captions).
+AppSchema BuildMediaPlayer() {
+  AppSchema app;
+  app.name = kMediaPlayer;
+  app.store = StoreKind::kRegistry;
+  const std::string p = "HKEY_CURRENT_USER\\Software\\Microsoft\\MediaPlayer\\Preferences";
+
+  // Error #5: captions while playing video (4 related keys per Table IV).
+  SchemaGroup captions;
+  captions.name = "wmp-captions";
+  captions.changes_per_day = 0.035;
+  captions.min_changes_per_trace = 3;
+  captions.keys = {Toggle(p + "\\CaptionsOn", /*ui=*/true),
+                   Choice(p + "\\CaptionStyle", {"overlay", "below", "windowed"}),
+                   IntKey(p + "\\CaptionSize", 8, 32),
+                   Choice(p + "\\CaptionLanguage", {"en", "fr", "de", "es"})};
+  app.groups.push_back(std::move(captions));
+
+  AddBulkGroups(app, p, '\\', 18, {3, 2, 3, 4}, 0.04, 0.05);
+  AddFakeGroups(app, p, '\\', 2, 2, 0.025, 300);
+  AddSingles(app, p, '\\', 18, 0.05, 100);
+  AddNoise(app, p + "\\UI", '\\', {"LastVolume", "WindowW"}, 1.0);
+  AddReadonly(app, p, '\\', 82);
+  return app;
+}
+
+std::vector<AppSchema> AllAppSchemas() {
+  std::vector<AppSchema> apps;
+  apps.push_back(BuildOutlook());
+  apps.push_back(BuildEvolution());
+  apps.push_back(BuildInternetExplorer());
+  apps.push_back(BuildChrome());
+  apps.push_back(BuildWord());
+  apps.push_back(BuildGnomeEdit());
+  apps.push_back(BuildPaint());
+  apps.push_back(BuildEyeOfGnome());
+  apps.push_back(BuildAcrobat());
+  apps.push_back(BuildExplorer());
+  apps.push_back(BuildMediaPlayer());
+  return apps;
+}
+
+AppSchema AppSchemaByName(const std::string& name) {
+  for (AppSchema& app : AllAppSchemas()) {
+    if (app.name == name) return app;
+  }
+  throw Error("unknown application: " + name);
+}
+
+AppSchema BuildSystemBackground(StoreKind store, size_t num_keys, size_t num_churn_keys) {
+  AppSchema app;
+  app.name = "System";
+  app.store = store;
+  const std::string prefix = store == StoreKind::kRegistry
+                                 ? "HKEY_CURRENT_USER\\Software\\System"
+                                 : "/system/background";
+  const char sep = store == StoreKind::kRegistry ? '\\' : '/';
+  // Churn keys: session-scoped OS state written all the time.
+  for (size_t i = 0; i < num_churn_keys; ++i) {
+    SchemaGroup group;
+    group.name = StrFormat("system-churn%zu", i);
+    group.rotations_per_session = 1.0 + static_cast<double>(i % 5);
+    std::string path = prefix;
+    path += sep;
+    path += StrFormat("state%zu", i);
+    group.keys.push_back(IntKey(std::move(path), 0, 1'000'000));
+    app.groups.push_back(std::move(group));
+  }
+  if (num_keys > num_churn_keys) AddReadonly(app, prefix, sep, num_keys - num_churn_keys);
+  return app;
+}
+
+}  // namespace ocasta

@@ -1,0 +1,27 @@
+#include "apps/render.h"
+
+namespace ocasta {
+
+std::string RenderKeyLine(const KeySpec& key, ConfigStore& store) {
+  const auto value = store.Read(key.path);
+  std::string line = key.path;
+  line += " = ";
+  line += value ? value->ToDisplay() : "<unset>";
+  line += '\n';
+  return line;
+}
+
+Screenshot RenderApp(const AppSchema& schema, ConfigStore& store) {
+  std::string text = "=== " + schema.name + " ===\n";
+  for (const SchemaGroup& group : schema.groups) {
+    for (const KeySpec& key : group.keys) {
+      if (key.ui_visible) text += RenderKeyLine(key, store);
+    }
+  }
+  for (const KeySpec& key : schema.readonly_keys) {
+    if (key.ui_visible) text += RenderKeyLine(key, store);
+  }
+  return Screenshot::FromText(std::move(text));
+}
+
+}  // namespace ocasta

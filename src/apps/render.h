@@ -1,0 +1,45 @@
+// Deterministic application rendering — the repair tool's "screenshots".
+//
+// The paper's repair loop takes a pixel screenshot after every trial and
+// deduplicates identical ones. Our applications are deterministic models,
+// so a screenshot is a canonical text rendering of the application's
+// visible state (every ui_visible key) plus a stable hash used for
+// deduplication. Two configurations that present the same visible state
+// produce byte-identical screenshots, exactly like two identical frames.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "apps/schema.h"
+#include "common/hash.h"
+#include "configstore/config_store.h"
+
+namespace ocasta {
+
+struct Screenshot {
+  std::string text;
+  uint64_t hash = 0;
+
+  static Screenshot FromText(std::string rendered) {
+    Screenshot shot;
+    shot.hash = Fnv1a(rendered);
+    shot.text = std::move(rendered);
+    return shot;
+  }
+
+  friend bool operator==(const Screenshot& a, const Screenshot& b) {
+    return a.hash == b.hash && a.text == b.text;
+  }
+};
+
+// Renders an application's visible state from its configuration store:
+// one "element = value" line per ui_visible key (absent keys render as
+// "<unset>"), in schema order.
+Screenshot RenderApp(const AppSchema& schema, ConfigStore& store);
+
+// Renders a single key's visible line (shared by RenderApp and the
+// scenario symptom predicates).
+std::string RenderKeyLine(const KeySpec& key, ConfigStore& store);
+
+}  // namespace ocasta

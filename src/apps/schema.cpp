@@ -1,0 +1,56 @@
+#include "apps/schema.h"
+
+namespace ocasta {
+
+Value KeySpec::DefaultValue() const {
+  switch (type) {
+    case ValueType::kBool: return Value(true);
+    case ValueType::kInt: return Value(int_min + (int_max - int_min) / 2);
+    case ValueType::kReal: return Value(static_cast<double>(int_min + (int_max - int_min) / 2));
+    case ValueType::kString: return choices.empty() ? Value("default") : Value(choices.front());
+    case ValueType::kStringList: {
+      std::vector<std::string> items;
+      const size_t n = choices.size() < 3 ? choices.size() : 3;
+      for (size_t i = 0; i < n; ++i) items.push_back(choices[i]);
+      return Value(std::move(items));
+    }
+    case ValueType::kNone: return Value();
+  }
+  return Value();
+}
+
+size_t AppSchema::total_keys() const {
+  size_t n = readonly_keys.size();
+  for (const SchemaGroup& group : groups) n += group.keys.size();
+  return n;
+}
+
+const SchemaGroup* AppSchema::FindGroup(const std::string& group_name) const {
+  for (const SchemaGroup& group : groups) {
+    if (group.name == group_name) return &group;
+  }
+  return nullptr;
+}
+
+const KeySpec* AppSchema::FindKey(const std::string& path) const {
+  for (const SchemaGroup& group : groups) {
+    for (const KeySpec& key : group.keys) {
+      if (key.path == path) return &key;
+    }
+  }
+  for (const KeySpec& key : readonly_keys) {
+    if (key.path == path) return &key;
+  }
+  return nullptr;
+}
+
+ConfigMap AppSchema::DefaultConfig() const {
+  ConfigMap config;
+  for (const SchemaGroup& group : groups) {
+    for (const KeySpec& key : group.keys) config[key.path] = key.DefaultValue();
+  }
+  for (const KeySpec& key : readonly_keys) config[key.path] = key.DefaultValue();
+  return config;
+}
+
+}  // namespace ocasta

@@ -1,0 +1,60 @@
+#include "clustering/cluster_set.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace ocasta {
+
+ClusterSet::ClusterSet(std::vector<KeyCluster> clusters, size_t num_keys)
+    : clusters_(std::move(clusters)), cluster_of_(num_keys, kNoCluster) {
+  for (size_t c = 0; c < clusters_.size(); ++c) {
+    for (uint32_t key : clusters_[c].keys) {
+      if (key >= num_keys) throw Error("cluster key id out of range");
+      if (cluster_of_[key] != kNoCluster) throw Error("key appears in two clusters");
+      cluster_of_[key] = static_cast<uint32_t>(c);
+    }
+  }
+}
+
+size_t ClusterSet::multi_cluster_count() const {
+  size_t count = 0;
+  for (const KeyCluster& cluster : clusters_) {
+    if (cluster.size() > 1) ++count;
+  }
+  return count;
+}
+
+double ClusterSet::average_multi_cluster_size() const {
+  size_t count = 0;
+  size_t total = 0;
+  for (const KeyCluster& cluster : clusters_) {
+    if (cluster.size() > 1) {
+      ++count;
+      total += cluster.size();
+    }
+  }
+  return count == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(count);
+}
+
+double ClusterSet::average_cluster_size() const {
+  if (clusters_.empty()) return 0.0;
+  size_t total = 0;
+  for (const KeyCluster& cluster : clusters_) total += cluster.size();
+  return static_cast<double>(total) / static_cast<double>(clusters_.size());
+}
+
+std::vector<size_t> ClusterSet::RecoveryOrder() const {
+  std::vector<size_t> order(clusters_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    if (clusters_[a].version_count != clusters_[b].version_count) {
+      return clusters_[a].version_count < clusters_[b].version_count;
+    }
+    return clusters_[a].last_modified > clusters_[b].last_modified;
+  });
+  return order;
+}
+
+}  // namespace ocasta

@@ -1,0 +1,61 @@
+// Cluster sets: the output of Ocasta's clustering pipeline.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace ocasta {
+
+// One cluster of related configuration keys, annotated with the history
+// statistics the repair tool's prioritisation uses.
+struct KeyCluster {
+  std::vector<uint32_t> keys;     // TTKV key ids, sorted ascending.
+  uint64_t version_count = 0;     // Co-modification groups touching the cluster
+                                  // = number of historical cluster versions.
+  TimeMicros last_modified = 0;   // Most recent write to any member.
+
+  size_t size() const { return keys.size(); }
+};
+
+class ClusterSet {
+ public:
+  static constexpr uint32_t kNoCluster = std::numeric_limits<uint32_t>::max();
+
+  ClusterSet() = default;
+  // `num_keys` bounds the key-id space for the reverse index.
+  ClusterSet(std::vector<KeyCluster> clusters, size_t num_keys);
+
+  const std::vector<KeyCluster>& clusters() const { return clusters_; }
+  const KeyCluster& cluster(size_t index) const { return clusters_[index]; }
+  size_t size() const { return clusters_.size(); }
+
+  // Index of the cluster containing a key, or kNoCluster.
+  uint32_t cluster_of(uint32_t key_id) const {
+    return key_id < cluster_of_.size() ? cluster_of_[key_id] : kNoCluster;
+  }
+
+  // Number of clusters with more than one key (Table II's first number).
+  size_t multi_cluster_count() const;
+
+  // Mean size over clusters with more than one key — the paper's "average
+  // size of clusters" metric in Figure 3 (0 when there are none).
+  double average_multi_cluster_size() const;
+
+  // Mean size over all clusters, singletons included.
+  double average_cluster_size() const;
+
+  // Cluster indices in the repair tool's search order: least-modified
+  // clusters first ("changes to configuration settings should be
+  // infrequent"), with more recently modified clusters first among ties.
+  std::vector<size_t> RecoveryOrder() const;
+
+ private:
+  std::vector<KeyCluster> clusters_;
+  std::vector<uint32_t> cluster_of_;
+};
+
+}  // namespace ocasta

@@ -1,0 +1,32 @@
+#include "clustering/correlation.h"
+
+namespace ocasta {
+
+CorrelationResult ComputeCorrelations(const std::vector<CoModGroup>& groups, size_t num_keys) {
+  CorrelationResult result;
+  result.group_counts.assign(num_keys, 0);
+
+  // Count group memberships and pair co-occurrences. Group key lists are
+  // distinct and sorted, so each pair is counted once per group.
+  std::unordered_map<uint64_t, uint64_t> pair_counts;
+  for (const CoModGroup& group : groups) {
+    for (size_t i = 0; i < group.key_ids.size(); ++i) {
+      ++result.group_counts[group.key_ids[i]];
+      for (size_t j = i + 1; j < group.key_ids.size(); ++j) {
+        ++pair_counts[PairTable::PairKey(group.key_ids[i], group.key_ids[j])];
+      }
+    }
+  }
+
+  for (const auto& [pair_key, count] : pair_counts) {
+    const auto a = static_cast<uint32_t>(pair_key >> 32);
+    const auto b = static_cast<uint32_t>(pair_key & 0xffffffffu);
+    const double corr =
+        static_cast<double>(count) / static_cast<double>(result.group_counts[a]) +
+        static_cast<double>(count) / static_cast<double>(result.group_counts[b]);
+    result.correlation.Set(a, b, corr);
+  }
+  return result;
+}
+
+}  // namespace ocasta

@@ -1,0 +1,55 @@
+// Pairwise correlation between configuration keys.
+//
+// The paper's metric:
+//     Correlation = |A∩B| / |A|  +  |A∩B| / |B|
+// where |A| is the number of co-modification groups containing key A and
+// |A∩B| the number containing both. It is 2 when two keys are always
+// modified together and 0 when never; it is only defined for keys with at
+// least one modification. The clustering distance is its inverse.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "clustering/window.h"
+
+namespace ocasta {
+
+// Sparse symmetric pair → value map keyed on (min_id, max_id).
+class PairTable {
+ public:
+  static uint64_t PairKey(uint32_t a, uint32_t b) {
+    const uint32_t lo = a < b ? a : b;
+    const uint32_t hi = a < b ? b : a;
+    return (static_cast<uint64_t>(lo) << 32) | hi;
+  }
+
+  double Get(uint32_t a, uint32_t b, double fallback) const {
+    auto it = values_.find(PairKey(a, b));
+    return it == values_.end() ? fallback : it->second;
+  }
+  void Set(uint32_t a, uint32_t b, double v) { values_[PairKey(a, b)] = v; }
+  void Add(uint32_t a, uint32_t b, double v) { values_[PairKey(a, b)] += v; }
+
+  size_t size() const { return values_.size(); }
+  const std::unordered_map<uint64_t, double>& raw() const { return values_; }
+
+ private:
+  std::unordered_map<uint64_t, double> values_;
+};
+
+struct CorrelationResult {
+  // Number of co-modification groups containing each key, indexed by key id
+  // (zero for keys never written).
+  std::vector<uint64_t> group_counts;
+  // corr(A,B) for all pairs with |A∩B| > 0. Absent pairs have correlation 0
+  // (distance infinity).
+  PairTable correlation;
+};
+
+// Computes per-key group counts and all non-zero pairwise correlations.
+// `num_keys` bounds the key-id space (TTKV::num_keys()).
+CorrelationResult ComputeCorrelations(const std::vector<CoModGroup>& groups, size_t num_keys);
+
+}  // namespace ocasta

@@ -1,0 +1,73 @@
+#include "clustering/engine.h"
+
+#include <limits>
+
+#include "common/error.h"
+#include "clustering/correlation.h"
+#include "clustering/window.h"
+
+namespace ocasta {
+
+ClusterSet ClusterKeys(const TTKV& ttkv, const ClusteringParams& params) {
+  if (params.threshold_correlation <= 0) {
+    throw Error("threshold_correlation must be positive");
+  }
+  const auto events = ttkv.write_events();
+  const auto groups = GroupWrites(events, Seconds(params.window_seconds));
+  const auto corr = ComputeCorrelations(groups, ttkv.num_keys());
+
+  // Points: keys modified at least once.
+  std::vector<uint32_t> ids;
+  for (uint32_t id = 0; id < ttkv.num_keys(); ++id) {
+    if (corr.group_counts[id] > 0) ids.push_back(id);
+  }
+
+  // Distance = 1 / correlation; pairs never co-modified stay infinite.
+  PairTable distances;
+  for (const auto& [pair_key, correlation] : corr.correlation.raw()) {
+    const auto a = static_cast<uint32_t>(pair_key >> 32);
+    const auto b = static_cast<uint32_t>(pair_key & 0xffffffffu);
+    distances.Set(a, b, 1.0 / correlation);
+  }
+
+  const double max_distance = 1.0 / params.threshold_correlation;
+  auto raw_clusters = AgglomerativeCluster(ids, distances, params.linkage, max_distance);
+
+  // Annotate clusters with version counts (co-mod groups touching any
+  // member) and last-modified times.
+  std::vector<uint32_t> cluster_index(ttkv.num_keys(), ClusterSet::kNoCluster);
+  std::vector<KeyCluster> clusters;
+  clusters.reserve(raw_clusters.size());
+  for (auto& keys : raw_clusters) {
+    for (uint32_t key : keys) cluster_index[key] = static_cast<uint32_t>(clusters.size());
+    KeyCluster cluster;
+    cluster.keys = std::move(keys);
+    clusters.push_back(std::move(cluster));
+  }
+  for (const CoModGroup& group : groups) {
+    // A group bumps each distinct cluster it touches once.
+    uint32_t last_bumped = ClusterSet::kNoCluster;
+    std::vector<uint32_t> bumped;
+    for (uint32_t key : group.key_ids) {
+      const uint32_t c = cluster_index[key];
+      if (c == last_bumped) continue;
+      bool seen = false;
+      for (uint32_t prev : bumped) {
+        if (prev == c) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        ++clusters[c].version_count;
+        if (group.end > clusters[c].last_modified) clusters[c].last_modified = group.end;
+        bumped.push_back(c);
+      }
+      last_bumped = c;
+    }
+  }
+
+  return ClusterSet(std::move(clusters), ttkv.num_keys());
+}
+
+}  // namespace ocasta

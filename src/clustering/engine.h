@@ -1,0 +1,32 @@
+// The end-to-end clustering pipeline:
+//   TTKV write history → window grouping → correlations → HAC → ClusterSet.
+#pragma once
+
+#include "clustering/cluster_set.h"
+#include "clustering/hac.h"
+#include "ttkv/ttkv.h"
+
+namespace ocasta {
+
+struct ClusteringParams {
+  // Sliding-window length. The paper's default is 1 second (the minimum its
+  // second-granularity traces support); 0 clusters only identical
+  // timestamps.
+  double window_seconds = 1.0;
+
+  // Correlation threshold: keys merge while cluster correlation is >= this.
+  // Default 2 clusters only keys *always* modified together; lowering it
+  // (e.g. to 1) admits keys modified together most of the time. Must be
+  // positive. The equivalent distance cut is 1/threshold.
+  double threshold_correlation = 2.0;
+
+  Linkage linkage = Linkage::kComplete;
+};
+
+// Clusters every modified key in the TTKV. Unmodified keys (reads only) are
+// excluded entirely — they cannot cause a configuration error the user
+// introduced. Each returned cluster carries its version count and last
+// modification time for recovery prioritisation.
+ClusterSet ClusterKeys(const TTKV& ttkv, const ClusteringParams& params);
+
+}  // namespace ocasta

@@ -1,0 +1,155 @@
+#include "clustering/hac.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace ocasta {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Dense symmetric matrix over the "connected" points (those with at least
+// one finite distance). Clusters are rows; merging retires one row.
+class Matrix {
+ public:
+  Matrix(size_t n) : n_(n), data_(n * n, kInf) {}
+  double& at(size_t i, size_t j) { return data_[i * n_ + j]; }
+  double at(size_t i, size_t j) const { return data_[i * n_ + j]; }
+
+ private:
+  size_t n_;
+  std::vector<double> data_;
+};
+
+}  // namespace
+
+const char* LinkageName(Linkage linkage) {
+  switch (linkage) {
+    case Linkage::kComplete: return "complete";
+    case Linkage::kSingle: return "single";
+    case Linkage::kAverage: return "average";
+  }
+  return "unknown";
+}
+
+std::vector<std::vector<uint32_t>> AgglomerativeCluster(const std::vector<uint32_t>& ids,
+                                                        const PairTable& distances,
+                                                        Linkage linkage, double max_distance) {
+  if (max_distance < 0) throw Error("clustering threshold must be non-negative");
+
+  // Split points into connected (some finite distance) and isolated.
+  std::vector<uint32_t> connected;
+  std::vector<uint32_t> isolated;
+  for (uint32_t id : ids) {
+    bool has_neighbor = false;
+    for (uint32_t other : ids) {
+      if (other != id && distances.Get(id, other, kInf) < kInf) {
+        has_neighbor = true;
+        break;
+      }
+    }
+    (has_neighbor ? connected : isolated).push_back(id);
+  }
+
+  const size_t n = connected.size();
+  std::vector<std::vector<uint32_t>> members(n);  // Per active cluster.
+  std::vector<size_t> sizes(n, 1);
+  std::vector<bool> alive(n, true);
+  Matrix dist(n);
+  for (size_t i = 0; i < n; ++i) {
+    members[i] = {connected[i]};
+    for (size_t j = i + 1; j < n; ++j) {
+      const double d = distances.Get(connected[i], connected[j], kInf);
+      dist.at(i, j) = d;
+      dist.at(j, i) = d;
+    }
+  }
+
+  // Nearest-neighbor cache: nn[i] = the alive j minimizing dist(i, j).
+  std::vector<size_t> nn(n, 0);
+  std::vector<double> nn_dist(n, kInf);
+  auto recompute_nn = [&](size_t i) {
+    nn_dist[i] = kInf;
+    nn[i] = i;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i || !alive[j]) continue;
+      if (dist.at(i, j) < nn_dist[i]) {
+        nn_dist[i] = dist.at(i, j);
+        nn[i] = j;
+      }
+    }
+  };
+  for (size_t i = 0; i < n; ++i) recompute_nn(i);
+
+  size_t alive_count = n;
+  while (alive_count > 1) {
+    // Global minimum over the nearest-neighbor cache.
+    size_t best = n;
+    double best_dist = kInf;
+    for (size_t i = 0; i < n; ++i) {
+      if (alive[i] && nn_dist[i] < best_dist) {
+        best_dist = nn_dist[i];
+        best = i;
+      }
+    }
+    if (best == n || best_dist > max_distance) break;  // Dendrogram cut.
+
+    const size_t a = best;
+    const size_t b = nn[best];
+    // Merge b into a (Lance-Williams update of row a).
+    for (size_t c = 0; c < n; ++c) {
+      if (!alive[c] || c == a || c == b) continue;
+      const double dac = dist.at(a, c);
+      const double dbc = dist.at(b, c);
+      double merged = kInf;
+      switch (linkage) {
+        case Linkage::kComplete: merged = std::max(dac, dbc); break;
+        case Linkage::kSingle: merged = std::min(dac, dbc); break;
+        case Linkage::kAverage: {
+          const double wa = static_cast<double>(sizes[a]);
+          const double wb = static_cast<double>(sizes[b]);
+          merged = (wa * dac + wb * dbc) / (wa + wb);
+          break;
+        }
+      }
+      dist.at(a, c) = merged;
+      dist.at(c, a) = merged;
+    }
+    members[a].insert(members[a].end(), members[b].begin(), members[b].end());
+    members[b].clear();
+    sizes[a] += sizes[b];
+    alive[b] = false;
+    --alive_count;
+
+    // Refresh caches: a's row changed; anyone pointing at a or b re-scans,
+    // and (for single/average linkage, where merged distances can shrink)
+    // anyone now closer to a adopts it.
+    recompute_nn(a);
+    for (size_t i = 0; i < n; ++i) {
+      if (!alive[i] || i == a) continue;
+      if (nn[i] == a || nn[i] == b) {
+        recompute_nn(i);
+      } else if (dist.at(i, a) < nn_dist[i]) {
+        nn[i] = a;
+        nn_dist[i] = dist.at(i, a);
+      }
+    }
+  }
+
+  std::vector<std::vector<uint32_t>> result;
+  for (size_t i = 0; i < n; ++i) {
+    if (alive[i]) {
+      std::sort(members[i].begin(), members[i].end());
+      result.push_back(std::move(members[i]));
+    }
+  }
+  for (uint32_t id : isolated) result.push_back({id});
+  std::sort(result.begin(), result.end(),
+            [](const auto& x, const auto& y) { return x.front() < y.front(); });
+  return result;
+}
+
+}  // namespace ocasta

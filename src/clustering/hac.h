@@ -1,0 +1,39 @@
+// Hierarchical agglomerative clustering with threshold pruning.
+//
+// The paper uses hierarchical agglomerative clustering with the "maximum
+// linkage criterion" (complete linkage) and augments the algorithm "to be
+// able to partition clusters using an adjustable clustering threshold":
+// merging stops once the smallest inter-cluster distance exceeds the
+// threshold, which cuts the dendrogram at that height. Single and average
+// linkage are provided for the linkage ablation bench.
+//
+// Distances are sparse: pairs absent from the table are infinitely far
+// apart (keys never modified together are never merged).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clustering/correlation.h"
+
+namespace ocasta {
+
+enum class Linkage : uint8_t {
+  kComplete = 0,  // Max pairwise distance across clusters (paper default).
+  kSingle = 1,
+  kAverage = 2,   // Unweighted pair-group average (UPGMA).
+};
+
+const char* LinkageName(Linkage linkage);
+
+// Clusters `ids` with the given linkage, merging while the minimum
+// inter-cluster distance is <= max_distance. All three linkages are
+// reducible, so stopping at the first minimum above the threshold yields
+// exactly the dendrogram cut. Points with no finite distance to any other
+// point come back as singletons. Cluster member lists are sorted; clusters
+// are ordered by their smallest member.
+std::vector<std::vector<uint32_t>> AgglomerativeCluster(const std::vector<uint32_t>& ids,
+                                                        const PairTable& distances,
+                                                        Linkage linkage, double max_distance);
+
+}  // namespace ocasta

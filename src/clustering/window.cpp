@@ -1,0 +1,31 @@
+#include "clustering/window.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ocasta {
+
+std::vector<CoModGroup> GroupWrites(const std::vector<WriteEvent>& events, TimeMicros window) {
+  if (window < 0) throw Error("co-modification window must be non-negative");
+  std::vector<CoModGroup> groups;
+  for (const WriteEvent& event : events) {
+    if (!groups.empty() && event.timestamp < groups.back().end) {
+      throw Error("write events must be sorted by timestamp");
+    }
+    if (groups.empty() || event.timestamp - groups.back().end > window) {
+      groups.push_back(CoModGroup{.start = event.timestamp, .end = event.timestamp, .key_ids = {}});
+    }
+    CoModGroup& group = groups.back();
+    group.end = event.timestamp;
+    group.key_ids.push_back(event.key_id);
+  }
+  for (CoModGroup& group : groups) {
+    std::sort(group.key_ids.begin(), group.key_ids.end());
+    group.key_ids.erase(std::unique(group.key_ids.begin(), group.key_ids.end()),
+                        group.key_ids.end());
+  }
+  return groups;
+}
+
+}  // namespace ocasta

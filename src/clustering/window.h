@@ -1,0 +1,32 @@
+// Sliding-window grouping of write events.
+//
+// "To determine whether keys have been modified together, Ocasta uses a
+// sliding time window and considers all keys written within the window to
+// have been modified together." Writes are partitioned into co-modification
+// groups: a write extends the current group when it falls within the window
+// of the group's latest write; otherwise it starts a new group. A window of
+// zero groups only writes carrying the identical timestamp (the Figure 3a
+// left-edge case).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "ttkv/ttkv.h"
+
+namespace ocasta {
+
+// One co-modification group: the distinct keys written together, plus the
+// time of the group's first write (used as the "cluster version" time).
+struct CoModGroup {
+  TimeMicros start = 0;
+  TimeMicros end = 0;                // Time of the group's last write.
+  std::vector<uint32_t> key_ids;     // Distinct, sorted ascending.
+};
+
+// Partitions time-ordered write events into co-modification groups.
+// Precondition: `events` sorted by timestamp (TTKV::write_events() output).
+std::vector<CoModGroup> GroupWrites(const std::vector<WriteEvent>& events, TimeMicros window);
+
+}  // namespace ocasta

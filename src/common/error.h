@@ -1,0 +1,42 @@
+// Error types shared across all Ocasta libraries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ocasta {
+
+// Base class for all errors raised by the Ocasta libraries. Thrown for
+// programming/contract errors (bad arguments, malformed input); recoverable
+// conditions are expressed with std::optional / status returns instead.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Raised when parsing a configuration file or serialized artifact fails.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, size_t line, size_t column)
+      : Error(what + " (line " + std::to_string(line) + ", col " +
+              std::to_string(column) + ")"),
+        line_(line),
+        column_(column) {}
+  explicit ParseError(const std::string& what) : Error(what), line_(0), column_(0) {}
+
+  size_t line() const { return line_; }
+  size_t column() const { return column_; }
+
+ private:
+  size_t line_;
+  size_t column_;
+};
+
+// Raised when a store/TTKV operation violates a precondition (e.g. reading a
+// key as-of a time before the trace started, rolling back an unknown key).
+class StoreError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace ocasta

@@ -1,0 +1,15 @@
+#include "common/hash.h"
+
+namespace ocasta {
+
+std::string HashToHex(uint64_t h) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = digits[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace ocasta

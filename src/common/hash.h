@@ -1,0 +1,35 @@
+// Hashing helpers: FNV-1a 64-bit and hash combination.
+//
+// Used for screenshot fingerprints (deduplication in the repair gallery)
+// and for content-addressing rendered application state. Stability across
+// platforms matters (hashes appear in golden tests), hence a fixed
+// algorithm instead of std::hash.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ocasta {
+
+inline constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr uint64_t Fnv1a(std::string_view data, uint64_t seed = kFnvOffset) {
+  uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+constexpr uint64_t HashCombine(uint64_t a, uint64_t b) {
+  // Boost-style mix with 64-bit golden ratio.
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+// Hex rendering of a 64-bit hash, 16 lowercase digits.
+std::string HashToHex(uint64_t h);
+
+}  // namespace ocasta

@@ -1,0 +1,26 @@
+#include "common/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace ocasta {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throw Error("read failed: " + path);
+  return buffer.str();
+}
+
+void WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot open for writing: " + path);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  if (!out) throw Error("write failed: " + path);
+}
+
+}  // namespace ocasta

@@ -1,0 +1,14 @@
+// Whole-file IO helpers (trace files, TTKV snapshots).
+#pragma once
+
+#include <string>
+
+namespace ocasta {
+
+// Reads an entire file; throws Error when the file cannot be opened/read.
+std::string ReadFile(const std::string& path);
+
+// Writes (replacing) an entire file; throws Error on failure.
+void WriteFile(const std::string& path, const std::string& contents);
+
+}  // namespace ocasta

@@ -1,0 +1,93 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components (workload generator, user-study Monte Carlo)
+// draw from an explicitly-seeded Rng so every table and figure in the bench
+// harness is reproducible bit-for-bit across runs.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+namespace ocasta {
+
+// xoshiro256** with a SplitMix64 seeding sequence. Small, fast, and good
+// enough statistically for workload simulation; deliberately not
+// std::mt19937 so the stream is identical across standard libraries.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      // SplitMix64 step.
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next_u64() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n). Precondition: n > 0.
+  uint64_t next_below(uint64_t n) { return next_u64() % n; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t next_range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(next_below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+  // Exponentially distributed with the given mean (inter-arrival times).
+  double next_exponential(double mean) {
+    double u = next_double();
+    if (u >= 1.0) u = 0.9999999999999999;
+    return -mean * std::log(1.0 - u);
+  }
+
+  // Standard normal via Box-Muller (one value per call; simple over fast).
+  double next_normal(double mean, double stddev) {
+    double u1 = next_double();
+    double u2 = next_double();
+    if (u1 <= 0.0) u1 = 1e-12;
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  // Picks an index according to non-negative weights. Precondition: at least
+  // one weight is positive.
+  size_t next_weighted(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    double r = next_double() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  // Derives an independent child generator (for per-application streams).
+  Rng fork() { return Rng(next_u64() ^ 0xa02bdbf7bb3c0a7ULL); }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+}  // namespace ocasta

@@ -1,0 +1,35 @@
+// Small string utilities shared across the Ocasta libraries.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ocasta {
+
+// Splits on a single-character separator. Empty fields are preserved:
+// Split("a//b", '/') == {"a", "", "b"}. Split("", '/') == {""}.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Splits and drops empty fields: SplitNonEmpty("/a//b/", '/') == {"a","b"}.
+std::vector<std::string> SplitNonEmpty(std::string_view s, char sep);
+
+// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+std::string ToLower(std::string_view s);
+
+// Minimal printf-style formatting (std::format is unavailable on GCC 12).
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Escapes a string for embedding in a single line of a text trace file
+// (backslash-escapes '\', '\n', '\t' and the given extra separator).
+std::string EscapeField(std::string_view s, char sep);
+std::string UnescapeField(std::string_view s, char sep);
+
+}  // namespace ocasta

@@ -1,0 +1,55 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace ocasta {
+
+std::string TextTable::render() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      line += cell;
+      line.append(widths[i] - cell.size(), ' ');
+      if (i + 1 < widths.size()) line += "  ";
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  size_t rule_len = 0;
+  for (size_t i = 0; i < widths.size(); ++i) rule_len += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+  out.append(rule_len, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string SeriesChart::render() const {
+  TextTable table([&] {
+    std::vector<std::string> header{x_label_};
+    for (const auto& label : series_labels_) header.push_back(label);
+    return header;
+  }());
+  for (size_t i = 0; i < xs_.size(); ++i) {
+    std::vector<std::string> row{StrFormat("%g", xs_[i])};
+    for (double y : ys_[i]) row.push_back(StrFormat("%.2f", y));
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+}  // namespace ocasta

@@ -1,0 +1,48 @@
+// ASCII table rendering for the benchmark harness.
+//
+// Every bench binary prints the same rows the paper's tables report; this
+// helper keeps the rendering consistent (padded columns, header rule).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ocasta {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  // Renders with each column padded to its widest cell. Rows shorter than
+  // the header are padded with empty cells.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Renders an (x, series...) line chart as aligned text columns — the bench
+// harness's stand-in for the paper's figures.
+class SeriesChart {
+ public:
+  SeriesChart(std::string x_label, std::vector<std::string> series_labels)
+      : x_label_(std::move(x_label)), series_labels_(std::move(series_labels)) {}
+
+  void add_point(double x, std::vector<double> ys) {
+    xs_.push_back(x);
+    ys_.push_back(std::move(ys));
+  }
+
+  std::string render() const;
+
+ private:
+  std::string x_label_;
+  std::vector<std::string> series_labels_;
+  std::vector<double> xs_;
+  std::vector<std::vector<double>> ys_;
+};
+
+}  // namespace ocasta

@@ -1,0 +1,32 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+namespace ocasta {
+
+std::string FormatMinSec(TimeMicros d) {
+  if (d < 0) d = 0;
+  const int64_t total_seconds = d / kMicrosPerSecond;
+  const int64_t minutes = total_seconds / 60;
+  const int64_t seconds = total_seconds % 60;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld:%02lld", static_cast<long long>(minutes),
+                static_cast<long long>(seconds));
+  return buf;
+}
+
+std::string FormatTimestamp(TimeMicros t) {
+  const int64_t day = t / kMicrosPerDay;
+  int64_t rem = t % kMicrosPerDay;
+  if (rem < 0) rem += kMicrosPerDay;
+  const int64_t hours = rem / kMicrosPerHour;
+  const int64_t minutes = (rem % kMicrosPerHour) / kMicrosPerMinute;
+  const int64_t seconds = (rem % kMicrosPerMinute) / kMicrosPerSecond;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "day %lld %02lld:%02lld:%02lld",
+                static_cast<long long>(day), static_cast<long long>(hours),
+                static_cast<long long>(minutes), static_cast<long long>(seconds));
+  return buf;
+}
+
+}  // namespace ocasta

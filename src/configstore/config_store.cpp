@@ -1,0 +1,14 @@
+#include "configstore/config_store.h"
+
+namespace ocasta {
+
+const char* StoreKindName(StoreKind kind) {
+  switch (kind) {
+    case StoreKind::kRegistry: return "Registry";
+    case StoreKind::kGconf: return "GConf";
+    case StoreKind::kFile: return "File";
+  }
+  return "unknown";
+}
+
+}  // namespace ocasta

@@ -1,0 +1,57 @@
+// The configuration-store abstraction.
+//
+// The paper's loggers intercept three kinds of persistent configuration
+// storage: the Windows registry, the GConf configuration system, and
+// application-specific files. All three are modelled behind this interface;
+// applications read and write settings through it, and the interception
+// decorator (intercepting_store.h) observes every access.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "parsers/config_map.h"
+#include "ttkv/value.h"
+
+namespace ocasta {
+
+enum class StoreKind : uint8_t {
+  kRegistry = 0,  // Windows-registry-like (HKCU\... backslash paths).
+  kGconf = 1,     // GConf-like (/apps/... slash paths).
+  kFile = 2,      // Application-specific config file (any parser format).
+};
+
+const char* StoreKindName(StoreKind kind);
+
+class ConfigStore {
+ public:
+  virtual ~ConfigStore() = default;
+
+  // Reads a key; nullopt when absent. Throws StoreError for keys that are
+  // syntactically invalid for this store kind.
+  virtual std::optional<Value> Read(const std::string& key) = 0;
+
+  // Creates or overwrites a key.
+  virtual void Write(const std::string& key, Value value) = 0;
+
+  // Deletes a key. Returns false when the key was absent.
+  virtual bool Remove(const std::string& key) = 0;
+
+  // All keys with the given prefix (every key when prefix is empty),
+  // in lexicographic order.
+  virtual std::vector<std::string> ListKeys(const std::string& prefix) const = 0;
+
+  virtual StoreKind kind() const = 0;
+
+  // Full current state. Used by the repair sandbox and the flush-diff
+  // logger; not part of the application-facing API in the paper, but every
+  // real store supports enumerating state (registry hives, gconf dumps,
+  // config files).
+  virtual ConfigMap Snapshot() const = 0;
+
+  // Replaces the full state (sandbox restore).
+  virtual void RestoreSnapshot(const ConfigMap& state) = 0;
+};
+
+}  // namespace ocasta

@@ -1,0 +1,65 @@
+// File-backed configuration store.
+//
+// Models applications that keep their settings in their own files: the
+// application reads the entire file into an in-memory key-value store,
+// mutates it, and periodically flushes it back to disk. The "file" is a
+// virtual one (a string of file text in one of the five codec formats).
+// Observers see only flushes — exactly the paper's granularity limitation
+// for file-based applications ("Ocasta compares the files before and after
+// each flush").
+#pragma once
+
+#include <functional>
+
+#include "configstore/config_store.h"
+#include "parsers/codec.h"
+
+namespace ocasta {
+
+class FileConfigStore final : public ConfigStore {
+ public:
+  // Called on every flush with the file text before and after.
+  using FlushObserver = std::function<void(const std::string& before, const std::string& after)>;
+
+  // `auto_flush` mirrors the common behaviour the paper observes:
+  // "applications typically flush their in-memory store after each key
+  // modification to guarantee persistence". When false, changes accumulate
+  // until Flush() — and intermediate values become invisible to the logger.
+  FileConfigStore(ConfigFormat format, bool auto_flush = true)
+      : codec_(&CodecFor(format)), auto_flush_(auto_flush) {}
+
+  // Loads file text, replacing in-memory state (application start-up).
+  void LoadFileText(const std::string& text);
+  const std::string& file_text() const { return file_text_; }
+
+  // Serializes the in-memory state to the virtual file and notifies the
+  // observer. No-op when nothing changed since the last flush.
+  void Flush();
+
+  void set_flush_observer(FlushObserver observer) { flush_observer_ = std::move(observer); }
+
+  // ConfigStore interface (in-memory map operations).
+  std::optional<Value> Read(const std::string& key) override;
+  void Write(const std::string& key, Value value) override;
+  bool Remove(const std::string& key) override;
+  std::vector<std::string> ListKeys(const std::string& prefix) const override;
+  StoreKind kind() const override { return StoreKind::kFile; }
+  ConfigMap Snapshot() const override { return state_; }
+  void RestoreSnapshot(const ConfigMap& state) override;
+
+  ConfigFormat format() const { return codec_->format(); }
+
+ private:
+  void MaybeAutoFlush() {
+    if (auto_flush_) Flush();
+  }
+
+  const FormatCodec* codec_;
+  bool auto_flush_;
+  ConfigMap state_;
+  std::string file_text_;
+  bool dirty_ = false;
+  FlushObserver flush_observer_;
+};
+
+}  // namespace ocasta

@@ -1,0 +1,30 @@
+// GConf-like configuration store.
+//
+// The paper's Linux logger LD_PRELOADs a shim exporting the GConf client
+// API. Here the GConf database itself is simulated: keys are absolute
+// slash paths ("/apps/evolution/mail/mark_seen"). The interception layer
+// plays the role of the preloaded shim.
+#pragma once
+
+#include "configstore/memory_store.h"
+
+namespace ocasta {
+
+class GconfStore final : public MemoryStore {
+ public:
+  StoreKind kind() const override { return StoreKind::kGconf; }
+
+  // gconf_client_* flavored helpers.
+  void SetBool(const std::string& key, bool v) { Write(key, Value(v)); }
+  void SetInt(const std::string& key, int64_t v) { Write(key, Value(v)); }
+  void SetString(const std::string& key, std::string v) { Write(key, Value(std::move(v))); }
+  bool GetBool(const std::string& key, bool fallback);
+  int64_t GetInt(const std::string& key, int64_t fallback);
+  std::string GetString(const std::string& key, std::string fallback);
+
+ protected:
+  // Valid keys: absolute paths with non-empty segments and no trailing '/'.
+  void ValidateKey(const std::string& key) const override;
+};
+
+}  // namespace ocasta

@@ -1,0 +1,41 @@
+#include "configstore/intercepting_store.h"
+
+namespace ocasta {
+
+const char* AccessOpName(AccessOp op) {
+  switch (op) {
+    case AccessOp::kRead: return "read";
+    case AccessOp::kWrite: return "write";
+    case AccessOp::kDelete: return "delete";
+  }
+  return "unknown";
+}
+
+void InterceptingStore::Emit(AccessOp op, const std::string& key, Value value) const {
+  if (sink_ == nullptr) return;
+  sink_->OnAccess(AccessEvent{.timestamp = clock_.now(),
+                              .app = app_,
+                              .store = inner_.kind(),
+                              .op = op,
+                              .key = key,
+                              .value = std::move(value)});
+}
+
+std::optional<Value> InterceptingStore::Read(const std::string& key) {
+  auto result = inner_.Read(key);
+  Emit(AccessOp::kRead, key, Value());
+  return result;
+}
+
+void InterceptingStore::Write(const std::string& key, Value value) {
+  inner_.Write(key, value);
+  Emit(AccessOp::kWrite, key, std::move(value));
+}
+
+bool InterceptingStore::Remove(const std::string& key) {
+  const bool existed = inner_.Remove(key);
+  if (existed) Emit(AccessOp::kDelete, key, Value());
+  return existed;
+}
+
+}  // namespace ocasta

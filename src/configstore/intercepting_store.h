@@ -1,0 +1,45 @@
+// The interception layer.
+//
+// Stands in for the paper's hooking machinery (registry API hooks injected
+// via the Explorer shell on Windows; an LD_PRELOAD GConf shim on Linux):
+// a decorator that forwards every operation to the wrapped store and emits
+// an AccessEvent to a sink. Applications are handed the decorated store and
+// remain black boxes — they cannot tell they are being observed.
+#pragma once
+
+#include "configstore/access_event.h"
+#include "configstore/config_store.h"
+
+namespace ocasta {
+
+class InterceptingStore final : public ConfigStore {
+ public:
+  // `clock` and `sink` must outlive this object. `sink` may be null
+  // (monitoring disabled; the decorator becomes a transparent pass-through,
+  // like running an application outside the Explorer shell in the paper).
+  InterceptingStore(ConfigStore& inner, std::string app_name, const SimClock& clock,
+                    AccessSink* sink)
+      : inner_(inner), app_(std::move(app_name)), clock_(clock), sink_(sink) {}
+
+  std::optional<Value> Read(const std::string& key) override;
+  void Write(const std::string& key, Value value) override;
+  bool Remove(const std::string& key) override;
+  std::vector<std::string> ListKeys(const std::string& prefix) const override {
+    return inner_.ListKeys(prefix);
+  }
+  StoreKind kind() const override { return inner_.kind(); }
+  ConfigMap Snapshot() const override { return inner_.Snapshot(); }
+  void RestoreSnapshot(const ConfigMap& state) override { inner_.RestoreSnapshot(state); }
+
+  void set_sink(AccessSink* sink) { sink_ = sink; }
+
+ private:
+  void Emit(AccessOp op, const std::string& key, Value value) const;
+
+  ConfigStore& inner_;
+  std::string app_;
+  const SimClock& clock_;
+  AccessSink* sink_;
+};
+
+}  // namespace ocasta

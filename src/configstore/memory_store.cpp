@@ -1,0 +1,38 @@
+#include "configstore/memory_store.h"
+
+#include "common/strings.h"
+
+namespace ocasta {
+
+std::optional<Value> MemoryStore::Read(const std::string& key) {
+  ValidateKey(key);
+  auto it = state_.find(key);
+  if (it == state_.end()) return std::nullopt;
+  return it->second;
+}
+
+void MemoryStore::Write(const std::string& key, Value value) {
+  ValidateKey(key);
+  state_[key] = std::move(value);
+}
+
+bool MemoryStore::Remove(const std::string& key) {
+  ValidateKey(key);
+  return state_.erase(key) != 0;
+}
+
+std::vector<std::string> MemoryStore::ListKeys(const std::string& prefix) const {
+  std::vector<std::string> keys;
+  for (auto it = state_.lower_bound(prefix); it != state_.end(); ++it) {
+    if (!StartsWith(it->first, prefix)) break;
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+void MemoryStore::RestoreSnapshot(const ConfigMap& state) {
+  for (const auto& [key, value] : state) ValidateKey(key);
+  state_ = state;
+}
+
+}  // namespace ocasta

@@ -1,0 +1,27 @@
+// Shared in-memory implementation behind the registry and GConf stores.
+#pragma once
+
+#include "configstore/config_store.h"
+
+namespace ocasta {
+
+class MemoryStore : public ConfigStore {
+ public:
+  std::optional<Value> Read(const std::string& key) override;
+  void Write(const std::string& key, Value value) override;
+  bool Remove(const std::string& key) override;
+  std::vector<std::string> ListKeys(const std::string& prefix) const override;
+  ConfigMap Snapshot() const override { return state_; }
+  void RestoreSnapshot(const ConfigMap& state) override;
+
+  size_t size() const { return state_.size(); }
+
+ protected:
+  // Throws StoreError when `key` is not well-formed for the concrete store.
+  virtual void ValidateKey(const std::string& key) const = 0;
+
+ private:
+  ConfigMap state_;
+};
+
+}  // namespace ocasta

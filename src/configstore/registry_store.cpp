@@ -1,0 +1,17 @@
+#include "configstore/registry_store.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace ocasta {
+
+void RegistryStore::ValidateKey(const std::string& key) const {
+  if (!StartsWith(key, "HKEY_CURRENT_USER\\") && !StartsWith(key, "HKEY_LOCAL_MACHINE\\")) {
+    throw StoreError("registry key must start with a hive root: " + key);
+  }
+  for (const std::string& segment : Split(key, '\\')) {
+    if (segment.empty()) throw StoreError("registry key has an empty path segment: " + key);
+  }
+}
+
+}  // namespace ocasta

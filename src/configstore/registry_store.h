@@ -1,0 +1,36 @@
+// Windows-registry-like configuration store.
+//
+// The paper's Windows logger hooks the registry API (Detours-style) after
+// injecting itself into Explorer. Here the registry itself is simulated:
+// a hierarchical key-value store with backslash-separated paths rooted at
+// a hive name. The interception layer (InterceptingStore) plays the role
+// of the injected hook library.
+#pragma once
+
+#include "configstore/memory_store.h"
+
+namespace ocasta {
+
+class RegistryStore final : public MemoryStore {
+ public:
+  StoreKind kind() const override { return StoreKind::kRegistry; }
+
+  // Registry-flavored convenience API, mirroring RegSetValueEx/RegQueryValueEx
+  // usage in applications ("key path" + "value name").
+  void SetValue(const std::string& key_path, const std::string& value_name, Value value) {
+    Write(key_path + "\\" + value_name, std::move(value));
+  }
+  std::optional<Value> QueryValue(const std::string& key_path, const std::string& value_name) {
+    return Read(key_path + "\\" + value_name);
+  }
+  bool DeleteValue(const std::string& key_path, const std::string& value_name) {
+    return Remove(key_path + "\\" + value_name);
+  }
+
+ protected:
+  // Valid keys: "HKEY_CURRENT_USER\..." or "HKEY_LOCAL_MACHINE\..." with
+  // non-empty, backslash-separated segments.
+  void ValidateKey(const std::string& key) const override;
+};
+
+}  // namespace ocasta

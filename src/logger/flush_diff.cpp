@@ -1,0 +1,34 @@
+#include "logger/flush_diff.h"
+
+#include "common/error.h"
+
+namespace ocasta {
+
+void FlushDiffLogger::Attach(FileConfigStore& store) {
+  if (store.format() != codec_->format()) {
+    throw StoreError("flush-diff logger format does not match the store's format");
+  }
+  store.set_flush_observer(
+      [this](const std::string& before, const std::string& after) { OnFlush(before, after); });
+}
+
+void FlushDiffLogger::OnFlush(const std::string& before_text, const std::string& after_text) {
+  const ConfigMap before = before_text.empty() ? ConfigMap{} : codec_->Parse(before_text);
+  const ConfigMap after = after_text.empty() ? ConfigMap{} : codec_->Parse(after_text);
+  for (const ConfigDelta& delta : DiffConfigMaps(before, after)) {
+    AccessEvent event;
+    event.timestamp = clock_.now();
+    event.app = app_;
+    event.store = StoreKind::kFile;
+    event.key = delta.key;
+    if (delta.kind == ConfigDelta::Kind::kWrite) {
+      event.op = AccessOp::kWrite;
+      event.value = delta.value;
+    } else {
+      event.op = AccessOp::kDelete;
+    }
+    sink_.OnAccess(event);
+  }
+}
+
+}  // namespace ocasta

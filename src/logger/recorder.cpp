@@ -1,0 +1,44 @@
+#include "logger/recorder.h"
+
+#include "logger/trace.h"
+
+namespace ocasta {
+
+namespace {
+
+void Record(TTKV& store, const AccessEvent& event, bool quantize) {
+  const TimeMicros t = quantize ? QuantizeToSecond(event.timestamp) : event.timestamp;
+  switch (event.op) {
+    case AccessOp::kRead: store.record_read(event.key, t); break;
+    case AccessOp::kWrite: store.record_write(event.key, event.value, t); break;
+    case AccessOp::kDelete: store.record_delete(event.key, t); break;
+  }
+}
+
+}  // namespace
+
+void TtkvRecorder::OnAccess(const AccessEvent& event) { Record(store_, event, quantize_); }
+
+void PerAppRecorder::OnAccess(const AccessEvent& event) {
+  Record(stores_[event.app], event, quantize_);
+}
+
+TTKV& PerAppRecorder::StoreFor(const std::string& app) { return stores_[app]; }
+
+const TTKV* PerAppRecorder::FindStore(const std::string& app) const {
+  auto it = stores_.find(app);
+  return it == stores_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> PerAppRecorder::AppNames() const {
+  std::vector<std::string> names;
+  names.reserve(stores_.size());
+  for (const auto& [name, store] : stores_) names.push_back(name);
+  return names;
+}
+
+void ReplayTrace(const TraceLog& trace, AccessSink& sink) {
+  for (const AccessEvent& event : trace.events()) sink.OnAccess(event);
+}
+
+}  // namespace ocasta

@@ -1,0 +1,51 @@
+// Recorders: access-event sinks that populate TTKV stores.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "configstore/access_event.h"
+#include "ttkv/ttkv.h"
+
+namespace ocasta {
+
+// Feeds one TTKV. Timestamps are quantised to whole seconds by default,
+// reproducing the paper's trace-collection limitation ("the trace collection
+// infrastructure only records the update time of configuration settings to
+// the precision of the nearest second") — the root cause of its oversized
+// clusters and the Figure 3a artifact.
+class TtkvRecorder final : public AccessSink {
+ public:
+  explicit TtkvRecorder(TTKV& store, bool quantize_to_seconds = true)
+      : store_(store), quantize_(quantize_to_seconds) {}
+
+  void OnAccess(const AccessEvent& event) override;
+
+ private:
+  TTKV& store_;
+  bool quantize_;
+};
+
+// Maintains one TTKV per application, as Ocasta clusters per application.
+class PerAppRecorder final : public AccessSink {
+ public:
+  explicit PerAppRecorder(bool quantize_to_seconds = true) : quantize_(quantize_to_seconds) {}
+
+  void OnAccess(const AccessEvent& event) override;
+
+  // TTKV for an application; creates an empty one for unknown names.
+  TTKV& StoreFor(const std::string& app);
+  const TTKV* FindStore(const std::string& app) const;
+  std::vector<std::string> AppNames() const;
+
+ private:
+  std::map<std::string, TTKV> stores_;
+  bool quantize_;
+};
+
+// Replays a recorded trace into a sink (e.g. to rebuild TTKVs from a saved
+// trace file).
+void ReplayTrace(const class TraceLog& trace, AccessSink& sink);
+
+}  // namespace ocasta

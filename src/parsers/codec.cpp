@@ -1,0 +1,39 @@
+#include "parsers/codec.h"
+
+#include "common/error.h"
+#include "parsers/ini.h"
+#include "parsers/json.h"
+#include "parsers/plaintext.h"
+#include "parsers/pskv.h"
+#include "parsers/xml.h"
+
+namespace ocasta {
+
+const char* FormatName(ConfigFormat format) {
+  switch (format) {
+    case ConfigFormat::kIni: return "ini";
+    case ConfigFormat::kPlainText: return "plaintext";
+    case ConfigFormat::kJson: return "json";
+    case ConfigFormat::kXml: return "xml";
+    case ConfigFormat::kPskv: return "pskv";
+  }
+  return "unknown";
+}
+
+const FormatCodec& CodecFor(ConfigFormat format) {
+  static const IniCodec ini;
+  static const PlainTextCodec plain;
+  static const JsonCodec json;
+  static const XmlCodec xml;
+  static const PskvCodec pskv;
+  switch (format) {
+    case ConfigFormat::kIni: return ini;
+    case ConfigFormat::kPlainText: return plain;
+    case ConfigFormat::kJson: return json;
+    case ConfigFormat::kXml: return xml;
+    case ConfigFormat::kPskv: return pskv;
+  }
+  throw Error("unknown config format");
+}
+
+}  // namespace ocasta

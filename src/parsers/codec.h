@@ -1,0 +1,44 @@
+// Format codec interface and registry.
+//
+// The paper implements "custom parsers for several common file formats,
+// such as XML, JSON, PostScript, INI and plain text". Each codec converts
+// between a file's text and the flat ConfigMap abstraction.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "parsers/config_map.h"
+
+namespace ocasta {
+
+enum class ConfigFormat {
+  kIni,
+  kPlainText,
+  kJson,
+  kXml,
+  kPskv,  // PostScript-style key/value (Adobe Reader preferences).
+};
+
+const char* FormatName(ConfigFormat format);
+
+class FormatCodec {
+ public:
+  virtual ~FormatCodec() = default;
+
+  // Parses file text into flattened key-value pairs. Throws ParseError on
+  // malformed input.
+  virtual ConfigMap Parse(const std::string& text) const = 0;
+
+  // Serializes a ConfigMap back to file text. Serialize(Parse(t)) is
+  // semantically idempotent: Parse(Serialize(m)) == m for maps the format
+  // can represent.
+  virtual std::string Serialize(const ConfigMap& map) const = 0;
+
+  virtual ConfigFormat format() const = 0;
+};
+
+// Returns the process-wide codec for a format (codecs are stateless).
+const FormatCodec& CodecFor(ConfigFormat format);
+
+}  // namespace ocasta

@@ -1,0 +1,62 @@
+#include "parsers/config_map.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ocasta {
+
+std::vector<ConfigDelta> DiffConfigMaps(const ConfigMap& before, const ConfigMap& after) {
+  std::vector<ConfigDelta> deltas;
+  auto ib = before.begin();
+  auto ia = after.begin();
+  while (ib != before.end() || ia != after.end()) {
+    if (ia == after.end() || (ib != before.end() && ib->first < ia->first)) {
+      deltas.push_back({ConfigDelta::Kind::kDelete, ib->first, Value()});
+      ++ib;
+    } else if (ib == before.end() || ia->first < ib->first) {
+      deltas.push_back({ConfigDelta::Kind::kWrite, ia->first, ia->second});
+      ++ia;
+    } else {
+      if (ib->second != ia->second) {
+        deltas.push_back({ConfigDelta::Kind::kWrite, ia->first, ia->second});
+      }
+      ++ib;
+      ++ia;
+    }
+  }
+  return deltas;
+}
+
+namespace {
+
+bool LooksLikeInt(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+bool LooksLikeReal(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  // Must consume the whole token and contain a '.' or exponent so that
+  // plain integers stay integers.
+  if (end != s.c_str() + s.size()) return false;
+  return s.find_first_of(".eE") != std::string::npos;
+}
+
+}  // namespace
+
+Value InferScalar(const std::string& text) {
+  if (text == "true") return Value(true);
+  if (text == "false") return Value(false);
+  if (LooksLikeInt(text)) return Value(static_cast<int64_t>(std::strtoll(text.c_str(), nullptr, 10)));
+  if (LooksLikeReal(text)) return Value(std::strtod(text.c_str(), nullptr));
+  return Value(text);
+}
+
+}  // namespace ocasta

@@ -1,0 +1,39 @@
+// Flat key-value view of a configuration file.
+//
+// Every file-format parser produces a ConfigMap: hierarchical structure is
+// flattened into '/'-separated key paths, mirroring how Ocasta "abstracts
+// configurations into key-value pairs". The flush-diff logger compares two
+// ConfigMaps (before/after a flush) to infer which keys changed.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ttkv/value.h"
+
+namespace ocasta {
+
+using ConfigMap = std::map<std::string, Value>;
+
+// One inferred change between two flushes of a configuration file.
+struct ConfigDelta {
+  enum class Kind { kWrite, kDelete };
+  Kind kind = Kind::kWrite;
+  std::string key;
+  Value value;  // Meaningful for kWrite only.
+
+  friend bool operator==(const ConfigDelta&, const ConfigDelta&) = default;
+};
+
+// Computes the changes that turn `before` into `after`: keys present only
+// in `after` or with a different value are writes; keys present only in
+// `before` are deletes. Output is ordered by key.
+std::vector<ConfigDelta> DiffConfigMaps(const ConfigMap& before, const ConfigMap& after);
+
+// Heuristic scalar typing used by the text-based formats (INI, plain text,
+// XML text content): "true"/"false" → bool, integer literal → int, real
+// literal → real, everything else → string.
+Value InferScalar(const std::string& text);
+
+}  // namespace ocasta

@@ -1,0 +1,58 @@
+#include "parsers/ini.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace ocasta {
+
+ConfigMap IniCodec::Parse(const std::string& text) const {
+  ConfigMap map;
+  std::string section;
+  size_t line_no = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_no;
+    const std::string_view line = Trim(raw_line);
+    if (line.empty() || line[0] == ';' || line[0] == '#') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        throw ParseError("malformed INI section header", line_no, 1);
+      }
+      section = std::string(Trim(line.substr(1, line.size() - 2)));
+      continue;
+    }
+    const size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw ParseError("INI line missing '='", line_no, 1);
+    }
+    const std::string key(Trim(line.substr(0, eq)));
+    const std::string value(Trim(line.substr(eq + 1)));
+    if (key.empty()) throw ParseError("INI line with empty key", line_no, 1);
+    const std::string path = section.empty() ? key : section + "/" + key;
+    map[path] = InferScalar(UnescapeField(value, '='));
+  }
+  return map;
+}
+
+std::string IniCodec::Serialize(const ConfigMap& map) const {
+  // ConfigMap is ordered by key, so paths sharing a section are contiguous.
+  std::string out;
+  std::string current_section;
+  bool wrote_top_level = false;
+  for (const auto& [path, value] : map) {
+    const size_t slash = path.find('/');
+    const std::string section = slash == std::string::npos ? "" : path.substr(0, slash);
+    const std::string key = slash == std::string::npos ? path : path.substr(slash + 1);
+    if (section != current_section || (!wrote_top_level && section.empty())) {
+      if (!section.empty()) {
+        if (!out.empty()) out += '\n';
+        out += "[" + section + "]\n";
+      }
+      current_section = section;
+      wrote_top_level = section.empty();
+    }
+    out += key + " = " + EscapeField(value.ToDisplay(), '=') + "\n";
+  }
+  return out;
+}
+
+}  // namespace ocasta

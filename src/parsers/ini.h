@@ -1,0 +1,18 @@
+// INI codec: hierarchical "key = value" files with [section] headers.
+//
+// Key paths are "section/key"; keys before any section header are
+// top-level. Comment lines start with ';' or '#'.
+#pragma once
+
+#include "parsers/codec.h"
+
+namespace ocasta {
+
+class IniCodec final : public FormatCodec {
+ public:
+  ConfigMap Parse(const std::string& text) const override;
+  std::string Serialize(const ConfigMap& map) const override;
+  ConfigFormat format() const override { return ConfigFormat::kIni; }
+};
+
+}  // namespace ocasta

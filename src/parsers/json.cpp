@@ -1,0 +1,392 @@
+#include "parsers/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <variant>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace ocasta {
+
+namespace {
+
+// ----- In-memory JSON tree used by both directions -------------------------
+
+struct JsonNode;
+using JsonObject = std::map<std::string, std::unique_ptr<JsonNode>>;
+using JsonArray = std::vector<std::unique_ptr<JsonNode>>;
+
+struct JsonNode {
+  std::variant<Value, JsonObject, JsonArray> data;
+};
+
+// ----- Parsing --------------------------------------------------------------
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  std::unique_ptr<JsonNode> ParseDocument() {
+    SkipWs();
+    auto node = ParseValue();
+    SkipWs();
+    if (pos_ != text_.size()) Fail("trailing characters after JSON document");
+    return node;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) {
+    size_t line = 1;
+    size_t col = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw ParseError("JSON: " + what, line, col);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(StrFormat("expected '%c'", c));
+    ++pos_;
+  }
+
+  std::unique_ptr<JsonNode> ParseValue() {
+    switch (Peek()) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return Leaf(Value(ParseString()));
+      case 't':
+        ExpectWord("true");
+        return Leaf(Value(true));
+      case 'f':
+        ExpectWord("false");
+        return Leaf(Value(false));
+      case 'n':
+        ExpectWord("null");
+        return Leaf(Value());
+      default: return Leaf(ParseNumber());
+    }
+  }
+
+  static std::unique_ptr<JsonNode> Leaf(Value v) {
+    auto node = std::make_unique<JsonNode>();
+    node->data = std::move(v);
+    return node;
+  }
+
+  void ExpectWord(const char* word) {
+    for (const char* p = word; *p; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) Fail(StrFormat("expected '%s'", word));
+      ++pos_;
+    }
+  }
+
+  std::unique_ptr<JsonNode> ParseObject() {
+    Expect('{');
+    auto node = std::make_unique<JsonNode>();
+    JsonObject members;
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      node->data = std::move(members);
+      return node;
+    }
+    while (true) {
+      SkipWs();
+      std::string name = ParseString();
+      SkipWs();
+      Expect(':');
+      SkipWs();
+      members[std::move(name)] = ParseValue();
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      break;
+    }
+    node->data = std::move(members);
+    return node;
+  }
+
+  std::unique_ptr<JsonNode> ParseArray() {
+    Expect('[');
+    auto node = std::make_unique<JsonNode>();
+    JsonArray items;
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      node->data = std::move(items);
+      return node;
+    }
+    while (true) {
+      SkipWs();
+      items.push_back(ParseValue());
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      break;
+    }
+    node->data = std::move(items);
+    return node;
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) Fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) Fail("truncated \\u escape");
+          uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<uint32_t>(h - 'A' + 10);
+            else Fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode (BMP only; surrogate pairs are not produced by the
+          // simulated applications).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default: Fail("unknown escape");
+      }
+    }
+  }
+
+  Value ParseNumber() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") Fail("malformed number");
+    if (token.find_first_of(".eE") == std::string::npos) {
+      return Value(static_cast<int64_t>(std::strtoll(token.c_str(), nullptr, 10)));
+    }
+    return Value(std::strtod(token.c_str(), nullptr));
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ----- Flattening -----------------------------------------------------------
+
+bool AllStrings(const JsonArray& items) {
+  for (const auto& item : items) {
+    const Value* leaf = std::get_if<Value>(&item->data);
+    if (leaf == nullptr || leaf->type() != ValueType::kString) return false;
+  }
+  return true;
+}
+
+void Flatten(const JsonNode& node, const std::string& path, ConfigMap& out) {
+  if (const Value* leaf = std::get_if<Value>(&node.data)) {
+    out[path] = *leaf;
+    return;
+  }
+  if (const JsonObject* obj = std::get_if<JsonObject>(&node.data)) {
+    for (const auto& [name, child] : *obj) {
+      if (name.find('/') != std::string::npos) {
+        throw ParseError("JSON member name contains '/': " + name);
+      }
+      Flatten(*child, path.empty() ? name : path + "/" + name, out);
+    }
+    return;
+  }
+  const JsonArray& items = std::get<JsonArray>(node.data);
+  if (AllStrings(items)) {
+    std::vector<std::string> list;
+    list.reserve(items.size());
+    for (const auto& item : items) list.push_back(std::get<Value>(item->data).as_string());
+    out[path] = Value(std::move(list));
+    return;
+  }
+  for (size_t i = 0; i < items.size(); ++i) {
+    Flatten(*items[i], path + "/" + std::to_string(i), out);
+  }
+}
+
+// ----- Unflattening + serialization ------------------------------------------
+
+bool IsIndexSegment(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+JsonNode* Descend(JsonNode& node, const std::string& segment) {
+  if (IsIndexSegment(segment)) {
+    if (!std::holds_alternative<JsonArray>(node.data)) node.data = JsonArray{};
+    auto& arr = std::get<JsonArray>(node.data);
+    const size_t index = static_cast<size_t>(std::strtoull(segment.c_str(), nullptr, 10));
+    while (arr.size() <= index) arr.push_back(std::make_unique<JsonNode>());
+    return arr[index].get();
+  }
+  if (!std::holds_alternative<JsonObject>(node.data)) node.data = JsonObject{};
+  auto& obj = std::get<JsonObject>(node.data);
+  auto& slot = obj[segment];
+  if (!slot) slot = std::make_unique<JsonNode>();
+  return slot.get();
+}
+
+void AppendEscaped(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void SerializeNode(const JsonNode& node, std::string& out, int indent) {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  const std::string child_pad(static_cast<size_t>(indent + 1) * 2, ' ');
+  if (const Value* leaf = std::get_if<Value>(&node.data)) {
+    switch (leaf->type()) {
+      case ValueType::kNone: out += "null"; break;
+      case ValueType::kBool: out += leaf->as_bool() ? "true" : "false"; break;
+      case ValueType::kInt: out += std::to_string(leaf->as_int()); break;
+      case ValueType::kReal: out += StrFormat("%.17g", leaf->as_real()); break;
+      case ValueType::kString: AppendEscaped(leaf->as_string(), out); break;
+      case ValueType::kStringList: {
+        out += "[";
+        const auto& list = leaf->as_list();
+        for (size_t i = 0; i < list.size(); ++i) {
+          if (i) out += ", ";
+          AppendEscaped(list[i], out);
+        }
+        out += "]";
+        break;
+      }
+    }
+    return;
+  }
+  if (const JsonObject* obj = std::get_if<JsonObject>(&node.data)) {
+    if (obj->empty()) {
+      out += "{}";
+      return;
+    }
+    out += "{\n";
+    size_t i = 0;
+    for (const auto& [name, child] : *obj) {
+      out += child_pad;
+      AppendEscaped(name, out);
+      out += ": ";
+      SerializeNode(*child, out, indent + 1);
+      if (++i < obj->size()) out += ",";
+      out += "\n";
+    }
+    out += pad + "}";
+    return;
+  }
+  const JsonArray& arr = std::get<JsonArray>(node.data);
+  if (arr.empty()) {
+    out += "[]";
+    return;
+  }
+  out += "[\n";
+  for (size_t i = 0; i < arr.size(); ++i) {
+    out += child_pad;
+    SerializeNode(*arr[i], out, indent + 1);
+    if (i + 1 < arr.size()) out += ",";
+    out += "\n";
+  }
+  out += pad + "]";
+}
+
+}  // namespace
+
+ConfigMap JsonCodec::Parse(const std::string& text) const {
+  JsonParser parser(text);
+  const auto root = parser.ParseDocument();
+  ConfigMap map;
+  Flatten(*root, "", map);
+  return map;
+}
+
+std::string JsonCodec::Serialize(const ConfigMap& map) const {
+  JsonNode root;
+  root.data = JsonObject{};
+  for (const auto& [path, value] : map) {
+    JsonNode* node = &root;
+    for (const std::string& segment : Split(path, '/')) {
+      node = Descend(*node, segment);
+    }
+    node->data = value;
+  }
+  std::string out;
+  SerializeNode(root, out, 0);
+  out += "\n";
+  return out;
+}
+
+}  // namespace ocasta

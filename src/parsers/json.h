@@ -1,0 +1,25 @@
+// JSON codec.
+//
+// Flattening rules:
+//  - nested objects join member names with '/';
+//  - an array whose elements are all strings becomes a StringList value at
+//    the array's path (how browser bookmark lists and MRU lists appear);
+//  - any other array is flattened element-wise with the decimal index as a
+//    path segment ("tabs/0/url");
+//  - null becomes the none Value.
+// Member names must not contain '/' (none of the simulated applications
+// produce such names); ParseError otherwise.
+#pragma once
+
+#include "parsers/codec.h"
+
+namespace ocasta {
+
+class JsonCodec final : public FormatCodec {
+ public:
+  ConfigMap Parse(const std::string& text) const override;
+  std::string Serialize(const ConfigMap& map) const override;
+  ConfigFormat format() const override { return ConfigFormat::kJson; }
+};
+
+}  // namespace ocasta

@@ -1,0 +1,34 @@
+#include "parsers/plaintext.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace ocasta {
+
+ConfigMap PlainTextCodec::Parse(const std::string& text) const {
+  ConfigMap map;
+  size_t line_no = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_no;
+    const std::string_view line = Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw ParseError("plain-text line missing '='", line_no, 1);
+    }
+    const std::string key(Trim(line.substr(0, eq)));
+    if (key.empty()) throw ParseError("plain-text line with empty key", line_no, 1);
+    map[key] = InferScalar(UnescapeField(Trim(line.substr(eq + 1)), '='));
+  }
+  return map;
+}
+
+std::string PlainTextCodec::Serialize(const ConfigMap& map) const {
+  std::string out;
+  for (const auto& [key, value] : map) {
+    out += key + "= " + EscapeField(value.ToDisplay(), '=') + "\n";
+  }
+  return out;
+}
+
+}  // namespace ocasta

@@ -1,0 +1,16 @@
+// Plain-text codec: flat "key= value" files with no section structure
+// (the paper's second "key= value" list format).
+#pragma once
+
+#include "parsers/codec.h"
+
+namespace ocasta {
+
+class PlainTextCodec final : public FormatCodec {
+ public:
+  ConfigMap Parse(const std::string& text) const override;
+  std::string Serialize(const ConfigMap& map) const override;
+  ConfigFormat format() const override { return ConfigFormat::kPlainText; }
+};
+
+}  // namespace ocasta

@@ -1,0 +1,246 @@
+#include "parsers/pskv.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace ocasta {
+
+namespace {
+
+class PskvParser {
+ public:
+  PskvParser(const std::string& text, ConfigMap& out) : text_(text), out_(out) {}
+
+  void ParseDocument() {
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size()) return;
+      ParsePair("");
+    }
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) {
+    size_t line = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    throw ParseError("PSKV: " + what, line, 0);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      if (std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      } else if (text_[pos_] == '%') {  // PostScript comment to end of line.
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string ParseName() {
+    if (pos_ >= text_.size() || text_[pos_] != '/') Fail("expected '/name'");
+    ++pos_;
+    const size_t start = pos_;
+    // '/' is allowed inside the token: the flat serializer spells nested
+    // dict paths as "/a/b", which must re-parse to the same ConfigMap path.
+    while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(text_[pos_])) &&
+           text_[pos_] != '(' && text_[pos_] != '[' && text_[pos_] != '<') {
+      ++pos_;
+    }
+    if (pos_ == start) Fail("empty name");
+    return text_.substr(start, pos_ - start);
+  }
+
+  std::string ParseWord() {
+    SkipWs();
+    const size_t start = pos_;
+    while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    return text_.substr(start, pos_ - start);
+  }
+
+  void ExpectWord(const char* word) {
+    const std::string got = ParseWord();
+    if (got != word) Fail(StrFormat("expected '%s', got '%s'", word, got.c_str()));
+  }
+
+  std::string ParseStringLiteral() {
+    // Caller ensured text_[pos_] == '('.
+    ++pos_;
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) Fail("unterminated string literal");
+      const char c = text_[pos_++];
+      if (c == ')') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) Fail("unterminated escape");
+        out += text_[pos_++];
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  void ParsePair(const std::string& prefix) {
+    const std::string name = ParseName();
+    const std::string path = prefix.empty() ? name : prefix + "/" + name;
+    SkipWs();
+    if (pos_ >= text_.size()) Fail("missing value for /" + name);
+    const char c = text_[pos_];
+    if (c == '(') {
+      out_[path] = Value(ParseStringLiteral());
+      ExpectWord("def");
+    } else if (c == '[') {
+      ++pos_;
+      std::vector<std::string> items;
+      while (true) {
+        SkipWs();
+        if (pos_ >= text_.size()) Fail("unterminated array");
+        if (text_[pos_] == ']') {
+          ++pos_;
+          break;
+        }
+        if (text_[pos_] != '(') Fail("only string arrays are supported");
+        items.push_back(ParseStringLiteral());
+      }
+      out_[path] = Value(std::move(items));
+      ExpectWord("def");
+    } else if (c == '<' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '<') {
+      pos_ += 2;
+      while (true) {
+        SkipWs();
+        if (pos_ + 1 < text_.size() && text_[pos_] == '>' && text_[pos_ + 1] == '>') {
+          pos_ += 2;
+          break;
+        }
+        ParseDictPair(path);
+      }
+      ExpectWord("def");
+    } else {
+      out_[path] = ParseScalarWord();
+      ExpectWord("def");
+    }
+  }
+
+  // Parses a bare scalar token: true/false or a fully-consumed number.
+  Value ParseScalarWord() {
+    const std::string word = ParseWord();
+    if (word == "true") return Value(true);
+    if (word == "false") return Value(false);
+    char* end = nullptr;
+    const double d = std::strtod(word.c_str(), &end);
+    if (word.empty() || end != word.c_str() + word.size()) {
+      Fail("malformed value token '" + word + "'");
+    }
+    if (word.find_first_of(".eE") == std::string::npos) {
+      return Value(static_cast<int64_t>(std::strtoll(word.c_str(), nullptr, 10)));
+    }
+    return Value(d);
+  }
+
+  // Inside '<< ... >>' pairs have no trailing 'def'.
+  void ParseDictPair(const std::string& prefix) {
+    const std::string name = ParseName();
+    const std::string path = prefix + "/" + name;
+    SkipWs();
+    if (pos_ >= text_.size()) Fail("missing value for /" + name);
+    const char c = text_[pos_];
+    if (c == '(') {
+      out_[path] = Value(ParseStringLiteral());
+    } else if (c == '[') {
+      ++pos_;
+      std::vector<std::string> items;
+      while (true) {
+        SkipWs();
+        if (pos_ >= text_.size()) Fail("unterminated array");
+        if (text_[pos_] == ']') {
+          ++pos_;
+          break;
+        }
+        if (text_[pos_] != '(') Fail("only string arrays are supported");
+        items.push_back(ParseStringLiteral());
+      }
+      out_[path] = Value(std::move(items));
+    } else if (c == '<' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '<') {
+      pos_ += 2;
+      while (true) {
+        SkipWs();
+        if (pos_ + 1 < text_.size() && text_[pos_] == '>' && text_[pos_ + 1] == '>') {
+          pos_ += 2;
+          break;
+        }
+        ParseDictPair(path);
+      }
+    } else {
+      out_[path] = ParseScalarWord();
+    }
+  }
+
+  const std::string& text_;
+  ConfigMap& out_;
+  size_t pos_ = 0;
+};
+
+void AppendString(const std::string& s, std::string& out) {
+  out += '(';
+  for (char c : s) {
+    if (c == '(' || c == ')' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += ')';
+}
+
+void AppendScalar(const Value& v, std::string& out) {
+  switch (v.type()) {
+    case ValueType::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case ValueType::kInt: out += std::to_string(v.as_int()); break;
+    case ValueType::kReal: {
+      std::string t = StrFormat("%.17g", v.as_real());
+      // Ensure the token re-parses as a real, not an int.
+      if (t.find_first_of(".eE") == std::string::npos) t += ".0";
+      out += t;
+      break;
+    }
+    case ValueType::kString: AppendString(v.as_string(), out); break;
+    case ValueType::kStringList: {
+      out += '[';
+      const auto& list = v.as_list();
+      for (size_t i = 0; i < list.size(); ++i) {
+        if (i) out += ' ';
+        AppendString(list[i], out);
+      }
+      out += ']';
+      break;
+    }
+    case ValueType::kNone: AppendString("", out); break;
+  }
+}
+
+}  // namespace
+
+ConfigMap PskvCodec::Parse(const std::string& text) const {
+  ConfigMap map;
+  PskvParser parser(text, map);
+  parser.ParseDocument();
+  return map;
+}
+
+std::string PskvCodec::Serialize(const ConfigMap& map) const {
+  // Serialize flat: one "/a/b value def" line per key, with nested names
+  // spelled as slash paths. (The parser accepts both flat paths and nested
+  // dicts; flat output keeps diffs line-oriented like Reader's files.)
+  std::string out = "% Ocasta PSKV preferences\n";
+  for (const auto& [path, value] : map) {
+    out += "/" + path + " ";
+    AppendScalar(value, out);
+    out += " def\n";
+  }
+  return out;
+}
+
+}  // namespace ocasta

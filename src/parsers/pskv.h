@@ -1,0 +1,24 @@
+// PostScript-style key/value codec (Adobe Reader preference files).
+//
+// Grammar (a small slice of PostScript data syntax):
+//   file    := { pair }
+//   pair    := '/' name value 'def'
+//   value   := number | 'true' | 'false' | '(' string ')' | dict | array
+//   dict    := '<<' { '/' name value } '>>'
+//   array   := '[' { '(' string ')' } ']'     (string arrays only)
+// Dicts nest and flatten with '/'; string arrays become StringList values.
+// String literals escape ')' '(' '\' with a backslash.
+#pragma once
+
+#include "parsers/codec.h"
+
+namespace ocasta {
+
+class PskvCodec final : public FormatCodec {
+ public:
+  ConfigMap Parse(const std::string& text) const override;
+  std::string Serialize(const ConfigMap& map) const override;
+  ConfigFormat format() const override { return ConfigFormat::kPskv; }
+};
+
+}  // namespace ocasta

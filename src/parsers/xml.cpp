@@ -1,0 +1,303 @@
+#include "parsers/xml.h"
+
+#include <cctype>
+#include <map>
+#include <memory>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace ocasta {
+
+namespace {
+
+struct XmlElement {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::vector<std::unique_ptr<XmlElement>> children;
+  std::string text;  // Meaningful only when children is empty.
+};
+
+// ----- Parsing --------------------------------------------------------------
+
+class XmlParser {
+ public:
+  explicit XmlParser(const std::string& text) : text_(text) {}
+
+  std::unique_ptr<XmlElement> ParseDocument() {
+    SkipProlog();
+    auto root = ParseElement();
+    SkipMisc();
+    if (pos_ != text_.size()) Fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) {
+    size_t line = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    throw ParseError("XML: " + what, line, 0);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  void SkipComment() {
+    // Caller ensured text starts with "<!--".
+    const size_t end = text_.find("-->", pos_ + 4);
+    if (end == std::string::npos) Fail("unterminated comment");
+    pos_ = end + 3;
+  }
+
+  void SkipProlog() {
+    SkipWs();
+    if (StartsWith(std::string_view(text_).substr(pos_), "<?xml")) {
+      const size_t end = text_.find("?>", pos_);
+      if (end == std::string::npos) Fail("unterminated XML declaration");
+      pos_ = end + 2;
+    }
+    SkipMisc();
+  }
+
+  void SkipMisc() {
+    while (true) {
+      SkipWs();
+      if (StartsWith(std::string_view(text_).substr(pos_), "<!--")) {
+        SkipComment();
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string ParseName() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_' ||
+            text_[pos_] == '-' || text_[pos_] == '.' || text_[pos_] == ':')) {
+      ++pos_;
+    }
+    if (pos_ == start) Fail("expected a name");
+    return text_.substr(start, pos_ - start);
+  }
+
+  std::string DecodeEntities(std::string_view raw) {
+    std::string out;
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      const size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) Fail("unterminated entity");
+      const std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "amp") out += '&';
+      else if (entity == "lt") out += '<';
+      else if (entity == "gt") out += '>';
+      else if (entity == "quot") out += '"';
+      else if (entity == "apos") out += '\'';
+      else Fail("unknown entity &" + std::string(entity) + ";");
+      i = semi;
+    }
+    return out;
+  }
+
+  std::unique_ptr<XmlElement> ParseElement() {
+    if (pos_ >= text_.size() || text_[pos_] != '<') Fail("expected '<'");
+    ++pos_;
+    auto element = std::make_unique<XmlElement>();
+    element->name = ParseName();
+    // Attributes.
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size()) Fail("unterminated start tag");
+      if (text_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      if (text_[pos_] == '/') {
+        if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '>') Fail("malformed empty-element tag");
+        pos_ += 2;
+        return element;  // Self-closing: no content.
+      }
+      const std::string attr_name = ParseName();
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '=') Fail("expected '=' after attribute name");
+      ++pos_;
+      SkipWs();
+      if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\'')) {
+        Fail("expected quoted attribute value");
+      }
+      const char quote = text_[pos_++];
+      const size_t end = text_.find(quote, pos_);
+      if (end == std::string::npos) Fail("unterminated attribute value");
+      element->attributes[attr_name] = DecodeEntities(std::string_view(text_).substr(pos_, end - pos_));
+      pos_ = end + 1;
+    }
+    // Content: either child elements (with whitespace/comments between) or text.
+    std::string text_content;
+    while (true) {
+      if (pos_ >= text_.size()) Fail("unterminated element <" + element->name + ">");
+      if (text_[pos_] == '<') {
+        if (StartsWith(std::string_view(text_).substr(pos_), "<!--")) {
+          SkipComment();
+          continue;
+        }
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+          pos_ += 2;
+          const std::string closing = ParseName();
+          if (closing != element->name) {
+            Fail("mismatched closing tag </" + closing + "> for <" + element->name + ">");
+          }
+          SkipWs();
+          if (pos_ >= text_.size() || text_[pos_] != '>') Fail("malformed closing tag");
+          ++pos_;
+          break;
+        }
+        if (!Trim(text_content).empty()) Fail("mixed content is not supported");
+        text_content.clear();
+        element->children.push_back(ParseElement());
+        continue;
+      }
+      text_content += text_[pos_++];
+    }
+    if (element->children.empty()) {
+      element->text = DecodeEntities(Trim(text_content));
+    } else if (!Trim(text_content).empty()) {
+      Fail("mixed content is not supported");
+    }
+    return element;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ----- Flattening -----------------------------------------------------------
+
+void Flatten(const XmlElement& element, const std::string& path, ConfigMap& out) {
+  for (const auto& [attr, value] : element.attributes) {
+    out[path + "@" + attr] = InferScalar(value);
+  }
+  if (element.children.empty()) {
+    // Empty elements (<empty/> or <k></k>) carry no value; only text
+    // content produces a key.
+    if (!element.text.empty()) out[path] = InferScalar(element.text);
+    return;
+  }
+  // Count duplicate child names to decide which need "#index" suffixes.
+  std::map<std::string, int> name_counts;
+  for (const auto& child : element.children) ++name_counts[child->name];
+  std::map<std::string, int> seen;
+  for (const auto& child : element.children) {
+    std::string segment = child->name;
+    if (name_counts[child->name] > 1) {
+      segment += "#" + std::to_string(seen[child->name]++);
+    }
+    Flatten(*child, path.empty() ? segment : path + "/" + segment, out);
+  }
+}
+
+// ----- Unflattening + serialization -----------------------------------------
+
+struct BuildNode {
+  std::map<std::string, std::string> attributes;
+  // Ordered by segment so output is deterministic; "name#k" sorts after
+  // "name#j" for j<k<10 (our simulated lists stay below 10 duplicates where
+  // ordering matters; larger MRU lists use zero-padded keys).
+  std::map<std::string, std::unique_ptr<BuildNode>> children;
+  Value text;
+  bool has_text = false;
+};
+
+void EncodeEntities(const std::string& s, std::string& out, bool in_attribute) {
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += in_attribute ? "&quot;" : "\""; break;
+      default: out += c;
+    }
+  }
+}
+
+std::string StripIndex(const std::string& segment) {
+  const size_t hash = segment.rfind('#');
+  return hash == std::string::npos ? segment : segment.substr(0, hash);
+}
+
+void SerializeElement(const std::string& segment, const BuildNode& node, std::string& out,
+                      int indent) {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  out += pad + "<" + StripIndex(segment);
+  for (const auto& [attr, value] : node.attributes) {
+    out += " " + attr + "=\"";
+    EncodeEntities(value, out, /*in_attribute=*/true);
+    out += "\"";
+  }
+  if (node.children.empty() && !node.has_text) {
+    out += "/>\n";
+    return;
+  }
+  out += ">";
+  if (node.children.empty()) {
+    EncodeEntities(node.text.ToDisplay(), out, /*in_attribute=*/false);
+    out += "</" + StripIndex(segment) + ">\n";
+    return;
+  }
+  out += "\n";
+  for (const auto& [child_segment, child] : node.children) {
+    SerializeElement(child_segment, *child, out, indent + 1);
+  }
+  out += pad + "</" + StripIndex(segment) + ">\n";
+}
+
+}  // namespace
+
+ConfigMap XmlCodec::Parse(const std::string& text) const {
+  XmlParser parser(text);
+  const auto root = parser.ParseDocument();
+  ConfigMap map;
+  Flatten(*root, root->name, map);
+  return map;
+}
+
+std::string XmlCodec::Serialize(const ConfigMap& map) const {
+  BuildNode root_holder;
+  for (const auto& [path, value] : map) {
+    // Split off a trailing "@attr" if present.
+    std::string element_path = path;
+    std::string attribute;
+    const size_t at = path.rfind('@');
+    if (at != std::string::npos && path.find('/', at) == std::string::npos) {
+      element_path = path.substr(0, at);
+      attribute = path.substr(at + 1);
+    }
+    BuildNode* node = &root_holder;
+    for (const std::string& segment : Split(element_path, '/')) {
+      auto& slot = node->children[segment];
+      if (!slot) slot = std::make_unique<BuildNode>();
+      node = slot.get();
+    }
+    if (!attribute.empty()) {
+      node->attributes[attribute] = value.ToDisplay();
+    } else {
+      node->text = value;
+      node->has_text = true;
+    }
+  }
+  if (root_holder.children.size() != 1) {
+    throw ParseError(StrFormat("XML documents need exactly one root element, map has %zu",
+                               root_holder.children.size()));
+  }
+  std::string out = "<?xml version=\"1.0\"?>\n";
+  const auto& [segment, node] = *root_holder.children.begin();
+  SerializeElement(segment, *node, out, 0);
+  return out;
+}
+
+}  // namespace ocasta

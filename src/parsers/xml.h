@@ -1,0 +1,31 @@
+// XML codec (configuration-file subset).
+//
+// Supported: a single root element, nested elements, attributes, text
+// content, comments, XML declaration, and the five standard entities.
+// Not supported (not produced by configuration files we model): mixed
+// content, CDATA, processing instructions, namespaces.
+//
+// Flattening rules:
+//  - element path segments join with '/';
+//  - an attribute becomes "<element-path>@<attr-name>";
+//  - element text content becomes the value at the element's path;
+//  - repeated sibling elements with the same name get "#<index>" suffixes
+//    on every occurrence ("item#0", "item#1", ...).
+#pragma once
+
+#include "parsers/codec.h"
+
+namespace ocasta {
+
+class XmlCodec final : public FormatCodec {
+ public:
+  ConfigMap Parse(const std::string& text) const override;
+
+  // Requires exactly one top-level element in the map's path structure
+  // (XML documents have a single root); throws ParseError otherwise.
+  std::string Serialize(const ConfigMap& map) const override;
+
+  ConfigFormat format() const override { return ConfigFormat::kXml; }
+};
+
+}  // namespace ocasta

@@ -1,0 +1,42 @@
+// The trial sandbox.
+//
+// The paper runs each trial "in a sandbox, which prevents the execution to
+// leave any persistent changes". SandboxStore is a copy-on-write overlay
+// over a base configuration: reads fall through to the base, writes and
+// deletions land in the overlay, and dropping the sandbox discards
+// everything. One sandbox per trial.
+#pragma once
+
+#include <set>
+
+#include "configstore/config_store.h"
+
+namespace ocasta {
+
+class SandboxStore final : public ConfigStore {
+ public:
+  // `base` is the live (erroneous) configuration; it is captured by value
+  // so the sandbox stays stable even if the caller mutates its copy.
+  SandboxStore(ConfigMap base, StoreKind kind) : base_(std::move(base)), kind_(kind) {}
+
+  std::optional<Value> Read(const std::string& key) override;
+  void Write(const std::string& key, Value value) override;
+  bool Remove(const std::string& key) override;
+  std::vector<std::string> ListKeys(const std::string& prefix) const override;
+  StoreKind kind() const override { return kind_; }
+  ConfigMap Snapshot() const override;
+  void RestoreSnapshot(const ConfigMap& state) override;
+
+  // Discards all sandboxed changes, returning to the base state.
+  void Reset();
+
+  size_t overlay_size() const { return overlay_.size() + tombstones_.size(); }
+
+ private:
+  ConfigMap base_;
+  ConfigMap overlay_;
+  std::set<std::string> tombstones_;
+  StoreKind kind_;
+};
+
+}  // namespace ocasta

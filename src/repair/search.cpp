@@ -1,0 +1,187 @@
+#include "repair/search.h"
+
+#include <algorithm>
+#include <set>
+
+#include "repair/sandbox.h"
+
+namespace ocasta {
+
+namespace {
+
+struct Candidate {
+  size_t cluster_index = 0;
+  TimeMicros version_time = 0;
+};
+
+}  // namespace
+
+RepairOutcome RepairController::Run(const RepairConfig& config) const {
+  const TimeMicros start = config.start_time.value_or(0);
+  const TimeMicros end = config.end_time.value_or(std::numeric_limits<TimeMicros>::max());
+  const TimeMicros window = Seconds(config.window_seconds);
+
+  // Per-cluster candidate versions (newest first), in recovery order:
+  // fewest modifications inside the search bounds first ("changes to
+  // configuration settings should be infrequent"), most recently modified
+  // first among ties (the paper's "bias towards checking more recently
+  // modified clusters first" — the source of Figure 2a's growth with
+  // injection age). Bounding the count to the searched period keeps
+  // clusters that merely *used to* churn (e.g. a frozen MRU list) from
+  // sinking to the back of the queue.
+  std::vector<size_t> order = clusters_.RecoveryOrder();
+  std::vector<std::vector<ClusterVersion>> versions(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    versions[i] = ClusterVersions(ttkv_, clusters_.cluster(order[i]), start, end, window);
+  }
+  {
+    std::vector<size_t> index(order.size());
+    for (size_t i = 0; i < index.size(); ++i) index[i] = i;
+    std::stable_sort(index.begin(), index.end(), [&](size_t a, size_t b) {
+      if (versions[a].size() != versions[b].size()) {
+        return versions[a].size() < versions[b].size();
+      }
+      const TimeMicros last_a = versions[a].empty() ? 0 : versions[a].front().change_time;
+      const TimeMicros last_b = versions[b].empty() ? 0 : versions[b].front().change_time;
+      return last_a > last_b;
+    });
+    std::vector<size_t> new_order(order.size());
+    std::vector<std::vector<ClusterVersion>> new_versions(order.size());
+    for (size_t i = 0; i < index.size(); ++i) {
+      new_order[i] = order[index[i]];
+      new_versions[i] = std::move(versions[index[i]]);
+    }
+    order = std::move(new_order);
+    versions = std::move(new_versions);
+  }
+
+  // Flatten into the strategy's visit order.
+  std::vector<Candidate> schedule;
+  if (config.strategy == SearchStrategy::kDfs) {
+    for (size_t i = 0; i < order.size(); ++i) {
+      for (const ClusterVersion& version : versions[i]) {
+        schedule.push_back({order[i], version.change_time});
+      }
+    }
+  } else {
+    size_t depth = 0;
+    bool any = true;
+    while (any) {
+      any = false;
+      for (size_t i = 0; i < order.size(); ++i) {
+        if (depth < versions[i].size()) {
+          schedule.push_back({order[i], versions[i][depth].change_time});
+          any = true;
+        }
+      }
+      ++depth;
+    }
+  }
+
+  RepairOutcome outcome;
+
+  // The erroneous screenshot: the trial replayed on the broken state.
+  SandboxStore baseline(current_state_, store_kind_);
+  const Screenshot erroneous = trial_.run(baseline);
+  std::set<uint64_t> seen_hashes{erroneous.hash};
+
+  for (const Candidate& candidate : schedule) {
+    const KeyCluster& cluster = clusters_.cluster(candidate.cluster_index);
+    std::vector<std::string> absent;
+    const ConfigMap values = MaterializeBefore(ttkv_, cluster, candidate.version_time, &absent);
+
+    SandboxStore sandbox(current_state_, store_kind_);
+    ApplyRollback(sandbox, values, absent);
+    const Screenshot shot = trial_.run(sandbox);
+
+    ++outcome.total_trials;
+    outcome.total_time += config.cost.per_trial();
+
+    TrialRecord record;
+    record.cluster_index = candidate.cluster_index;
+    record.version_time = candidate.version_time;
+    record.screenshot_kept = seen_hashes.insert(shot.hash).second;
+    if (record.screenshot_kept) ++outcome.unique_screenshots;
+
+    const bool fixed_now = record.screenshot_kept && oracle_.LooksFixed(shot);
+    record.fixed = fixed_now;
+    outcome.log.push_back(record);
+
+    if (fixed_now && !outcome.fixed) {
+      outcome.fixed = true;
+      outcome.trials_to_fix = outcome.total_trials;
+      outcome.time_to_fix = outcome.total_time;
+      outcome.offending_cluster = candidate.cluster_index;
+      outcome.fix_version_time = candidate.version_time;
+      // "Ocasta permanently rolls back the cluster to its corresponding
+      // value and returns back to recording mode."
+      outcome.fixed_state = sandbox.Snapshot();
+      if (config.stop_at_fix) break;
+    }
+  }
+  return outcome;
+}
+
+ClusterSet SingletonClusters(const TTKV& ttkv) {
+  std::vector<KeyCluster> clusters;
+  for (uint32_t id : ttkv.modified_key_ids()) {
+    const VersionedRecord& record = ttkv.record(id);
+    KeyCluster cluster;
+    cluster.keys = {id};
+    cluster.version_count = record.write_count + record.delete_count;
+    cluster.last_modified = record.last_modified();
+    clusters.push_back(std::move(cluster));
+  }
+  return ClusterSet(std::move(clusters), ttkv.num_keys());
+}
+
+ClusterSet RemapClusters(const ClusterSet& clusters, const TTKV& from, const TTKV& to,
+                         double window_seconds) {
+  const TimeMicros window = Seconds(window_seconds);
+  const TimeMicros horizon = std::numeric_limits<TimeMicros>::max();
+  std::vector<bool> assigned(to.num_keys(), false);
+  std::vector<KeyCluster> remapped;
+
+  auto annotate = [&](KeyCluster& cluster) {
+    cluster.version_count = ClusterVersions(to, cluster, 0, horizon, window).size();
+    cluster.last_modified = 0;
+    for (uint32_t id : cluster.keys) {
+      cluster.last_modified = std::max(cluster.last_modified, to.record(id).last_modified());
+    }
+  };
+
+  for (const KeyCluster& cluster : clusters.clusters()) {
+    KeyCluster mapped;
+    for (uint32_t id : cluster.keys) {
+      const std::string& name = from.key_name(id);
+      if (!to.contains(name)) continue;  // Key absent from the target history.
+      const uint32_t to_id = to.key_id(name);
+      mapped.keys.push_back(to_id);
+      assigned[to_id] = true;
+    }
+    if (mapped.keys.empty()) continue;
+    std::sort(mapped.keys.begin(), mapped.keys.end());
+    annotate(mapped);
+    remapped.push_back(std::move(mapped));
+  }
+  // Keys modified only in the target history (e.g. the injected error was
+  // their first recorded change) become singletons.
+  for (uint32_t id : to.modified_key_ids()) {
+    if (assigned[id]) continue;
+    KeyCluster single;
+    single.keys = {id};
+    annotate(single);
+    remapped.push_back(std::move(single));
+  }
+  return ClusterSet(std::move(remapped), to.num_keys());
+}
+
+bool RequiredKeyOracle::LooksFixed(const Screenshot& shot) const {
+  for (const Requirement& requirement : requirements_) {
+    const std::string want = requirement.key + " = " + requirement.good_display + "\n";
+    if (shot.text.find(want) == std::string::npos) return false;
+  }
+  return true;
+}
+
+}  // namespace ocasta

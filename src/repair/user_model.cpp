@@ -1,0 +1,79 @@
+#include "repair/user_model.h"
+
+#include <algorithm>
+
+namespace ocasta {
+
+namespace {
+
+TimeMicros ClampedNormalSeconds(Rng& rng, double mean_s, double sd_s, double min_s) {
+  const double drawn = rng.next_normal(mean_s, sd_s);
+  return Seconds(std::max(min_s, drawn));
+}
+
+}  // namespace
+
+ParticipantOutcome SimulateParticipant(Rng& rng, const ParticipantProfile& participant,
+                                       const UserStudyErrorParams& error,
+                                       size_t screenshots_to_inspect) {
+  ParticipantOutcome outcome;
+
+  // Trial creation: reproduce the error in the application and stop the
+  // recording. Rated 1/5 difficulty by 74% of participants — under a
+  // minute for almost everyone, slower for non-technical users.
+  const double skill = participant.technical ? 1.0 : 1.6;
+  const double familiarity = 1.4 - 0.6 * participant.app_familiarity;
+  outcome.trial_creation =
+      ClampedNormalSeconds(rng, 45.0 * skill * familiarity, 12.0, 15.0);
+
+  // Screenshot selection: inspect the gallery until the fixed screenshot.
+  const auto inspected = static_cast<double>(std::max<size_t>(1, screenshots_to_inspect));
+  outcome.screenshot_selection =
+      ClampedNormalSeconds(rng, 8.0 * skill * inspected, 3.0 * inspected, 3.0);
+  // 1 of ~76 study selections (19 participants x 4 errors) went wrong.
+  outcome.selected_correct_screenshot = !rng.next_bool(0.015);
+  outcome.ocasta_total = outcome.trial_creation + outcome.screenshot_selection;
+
+  // Manual troubleshooting with the 5-minute cutoff.
+  const double fix_prob =
+      std::min(1.0, error.manual_fix_prob * (participant.technical ? 1.25 : 0.45) *
+                        (0.6 + 0.8 * participant.app_familiarity));
+  outcome.manual_fixed = rng.next_bool(fix_prob);
+  if (outcome.manual_fixed) {
+    outcome.manual_time = std::min<TimeMicros>(
+        error.manual_cutoff,
+        ClampedNormalSeconds(rng, error.manual_fix_mean_s * familiarity, error.manual_fix_sd_s,
+                             30.0));
+  } else {
+    outcome.manual_time = error.manual_cutoff;  // A lower bound, as in the paper.
+  }
+  return outcome;
+}
+
+std::vector<UserStudyErrorParams> UserStudyErrors() {
+  return {
+      // #11: Eye of GNOME printing — obscure GConf key; rarely fixed by hand.
+      {.error_id = 11, .manual_fix_prob = 0.18, .manual_fix_mean_s = 240, .manual_fix_sd_s = 50},
+      // #13: Chrome bookmark bar — somewhat discoverable in settings.
+      {.error_id = 13, .manual_fix_prob = 0.35, .manual_fix_mean_s = 170, .manual_fix_sd_s = 60},
+      // #15: Acrobat menu bar — keyboard-shortcut rescue is little known.
+      {.error_id = 15, .manual_fix_prob = 0.22, .manual_fix_mean_s = 220, .manual_fix_sd_s = 55},
+      // #16: Acrobat find box — the one error most participants fixed,
+      // which "significantly lowered the average time for the manual fix".
+      {.error_id = 16, .manual_fix_prob = 0.72, .manual_fix_mean_s = 120, .manual_fix_sd_s = 45},
+  };
+}
+
+std::vector<ParticipantProfile> StudyParticipants(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ParticipantProfile> participants;
+  for (int i = 0; i < 19; ++i) {
+    ParticipantProfile participant;
+    participant.technical = i >= 6;  // 6 non-technical users.
+    participant.app_familiarity = 0.2 + 0.6 * rng.next_double();
+    participants.push_back(participant);
+  }
+  return participants;
+}
+
+}  // namespace ocasta

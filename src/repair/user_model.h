@@ -1,0 +1,60 @@
+// Monte-Carlo user model for the paper's user study (Figure 4).
+//
+// The study's 19 participants (a) created a trial, (b) picked the fixed
+// screenshot from Ocasta's gallery, and (c) tried to fix the same error by
+// hand with a 5-minute cutoff. The paper compares the human time spent
+// with Ocasta (trial creation + screenshot selection) against manual
+// troubleshooting. This model reproduces that comparison's structure with
+// distributions calibrated to the paper's qualitative report: trial
+// creation was rated "easy" (≈1 on a 1-5 difficulty scale) and manual
+// fixing mostly hit the cutoff except for the one error (case 16) a
+// majority could fix.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace ocasta {
+
+struct ParticipantProfile {
+  bool technical = true;  // 13 of 19 participants were technical users.
+  double app_familiarity = 0.5;  // [0,1]; scales both times.
+};
+
+struct UserStudyErrorParams {
+  int error_id = 0;
+  // Probability a participant fixes the error by hand within the cutoff.
+  double manual_fix_prob = 0.25;
+  // Manual fix time distribution when successful (seconds).
+  double manual_fix_mean_s = 200;
+  double manual_fix_sd_s = 60;
+  TimeMicros manual_cutoff = Minutes(5);
+};
+
+struct ParticipantOutcome {
+  TimeMicros trial_creation = 0;
+  TimeMicros screenshot_selection = 0;
+  TimeMicros ocasta_total = 0;  // trial_creation + screenshot_selection.
+  TimeMicros manual_time = 0;   // Cutoff when the manual fix failed.
+  bool manual_fixed = false;
+  bool selected_correct_screenshot = true;
+};
+
+// Simulates one participant on one error. `screenshots_to_inspect` comes
+// from the repair run (Table IV's "Screens" column): the user inspects up
+// to that many screenshots before finding the fixed one.
+ParticipantOutcome SimulateParticipant(Rng& rng, const ParticipantProfile& participant,
+                                       const UserStudyErrorParams& error,
+                                       size_t screenshots_to_inspect);
+
+// The study's four errors (#11, #13, #15, #16 from Table III) with manual
+// difficulty calibrated so only case 16 is commonly fixed by hand.
+std::vector<UserStudyErrorParams> UserStudyErrors();
+
+// The 19 participants (2 faculty, 13 grad students, 4 staff/engineers;
+// 6 non-technical), deterministically derived from `seed`.
+std::vector<ParticipantProfile> StudyParticipants(uint64_t seed);
+
+}  // namespace ocasta

@@ -1,0 +1,56 @@
+#include "repair/versions.h"
+
+#include <algorithm>
+
+namespace ocasta {
+
+std::vector<ClusterVersion> ClusterVersions(const TTKV& ttkv, const KeyCluster& cluster,
+                                            TimeMicros start, TimeMicros end,
+                                            TimeMicros window) {
+  std::vector<TimeMicros> times;
+  for (uint32_t key_id : cluster.keys) {
+    for (const Version& version : ttkv.record(key_id).versions) {
+      if (version.timestamp >= start && version.timestamp <= end) {
+        times.push_back(version.timestamp);
+      }
+    }
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+
+  // Collapse bursts: times within `window` of the previous one belong to
+  // the same cluster change; the version time is the burst's first write.
+  std::vector<ClusterVersion> versions;
+  TimeMicros last_seen = 0;
+  for (size_t i = 0; i < times.size(); ++i) {
+    if (versions.empty() || times[i] - last_seen > window) {
+      versions.push_back(ClusterVersion{.change_time = times[i]});
+    }
+    last_seen = times[i];
+  }
+  std::reverse(versions.begin(), versions.end());  // Newest first.
+  return versions;
+}
+
+ConfigMap MaterializeBefore(const TTKV& ttkv, const KeyCluster& cluster,
+                            TimeMicros change_time, std::vector<std::string>* absent_keys) {
+  ConfigMap values;
+  for (uint32_t key_id : cluster.keys) {
+    const VersionedRecord& record = ttkv.record(key_id);
+    const auto value = record.value_at(change_time - 1);
+    if (value) {
+      values[record.key] = *value;
+    } else if (absent_keys != nullptr) {
+      absent_keys->push_back(record.key);
+    }
+  }
+  return values;
+}
+
+void ApplyRollback(ConfigStore& store, const ConfigMap& values,
+                   const std::vector<std::string>& absent_keys) {
+  for (const auto& [key, value] : values) store.Write(key, value);
+  for (const std::string& key : absent_keys) store.Remove(key);
+}
+
+}  // namespace ocasta

@@ -1,0 +1,38 @@
+// Historical cluster versions: when a cluster changed, and what its state
+// was before each change.
+#pragma once
+
+#include <vector>
+
+#include "clustering/cluster_set.h"
+#include "configstore/config_store.h"
+#include "ttkv/ttkv.h"
+
+namespace ocasta {
+
+// A rollback candidate: the cluster's state immediately before the
+// modification at `change_time`.
+struct ClusterVersion {
+  TimeMicros change_time = 0;
+};
+
+// Distinct modification times of any cluster member inside [start, end],
+// newest first. Times closer together than `window` collapse into one
+// version (a multi-key burst is one cluster change, not several).
+std::vector<ClusterVersion> ClusterVersions(const TTKV& ttkv, const KeyCluster& cluster,
+                                            TimeMicros start, TimeMicros end,
+                                            TimeMicros window);
+
+// The cluster's key values immediately before `change_time`. Keys that did
+// not exist then are absent from the map — rollback must delete them.
+// `absent_keys` receives those key names.
+ConfigMap MaterializeBefore(const TTKV& ttkv, const KeyCluster& cluster,
+                            TimeMicros change_time, std::vector<std::string>* absent_keys);
+
+// Applies a rollback state to a store: writes present keys, removes absent
+// ones ("rolling back an entire cluster of configuration settings at a
+// time").
+void ApplyRollback(ConfigStore& store, const ConfigMap& values,
+                   const std::vector<std::string>& absent_keys);
+
+}  // namespace ocasta

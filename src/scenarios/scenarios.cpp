@@ -1,0 +1,244 @@
+#include "scenarios/scenarios.h"
+
+#include "apps/catalog.h"
+#include "common/error.h"
+
+namespace ocasta {
+
+namespace {
+
+CorruptionSpec Flip(std::string key) {
+  return CorruptionSpec{.key = std::move(key), .kind = CorruptionSpec::Kind::kFlipBool};
+}
+CorruptionSpec Set(std::string key, Value value) {
+  return CorruptionSpec{
+      .key = std::move(key), .kind = CorruptionSpec::Kind::kSetValue, .value = std::move(value)};
+}
+CorruptionSpec Del(std::string key) {
+  return CorruptionSpec{.key = std::move(key), .kind = CorruptionSpec::Kind::kDelete};
+}
+
+const char* kOutlookPrefs = "HKEY_CURRENT_USER\\Software\\Microsoft\\Office\\12.0\\Outlook\\Preferences";
+const char* kWordRoot = "HKEY_CURRENT_USER\\Software\\Microsoft\\Office\\12.0\\Word";
+const char* kIeExt = "HKEY_CURRENT_USER\\Software\\Microsoft\\Internet Explorer\\Ext";
+const char* kExplorerRoot =
+    "HKEY_CURRENT_USER\\Software\\Microsoft\\Windows\\CurrentVersion\\Explorer";
+const char* kWmpPrefs = "HKEY_CURRENT_USER\\Software\\Microsoft\\MediaPlayer\\Preferences";
+const char* kPaintRoot = "HKEY_CURRENT_USER\\Software\\Microsoft\\Paint";
+
+}  // namespace
+
+std::vector<ErrorScenario> AllScenarios() {
+  std::vector<ErrorScenario> scenarios;
+
+  {  // 1. Outlook: Navigation Panel unusable.
+    ErrorScenario s;
+    s.id = 1;
+    s.machine = "Windows 7";
+    s.app = kOutlook;
+    s.logger = "Registry";
+    s.description = "User is unable to use Navigation Panel.";
+    s.corruptions = {Flip(std::string(kOutlookPrefs) + "\\NavPaneVisible")};
+    s.required_keys = {std::string(kOutlookPrefs) + "\\NavPaneVisible"};
+    scenarios.push_back(std::move(s));
+  }
+  {  // 2. Word: recently accessed documents list lost. The offending change
+     // shrank Max Display and deleted the extra Item settings (Figure 1a);
+     // undoing it needs the dominant key and the deleted items together.
+    ErrorScenario s;
+    s.id = 2;
+    s.machine = "Windows 7";
+    s.app = kWord;
+    s.logger = "Registry";
+    s.description = "User loses the list of recently accessed documents.";
+    s.corruptions.push_back(Set(std::string(kWordRoot) + "\\Options\\Max Display", Value(1)));
+    for (int i = 2; i <= 17; ++i) {
+      s.corruptions.push_back(
+          Del(std::string(kWordRoot) + "\\File MRU\\Item " + std::to_string(i)));
+    }
+    s.required_keys = {std::string(kWordRoot) + "\\Options\\Max Display",
+                       std::string(kWordRoot) + "\\File MRU\\Item 2",
+                       std::string(kWordRoot) + "\\File MRU\\Item 3"};
+    s.needs_tuning = true;  // Default threshold leaves Max Display unclustered.
+    s.tuned_threshold = 1.0;
+    s.tuned_window_seconds = 30.0;
+    scenarios.push_back(std::move(s));
+  }
+  {  // 3. IE: add-on dialog always pops up.
+    ErrorScenario s;
+    s.id = 3;
+    s.machine = "Windows 7";
+    s.app = kInternetExplorer;
+    s.logger = "Registry";
+    s.description = "Dialog to disable add-ons always pops up.";
+    s.corruptions = {Flip(std::string(kIeExt) + "\\DisableAddonLoadTimePerformanceNotifications")};
+    s.required_keys = {std::string(kIeExt) + "\\DisableAddonLoadTimePerformanceNotifications"};
+    scenarios.push_back(std::move(s));
+  }
+  {  // 4. Explorer: "Open with" menu broken for .flv. The master list and a
+     // member entry must be restored together.
+    ErrorScenario s;
+    s.id = 4;
+    s.machine = "Windows Vista";
+    s.app = kExplorer;
+    s.logger = "Registry";
+    s.description =
+        "\"Open with\" menu does not show installed applications that can open .flv file.";
+    const std::string base = std::string(kExplorerRoot) + "\\FileExts\\.flv\\OpenWithList";
+    s.corruptions = {Set(base + "\\MRUList", Value("misconfigured")), Del(base + "\\b")};
+    s.required_keys = {base + "\\MRUList", base + "\\b"};
+    s.needs_tuning = true;  // The list key changes without its members.
+    s.tuned_threshold = 1.0;
+    s.tuned_window_seconds = 1.0;
+    scenarios.push_back(std::move(s));
+  }
+  {  // 5. WMP: captions not shown.
+    ErrorScenario s;
+    s.id = 5;
+    s.machine = "Windows XP";
+    s.app = kMediaPlayer;
+    s.logger = "Registry";
+    s.description = "Caption is not shown while playing video.";
+    s.corruptions = {Flip(std::string(kWmpPrefs) + "\\CaptionsOn")};
+    s.required_keys = {std::string(kWmpPrefs) + "\\CaptionsOn"};
+    scenarios.push_back(std::move(s));
+  }
+  {  // 6. Paint: text toolbar does not pop up (visibility + position).
+    ErrorScenario s;
+    s.id = 6;
+    s.machine = "Windows XP";
+    s.app = kPaint;
+    s.logger = "Registry";
+    s.description = "Text tool bar does not pop up automatically when entering text.";
+    s.corruptions = {Flip(std::string(kPaintRoot) + "\\View\\ShowTextTool"),
+                     Set(std::string(kPaintRoot) + "\\Text\\ToolbarX", Value(-3000))};
+    s.required_keys = {std::string(kPaintRoot) + "\\View\\ShowTextTool",
+                       std::string(kPaintRoot) + "\\Text\\ToolbarX"};
+    scenarios.push_back(std::move(s));
+  }
+  {  // 7. Explorer: image files always open maximized (state + placement).
+    ErrorScenario s;
+    s.id = 7;
+    s.machine = "Windows XP";
+    s.app = kExplorer;
+    s.logger = "Registry";
+    s.description = "Image files are always opened in a maximized window.";
+    s.corruptions = {Flip(std::string(kExplorerRoot) + "\\ImagePreview\\Maximized"),
+                     Set(std::string(kExplorerRoot) + "\\ImagePreview\\Placement",
+                         Value("misconfigured"))};
+    s.required_keys = {std::string(kExplorerRoot) + "\\ImagePreview\\Maximized",
+                       std::string(kExplorerRoot) + "\\ImagePreview\\Placement"};
+    scenarios.push_back(std::move(s));
+  }
+  {  // 8. Evolution: starts in offline mode.
+    ErrorScenario s;
+    s.id = 8;
+    s.machine = "Linux-1";
+    s.app = kEvolution;
+    s.logger = "GConf";
+    s.description = "Evolution Mail starts in offline mode unexpectedly.";
+    s.corruptions = {Flip("/apps/evolution/shell/start_offline")};
+    s.required_keys = {"/apps/evolution/shell/start_offline"};
+    scenarios.push_back(std::move(s));
+  }
+  {  // 9. Evolution: read mail not marked automatically (Figure 1c pair).
+    ErrorScenario s;
+    s.id = 9;
+    s.machine = "Linux-1";
+    s.app = kEvolution;
+    s.logger = "GConf";
+    s.description = "Evolution Mail does not mark read mail automatically.";
+    s.corruptions = {Flip("/apps/evolution/mail/display/mark_seen"),
+                     Set("/apps/evolution/mail/display/mark_seen_timeout", Value(999999))};
+    s.required_keys = {"/apps/evolution/mail/display/mark_seen",
+                       "/apps/evolution/mail/display/mark_seen_timeout"};
+    scenarios.push_back(std::move(s));
+  }
+  {  // 10. Evolution: replies not composed at the top.
+    ErrorScenario s;
+    s.id = 10;
+    s.machine = "Linux-1";
+    s.app = kEvolution;
+    s.logger = "GConf";
+    s.description = "Evolution Mail does not start a reply at the top of an e-mail.";
+    s.corruptions = {Set("/apps/evolution/mail/composer/reply_style", Value("misconfigured"))};
+    s.required_keys = {"/apps/evolution/mail/composer/reply_style"};
+    scenarios.push_back(std::move(s));
+  }
+  {  // 11. Eye of GNOME: printing disabled.
+    ErrorScenario s;
+    s.id = 11;
+    s.machine = "Linux-1";
+    s.app = kEyeOfGnome;
+    s.logger = "GConf";
+    s.description = "User is unable to print image files.";
+    s.corruptions = {Flip("/apps/eog/ui/can_print")};
+    s.required_keys = {"/apps/eog/ui/can_print"};
+    scenarios.push_back(std::move(s));
+  }
+  {  // 12. GNOME Edit: saving disabled.
+    ErrorScenario s;
+    s.id = 12;
+    s.machine = "Linux-1";
+    s.app = kGnomeEdit;
+    s.logger = "GConf";
+    s.description = "User is unable to save any document.";
+    s.corruptions = {Flip("/apps/gedit-2/preferences/editor/save/can_save")};
+    s.required_keys = {"/apps/gedit-2/preferences/editor/save/can_save"};
+    scenarios.push_back(std::move(s));
+  }
+  {  // 13. Chrome: bookmark bar missing.
+    ErrorScenario s;
+    s.id = 13;
+    s.machine = "Linux-2";
+    s.app = kChrome;
+    s.logger = "File";
+    s.description = "Bookmark bar is missing.";
+    s.corruptions = {Flip("bookmark_bar/show_on_all_tabs")};
+    s.required_keys = {"bookmark_bar/show_on_all_tabs"};
+    scenarios.push_back(std::move(s));
+  }
+  {  // 14. Chrome: home button missing.
+    ErrorScenario s;
+    s.id = 14;
+    s.machine = "Linux-2";
+    s.app = kChrome;
+    s.logger = "File";
+    s.description = "Home button is missing from the tool bar.";
+    s.corruptions = {Flip("browser/show_home_button")};
+    s.required_keys = {"browser/show_home_button"};
+    scenarios.push_back(std::move(s));
+  }
+  {  // 15. Acrobat: menu bar disappears.
+    ErrorScenario s;
+    s.id = 15;
+    s.machine = "Linux-3";
+    s.app = kAcrobat;
+    s.logger = "File";
+    s.description = "Menu bar disappears for certain PDF document.";
+    s.corruptions = {Flip("Originals/ShowMenuBar")};
+    s.required_keys = {"Originals/ShowMenuBar"};
+    scenarios.push_back(std::move(s));
+  }
+  {  // 16. Acrobat: find box missing.
+    ErrorScenario s;
+    s.id = 16;
+    s.machine = "Linux-4";
+    s.app = kAcrobat;
+    s.logger = "File";
+    s.description = "Find box is missing from the tool bar.";
+    s.corruptions = {Flip("Toolbars/ShowFindBox")};
+    s.required_keys = {"Toolbars/ShowFindBox"};
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+ErrorScenario ScenarioById(int id) {
+  for (ErrorScenario& scenario : AllScenarios()) {
+    if (scenario.id == id) return scenario;
+  }
+  throw Error("unknown scenario id: " + std::to_string(id));
+}
+
+}  // namespace ocasta

@@ -1,0 +1,54 @@
+// The 16 real-world configuration errors of the paper's Table III.
+//
+// Each scenario binds an application on a Table I machine, the keys the
+// error corrupts (wrong value, or insertion/deletion), and the keys whose
+// pre-error values must be restored for the symptom to disappear. Errors
+// needing more than one key restored together (#2, #4, #6, #7, #9) are the
+// ones the no-clustering baseline cannot fix.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ttkv/value.h"
+
+namespace ocasta {
+
+// How one key is corrupted. The concrete bad value is derived from the
+// key's good value at injection time (e.g. a flipped toggle), so scenarios
+// stay valid for any generated trace.
+struct CorruptionSpec {
+  enum class Kind : uint8_t {
+    kFlipBool = 0,   // Toggle the boolean.
+    kSetValue = 1,   // Overwrite with `value`.
+    kDelete = 2,     // Remove the key.
+  };
+  std::string key;
+  Kind kind = Kind::kFlipBool;
+  Value value;  // For kSetValue.
+};
+
+struct ErrorScenario {
+  int id = 0;
+  std::string machine;  // Table I profile name.
+  std::string app;      // Table II application name.
+  std::string logger;   // "Registry" / "GConf" / "File" (Table III column).
+  std::string description;
+  std::vector<CorruptionSpec> corruptions;
+  // Keys that must be back at their pre-error values for the symptom to
+  // disappear. |required_keys| > 1 defeats single-key rollback.
+  std::vector<std::string> required_keys;
+  // Non-default parameters the paper needed for this error (errors #2, #4
+  // were only fixable after tuning threshold/window).
+  bool needs_tuning = false;
+  double tuned_threshold = 2.0;
+  double tuned_window_seconds = 1.0;
+};
+
+// All 16 errors, in Table III order.
+std::vector<ErrorScenario> AllScenarios();
+
+// Scenario by id (1-16); throws Error for unknown ids.
+ErrorScenario ScenarioById(int id);
+
+}  // namespace ocasta

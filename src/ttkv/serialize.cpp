@@ -1,0 +1,99 @@
+#include "ttkv/serialize.h"
+
+#include <cstring>
+
+namespace ocasta {
+
+void BinaryWriter::u32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void BinaryWriter::u64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void BinaryWriter::f64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void BinaryWriter::str(std::string_view s) {
+  u32(static_cast<uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+void BinaryWriter::value(const Value& v) {
+  u8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNone: break;
+    case ValueType::kBool: u8(v.as_bool() ? 1 : 0); break;
+    case ValueType::kInt: i64(v.as_int()); break;
+    case ValueType::kReal: f64(v.as_real()); break;
+    case ValueType::kString: str(v.as_string()); break;
+    case ValueType::kStringList: {
+      const auto& list = v.as_list();
+      u32(static_cast<uint32_t>(list.size()));
+      for (const auto& item : list) str(item);
+      break;
+    }
+  }
+}
+
+uint8_t BinaryReader::u8() {
+  need(1);
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint32_t BinaryReader::u32() {
+  need(4);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+  return v;
+}
+
+uint64_t BinaryReader::u64() {
+  need(8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+  return v;
+}
+
+double BinaryReader::f64() {
+  const uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string BinaryReader::str() {
+  const uint32_t n = u32();
+  need(n);
+  std::string out(data_.substr(pos_, n));
+  pos_ += n;
+  return out;
+}
+
+Value BinaryReader::value() {
+  const auto type = static_cast<ValueType>(u8());
+  switch (type) {
+    case ValueType::kNone: return Value();
+    case ValueType::kBool: return Value(u8() != 0);
+    case ValueType::kInt: return Value(i64());
+    case ValueType::kReal: return Value(f64());
+    case ValueType::kString: return Value(str());
+    case ValueType::kStringList: {
+      const uint32_t n = u32();
+      // Every element needs at least its 4-byte length prefix; a corrupted
+      // count must fail cleanly rather than reserve unbounded memory.
+      if (n > remaining() / 4) throw ParseError("string list count exceeds artifact size");
+      std::vector<std::string> list;
+      list.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) list.push_back(str());
+      return Value(std::move(list));
+    }
+  }
+  throw ParseError("unknown value tag in binary artifact");
+}
+
+}  // namespace ocasta

@@ -1,0 +1,55 @@
+// Little-endian binary (de)serialization used by TTKV persistence and
+// trace files. A fixed byte layout keeps artifacts portable across hosts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "ttkv/value.h"
+
+namespace ocasta {
+
+class BinaryWriter {
+ public:
+  void u8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(uint32_t v);
+  void u64(uint64_t v);
+  void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+  void f64(double v);
+  void str(std::string_view s);
+  void value(const Value& v);
+
+  const std::string& buffer() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  uint8_t u8();
+  uint32_t u32();
+  uint64_t u64();
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+  double f64();
+  std::string str();
+  Value value();
+
+  bool at_end() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(size_t n) {
+    if (remaining() < n) throw ParseError("binary artifact truncated");
+  }
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ocasta

@@ -1,0 +1,128 @@
+#include "ttkv/value.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace ocasta {
+
+namespace {
+
+[[noreturn]] void TypeMismatch(const char* want, ValueType got) {
+  throw StoreError(StrFormat("value type mismatch: want %s, got tag %d", want,
+                             static_cast<int>(got)));
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&data_)) return *b;
+  TypeMismatch("bool", type());
+}
+
+int64_t Value::as_int() const {
+  if (const int64_t* i = std::get_if<int64_t>(&data_)) return *i;
+  TypeMismatch("int", type());
+}
+
+double Value::as_real() const {
+  if (const double* d = std::get_if<double>(&data_)) return *d;
+  TypeMismatch("real", type());
+}
+
+const std::string& Value::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&data_)) return *s;
+  TypeMismatch("string", type());
+}
+
+const std::vector<std::string>& Value::as_list() const {
+  if (const auto* l = std::get_if<std::vector<std::string>>(&data_)) return *l;
+  TypeMismatch("list", type());
+}
+
+double Value::as_number() const {
+  switch (type()) {
+    case ValueType::kBool: return as_bool() ? 1.0 : 0.0;
+    case ValueType::kInt: return static_cast<double>(as_int());
+    case ValueType::kReal: return as_real();
+    default: TypeMismatch("number", type());
+  }
+}
+
+std::string Value::ToDisplay() const {
+  switch (type()) {
+    case ValueType::kNone: return "";
+    case ValueType::kBool: return as_bool() ? "true" : "false";
+    case ValueType::kInt: return std::to_string(as_int());
+    case ValueType::kReal: {
+      const double d = as_real();
+      if (d == static_cast<double>(static_cast<int64_t>(d))) {
+        return std::to_string(static_cast<int64_t>(d));
+      }
+      return StrFormat("%.17g", d);
+    }
+    case ValueType::kString: return as_string();
+    case ValueType::kStringList: {
+      std::string out;
+      const auto& list = as_list();
+      for (size_t i = 0; i < list.size(); ++i) {
+        if (i) out += ';';
+        out += EscapeField(list[i], ';');
+      }
+      return out;
+    }
+  }
+  throw StoreError("corrupt value tag");
+}
+
+Value Value::ParseDisplay(ValueType type, const std::string& text) {
+  switch (type) {
+    case ValueType::kNone: return Value();
+    case ValueType::kBool: return Value(text == "true" || text == "1");
+    case ValueType::kInt: return Value(static_cast<int64_t>(std::strtoll(text.c_str(), nullptr, 10)));
+    case ValueType::kReal: return Value(std::strtod(text.c_str(), nullptr));
+    case ValueType::kString: return Value(text);
+    case ValueType::kStringList: {
+      std::vector<std::string> items;
+      if (!text.empty()) {
+        // Split on unescaped ';'.
+        std::string current;
+        for (size_t i = 0; i < text.size(); ++i) {
+          if (text[i] == '\\' && i + 1 < text.size()) {
+            current += text[i];
+            current += text[i + 1];
+            ++i;
+          } else if (text[i] == ';') {
+            items.push_back(UnescapeField(current, ';'));
+            current.clear();
+          } else {
+            current += text[i];
+          }
+        }
+        items.push_back(UnescapeField(current, ';'));
+      }
+      return Value(std::move(items));
+    }
+  }
+  throw StoreError("corrupt value tag");
+}
+
+size_t Value::EstimatedBytes() const {
+  switch (type()) {
+    case ValueType::kNone: return 1;
+    case ValueType::kBool: return 1;
+    case ValueType::kInt: return 8;
+    case ValueType::kReal: return 8;
+    case ValueType::kString: return 16 + as_string().size();
+    case ValueType::kStringList: {
+      size_t total = 24;
+      for (const auto& s : as_list()) total += 16 + s.size();
+      return total;
+    }
+  }
+  return 0;
+}
+
+}  // namespace ocasta

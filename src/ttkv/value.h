@@ -1,0 +1,66 @@
+// Typed configuration values.
+//
+// Ocasta abstracts configuration settings into key-value pairs. Values in
+// real stores are typed (registry REG_DWORD/REG_SZ, GConf bool/int/string,
+// JSON numbers/strings/lists), so Value models the union the loggers emit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ocasta {
+
+enum class ValueType : uint8_t {
+  kNone = 0,   // "no value" — used for absent defaults, never stored.
+  kBool = 1,
+  kInt = 2,
+  kReal = 3,
+  kString = 4,
+  kStringList = 5,
+};
+
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  Value(bool b) : data_(b) {}                                 // NOLINT(google-explicit-constructor)
+  Value(int64_t i) : data_(i) {}                              // NOLINT
+  Value(int i) : data_(static_cast<int64_t>(i)) {}            // NOLINT
+  Value(double d) : data_(d) {}                               // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}               // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}             // NOLINT
+  Value(std::vector<std::string> l) : data_(std::move(l)) {}  // NOLINT
+
+  ValueType type() const { return static_cast<ValueType>(data_.index()); }
+  bool is_none() const { return type() == ValueType::kNone; }
+
+  // Typed accessors. Precondition: type() matches; StoreError otherwise.
+  bool as_bool() const;
+  int64_t as_int() const;
+  double as_real() const;
+  const std::string& as_string() const;
+  const std::vector<std::string>& as_list() const;
+
+  // Lenient numeric view: bool→0/1, int, real; StoreError for other types.
+  double as_number() const;
+
+  // Canonical single-line text rendering (used by file-store serializers,
+  // screenshots and trace dumps). Round-trips through ParseDisplay for all
+  // types except that int-valued reals print without a fraction.
+  std::string ToDisplay() const;
+
+  // Parses ToDisplay output back into a Value with the given expected type.
+  static Value ParseDisplay(ValueType type, const std::string& text);
+
+  // Rough in-memory footprint, used for the Table I "Size" column.
+  size_t EstimatedBytes() const;
+
+  friend bool operator==(const Value& a, const Value& b) { return a.data_ == b.data_; }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string, std::vector<std::string>> data_;
+};
+
+}  // namespace ocasta

@@ -1,0 +1,55 @@
+#include "workload/inject.h"
+
+#include "common/error.h"
+
+namespace ocasta {
+
+namespace {
+
+AccessEvent MakeEvent(const MachineTrace& machine, const InjectionSpec& spec,
+                      const Corruption& corruption, TimeMicros t) {
+  AccessEvent event;
+  event.timestamp = t;
+  event.app = spec.app;
+  event.store = machine.SchemaFor(spec.app).store;
+  event.key = corruption.key;
+  if (corruption.bad_value) {
+    event.op = AccessOp::kWrite;
+    event.value = *corruption.bad_value;
+  } else {
+    event.op = AccessOp::kDelete;
+  }
+  return event;
+}
+
+}  // namespace
+
+void InjectError(MachineTrace& machine, const InjectionSpec& spec) {
+  if (spec.corruptions.empty()) throw Error("injection needs at least one corruption");
+  std::vector<AccessEvent> injected;
+  TimeMicros t = spec.at;
+  for (const Corruption& corruption : spec.corruptions) {
+    injected.push_back(MakeEvent(machine, spec, corruption, t));
+    t += Seconds(0.2);  // Within one burst/window, like a real mis-change.
+  }
+  // The user's failed fix attempts: rewrite the wrong values again, later.
+  for (int s = 0; s < spec.spurious_writes; ++s) {
+    TimeMicros when = spec.at + Minutes(10) * (s + 1);
+    for (const Corruption& corruption : spec.corruptions) {
+      if (!corruption.bad_value) continue;
+      injected.push_back(MakeEvent(machine, spec, corruption, when));
+      when += Seconds(0.2);
+    }
+  }
+
+  machine.trace.InsertEvents(injected);
+  machine.final_configs[spec.app] =
+      ReplayToConfig(machine.initial_configs.at(spec.app), machine.trace, spec.app);
+}
+
+ConfigMap SnapshotAt(const MachineTrace& machine, const std::string& app, TimeMicros t) {
+  return ReplayToConfig(machine.initial_configs.at(app),
+                        machine.trace.FilterByTime(0, t), app);
+}
+
+}  // namespace ocasta

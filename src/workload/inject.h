@@ -1,0 +1,42 @@
+// Configuration-error injection.
+//
+// The paper: "we simulate configuration errors by injecting a write into
+// the trace at the point in time at which we want the error to occur, that
+// changes the offending setting to the erroneous value. If the
+// configuration error is caused by presence or absence of the offending
+// setting, we insert or delete the setting in the trace."
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/generator.h"
+
+namespace ocasta {
+
+// One corrupted key: a wrong value, or deletion when bad_value is nullopt.
+struct Corruption {
+  std::string key;
+  std::optional<Value> bad_value;
+};
+
+struct InjectionSpec {
+  std::string app;
+  TimeMicros at = 0;
+  std::vector<Corruption> corruptions;
+  // Extra wrong writes appended after the injection (10-minute spacing),
+  // simulating the user's own failed fix attempts (Figure 2b's parameter).
+  int spurious_writes = 0;
+};
+
+// Inserts the erroneous events into the machine's trace (preserving time
+// order) and recomputes the application's final live configuration.
+void InjectError(MachineTrace& machine, const InjectionSpec& spec);
+
+// Application configuration as of just before `t` (initial config plus all
+// events with timestamp < t) — the state a correct fix must restore for
+// the corrupted keys.
+ConfigMap SnapshotAt(const MachineTrace& machine, const std::string& app, TimeMicros t);
+
+}  // namespace ocasta

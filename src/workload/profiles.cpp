@@ -1,0 +1,139 @@
+#include "workload/profiles.h"
+
+#include "apps/catalog.h"
+#include "common/error.h"
+
+namespace ocasta {
+
+std::vector<MachineProfile> Table1Profiles() {
+  std::vector<MachineProfile> profiles;
+
+  {  // Windows 7: 42 days, 6.76M reads, 67.72K writes, 4,611 keys.
+    MachineProfile m;
+    m.name = "Windows 7";
+    m.days = 42;
+    m.apps = {kOutlook, kWord, kInternetExplorer};
+    m.sessions_per_day = 8;
+    m.reads_per_key_per_session = 12;
+    m.background_keys = 4200;
+    m.background_churn_keys = 65;
+    m.background_reads_per_key_per_session = 3.5;
+    m.seed = 1071;
+    profiles.push_back(m);
+  }
+  {  // Windows Vista: 53 days, 3.46M reads, 20.5K writes, 14,673 keys.
+    MachineProfile m;
+    m.name = "Windows Vista";
+    m.days = 53;
+    m.apps = {kExplorer};
+    m.sessions_per_day = 5;
+    m.reads_per_key_per_session = 10;
+    m.background_keys = 14300;
+    m.background_churn_keys = 26;
+    m.background_reads_per_key_per_session = 0.9;
+    m.seed = 2053;
+    profiles.push_back(m);
+  }
+  {  // Windows Vista-2: 18 days, 15.08M reads, 224.64K writes, 1,123 keys.
+    MachineProfile m;
+    m.name = "Windows Vista-2";
+    m.days = 18;
+    m.apps = {kMediaPlayer};
+    m.sessions_per_day = 10;
+    m.reads_per_key_per_session = 40;
+    m.background_keys = 950;
+    m.background_churn_keys = 410;
+    m.background_reads_per_key_per_session = 80;
+    m.seed = 3018;
+    profiles.push_back(m);
+  }
+  {  // Windows XP: 25 days, 22.80M reads, 311.9K writes, 14,667 keys.
+    MachineProfile m;
+    m.name = "Windows XP";
+    m.days = 25;
+    m.apps = {kMediaPlayer, kPaint, kExplorer};
+    m.sessions_per_day = 10;
+    m.reads_per_key_per_session = 30;
+    m.background_keys = 14100;
+    m.background_churn_keys = 410;
+    m.background_reads_per_key_per_session = 6;
+    m.seed = 4025;
+    profiles.push_back(m);
+  }
+  {  // Windows XP-2: 32 days, 26.76M reads, 268.96K writes, 19,501 keys.
+    MachineProfile m;
+    m.name = "Windows XP-2";
+    m.days = 32;
+    m.apps = {kExplorer};
+    m.sessions_per_day = 9;
+    m.reads_per_key_per_session = 25;
+    m.background_keys = 19200;
+    m.background_churn_keys = 310;
+    m.background_reads_per_key_per_session = 4.5;
+    m.seed = 5032;
+    profiles.push_back(m);
+  }
+  {  // Linux-1: 25 days, 91.52K reads, 3.34K writes, 1,660 keys (GConf).
+    MachineProfile m;
+    m.name = "Linux-1";
+    m.days = 25;
+    m.apps = {kEvolution, kEyeOfGnome, kGnomeEdit};
+    m.sessions_per_day = 5;
+    m.reads_per_key_per_session = 2.2;
+    m.background_keys = 1460;
+    m.background_churn_keys = 9;
+    m.background_reads_per_key_per_session = 0.3;
+    m.background_store = StoreKind::kGconf;
+    m.seed = 6025;
+    profiles.push_back(m);
+  }
+  {  // Linux-2: 84 days, 8.15K reads, 0.48K writes, 35 keys (Chrome files).
+    MachineProfile m;
+    m.name = "Linux-2";
+    m.days = 84;
+    m.apps = {kChrome};
+    m.sessions_per_day = 2;
+    m.reads_per_key_per_session = 1.4;
+    m.config_activity_scale = 0.8;
+    m.background_keys = 0;
+    m.background_store = StoreKind::kGconf;
+    m.seed = 7084;
+    profiles.push_back(m);
+  }
+  {  // Linux-3: 46 days, 52.41K reads, 0.44K writes, 706 keys (Acrobat file).
+    MachineProfile m;
+    m.name = "Linux-3";
+    m.days = 46;
+    m.apps = {kAcrobat};
+    m.sessions_per_day = 2;
+    m.reads_per_key_per_session = 0.76;
+    m.config_activity_scale = 0.04;  // Light user: few configuration changes.
+    m.background_keys = 0;
+    m.background_store = StoreKind::kGconf;
+    m.seed = 8046;
+    profiles.push_back(m);
+  }
+  {  // Linux-4: 64 days, 507.07K reads, 5.43K writes, 751 keys (Acrobat file).
+    MachineProfile m;
+    m.name = "Linux-4";
+    m.days = 64;
+    m.apps = {kAcrobat};
+    m.sessions_per_day = 4;
+    m.reads_per_key_per_session = 2.6;
+    m.config_activity_scale = 1.0;
+    m.background_keys = 0;
+    m.background_store = StoreKind::kGconf;
+    m.seed = 9064;
+    profiles.push_back(m);
+  }
+  return profiles;
+}
+
+MachineProfile ProfileByName(const std::string& name) {
+  for (MachineProfile& profile : Table1Profiles()) {
+    if (profile.name == name) return profile;
+  }
+  throw Error("unknown machine profile: " + name);
+}
+
+}  // namespace ocasta

@@ -1,0 +1,48 @@
+// Machine profiles reproducing the paper's Table I deployments.
+//
+// The paper collected traces from 5 Windows desktops and 24 Linux lab
+// machines (aggregated to 4 Linux users). Each profile parameterises the
+// usage simulator to land in the same regime as one Table I row: trace
+// length, hosted applications, session intensity, read volume, write
+// volume, and total key population (including OS background churn beyond
+// the 11 studied applications).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "configstore/config_store.h"
+
+namespace ocasta {
+
+struct MachineProfile {
+  std::string name;           // Table I row name ("Windows 7", "Linux-1", ...).
+  int days = 30;
+  std::vector<std::string> apps;  // Table II application names hosted here.
+
+  double sessions_per_day = 6.0;
+  // Read volume: expected reads of each application key per session
+  // (registry apps are read constantly; file-backed apps only on load).
+  double reads_per_key_per_session = 3.0;
+  // Scales every group's changes_per_day (low-activity machines like
+  // Linux-3 see few configuration changes).
+  double config_activity_scale = 1.0;
+
+  // OS-background key population (registry/GConf churn outside the studied
+  // applications): total keys and how many of them are frequently written.
+  size_t background_keys = 0;
+  size_t background_churn_keys = 0;
+  double background_reads_per_key_per_session = 0.3;
+
+  StoreKind background_store = StoreKind::kRegistry;
+  uint64_t seed = 1;
+};
+
+// The nine Table I machines, in paper order.
+std::vector<MachineProfile> Table1Profiles();
+
+// Profile by Table I row name; throws Error when unknown.
+MachineProfile ProfileByName(const std::string& name);
+
+}  // namespace ocasta

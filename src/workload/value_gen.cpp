@@ -1,0 +1,49 @@
+#include "workload/value_gen.h"
+
+#include <algorithm>
+
+namespace ocasta {
+
+Value NextValue(Rng& rng, const KeySpec& spec, const std::optional<Value>& current) {
+  switch (spec.type) {
+    case ValueType::kBool: {
+      if (current && current->type() == ValueType::kBool) return Value(!current->as_bool());
+      return Value(rng.next_bool(0.5));
+    }
+    case ValueType::kInt: {
+      if (spec.int_max <= spec.int_min) return Value(spec.int_min);
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const Value v(rng.next_range(spec.int_min, spec.int_max));
+        if (!current || v != *current) return v;
+      }
+      return Value(spec.int_min);  // Degenerate domain; allow a repeat.
+    }
+    case ValueType::kReal: {
+      return Value(static_cast<double>(rng.next_range(spec.int_min, spec.int_max)) +
+                   rng.next_double());
+    }
+    case ValueType::kString: {
+      if (spec.choices.empty()) return Value("value" + std::to_string(rng.next_below(1000)));
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const Value v(spec.choices[rng.next_below(spec.choices.size())]);
+        if (!current || v != *current) return v;
+      }
+      return Value(spec.choices.front());
+    }
+    case ValueType::kStringList: {
+      // A fresh ordered selection from the pool.
+      std::vector<std::string> pool = spec.choices;
+      for (size_t i = pool.size(); i > 1; --i) {
+        std::swap(pool[i - 1], pool[rng.next_below(i)]);
+      }
+      const size_t max_len = std::min<size_t>(pool.size(), 6);
+      const size_t len = max_len == 0 ? 0 : 1 + rng.next_below(max_len);
+      pool.resize(len);
+      return Value(std::move(pool));
+    }
+    case ValueType::kNone: return Value();
+  }
+  return Value();
+}
+
+}  // namespace ocasta

@@ -1,0 +1,17 @@
+// Draws fresh values for configuration keys during trace generation.
+#pragma once
+
+#include <optional>
+
+#include "apps/schema.h"
+#include "common/rng.h"
+#include "ttkv/value.h"
+
+namespace ocasta {
+
+// Produces a value from the key's domain that differs from `current`
+// whenever the domain has at least two elements (a user "changing" a
+// setting picks a different value).
+Value NextValue(Rng& rng, const KeySpec& spec, const std::optional<Value>& current);
+
+}  // namespace ocasta

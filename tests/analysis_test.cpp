@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "analysis/ground_truth.h"
+#include "analysis/stats.h"
+#include "apps/catalog.h"
+#include "clustering/engine.h"
+
+namespace ocasta {
+namespace {
+
+// A small schema with one related pair, one fake (coincidence) pair and a
+// single.
+AppSchema MiniSchema() {
+  AppSchema app;
+  app.name = "Mini";
+  app.store = StoreKind::kGconf;
+  SchemaGroup related;
+  related.name = "pair";
+  related.keys = {KeySpec{.path = "/a/x"}, KeySpec{.path = "/a/y"}, KeySpec{.path = "/a/z"}};
+  app.groups.push_back(related);
+  SchemaGroup fake;
+  fake.name = "fake";
+  fake.related = false;
+  fake.keys = {KeySpec{.path = "/f/1"}, KeySpec{.path = "/f/2"}};
+  app.groups.push_back(fake);
+  SchemaGroup single;
+  single.name = "single";
+  single.keys = {KeySpec{.path = "/s/only"}};
+  app.groups.push_back(single);
+  app.readonly_keys.push_back(KeySpec{.path = "/r/static"});
+  return app;
+}
+
+TEST(GroundTruth, RelatedGroupsShareIds) {
+  const GroundTruth truth = GroundTruth::FromSchema(MiniSchema());
+  EXPECT_EQ(truth.GroupOf("/a/x"), truth.GroupOf("/a/y"));
+  EXPECT_EQ(truth.GroupOf("/a/x"), truth.GroupOf("/a/z"));
+  EXPECT_NE(truth.GroupOf("/a/x"), truth.GroupOf("/s/only"));
+  // Coincidence-group keys are NOT related to each other.
+  EXPECT_NE(truth.GroupOf("/f/1"), truth.GroupOf("/f/2"));
+  // Unknown keys never match anything (including each other).
+  EXPECT_NE(truth.GroupOf("/unknown/1"), truth.GroupOf("/unknown/2"));
+}
+
+TEST(GroundTruth, AllRelatedJudgements) {
+  const GroundTruth truth = GroundTruth::FromSchema(MiniSchema());
+  EXPECT_TRUE(truth.AllRelated({"/a/x", "/a/y"}));
+  EXPECT_TRUE(truth.AllRelated({"/a/x", "/a/y", "/a/z"}));
+  EXPECT_FALSE(truth.AllRelated({"/a/x", "/f/1"}));
+  EXPECT_FALSE(truth.AllRelated({"/f/1", "/f/2"}));
+  EXPECT_TRUE(truth.AllRelated({"/s/only"}));  // Singleton trivially related.
+}
+
+TEST(GroundTruth, GroupMembers) {
+  const GroundTruth truth = GroundTruth::FromSchema(MiniSchema());
+  EXPECT_EQ(truth.GroupMembers("/a/x").size(), 3u);
+  EXPECT_TRUE(truth.GroupMembers("/s/only").empty());
+}
+
+TTKV MiniTtkv() {
+  TTKV ttkv;
+  // The related trio always together; the fake pair always together; the
+  // single on its own.
+  for (int burst = 0; burst < 3; ++burst) {
+    const TimeMicros t = Seconds(1000 * burst);
+    ttkv.record_write("/a/x", Value(burst), t);
+    ttkv.record_write("/a/y", Value(burst), t);
+    ttkv.record_write("/a/z", Value(burst), t);
+    ttkv.record_write("/f/1", Value(burst), t + Seconds(100));
+    ttkv.record_write("/f/2", Value(burst), t + Seconds(100));
+    ttkv.record_write("/s/only", Value(burst), t + Seconds(200));
+  }
+  ttkv.record_reads("/r/static", 10);
+  return ttkv;
+}
+
+TEST(EvaluateClusters, CountsCorrectAndOversized) {
+  const AppSchema schema = MiniSchema();
+  const GroundTruth truth = GroundTruth::FromSchema(schema);
+  const TTKV ttkv = MiniTtkv();
+  const ClusterSet clusters = ClusterKeys(ttkv, ClusteringParams{});
+  const AccuracyReport report = EvaluateClusters("Mini", clusters, ttkv, truth);
+
+  EXPECT_EQ(report.keys_accessed, 7u);  // Incl. read-only key.
+  EXPECT_EQ(report.multi_clusters, 2u);
+  EXPECT_EQ(report.correct_multi, 1u);  // The trio; the fake pair is oversized.
+  EXPECT_EQ(report.oversized, 1u);
+  EXPECT_EQ(report.undersized, 0u);
+  EXPECT_DOUBLE_EQ(report.accuracy(), 0.5);
+}
+
+TEST(EvaluateClusters, UndersizedIsCorrectButFlagged) {
+  const AppSchema schema = MiniSchema();
+  const GroundTruth truth = GroundTruth::FromSchema(schema);
+  // x and y together, z separately: the {x,y} cluster is a correct subset.
+  TTKV ttkv;
+  for (int burst = 0; burst < 3; ++burst) {
+    ttkv.record_write("/a/x", Value(burst), Seconds(1000 * burst));
+    ttkv.record_write("/a/y", Value(burst), Seconds(1000 * burst));
+    ttkv.record_write("/a/z", Value(burst), Seconds(1000 * burst + 500));
+  }
+  const ClusterSet clusters = ClusterKeys(ttkv, ClusteringParams{});
+  const AccuracyReport report = EvaluateClusters("Mini", clusters, ttkv, truth);
+  EXPECT_EQ(report.multi_clusters, 1u);
+  EXPECT_EQ(report.correct_multi, 1u);
+  EXPECT_EQ(report.undersized, 1u);
+  ASSERT_EQ(report.judgements.size(), 1u);
+  EXPECT_EQ(report.judgements[0].verdict, ClusterVerdict::kUndersized);
+}
+
+TEST(EvaluateClusters, ExactWhenAllModifiedMembersPresent) {
+  const AppSchema schema = MiniSchema();
+  const GroundTruth truth = GroundTruth::FromSchema(schema);
+  // Only x and y are ever modified; z untouched. {x,y} counts as exact.
+  TTKV ttkv;
+  for (int burst = 0; burst < 2; ++burst) {
+    ttkv.record_write("/a/x", Value(burst), Seconds(1000 * burst));
+    ttkv.record_write("/a/y", Value(burst), Seconds(1000 * burst));
+  }
+  const ClusterSet clusters = ClusterKeys(ttkv, ClusteringParams{});
+  const AccuracyReport report = EvaluateClusters("Mini", clusters, ttkv, truth);
+  ASSERT_EQ(report.judgements.size(), 1u);
+  EXPECT_EQ(report.judgements[0].verdict, ClusterVerdict::kExact);
+}
+
+// ----- Stats helpers ------------------------------------------------------------------
+
+TEST(Stats, MeanStdDevPercentile) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4, 5}, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4, 5}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4, 5}, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 3}, 50), 2.0);  // Interpolated.
+}
+
+}  // namespace
+}  // namespace ocasta

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "clustering/correlation.h"
+#include "clustering/engine.h"
+#include "clustering/hac.h"
+#include "clustering/window.h"
+
+namespace ocasta {
+namespace {
+
+WriteEvent W(double t_seconds, uint32_t key) {
+  return WriteEvent{.timestamp = Seconds(t_seconds), .key_id = key, .is_delete = false};
+}
+
+// ----- Window grouping --------------------------------------------------------------
+
+TEST(GroupWrites, SplitsOnGapsLargerThanWindow) {
+  const auto groups = GroupWrites({W(0, 0), W(0.5, 1), W(1.4, 2), W(3.0, 3)}, Seconds(1));
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].key_ids, (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(groups[1].key_ids, (std::vector<uint32_t>{3}));
+  EXPECT_EQ(groups[0].start, Seconds(0));
+  EXPECT_EQ(groups[0].end, Seconds(1.4));
+}
+
+TEST(GroupWrites, ZeroWindowRequiresIdenticalTimestamps) {
+  const auto groups = GroupWrites({W(1, 0), W(1, 1), W(2, 2)}, 0);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].key_ids, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(GroupWrites, GapMeasuredFromGroupsLastWrite) {
+  // Chained writes 0.9 s apart all merge under a 1 s window even though the
+  // first and last are far apart — the sliding-window semantics.
+  const auto groups = GroupWrites({W(0, 0), W(0.9, 1), W(1.8, 2), W(2.7, 3)}, Seconds(1));
+  EXPECT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].key_ids.size(), 4u);
+}
+
+TEST(GroupWrites, DeduplicatesKeysWithinGroup) {
+  const auto groups = GroupWrites({W(0, 5), W(0.1, 5), W(0.2, 5)}, Seconds(1));
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].key_ids, (std::vector<uint32_t>{5}));
+}
+
+TEST(GroupWrites, EmptyAndErrorCases) {
+  EXPECT_TRUE(GroupWrites({}, Seconds(1)).empty());
+  EXPECT_THROW(GroupWrites({W(2, 0), W(1, 1)}, Seconds(1)), Error);  // Unsorted.
+  EXPECT_THROW(GroupWrites({}, -1), Error);
+}
+
+// ----- Correlation --------------------------------------------------------------------
+
+TEST(Correlation, PaperFormula) {
+  // A written 4 times, B written 2 times, together twice:
+  // corr = 2/4 + 2/2 = 1.5.
+  std::vector<CoModGroup> groups;
+  groups.push_back({0, 0, {0, 1}});
+  groups.push_back({0, 0, {0, 1}});
+  groups.push_back({0, 0, {0}});
+  groups.push_back({0, 0, {0}});
+  const CorrelationResult result = ComputeCorrelations(groups, 2);
+  EXPECT_EQ(result.group_counts[0], 4u);
+  EXPECT_EQ(result.group_counts[1], 2u);
+  EXPECT_DOUBLE_EQ(result.correlation.Get(0, 1, 0), 1.5);
+  EXPECT_DOUBLE_EQ(result.correlation.Get(1, 0, 0), 1.5);  // Symmetric.
+}
+
+TEST(Correlation, AlwaysTogetherIsTwo) {
+  std::vector<CoModGroup> groups{{0, 0, {2, 3}}, {0, 0, {2, 3}}};
+  const CorrelationResult result = ComputeCorrelations(groups, 4);
+  EXPECT_DOUBLE_EQ(result.correlation.Get(2, 3, 0), 2.0);
+}
+
+TEST(Correlation, NeverTogetherIsAbsent) {
+  std::vector<CoModGroup> groups{{0, 0, {0}}, {0, 0, {1}}};
+  const CorrelationResult result = ComputeCorrelations(groups, 2);
+  EXPECT_EQ(result.correlation.size(), 0u);
+  EXPECT_DOUBLE_EQ(result.correlation.Get(0, 1, -1), -1);  // Fallback returned.
+}
+
+TEST(Correlation, BoundedByTwo) {
+  // Random-ish memberships: correlation must stay in (0, 2].
+  std::vector<CoModGroup> groups;
+  for (uint32_t i = 0; i < 30; ++i) {
+    groups.push_back({0, 0, {i % 5, (i * 3 + 1) % 5, (i * 7 + 2) % 5}});
+    auto& ids = groups.back().key_ids;
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  }
+  const CorrelationResult result = ComputeCorrelations(groups, 5);
+  for (const auto& [pair, corr] : result.correlation.raw()) {
+    EXPECT_GT(corr, 0.0);
+    EXPECT_LE(corr, 2.0);
+  }
+}
+
+// ----- HAC ------------------------------------------------------------------------------
+
+PairTable Distances(std::initializer_list<std::tuple<uint32_t, uint32_t, double>> entries) {
+  PairTable table;
+  for (const auto& [a, b, d] : entries) table.Set(a, b, d);
+  return table;
+}
+
+TEST(Hac, MergesWithinThreshold) {
+  const auto clusters = AgglomerativeCluster({0, 1, 2}, Distances({{0, 1, 0.5}, {1, 2, 0.9}}),
+                                             Linkage::kComplete, 0.5);
+  // 0-1 merge at 0.5; 2 stays out (0.9 > threshold; complete linkage to
+  // {0,1} is infinite for 0-2 anyway).
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0], (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(clusters[1], (std::vector<uint32_t>{2}));
+}
+
+TEST(Hac, CompleteLinkageUsesMaxDistance) {
+  // 0-1 close, 1-2 close, 0-2 far: complete linkage refuses the chain.
+  const auto complete = AgglomerativeCluster(
+      {0, 1, 2}, Distances({{0, 1, 0.1}, {1, 2, 0.1}, {0, 2, 10.0}}), Linkage::kComplete, 1.0);
+  EXPECT_EQ(complete.size(), 2u);
+
+  // Single linkage happily chains all three.
+  const auto single = AgglomerativeCluster(
+      {0, 1, 2}, Distances({{0, 1, 0.1}, {1, 2, 0.1}, {0, 2, 10.0}}), Linkage::kSingle, 1.0);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0].size(), 3u);
+}
+
+TEST(Hac, AverageLinkageBetweenSingleAndComplete) {
+  // 0-2 distance 1.5: average of (0.1, 1.5) = 0.8 <= 1.0 so average linkage
+  // merges; complete (1.5) does not.
+  const auto distances = Distances({{0, 1, 0.1}, {1, 2, 0.1}, {0, 2, 1.5}});
+  EXPECT_EQ(AgglomerativeCluster({0, 1, 2}, distances, Linkage::kComplete, 1.0).size(), 2u);
+  EXPECT_EQ(AgglomerativeCluster({0, 1, 2}, distances, Linkage::kAverage, 1.0).size(), 1u);
+}
+
+TEST(Hac, IsolatedPointsStaySingletons) {
+  const auto clusters =
+      AgglomerativeCluster({7, 9, 11}, Distances({{7, 9, 0.2}}), Linkage::kComplete, 1.0);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0], (std::vector<uint32_t>{7, 9}));
+  EXPECT_EQ(clusters[1], (std::vector<uint32_t>{11}));
+}
+
+TEST(Hac, ThresholdZeroNeverMergesPositiveDistances) {
+  const auto clusters =
+      AgglomerativeCluster({0, 1}, Distances({{0, 1, 0.5}}), Linkage::kComplete, 0.0);
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+TEST(Hac, EmptyInput) {
+  EXPECT_TRUE(AgglomerativeCluster({}, PairTable{}, Linkage::kComplete, 1.0).empty());
+}
+
+TEST(Hac, PartitionProperty) {
+  // Every input id appears exactly once in the output, for all linkages.
+  PairTable distances;
+  Rng rng(5);
+  std::vector<uint32_t> ids;
+  for (uint32_t i = 0; i < 40; ++i) ids.push_back(i);
+  for (int e = 0; e < 120; ++e) {
+    const auto a = static_cast<uint32_t>(rng.next_below(40));
+    const auto b = static_cast<uint32_t>(rng.next_below(40));
+    if (a != b) distances.Set(a, b, 0.3 + rng.next_double());
+  }
+  for (Linkage linkage : {Linkage::kComplete, Linkage::kSingle, Linkage::kAverage}) {
+    const auto clusters = AgglomerativeCluster(ids, distances, linkage, 0.8);
+    std::vector<int> seen(40, 0);
+    for (const auto& cluster : clusters) {
+      for (uint32_t id : cluster) ++seen[id];
+    }
+    for (uint32_t i = 0; i < 40; ++i) EXPECT_EQ(seen[i], 1) << "id " << i;
+  }
+}
+
+TEST(Hac, NegativeThresholdThrows) {
+  EXPECT_THROW(AgglomerativeCluster({0}, PairTable{}, Linkage::kComplete, -1.0), Error);
+}
+
+// ----- Engine (end-to-end over a TTKV) -----------------------------------------------
+
+TEST(Engine, ClustersAlwaysTogetherKeys) {
+  TTKV ttkv;
+  // a+b always together (3 bursts); c independent.
+  for (int burst = 0; burst < 3; ++burst) {
+    ttkv.record_write("a", Value(burst), Seconds(100 * burst));
+    ttkv.record_write("b", Value(burst), Seconds(100 * burst));
+  }
+  ttkv.record_write("c", Value(1), Seconds(55));
+  ttkv.record_write("c", Value(2), Seconds(155));
+
+  const ClusterSet clusters = ClusterKeys(ttkv, ClusteringParams{});
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters.multi_cluster_count(), 1u);
+  EXPECT_EQ(clusters.cluster_of(ttkv.key_id("a")), clusters.cluster_of(ttkv.key_id("b")));
+  EXPECT_NE(clusters.cluster_of(ttkv.key_id("a")), clusters.cluster_of(ttkv.key_id("c")));
+}
+
+TEST(Engine, ThresholdTwoRejectsMostlyTogetherPairs) {
+  TTKV ttkv;
+  for (int burst = 0; burst < 4; ++burst) {
+    ttkv.record_write("a", Value(burst), Seconds(100 * burst));
+    if (burst < 3) ttkv.record_write("b", Value(burst), Seconds(100 * burst));
+  }
+  ClusteringParams params;  // Threshold 2.
+  EXPECT_EQ(ClusterKeys(ttkv, params).multi_cluster_count(), 0u);
+  params.threshold_correlation = 1.5;  // corr = 3/4 + 3/3 = 1.75 >= 1.5.
+  EXPECT_EQ(ClusterKeys(ttkv, params).multi_cluster_count(), 1u);
+}
+
+TEST(Engine, ExcludesNeverModifiedKeys) {
+  TTKV ttkv;
+  ttkv.record_write("w", Value(1), 0);
+  ttkv.record_reads("readonly", 100);
+  const ClusterSet clusters = ClusterKeys(ttkv, ClusteringParams{});
+  EXPECT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters.cluster_of(ttkv.key_id("readonly")), ClusterSet::kNoCluster);
+}
+
+TEST(Engine, VersionCountsCountBursts) {
+  TTKV ttkv;
+  for (int burst = 0; burst < 5; ++burst) {
+    ttkv.record_write("a", Value(burst), Seconds(100 * burst));
+    ttkv.record_write("b", Value(burst), Seconds(100 * burst));
+  }
+  const ClusterSet clusters = ClusterKeys(ttkv, ClusteringParams{});
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters.cluster(0).version_count, 5u);
+  EXPECT_EQ(clusters.cluster(0).last_modified, Seconds(400));
+}
+
+TEST(Engine, InvalidThresholdThrows) {
+  TTKV ttkv;
+  ClusteringParams params;
+  params.threshold_correlation = 0;
+  EXPECT_THROW(ClusterKeys(ttkv, params), Error);
+}
+
+// ----- ClusterSet ------------------------------------------------------------------------
+
+TEST(ClusterSet, SizeMetrics) {
+  std::vector<KeyCluster> clusters;
+  clusters.push_back({{0, 1, 2}, 1, 0});
+  clusters.push_back({{3}, 5, 0});
+  clusters.push_back({{4, 5}, 2, 0});
+  const ClusterSet set(std::move(clusters), 6);
+  EXPECT_EQ(set.multi_cluster_count(), 2u);
+  EXPECT_DOUBLE_EQ(set.average_multi_cluster_size(), 2.5);
+  EXPECT_DOUBLE_EQ(set.average_cluster_size(), 2.0);
+}
+
+TEST(ClusterSet, RecoveryOrderLeastModifiedFirst) {
+  std::vector<KeyCluster> clusters;
+  clusters.push_back({{0}, 10, Seconds(1)});          // Noisy: last.
+  clusters.push_back({{1}, 2, Seconds(5)});           // Tie on count...
+  clusters.push_back({{2}, 2, Seconds(9)});           // ...more recent wins.
+  clusters.push_back({{3}, 1, Seconds(2)});           // Least modified: first.
+  const ClusterSet set(std::move(clusters), 4);
+  EXPECT_EQ(set.RecoveryOrder(), (std::vector<size_t>{3, 2, 1, 0}));
+}
+
+TEST(ClusterSet, RejectsDuplicateMembership) {
+  std::vector<KeyCluster> clusters;
+  clusters.push_back({{0, 1}, 1, 0});
+  clusters.push_back({{1}, 1, 0});
+  EXPECT_THROW(ClusterSet(std::move(clusters), 2), Error);
+}
+
+}  // namespace
+}  // namespace ocasta

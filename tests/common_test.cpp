@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "common/time.h"
+
+namespace ocasta {
+namespace {
+
+// ----- strings ----------------------------------------------------------------
+
+TEST(Split, PreservesEmptyFields) {
+  EXPECT_EQ(Split("a//b", '/'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", '/'), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", '/'), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split("/a/", '/'), (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(SplitNonEmpty, DropsEmptyFields) {
+  EXPECT_EQ(SplitNonEmpty("/a//b/", '/'), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(SplitNonEmpty("///", '/').empty());
+}
+
+TEST(Trim, StripsWhitespaceBothEnds) {
+  EXPECT_EQ(Trim("  a b \t\n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  const std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(Join(parts, "/"), "a/b/c");
+  EXPECT_EQ(Split(Join(parts, "/"), '/'), parts);
+  EXPECT_EQ(Join({}, "/"), "");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(StartsWith("HKEY_CURRENT_USER\\x", "HKEY_CURRENT_USER"));
+  EXPECT_FALSE(StartsWith("HK", "HKEY"));
+  EXPECT_TRUE(EndsWith("config.json", ".json"));
+  EXPECT_FALSE(EndsWith("x", ".json"));
+}
+
+TEST(StrFormat, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d/%d %.1f%%", 3, 4, 75.0), "3/4 75.0%");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+class EscapeFieldTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EscapeFieldTest, RoundTrips) {
+  const std::string original = GetParam();
+  const std::string escaped = EscapeField(original, '\t');
+  EXPECT_EQ(escaped.find('\t'), std::string::npos);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(UnescapeField(escaped, '\t'), original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, EscapeFieldTest,
+                         ::testing::Values("", "plain", "with\ttab", "with\nnewline",
+                                           "back\\slash", "\\n literal", "mix\t\n\\\t",
+                                           "trailing\\"));
+
+// ----- time ---------------------------------------------------------------------
+
+TEST(Time, UnitConversions) {
+  EXPECT_EQ(Seconds(1), kMicrosPerSecond);
+  EXPECT_EQ(Minutes(2), 2 * kMicrosPerMinute);
+  EXPECT_EQ(Hours(1), 60 * kMicrosPerMinute);
+  EXPECT_EQ(Days(1), 24 * kMicrosPerHour);
+  EXPECT_EQ(Seconds(0.5), kMicrosPerSecond / 2);
+}
+
+TEST(Time, QuantizeToSecondTruncates) {
+  EXPECT_EQ(QuantizeToSecond(1'999'999), 1'000'000);
+  EXPECT_EQ(QuantizeToSecond(2'000'000), 2'000'000);
+  EXPECT_EQ(QuantizeToSecond(0), 0);
+}
+
+TEST(Time, FormatMinSec) {
+  EXPECT_EQ(FormatMinSec(Seconds(0)), "0:00");
+  EXPECT_EQ(FormatMinSec(Seconds(61)), "1:01");
+  EXPECT_EQ(FormatMinSec(Minutes(90) + Seconds(5)), "90:05");
+  EXPECT_EQ(FormatMinSec(-5), "0:00");
+}
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock clock(100);
+  clock.advance(50);
+  EXPECT_EQ(clock.now(), 150);
+  clock.advance_to(120);  // Backwards: ignored.
+  EXPECT_EQ(clock.now(), 150);
+  clock.advance_to(500);
+  EXPECT_EQ(clock.now(), 500);
+}
+
+// ----- rng ----------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.next_range(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // All values hit.
+}
+
+TEST(Rng, BoolProbabilityRoughlyHolds) {
+  Rng rng(11);
+  int heads = 0;
+  for (int i = 0; i < 20000; ++i) heads += rng.next_bool(0.25);
+  EXPECT_NEAR(static_cast<double>(heads) / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double total = 0;
+  for (int i = 0; i < 20000; ++i) total += rng.next_exponential(3.0);
+  EXPECT_NEAR(total / 20000.0, 3.0, 0.15);
+}
+
+TEST(Rng, WeightedPrefersHeavyIndex) {
+  Rng rng(17);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 9000; ++i) ++counts[rng.next_weighted({1.0, 7.0, 2.0})];
+  EXPECT_GT(counts[1], counts[0]);
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_NEAR(counts[1] / 9000.0, 0.7, 0.05);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  EXPECT_NE(parent.next_u64(), child.next_u64());
+}
+
+// ----- hash ----------------------------------------------------------------------
+
+TEST(Hash, Fnv1aIsStable) {
+  // Known FNV-1a 64 test vector.
+  EXPECT_EQ(Fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Hash, DistinctInputsDistinctHashes) {
+  EXPECT_NE(Fnv1a("screenshot-a"), Fnv1a("screenshot-b"));
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(Hash, HexRendering) {
+  EXPECT_EQ(HashToHex(0), "0000000000000000");
+  EXPECT_EQ(HashToHex(0xdeadbeefULL), "00000000deadbeef");
+}
+
+// ----- table ----------------------------------------------------------------------
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"A", "LongHeader"});
+  table.add_row({"xx", "1"});
+  table.add_row({"y"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("A   LongHeader"), std::string::npos);
+  EXPECT_NE(out.find("xx  1"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(SeriesChart, RendersPoints) {
+  SeriesChart chart("x", {"s1", "s2"});
+  chart.add_point(1.0, {2.0, 3.0});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find("s1"), std::string::npos);
+  EXPECT_NE(out.find("2.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ocasta

@@ -1,0 +1,160 @@
+// End-to-end integration tests: trace generation → TTKV → clustering →
+// error injection → repair, on real Table I machines. These assert the
+// paper's headline behaviours hold on the generated data.
+#include <gtest/gtest.h>
+
+#include "analysis/ground_truth.h"
+#include "apps/catalog.h"
+#include "clustering/engine.h"
+#include "scenarios/harness.h"
+#include "workload/generator.h"
+#include "workload/profiles.h"
+
+namespace ocasta {
+namespace {
+
+const MachineTrace& Linux1() {
+  static const MachineTrace machine = GenerateMachineTrace(ProfileByName("Linux-1"));
+  return machine;
+}
+
+const MachineTrace& Linux2() {
+  static const MachineTrace machine = GenerateMachineTrace(ProfileByName("Linux-2"));
+  return machine;
+}
+
+TEST(Integration, EvolutionClustersContainSignaturePairs) {
+  const TTKV ttkv = BuildAppTtkv(Linux1(), kEvolution);
+  const ClusterSet clusters = ClusterKeys(ttkv, ClusteringParams{});
+  // The paper's Figure 1c pair must cluster together.
+  EXPECT_EQ(clusters.cluster_of(ttkv.key_id("/apps/evolution/mail/display/mark_seen")),
+            clusters.cluster_of(ttkv.key_id("/apps/evolution/mail/display/mark_seen_timeout")));
+  // And the offline pair.
+  EXPECT_EQ(clusters.cluster_of(ttkv.key_id("/apps/evolution/shell/start_offline")),
+            clusters.cluster_of(ttkv.key_id("/apps/evolution/shell/offline_sync")));
+}
+
+TEST(Integration, EvolutionAccuracySuffersFromSectionRewrites) {
+  // Table II: Evolution is the accuracy outlier (38.9% in the paper)
+  // because whole GConf sections are rewritten together.
+  const TTKV ttkv = BuildAppTtkv(Linux1(), kEvolution);
+  const ClusterSet clusters = ClusterKeys(ttkv, ClusteringParams{});
+  const AccuracyReport report = EvaluateClusters(
+      kEvolution, clusters, ttkv, GroundTruth::FromSchema(AppSchemaByName(kEvolution)));
+  EXPECT_GE(report.oversized, 8u);
+  EXPECT_LT(report.accuracy(), 0.6);
+}
+
+TEST(Integration, NoiseClustersSortLast) {
+  const TTKV ttkv = BuildAppTtkv(Linux1(), kEvolution);
+  const ClusterSet clusters = ClusterKeys(ttkv, ClusteringParams{});
+  const auto order = clusters.RecoveryOrder();
+  // The window-geometry churn keys must land in the last quarter of the
+  // search order (the sort exists to avoid trying them early).
+  const uint32_t noise_cluster = clusters.cluster_of(ttkv.key_id("/apps/evolution/mail/ui/width"));
+  size_t position = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == noise_cluster) position = i;
+  }
+  EXPECT_GT(position, order.size() * 3 / 4);
+}
+
+TEST(Integration, Scenario9NeedsClustering) {
+  // Error #9 (Evolution mark_seen pair) is one of the five multi-key
+  // errors: Ocasta fixes it, single-key rollback cannot.
+  const ScenarioRun run = RunScenario(Linux1(), ScenarioById(9), ScenarioRunOptions{});
+  EXPECT_TRUE(run.ocasta.fixed);
+  EXPECT_FALSE(run.noclust.fixed);
+  EXPECT_EQ(run.offending_cluster_size, 2u);
+  EXPECT_EQ(run.ocasta.fixed_state.at("/apps/evolution/mail/display/mark_seen"),
+            SnapshotAt(Linux1(), kEvolution, Linux1().end_time - Days(14))
+                .at("/apps/evolution/mail/display/mark_seen"));
+}
+
+TEST(Integration, Scenario13SingleKeyBothFix) {
+  const ScenarioRun run = RunScenario(Linux2(), ScenarioById(13), ScenarioRunOptions{});
+  EXPECT_TRUE(run.ocasta.fixed);
+  EXPECT_TRUE(run.noclust.fixed);
+}
+
+TEST(Integration, BfsAndDfsAgreeOnFixability) {
+  ScenarioRunOptions bfs;
+  bfs.strategy = SearchStrategy::kBfs;
+  const ScenarioRun dfs_run = RunScenario(Linux1(), ScenarioById(8), ScenarioRunOptions{});
+  const ScenarioRun bfs_run = RunScenario(Linux1(), ScenarioById(8), bfs);
+  EXPECT_TRUE(dfs_run.ocasta.fixed);
+  EXPECT_TRUE(bfs_run.ocasta.fixed);
+  // Identical candidate set, different order.
+  EXPECT_EQ(dfs_run.ocasta.total_trials, bfs_run.ocasta.total_trials);
+}
+
+TEST(Integration, SpuriousWritesSlowBfsMore) {
+  ScenarioRunOptions clean;
+  ScenarioRunOptions noisy;
+  noisy.spurious_writes = 2;
+  ScenarioRunOptions noisy_bfs = noisy;
+  noisy_bfs.strategy = SearchStrategy::kBfs;
+  ScenarioRunOptions clean_bfs = clean;
+  clean_bfs.strategy = SearchStrategy::kBfs;
+
+  const size_t dfs_delta = RunScenario(Linux1(), ScenarioById(8), noisy).ocasta.trials_to_fix -
+                           RunScenario(Linux1(), ScenarioById(8), clean).ocasta.trials_to_fix;
+  const size_t bfs_delta =
+      RunScenario(Linux1(), ScenarioById(8), noisy_bfs).ocasta.trials_to_fix -
+      RunScenario(Linux1(), ScenarioById(8), clean_bfs).ocasta.trials_to_fix;
+  EXPECT_GT(bfs_delta, dfs_delta);  // Figure 2b's claim.
+}
+
+TEST(Integration, TimeToFixWellBelowFullSearch) {
+  // The modification-count sort pays off: finding the offending cluster is
+  // much cheaper than exhausting the history (78% faster in the paper).
+  const ScenarioRun run = RunScenario(Linux1(), ScenarioById(10), ScenarioRunOptions{});
+  ASSERT_TRUE(run.ocasta.fixed);
+  EXPECT_LT(run.ocasta.time_to_fix, run.ocasta.total_time);
+}
+
+TEST(Integration, WiderWindowMergesMoreKeys) {
+  const TTKV ttkv = BuildAppTtkv(Linux1(), kEvolution);
+  ClusteringParams narrow;
+  narrow.window_seconds = 0.0;
+  ClusteringParams wide;
+  wide.window_seconds = 30.0;
+  EXPECT_LE(ClusterKeys(ttkv, narrow).average_multi_cluster_size(),
+            ClusterKeys(ttkv, wide).average_multi_cluster_size());
+}
+
+TEST(Integration, LowerThresholdNeverShrinksClusters) {
+  const TTKV ttkv = BuildAppTtkv(Linux1(), kEvolution);
+  ClusteringParams strict;  // Threshold 2.
+  ClusteringParams loose;
+  loose.threshold_correlation = 1.0;
+  const ClusterSet strict_clusters = ClusterKeys(ttkv, strict);
+  const ClusterSet loose_clusters = ClusterKeys(ttkv, loose);
+  // Lowering the threshold only merges further: every strict cluster is
+  // contained in some loose cluster.
+  for (const KeyCluster& cluster : strict_clusters.clusters()) {
+    const uint32_t target = loose_clusters.cluster_of(cluster.keys.front());
+    for (uint32_t key : cluster.keys) {
+      EXPECT_EQ(loose_clusters.cluster_of(key), target);
+    }
+  }
+}
+
+TEST(Integration, TraceSerializationPreservesClustering) {
+  // Save the trace to text, reload, rebuild the TTKV: identical clusters.
+  const TraceLog reloaded = TraceLog::ParseText(Linux2().trace.ToText());
+  TTKV original;
+  TTKV restored;
+  TtkvRecorder rec_a(original);
+  TtkvRecorder rec_b(restored);
+  for (const AccessEvent& event : Linux2().trace.events()) {
+    if (event.app == kChrome) rec_a.OnAccess(event);
+  }
+  for (const AccessEvent& event : reloaded.events()) {
+    if (event.app == kChrome) rec_b.OnAccess(event);
+  }
+  EXPECT_EQ(original, restored);
+}
+
+}  // namespace
+}  // namespace ocasta

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "parsers/codec.h"
+#include "parsers/config_map.h"
+#include "parsers/ini.h"
+#include "parsers/json.h"
+#include "parsers/plaintext.h"
+#include "parsers/pskv.h"
+#include "parsers/xml.h"
+
+namespace ocasta {
+namespace {
+
+// ----- DiffConfigMaps ------------------------------------------------------------
+
+TEST(DiffConfigMaps, DetectsWritesAndDeletes) {
+  const ConfigMap before{{"a", Value(1)}, {"b", Value(2)}, {"c", Value(3)}};
+  const ConfigMap after{{"a", Value(1)}, {"b", Value(9)}, {"d", Value(4)}};
+  const auto deltas = DiffConfigMaps(before, after);
+  ASSERT_EQ(deltas.size(), 3u);
+  EXPECT_EQ(deltas[0], (ConfigDelta{ConfigDelta::Kind::kWrite, "b", Value(9)}));
+  EXPECT_EQ(deltas[1].kind, ConfigDelta::Kind::kDelete);
+  EXPECT_EQ(deltas[1].key, "c");
+  EXPECT_EQ(deltas[2], (ConfigDelta{ConfigDelta::Kind::kWrite, "d", Value(4)}));
+}
+
+TEST(DiffConfigMaps, IdenticalMapsProduceNothing) {
+  const ConfigMap m{{"a", Value("x")}};
+  EXPECT_TRUE(DiffConfigMaps(m, m).empty());
+  EXPECT_TRUE(DiffConfigMaps({}, {}).empty());
+}
+
+TEST(InferScalar, TypesHeuristically) {
+  EXPECT_EQ(InferScalar("true"), Value(true));
+  EXPECT_EQ(InferScalar("false"), Value(false));
+  EXPECT_EQ(InferScalar("-42"), Value(-42));
+  EXPECT_EQ(InferScalar("+7"), Value(7));
+  EXPECT_EQ(InferScalar("2.5"), Value(2.5));
+  EXPECT_EQ(InferScalar("1e3"), Value(1000.0));
+  EXPECT_EQ(InferScalar("hello"), Value("hello"));
+  EXPECT_EQ(InferScalar(""), Value(""));
+  EXPECT_EQ(InferScalar("12abc"), Value("12abc"));
+}
+
+// ----- INI ------------------------------------------------------------------------
+
+TEST(Ini, ParsesSectionsAndComments) {
+  const std::string text =
+      "; comment\n"
+      "top = 1\n"
+      "[view]\n"
+      "zoom = 1.5\n"
+      "visible = true\n"
+      "# another comment\n"
+      "[editor]\n"
+      "font = Courier New\n";
+  const ConfigMap map = IniCodec().Parse(text);
+  EXPECT_EQ(map.at("top"), Value(1));
+  EXPECT_EQ(map.at("view/zoom"), Value(1.5));
+  EXPECT_EQ(map.at("view/visible"), Value(true));
+  EXPECT_EQ(map.at("editor/font"), Value("Courier New"));
+  EXPECT_EQ(map.size(), 4u);
+}
+
+TEST(Ini, MalformedInputThrows) {
+  EXPECT_THROW(IniCodec().Parse("[unclosed\n"), ParseError);
+  EXPECT_THROW(IniCodec().Parse("no equals sign\n"), ParseError);
+  EXPECT_THROW(IniCodec().Parse("= empty key\n"), ParseError);
+}
+
+// ----- Round-trip property across codecs --------------------------------------------
+
+ConfigMap ScalarSample() {
+  // Single top-level segment so the XML codec (one root element) can
+  // represent it too.
+  return {{"app/alpha/enabled", Value(true)},
+          {"app/alpha/size", Value(42)},
+          {"app/alpha/name", Value("hello world")},
+          {"app/beta/ratio", Value(2.5)},
+          {"app/beta/off", Value(false)}};
+}
+
+class ScalarRoundTripTest : public ::testing::TestWithParam<ConfigFormat> {};
+
+TEST_P(ScalarRoundTripTest, ParseSerializeIdentity) {
+  const FormatCodec& codec = CodecFor(GetParam());
+  const ConfigMap original = ScalarSample();
+  const std::string text = codec.Serialize(original);
+  EXPECT_EQ(codec.Parse(text), original) << "format " << FormatName(GetParam()) << "\n" << text;
+  // Serialize(Parse(Serialize(m))) is stable.
+  EXPECT_EQ(codec.Serialize(codec.Parse(text)), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, ScalarRoundTripTest,
+                         ::testing::Values(ConfigFormat::kIni, ConfigFormat::kPlainText,
+                                           ConfigFormat::kJson, ConfigFormat::kXml,
+                                           ConfigFormat::kPskv),
+                         [](const auto& info) { return FormatName(info.param); });
+
+class ListRoundTripTest : public ::testing::TestWithParam<ConfigFormat> {};
+
+TEST_P(ListRoundTripTest, StringListsSurvive) {
+  const FormatCodec& codec = CodecFor(GetParam());
+  const ConfigMap original{{"mru/items", Value(std::vector<std::string>{"a.doc", "b (draft).doc"})},
+                           {"mru/max", Value(9)}};
+  EXPECT_EQ(codec.Parse(codec.Serialize(original)), original);
+}
+
+// JSON and PSKV support native string arrays (the formats our list-bearing
+// applications use); INI/plain-text apps only store scalars.
+INSTANTIATE_TEST_SUITE_P(ListFormats, ListRoundTripTest,
+                         ::testing::Values(ConfigFormat::kJson, ConfigFormat::kPskv),
+                         [](const auto& info) { return FormatName(info.param); });
+
+// ----- JSON -------------------------------------------------------------------------
+
+TEST(Json, ParsesNestingAndTypes) {
+  const std::string text = R"({
+    "browser": {"show_home_button": true, "zoom": 1.25},
+    "session": {"restore_on_startup": 4, "urls": ["a", "b"]},
+    "tabs": [{"url": "x"}, {"url": "y"}],
+    "profile": null
+  })";
+  const ConfigMap map = JsonCodec().Parse(text);
+  EXPECT_EQ(map.at("browser/show_home_button"), Value(true));
+  EXPECT_EQ(map.at("browser/zoom"), Value(1.25));
+  EXPECT_EQ(map.at("session/restore_on_startup"), Value(4));
+  EXPECT_EQ(map.at("session/urls"), Value(std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(map.at("tabs/0/url"), Value("x"));
+  EXPECT_EQ(map.at("tabs/1/url"), Value("y"));
+  EXPECT_EQ(map.at("profile"), Value());
+}
+
+TEST(Json, StringEscapes) {
+  const ConfigMap map = JsonCodec().Parse(R"({"k": "line\nbreak \"q\" A\t\\"})");
+  EXPECT_EQ(map.at("k"), Value("line\nbreak \"q\" A\t\\"));
+}
+
+TEST(Json, SerializeEscapesControlCharacters) {
+  const ConfigMap map{{"k", Value("a\nb\"c\\d")}};
+  const std::string text = JsonCodec().Serialize(map);
+  EXPECT_EQ(JsonCodec().Parse(text), map);
+}
+
+TEST(Json, MalformedInputThrows) {
+  EXPECT_THROW(JsonCodec().Parse("{"), ParseError);
+  EXPECT_THROW(JsonCodec().Parse(R"({"a": })"), ParseError);
+  EXPECT_THROW(JsonCodec().Parse(R"({"a": 1} trailing)"), ParseError);
+  EXPECT_THROW(JsonCodec().Parse(R"({"a": truish})"), ParseError);
+  EXPECT_THROW(JsonCodec().Parse(R"({"a": "unterminated)"), ParseError);
+}
+
+TEST(Json, ErrorsCarryLineNumbers) {
+  try {
+    JsonCodec().Parse("{\n  \"a\": 1,\n  \"b\": }\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+// ----- XML ---------------------------------------------------------------------------
+
+TEST(Xml, ParsesElementsAttributesAndText) {
+  const std::string text = R"(<?xml version="1.0"?>
+<!-- prefs -->
+<config>
+  <view zoom="1.5"><mode>fit</mode></view>
+  <flags>true</flags>
+  <empty/>
+</config>)";
+  const ConfigMap map = XmlCodec().Parse(text);
+  EXPECT_EQ(map.at("config/view@zoom"), Value(1.5));
+  EXPECT_EQ(map.at("config/view/mode"), Value("fit"));
+  EXPECT_EQ(map.at("config/flags"), Value(true));
+  EXPECT_EQ(map.count("config/empty"), 0u);  // Empty element: no value.
+}
+
+TEST(Xml, RepeatedSiblingsGetIndexes) {
+  const ConfigMap map = XmlCodec().Parse("<l><item>a</item><item>b</item><only>c</only></l>");
+  EXPECT_EQ(map.at("l/item#0"), Value("a"));
+  EXPECT_EQ(map.at("l/item#1"), Value("b"));
+  EXPECT_EQ(map.at("l/only"), Value("c"));
+}
+
+TEST(Xml, EntityDecodingAndEncoding) {
+  const ConfigMap map = XmlCodec().Parse("<c><k>a &amp; b &lt;tag&gt; &quot;q&quot;</k></c>");
+  EXPECT_EQ(map.at("c/k"), Value("a & b <tag> \"q\""));
+  EXPECT_EQ(XmlCodec().Parse(XmlCodec().Serialize(map)), map);
+}
+
+TEST(Xml, MalformedInputThrows) {
+  EXPECT_THROW(XmlCodec().Parse("<a><b></a></b>"), ParseError);
+  EXPECT_THROW(XmlCodec().Parse("<a>"), ParseError);
+  EXPECT_THROW(XmlCodec().Parse("<a>text<b>x</b></a>"), ParseError);  // Mixed content.
+  EXPECT_THROW(XmlCodec().Parse("<a attr=noquotes></a>"), ParseError);
+}
+
+TEST(Xml, SerializeRequiresSingleRoot) {
+  EXPECT_THROW(XmlCodec().Serialize({{"a", Value(1)}, {"b", Value(2)}}), ParseError);
+}
+
+// ----- PSKV -------------------------------------------------------------------------
+
+TEST(Pskv, ParsesAdobeStylePreferences) {
+  const std::string text = R"(% Acrobat preferences
+/ShowMenuBar true def
+/ZoomScale 1.25 def
+/RecentFiles [(a.pdf) (b \(draft\).pdf)] def
+/AVGeneral << /toolbar << /visible false /mode (compact) >> /count 3 >> def
+)";
+  const ConfigMap map = PskvCodec().Parse(text);
+  EXPECT_EQ(map.at("ShowMenuBar"), Value(true));
+  EXPECT_EQ(map.at("ZoomScale"), Value(1.25));
+  EXPECT_EQ(map.at("RecentFiles"), Value(std::vector<std::string>{"a.pdf", "b (draft).pdf"}));
+  EXPECT_EQ(map.at("AVGeneral/toolbar/visible"), Value(false));
+  EXPECT_EQ(map.at("AVGeneral/toolbar/mode"), Value("compact"));
+  EXPECT_EQ(map.at("AVGeneral/count"), Value(3));
+}
+
+TEST(Pskv, MalformedInputThrows) {
+  EXPECT_THROW(PskvCodec().Parse("/key (unterminated"), ParseError);
+  EXPECT_THROW(PskvCodec().Parse("/key notanumber def"), ParseError);
+  EXPECT_THROW(PskvCodec().Parse("/key 1 wrongword"), ParseError);
+  EXPECT_THROW(PskvCodec().Parse("/key [1 2] def"), ParseError);  // Non-string array.
+}
+
+TEST(Pskv, StringEscapesRoundTrip) {
+  const ConfigMap map{{"k", Value("parens () and \\ backslash")}};
+  EXPECT_EQ(PskvCodec().Parse(PskvCodec().Serialize(map)), map);
+}
+
+// ----- Codec registry -----------------------------------------------------------------
+
+TEST(CodecRegistry, ReturnsMatchingFormat) {
+  for (ConfigFormat format : {ConfigFormat::kIni, ConfigFormat::kPlainText, ConfigFormat::kJson,
+                              ConfigFormat::kXml, ConfigFormat::kPskv}) {
+    EXPECT_EQ(CodecFor(format).format(), format);
+  }
+}
+
+}  // namespace
+}  // namespace ocasta

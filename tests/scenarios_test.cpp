@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/catalog.h"
+#include "common/error.h"
+#include "scenarios/harness.h"
+#include "scenarios/scenarios.h"
+#include "workload/profiles.h"
+
+namespace ocasta {
+namespace {
+
+TEST(Scenarios, SixteenInTable3Order) {
+  const auto scenarios = AllScenarios();
+  ASSERT_EQ(scenarios.size(), 16u);
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_EQ(scenarios[i].id, static_cast<int>(i) + 1);
+  }
+  EXPECT_THROW(ScenarioById(0), Error);
+  EXPECT_THROW(ScenarioById(17), Error);
+  EXPECT_EQ(ScenarioById(15).app, kAcrobat);
+}
+
+TEST(Scenarios, MachinesHostTheirApplications) {
+  for (const ErrorScenario& scenario : AllScenarios()) {
+    const MachineProfile profile = ProfileByName(scenario.machine);
+    bool hosted = false;
+    for (const std::string& app : profile.apps) hosted |= (app == scenario.app);
+    EXPECT_TRUE(hosted) << "case " << scenario.id << ": " << scenario.machine
+                        << " does not host " << scenario.app;
+  }
+}
+
+TEST(Scenarios, CorruptedKeysExistInSchemas) {
+  for (const ErrorScenario& scenario : AllScenarios()) {
+    const AppSchema schema = AppSchemaByName(scenario.app);
+    for (const CorruptionSpec& corruption : scenario.corruptions) {
+      EXPECT_NE(schema.FindKey(corruption.key), nullptr)
+          << "case " << scenario.id << ": unknown key " << corruption.key;
+    }
+    for (const std::string& key : scenario.required_keys) {
+      const KeySpec* spec = schema.FindKey(key);
+      ASSERT_NE(spec, nullptr) << "case " << scenario.id << ": unknown required key " << key;
+      // The paper requires visually observable symptoms.
+      EXPECT_TRUE(spec->ui_visible) << "case " << scenario.id << ": " << key;
+    }
+  }
+}
+
+TEST(Scenarios, MultiKeyErrorsAreTheNoClustFailures) {
+  // The paper: NoClust fails exactly the errors needing more than one
+  // setting rolled back together: #2, #4, #6, #7, #9.
+  const std::set<int> multi_key{2, 4, 6, 7, 9};
+  for (const ErrorScenario& scenario : AllScenarios()) {
+    EXPECT_EQ(scenario.required_keys.size() > 1, multi_key.count(scenario.id) == 1)
+        << "case " << scenario.id;
+  }
+}
+
+TEST(Scenarios, TuningMatchesPaper) {
+  // Errors #2 and #4 needed parameter tuning in the paper.
+  for (const ErrorScenario& scenario : AllScenarios()) {
+    EXPECT_EQ(scenario.needs_tuning, scenario.id == 2 || scenario.id == 4)
+        << "case " << scenario.id;
+  }
+  EXPECT_DOUBLE_EQ(ScenarioById(2).tuned_threshold, 1.0);
+  EXPECT_DOUBLE_EQ(ScenarioById(2).tuned_window_seconds, 30.0);
+  EXPECT_DOUBLE_EQ(ScenarioById(4).tuned_threshold, 1.0);
+}
+
+TEST(Scenarios, LoggerColumnMatchesStoreKind) {
+  for (const ErrorScenario& scenario : AllScenarios()) {
+    const AppSchema schema = AppSchemaByName(scenario.app);
+    const char* expected = StoreKindName(schema.store);
+    EXPECT_EQ(scenario.logger, expected) << "case " << scenario.id;
+  }
+}
+
+// ----- Harness pieces -----------------------------------------------------------------
+
+TEST(ResolveCorruptions, FlipUsesGoodValue) {
+  const ConfigMap good{{"flag", Value(true)}};
+  const auto corruptions =
+      ResolveCorruptions({{.key = "flag", .kind = CorruptionSpec::Kind::kFlipBool}}, good);
+  ASSERT_EQ(corruptions.size(), 1u);
+  EXPECT_EQ(corruptions[0].bad_value, Value(false));
+}
+
+TEST(ResolveCorruptions, DeleteOfAbsentKeyDropped) {
+  const ConfigMap good{{"present", Value(1)}};
+  const auto corruptions = ResolveCorruptions(
+      {{.key = "present", .kind = CorruptionSpec::Kind::kDelete},
+       {.key = "absent", .kind = CorruptionSpec::Kind::kDelete}},
+      good);
+  ASSERT_EQ(corruptions.size(), 1u);
+  EXPECT_EQ(corruptions[0].key, "present");
+  EXPECT_FALSE(corruptions[0].bad_value.has_value());
+}
+
+TEST(ResolveCorruptions, SetValueEqualToGoodThrows) {
+  const ConfigMap good{{"k", Value("same")}};
+  EXPECT_THROW(ResolveCorruptions({{.key = "k",
+                                    .kind = CorruptionSpec::Kind::kSetValue,
+                                    .value = Value("same")}},
+                                  good),
+               Error);
+}
+
+TEST(ResolveCorruptions, AllDroppedThrows) {
+  EXPECT_THROW(ResolveCorruptions({{.key = "absent", .kind = CorruptionSpec::Kind::kDelete}},
+                                  ConfigMap{}),
+               Error);
+}
+
+TEST(OracleRequirements, AbsentGoodKeysRenderUnset) {
+  ErrorScenario scenario;
+  scenario.required_keys = {"present", "absent"};
+  const ConfigMap good{{"present", Value(5)}};
+  const auto requirements = OracleRequirements(scenario, good);
+  ASSERT_EQ(requirements.size(), 2u);
+  EXPECT_EQ(requirements[0].good_display, "5");
+  EXPECT_EQ(requirements[1].good_display, "<unset>");
+}
+
+}  // namespace
+}  // namespace ocasta

@@ -1,0 +1,233 @@
+// ocasta_cli — command-line driver over trace files and TTKV snapshots.
+//
+// Subcommands:
+//   record <machine> <trace.tsv>          simulate a Table I machine, save its trace
+//   stats <trace.tsv>                     per-application trace statistics
+//   cluster <trace.tsv> <app> [options]   cluster one application's keys
+//       --threshold <corr>   correlation threshold (default 2.0)
+//       --window <seconds>   co-modification window (default 1.0)
+//       --linkage <complete|single|average>
+//   snapshot <trace.tsv> <app> <out.ttkv> build + persist the app's TTKV
+//   history <snapshot.ttkv> <key>         dump a key's version history
+//   repair --scenario <1-16> [options]    run a Table III error end-to-end
+//       --strategy <dfs|bfs>  --spurious <n>  --tuned
+//   list                                  machines, applications, scenarios
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/ground_truth.h"
+#include "apps/catalog.h"
+#include "clustering/engine.h"
+#include "common/error.h"
+#include "common/io.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "logger/recorder.h"
+#include "scenarios/harness.h"
+#include "workload/generator.h"
+#include "workload/profiles.h"
+
+using namespace ocasta;
+
+namespace {
+
+// Minimal flag parsing: positional args plus "--name value" pairs.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  static Args Parse(int argc, char** argv, int from) {
+    Args args;
+    for (int i = from; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        const std::string name = argv[i] + 2;
+        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+          args.flags[name] = argv[++i];
+        } else {
+          args.flags[name] = "true";
+        }
+      } else {
+        args.positional.push_back(argv[i]);
+      }
+    }
+    return args;
+  }
+
+  std::string Get(const std::string& name, const std::string& fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+  bool Has(const std::string& name) const { return flags.count(name) != 0; }
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ocasta_cli <record|stats|cluster|snapshot|history|repair|list> ...\n"
+               "run 'ocasta_cli list' to see machines, applications and scenarios\n");
+  return 2;
+}
+
+TTKV TtkvFromTraceFile(const std::string& path, const std::string& app) {
+  const TraceLog trace = TraceLog::ParseText(ReadFile(path));
+  TTKV ttkv;
+  TtkvRecorder recorder(ttkv);
+  for (const AccessEvent& event : trace.events()) {
+    if (event.app == app) recorder.OnAccess(event);
+  }
+  if (ttkv.num_keys() == 0) throw Error("trace has no events for application: " + app);
+  return ttkv;
+}
+
+int CmdRecord(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  const MachineTrace machine = GenerateMachineTrace(ProfileByName(args.positional[0]));
+  WriteFile(args.positional[1], machine.trace.ToText());
+  const TraceStats stats = machine.trace.Stats();
+  std::printf("wrote %s: %zu events, %llu writes over %.0f days, apps:",
+              args.positional[1].c_str(), machine.trace.size(),
+              static_cast<unsigned long long>(stats.writes), stats.days);
+  for (const std::string& app : machine.trace.AppNames()) std::printf(" [%s]", app.c_str());
+  std::printf("\n");
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  const TraceLog trace = TraceLog::ParseText(ReadFile(args.positional[0]));
+  TextTable table({"Application", "Days", "Writes", "Deletes", "#Keys"});
+  for (const std::string& app : trace.AppNames()) {
+    const TraceStats stats = trace.FilterByApp(app).Stats();
+    table.add_row({app, StrFormat("%.1f", stats.days), std::to_string(stats.writes),
+                   std::to_string(stats.deletes), std::to_string(stats.num_keys)});
+  }
+  const TraceStats total = trace.Stats();
+  table.add_row({"(machine)", StrFormat("%.1f", total.days), std::to_string(total.writes),
+                 std::to_string(total.deletes), std::to_string(total.num_keys)});
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+Linkage LinkageFromName(const std::string& name) {
+  if (name == "complete") return Linkage::kComplete;
+  if (name == "single") return Linkage::kSingle;
+  if (name == "average") return Linkage::kAverage;
+  throw Error("unknown linkage: " + name);
+}
+
+int CmdCluster(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  const TTKV ttkv = TtkvFromTraceFile(args.positional[0], args.positional[1]);
+  ClusteringParams params;
+  params.threshold_correlation = args.GetDouble("threshold", 2.0);
+  params.window_seconds = args.GetDouble("window", 1.0);
+  params.linkage = LinkageFromName(args.Get("linkage", "complete"));
+  const ClusterSet clusters = ClusterKeys(ttkv, params);
+  std::printf("%s: %zu keys, %zu clusters (%zu multi-key, avg size %.1f)\n\n",
+              args.positional[1].c_str(), ttkv.num_keys(), clusters.size(),
+              clusters.multi_cluster_count(), clusters.average_multi_cluster_size());
+  for (const KeyCluster& cluster : clusters.clusters()) {
+    if (cluster.size() < 2) continue;
+    std::printf("cluster (%zu keys, %llu modifications):\n", cluster.size(),
+                static_cast<unsigned long long>(cluster.version_count));
+    for (uint32_t key : cluster.keys) std::printf("    %s\n", ttkv.key_name(key).c_str());
+  }
+  return 0;
+}
+
+int CmdSnapshot(const Args& args) {
+  if (args.positional.size() != 3) return Usage();
+  const TTKV ttkv = TtkvFromTraceFile(args.positional[0], args.positional[1]);
+  const std::string bytes = ttkv.Serialize();
+  WriteFile(args.positional[2], bytes);
+  std::printf("wrote %s: %zu keys, %zu bytes\n", args.positional[2].c_str(), ttkv.num_keys(),
+              bytes.size());
+  return 0;
+}
+
+int CmdHistory(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  const TTKV ttkv = TTKV::Deserialize(ReadFile(args.positional[0]));
+  const VersionedRecord& record = ttkv.record(args.positional[1]);
+  std::printf("%s: %llu writes, %llu deletions, %llu reads\n", record.key.c_str(),
+              static_cast<unsigned long long>(record.write_count),
+              static_cast<unsigned long long>(record.delete_count),
+              static_cast<unsigned long long>(record.read_count));
+  for (const Version& version : record.versions) {
+    std::printf("  [%s] %s\n", FormatTimestamp(version.timestamp).c_str(),
+                version.is_delete ? "<deleted>" : version.value.ToDisplay().c_str());
+  }
+  return 0;
+}
+
+int CmdRepair(const Args& args) {
+  const int id = static_cast<int>(args.GetDouble("scenario", 0));
+  if (id < 1 || id > 16) return Usage();
+  const ErrorScenario scenario = ScenarioById(id);
+  std::printf("case %d: %s (%s on %s)\n", id, scenario.description.c_str(),
+              scenario.app.c_str(), scenario.machine.c_str());
+  const MachineTrace machine = GenerateMachineTrace(ProfileByName(scenario.machine));
+  ScenarioRunOptions options;
+  options.strategy = args.Get("strategy", "dfs") == "bfs" ? SearchStrategy::kBfs
+                                                          : SearchStrategy::kDfs;
+  options.spurious_writes = static_cast<int>(args.GetDouble("spurious", 0));
+  options.use_tuned_params = args.Has("tuned");
+  const ScenarioRun run = RunScenario(machine, scenario, options);
+  std::printf("Ocasta:  %s — %zu trials (%s), %zu screenshots, cluster size %zu\n",
+              run.ocasta.fixed ? "FIXED" : "not fixed", run.ocasta.trials_to_fix,
+              FormatMinSec(run.ocasta.time_to_fix).c_str(), run.ocasta.unique_screenshots,
+              run.offending_cluster_size);
+  std::printf("NoClust: %s\n", run.noclust.fixed ? "FIXED" : "not fixed");
+  if (!run.ocasta.fixed && scenario.needs_tuning && !options.use_tuned_params) {
+    std::printf("hint: this error needs tuning in the paper too — retry with --tuned\n");
+  }
+  return run.ocasta.fixed ? 0 : 1;
+}
+
+int CmdList() {
+  std::printf("machines (Table I):\n");
+  for (const MachineProfile& profile : Table1Profiles()) {
+    std::printf("  %-16s %3d days, apps:", profile.name.c_str(), profile.days);
+    for (const std::string& app : profile.apps) std::printf(" [%s]", app.c_str());
+    std::printf("\n");
+  }
+  std::printf("\napplications (Table II):\n");
+  for (const AppSchema& app : AllAppSchemas()) {
+    std::printf("  %-22s %-8s %4zu keys\n", app.name.c_str(), StoreKindName(app.store),
+                app.total_keys());
+  }
+  std::printf("\nscenarios (Table III):\n");
+  for (const ErrorScenario& scenario : AllScenarios()) {
+    std::printf("  %2d. [%s] %s\n", scenario.id, scenario.app.c_str(),
+                scenario.description.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args = Args::Parse(argc, argv, 2);
+  try {
+    if (command == "record") return CmdRecord(args);
+    if (command == "stats") return CmdStats(args);
+    if (command == "cluster") return CmdCluster(args);
+    if (command == "snapshot") return CmdSnapshot(args);
+    if (command == "history") return CmdHistory(args);
+    if (command == "repair") return CmdRepair(args);
+    if (command == "list") return CmdList();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}
