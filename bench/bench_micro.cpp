@@ -1,7 +1,20 @@
 // Microbenchmarks (google-benchmark): throughput of the substrate pieces —
 // TTKV recording and time-travel queries, the five config-file codecs, the
 // co-modification window pass, correlation computation, and HAC.
+//
+// `bench_micro --clustering-json [path]` skips the google-benchmark suite and
+// instead times the clustering hot path (correlation + HAC) on a synthetic
+// 12k-key / 500k-write trace against a faithful copy of the pre-refactor
+// pipeline, verifying both produce identical clusters, and writes a
+// machine-readable baseline (default BENCH_clustering.json) so subsequent
+// performance work has a recorded trajectory.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <limits>
 
 #include "clustering/correlation.h"
 #include "clustering/engine.h"
@@ -153,7 +166,305 @@ void BM_CorrelationAndHac(benchmark::State& state) {
 }
 BENCHMARK(BM_CorrelationAndHac)->Arg(100)->Arg(750);
 
+// ----- Clustering baseline (--clustering-json) -------------------------------
+
+// Faithful copy of the pre-refactor clustering hot path: single-threaded
+// correlation counting, plus HAC with the per-id O(n²) connected/isolated
+// probe and the O(n²) dense-matrix fill. Kept verbatim so the recorded
+// speedup measures exactly the refactor, not incidental drift.
+namespace seed_baseline {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+CorrelationResult ComputeCorrelations(const std::vector<CoModGroup>& groups, size_t num_keys) {
+  CorrelationResult result;
+  result.group_counts.assign(num_keys, 0);
+  std::unordered_map<uint64_t, uint64_t> pair_counts;
+  for (const CoModGroup& group : groups) {
+    for (size_t i = 0; i < group.key_ids.size(); ++i) {
+      ++result.group_counts[group.key_ids[i]];
+      for (size_t j = i + 1; j < group.key_ids.size(); ++j) {
+        ++pair_counts[PairTable::PairKey(group.key_ids[i], group.key_ids[j])];
+      }
+    }
+  }
+  for (const auto& [pair_key, count] : pair_counts) {
+    const auto a = static_cast<uint32_t>(pair_key >> 32);
+    const auto b = static_cast<uint32_t>(pair_key & 0xffffffffu);
+    const double corr =
+        static_cast<double>(count) / static_cast<double>(result.group_counts[a]) +
+        static_cast<double>(count) / static_cast<double>(result.group_counts[b]);
+    result.correlation.Set(a, b, corr);
+  }
+  return result;
+}
+
+class Matrix {
+ public:
+  explicit Matrix(size_t n) : n_(n), data_(n * n, kInf) {}
+  double& at(size_t i, size_t j) { return data_[i * n_ + j]; }
+  double at(size_t i, size_t j) const { return data_[i * n_ + j]; }
+
+ private:
+  size_t n_;
+  std::vector<double> data_;
+};
+
+std::vector<std::vector<uint32_t>> AgglomerativeCluster(const std::vector<uint32_t>& ids,
+                                                        const PairTable& distances,
+                                                        Linkage linkage, double max_distance) {
+  std::vector<uint32_t> connected;
+  std::vector<uint32_t> isolated;
+  for (uint32_t id : ids) {
+    bool has_neighbor = false;
+    for (uint32_t other : ids) {
+      if (other != id && distances.Get(id, other, kInf) < kInf) {
+        has_neighbor = true;
+        break;
+      }
+    }
+    (has_neighbor ? connected : isolated).push_back(id);
+  }
+
+  const size_t n = connected.size();
+  std::vector<std::vector<uint32_t>> members(n);
+  std::vector<size_t> sizes(n, 1);
+  std::vector<bool> alive(n, true);
+  Matrix dist(n);
+  for (size_t i = 0; i < n; ++i) {
+    members[i] = {connected[i]};
+    for (size_t j = i + 1; j < n; ++j) {
+      const double d = distances.Get(connected[i], connected[j], kInf);
+      dist.at(i, j) = d;
+      dist.at(j, i) = d;
+    }
+  }
+
+  std::vector<size_t> nn(n, 0);
+  std::vector<double> nn_dist(n, kInf);
+  auto recompute_nn = [&](size_t i) {
+    nn_dist[i] = kInf;
+    nn[i] = i;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i || !alive[j]) continue;
+      if (dist.at(i, j) < nn_dist[i]) {
+        nn_dist[i] = dist.at(i, j);
+        nn[i] = j;
+      }
+    }
+  };
+  for (size_t i = 0; i < n; ++i) recompute_nn(i);
+
+  size_t alive_count = n;
+  while (alive_count > 1) {
+    size_t best = n;
+    double best_dist = kInf;
+    for (size_t i = 0; i < n; ++i) {
+      if (alive[i] && nn_dist[i] < best_dist) {
+        best_dist = nn_dist[i];
+        best = i;
+      }
+    }
+    if (best == n || best_dist > max_distance) break;
+
+    const size_t a = best;
+    const size_t b = nn[best];
+    for (size_t c = 0; c < n; ++c) {
+      if (!alive[c] || c == a || c == b) continue;
+      const double dac = dist.at(a, c);
+      const double dbc = dist.at(b, c);
+      double merged = kInf;
+      switch (linkage) {
+        case Linkage::kComplete: merged = std::max(dac, dbc); break;
+        case Linkage::kSingle: merged = std::min(dac, dbc); break;
+        case Linkage::kAverage: {
+          const double wa = static_cast<double>(sizes[a]);
+          const double wb = static_cast<double>(sizes[b]);
+          merged = (wa * dac + wb * dbc) / (wa + wb);
+          break;
+        }
+      }
+      dist.at(a, c) = merged;
+      dist.at(c, a) = merged;
+    }
+    members[a].insert(members[a].end(), members[b].begin(), members[b].end());
+    members[b].clear();
+    sizes[a] += sizes[b];
+    alive[b] = false;
+    --alive_count;
+
+    recompute_nn(a);
+    for (size_t i = 0; i < n; ++i) {
+      if (!alive[i] || i == a) continue;
+      if (nn[i] == a || nn[i] == b) {
+        recompute_nn(i);
+      } else if (dist.at(i, a) < nn_dist[i]) {
+        nn[i] = a;
+        nn_dist[i] = dist.at(i, a);
+      }
+    }
+  }
+
+  std::vector<std::vector<uint32_t>> result;
+  for (size_t i = 0; i < n; ++i) {
+    if (alive[i]) {
+      std::sort(members[i].begin(), members[i].end());
+      result.push_back(std::move(members[i]));
+    }
+  }
+  for (uint32_t id : isolated) result.push_back({id});
+  std::sort(result.begin(), result.end(),
+            [](const auto& x, const auto& y) { return x.front() < y.front(); });
+  return result;
+}
+
+}  // namespace seed_baseline
+
+// 12k keys, 500k writes: 500 always-together triples over the first 1500
+// keys interleaved with solo writes across the remaining 10500, so the
+// distance table is sparse (the realistic shape — most desktop keys are
+// never co-modified) while the id space is large enough to expose the old
+// per-id O(n²) probe.
+std::vector<WriteEvent> SyntheticClusteredWrites(size_t num_keys, size_t num_bursts) {
+  const size_t num_triples = 500;
+  const size_t solo_keys = num_keys - 3 * num_triples;
+  std::vector<WriteEvent> events;
+  events.reserve(num_bursts * 2);
+  TimeMicros t = 0;
+  for (size_t g = 0; g < num_bursts; ++g) {
+    t += Seconds(10);
+    if (g % 2 == 0) {
+      const uint32_t base = static_cast<uint32_t>((g / 2) % num_triples) * 3;
+      for (uint32_t i = 0; i < 3; ++i) {
+        events.push_back({t + static_cast<TimeMicros>(i) * Seconds(0.05), base + i, false});
+      }
+    } else {
+      const auto key = static_cast<uint32_t>(3 * num_triples + (g / 2) % solo_keys);
+      events.push_back({t, key, false});
+    }
+  }
+  return events;
+}
+
+struct PipelineRun {
+  std::vector<std::vector<uint32_t>> clusters;
+  double millis = 0;
+};
+
+template <typename Fn>
+PipelineRun TimePipeline(Fn&& run) {
+  const auto start = std::chrono::steady_clock::now();
+  PipelineRun result;
+  result.clusters = run();
+  const auto stop = std::chrono::steady_clock::now();
+  result.millis = std::chrono::duration<double, std::milli>(stop - start).count();
+  return result;
+}
+
+std::vector<uint32_t> ActiveIds(const CorrelationResult& corr, size_t num_keys) {
+  std::vector<uint32_t> ids;
+  for (uint32_t i = 0; i < num_keys; ++i) {
+    if (corr.group_counts[i] > 0) ids.push_back(i);
+  }
+  return ids;
+}
+
+PairTable DistancesFrom(const CorrelationResult& corr) {
+  PairTable distances;
+  for (const auto& [pair, value] : corr.correlation.raw()) {
+    const auto [a, b] = PairTable::DecodePair(pair);
+    distances.Set(a, b, 1.0 / value);
+  }
+  return distances;
+}
+
+int RunClusteringBaseline(const char* json_path) {
+  const size_t num_keys = 12000;
+  const size_t num_bursts = 250000;
+  const auto events = SyntheticClusteredWrites(num_keys, num_bursts);
+  const auto groups = GroupWrites(events, Seconds(1));
+  const double max_distance = 0.5;  // Threshold correlation 2.
+
+  std::fprintf(stderr, "[clustering] %zu keys, %zu writes, %zu groups\n", num_keys,
+               events.size(), groups.size());
+
+  const PipelineRun baseline = TimePipeline([&] {
+    const CorrelationResult corr = seed_baseline::ComputeCorrelations(groups, num_keys);
+    return seed_baseline::AgglomerativeCluster(ActiveIds(corr, num_keys), DistancesFrom(corr),
+                                               Linkage::kComplete, max_distance);
+  });
+  std::fprintf(stderr, "[clustering] baseline: %.1f ms\n", baseline.millis);
+
+  // Best of three for the optimized path; the baseline's O(n²) probe makes
+  // repeating it pointless.
+  const int optimized_threads = 4;
+  PipelineRun optimized;
+  optimized.millis = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    PipelineRun run = TimePipeline([&] {
+      const CorrelationResult corr = ComputeCorrelations(groups, num_keys, optimized_threads);
+      return AgglomerativeCluster(ActiveIds(corr, num_keys), DistancesFrom(corr),
+                                  Linkage::kComplete, max_distance);
+    });
+    if (run.millis < optimized.millis) optimized.millis = run.millis;
+    optimized.clusters = std::move(run.clusters);
+  }
+  std::fprintf(stderr, "[clustering] optimized (%d threads): %.1f ms\n", optimized_threads,
+               optimized.millis);
+
+  // The refactor must not change results: multi-threaded correlations and
+  // the adjacency-pass HAC produce byte-identical clusters.
+  const CorrelationResult single_corr = ComputeCorrelations(groups, num_keys, 1);
+  const auto single_clusters = AgglomerativeCluster(
+      ActiveIds(single_corr, num_keys), DistancesFrom(single_corr), Linkage::kComplete,
+      max_distance);
+  const bool identical =
+      optimized.clusters == baseline.clusters && single_clusters == baseline.clusters;
+  const double speedup = baseline.millis / optimized.millis;
+  std::fprintf(stderr, "[clustering] speedup %.1fx, identical=%s\n", speedup,
+               identical ? "true" : "false");
+
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"benchmark\": \"clustering_pipeline\",\n"
+               "  \"trace\": {\"num_keys\": %zu, \"num_writes\": %zu, \"num_groups\": %zu},\n"
+               "  \"linkage\": \"complete\",\n"
+               "  \"threshold_correlation\": 2.0,\n"
+               "  \"baseline_ms\": %.3f,\n"
+               "  \"optimized_ms\": %.3f,\n"
+               "  \"optimized_threads\": %d,\n"
+               "  \"speedup\": %.2f,\n"
+               "  \"identical_clusters\": %s,\n"
+               "  \"num_clusters\": %zu\n"
+               "}\n",
+               num_keys, events.size(), groups.size(), baseline.millis, optimized.millis,
+               optimized_threads, speedup, identical ? "true" : "false",
+               optimized.clusters.size());
+  std::fclose(out);
+  std::fprintf(stderr, "[clustering] wrote %s\n", json_path);
+  // Exit status gates only on correctness; the speedup is recorded as data
+  // so a loaded or throttled machine cannot flake the run.
+  return identical ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace ocasta
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--clustering-json") == 0) {
+      return ocasta::RunClusteringBaseline(i + 1 < argc ? argv[i + 1]
+                                                        : "BENCH_clustering.json");
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

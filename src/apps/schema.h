@@ -23,7 +23,7 @@ struct KeySpec {
   ValueType type = ValueType::kString;
   int64_t int_min = 0;
   int64_t int_max = 100;
-  std::vector<std::string> choices;  // String domain (also list-item pool).
+  std::vector<std::string> choices = {};  // String domain (also list-item pool).
   bool ui_visible = false;           // Appears in the rendered "screenshot".
 
   // Initial (installation-default) value.

@@ -1,26 +1,81 @@
 #include "clustering/correlation.h"
 
+#include <algorithm>
+#include <thread>
+
 namespace ocasta {
 
-CorrelationResult ComputeCorrelations(const std::vector<CoModGroup>& groups, size_t num_keys) {
+namespace {
+
+// Per-thread accumulation shard: group-membership counts and pair
+// co-occurrence counts for a contiguous slice of the group list.
+struct CountShard {
+  std::vector<uint64_t> group_counts;
+  std::unordered_map<uint64_t, uint64_t> pair_counts;
+};
+
+void CountSlice(const std::vector<CoModGroup>& groups, size_t begin, size_t end,
+                CountShard& shard) {
+  for (size_t g = begin; g < end; ++g) {
+    const std::vector<uint32_t>& key_ids = groups[g].key_ids;
+    for (size_t i = 0; i < key_ids.size(); ++i) {
+      ++shard.group_counts[key_ids[i]];
+      for (size_t j = i + 1; j < key_ids.size(); ++j) {
+        ++shard.pair_counts[PairTable::PairKey(key_ids[i], key_ids[j])];
+      }
+    }
+  }
+}
+
+size_t EffectiveThreads(int num_threads) {
+  if (num_threads > 0) return static_cast<size_t>(num_threads);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+CorrelationResult ComputeCorrelations(const std::vector<CoModGroup>& groups, size_t num_keys,
+                                      int num_threads) {
   CorrelationResult result;
   result.group_counts.assign(num_keys, 0);
 
-  // Count group memberships and pair co-occurrences. Group key lists are
-  // distinct and sorted, so each pair is counted once per group.
+  // Shard the group list across threads; each thread counts its slice into
+  // private storage and the shards are summed once at the end, so the merged
+  // counts — and therefore the correlations — are independent of the thread
+  // count. Small inputs stay single-threaded: below this many groups the
+  // spawn/merge cost exceeds the counting work.
+  constexpr size_t kMinGroupsPerThread = 2048;
+  size_t threads = EffectiveThreads(num_threads);
+  threads = std::min(threads, groups.size() / kMinGroupsPerThread + 1);
+
   std::unordered_map<uint64_t, uint64_t> pair_counts;
-  for (const CoModGroup& group : groups) {
-    for (size_t i = 0; i < group.key_ids.size(); ++i) {
-      ++result.group_counts[group.key_ids[i]];
-      for (size_t j = i + 1; j < group.key_ids.size(); ++j) {
-        ++pair_counts[PairTable::PairKey(group.key_ids[i], group.key_ids[j])];
-      }
+  if (threads <= 1) {
+    CountShard shard{.group_counts = std::move(result.group_counts), .pair_counts = {}};
+    CountSlice(groups, 0, groups.size(), shard);
+    result.group_counts = std::move(shard.group_counts);
+    pair_counts = std::move(shard.pair_counts);
+  } else {
+    std::vector<CountShard> shards(threads);
+    for (CountShard& shard : shards) shard.group_counts.assign(num_keys, 0);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const size_t stride = (groups.size() + threads - 1) / threads;
+    for (size_t t = 0; t < threads; ++t) {
+      const size_t begin = t * stride;
+      const size_t end = std::min(groups.size(), begin + stride);
+      workers.emplace_back(CountSlice, std::cref(groups), begin, end, std::ref(shards[t]));
+    }
+    for (std::thread& worker : workers) worker.join();
+
+    for (CountShard& shard : shards) {
+      for (size_t id = 0; id < num_keys; ++id) result.group_counts[id] += shard.group_counts[id];
+      for (const auto& [pair_key, count] : shard.pair_counts) pair_counts[pair_key] += count;
     }
   }
 
   for (const auto& [pair_key, count] : pair_counts) {
-    const auto a = static_cast<uint32_t>(pair_key >> 32);
-    const auto b = static_cast<uint32_t>(pair_key & 0xffffffffu);
+    const auto [a, b] = PairTable::DecodePair(pair_key);
     const double corr =
         static_cast<double>(count) / static_cast<double>(result.group_counts[a]) +
         static_cast<double>(count) / static_cast<double>(result.group_counts[b]);

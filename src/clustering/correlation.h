@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "clustering/window.h"
@@ -23,6 +24,11 @@ class PairTable {
     const uint32_t lo = a < b ? a : b;
     const uint32_t hi = a < b ? b : a;
     return (static_cast<uint64_t>(lo) << 32) | hi;
+  }
+
+  // Inverse of PairKey: the (lo, hi) ids packed into a raw() map key.
+  static std::pair<uint32_t, uint32_t> DecodePair(uint64_t pair_key) {
+    return {static_cast<uint32_t>(pair_key >> 32), static_cast<uint32_t>(pair_key & 0xffffffffu)};
   }
 
   double Get(uint32_t a, uint32_t b, double fallback) const {
@@ -49,7 +55,11 @@ struct CorrelationResult {
 };
 
 // Computes per-key group counts and all non-zero pairwise correlations.
-// `num_keys` bounds the key-id space (TTKV::num_keys()).
-CorrelationResult ComputeCorrelations(const std::vector<CoModGroup>& groups, size_t num_keys);
+// `num_keys` bounds the key-id space (TTKV::num_keys()). The group list is
+// counted in per-thread shards merged at the end, so the result is identical
+// for every `num_threads` (1 = single-threaded, 0 = hardware concurrency);
+// small inputs always run single-threaded.
+CorrelationResult ComputeCorrelations(const std::vector<CoModGroup>& groups, size_t num_keys,
+                                      int num_threads = 1);
 
 }  // namespace ocasta

@@ -8,13 +8,41 @@
 
 namespace ocasta {
 
+void AnnotateClusters(const std::vector<CoModGroup>& groups,
+                      const std::vector<uint32_t>& cluster_index,
+                      std::vector<KeyCluster>& clusters) {
+  for (const CoModGroup& group : groups) {
+    // A group bumps each distinct cluster it touches once.
+    uint32_t last_bumped = ClusterSet::kNoCluster;
+    std::vector<uint32_t> bumped;
+    for (uint32_t key : group.key_ids) {
+      const uint32_t c = key < cluster_index.size() ? cluster_index[key] : ClusterSet::kNoCluster;
+      if (c == ClusterSet::kNoCluster) continue;  // Key not in any cluster.
+      if (c == last_bumped) continue;
+      bool seen = false;
+      for (uint32_t prev : bumped) {
+        if (prev == c) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        ++clusters[c].version_count;
+        if (group.end > clusters[c].last_modified) clusters[c].last_modified = group.end;
+        bumped.push_back(c);
+      }
+      last_bumped = c;
+    }
+  }
+}
+
 ClusterSet ClusterKeys(const TTKV& ttkv, const ClusteringParams& params) {
   if (params.threshold_correlation <= 0) {
     throw Error("threshold_correlation must be positive");
   }
   const auto events = ttkv.write_events();
   const auto groups = GroupWrites(events, Seconds(params.window_seconds));
-  const auto corr = ComputeCorrelations(groups, ttkv.num_keys());
+  const auto corr = ComputeCorrelations(groups, ttkv.num_keys(), params.num_threads);
 
   // Points: keys modified at least once.
   std::vector<uint32_t> ids;
@@ -25,8 +53,7 @@ ClusterSet ClusterKeys(const TTKV& ttkv, const ClusteringParams& params) {
   // Distance = 1 / correlation; pairs never co-modified stay infinite.
   PairTable distances;
   for (const auto& [pair_key, correlation] : corr.correlation.raw()) {
-    const auto a = static_cast<uint32_t>(pair_key >> 32);
-    const auto b = static_cast<uint32_t>(pair_key & 0xffffffffu);
+    const auto [a, b] = PairTable::DecodePair(pair_key);
     distances.Set(a, b, 1.0 / correlation);
   }
 
@@ -44,28 +71,7 @@ ClusterSet ClusterKeys(const TTKV& ttkv, const ClusteringParams& params) {
     cluster.keys = std::move(keys);
     clusters.push_back(std::move(cluster));
   }
-  for (const CoModGroup& group : groups) {
-    // A group bumps each distinct cluster it touches once.
-    uint32_t last_bumped = ClusterSet::kNoCluster;
-    std::vector<uint32_t> bumped;
-    for (uint32_t key : group.key_ids) {
-      const uint32_t c = cluster_index[key];
-      if (c == last_bumped) continue;
-      bool seen = false;
-      for (uint32_t prev : bumped) {
-        if (prev == c) {
-          seen = true;
-          break;
-        }
-      }
-      if (!seen) {
-        ++clusters[c].version_count;
-        if (group.end > clusters[c].last_modified) clusters[c].last_modified = group.end;
-        bumped.push_back(c);
-      }
-      last_bumped = c;
-    }
-  }
+  AnnotateClusters(groups, cluster_index, clusters);
 
   return ClusterSet(std::move(clusters), ttkv.num_keys());
 }

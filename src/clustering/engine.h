@@ -4,6 +4,7 @@
 
 #include "clustering/cluster_set.h"
 #include "clustering/hac.h"
+#include "clustering/window.h"
 #include "ttkv/ttkv.h"
 
 namespace ocasta {
@@ -21,7 +22,21 @@ struct ClusteringParams {
   double threshold_correlation = 2.0;
 
   Linkage linkage = Linkage::kComplete;
+
+  // Worker threads for the correlation pass (the pipeline's hot loop over
+  // every co-modification group). 1 = single-threaded, 0 = hardware
+  // concurrency. The clusters produced are identical for every value.
+  int num_threads = 1;
 };
+
+// Annotates `clusters` in place with version counts (co-modification groups
+// touching any member, counted once per group) and last-modified times.
+// `cluster_index` maps key id → index into `clusters`; keys mapped to
+// ClusterSet::kNoCluster are ignored. Exposed separately from ClusterKeys
+// for testing.
+void AnnotateClusters(const std::vector<CoModGroup>& groups,
+                      const std::vector<uint32_t>& cluster_index,
+                      std::vector<KeyCluster>& clusters);
 
 // Clusters every modified key in the TTKV. Unmodified keys (reads only) are
 // excluded entirely — they cannot cause a configuration error the user

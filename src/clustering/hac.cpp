@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/error.h"
 
@@ -40,18 +42,23 @@ std::vector<std::vector<uint32_t>> AgglomerativeCluster(const std::vector<uint32
                                                         Linkage linkage, double max_distance) {
   if (max_distance < 0) throw Error("clustering threshold must be non-negative");
 
-  // Split points into connected (some finite distance) and isolated.
+  // Split points into connected (some finite distance to another point) and
+  // isolated, with one pass over the sparse distance table rather than the
+  // former per-id probe of every other id — O(E) instead of O(n²) hash
+  // lookups, where E is the number of finite pairs.
+  const std::unordered_set<uint32_t> id_set(ids.begin(), ids.end());
+  std::unordered_set<uint32_t> with_neighbor;
+  for (const auto& [pair_key, d] : distances.raw()) {
+    if (!(d < kInf)) continue;
+    const auto [a, b] = PairTable::DecodePair(pair_key);
+    if (a == b || id_set.count(a) == 0 || id_set.count(b) == 0) continue;
+    with_neighbor.insert(a);
+    with_neighbor.insert(b);
+  }
   std::vector<uint32_t> connected;
   std::vector<uint32_t> isolated;
   for (uint32_t id : ids) {
-    bool has_neighbor = false;
-    for (uint32_t other : ids) {
-      if (other != id && distances.Get(id, other, kInf) < kInf) {
-        has_neighbor = true;
-        break;
-      }
-    }
-    (has_neighbor ? connected : isolated).push_back(id);
+    (with_neighbor.count(id) != 0 ? connected : isolated).push_back(id);
   }
 
   const size_t n = connected.size();
@@ -59,13 +66,23 @@ std::vector<std::vector<uint32_t>> AgglomerativeCluster(const std::vector<uint32
   std::vector<size_t> sizes(n, 1);
   std::vector<bool> alive(n, true);
   Matrix dist(n);
+  std::unordered_map<uint32_t, size_t> row_of;  // Connected id → matrix row.
+  row_of.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     members[i] = {connected[i]};
-    for (size_t j = i + 1; j < n; ++j) {
-      const double d = distances.Get(connected[i], connected[j], kInf);
-      dist.at(i, j) = d;
-      dist.at(j, i) = d;
-    }
+    row_of.emplace(connected[i], i);
+  }
+  // Fill the dense matrix from the sparse table directly (again O(E) instead
+  // of probing all n² entries).
+  for (const auto& [pair_key, d] : distances.raw()) {
+    if (!(d < kInf)) continue;
+    const auto [a, b] = PairTable::DecodePair(pair_key);
+    const auto ia = row_of.find(a);
+    if (ia == row_of.end()) continue;
+    const auto ib = row_of.find(b);
+    if (ib == row_of.end()) continue;
+    dist.at(ia->second, ib->second) = d;
+    dist.at(ib->second, ia->second) = d;
   }
 
   // Nearest-neighbor cache: nn[i] = the alive j minimizing dist(i, j).

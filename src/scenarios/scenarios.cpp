@@ -8,14 +8,16 @@ namespace ocasta {
 namespace {
 
 CorruptionSpec Flip(std::string key) {
-  return CorruptionSpec{.key = std::move(key), .kind = CorruptionSpec::Kind::kFlipBool};
+  return CorruptionSpec{
+      .key = std::move(key), .kind = CorruptionSpec::Kind::kFlipBool, .value = Value()};
 }
 CorruptionSpec Set(std::string key, Value value) {
   return CorruptionSpec{
       .key = std::move(key), .kind = CorruptionSpec::Kind::kSetValue, .value = std::move(value)};
 }
 CorruptionSpec Del(std::string key) {
-  return CorruptionSpec{.key = std::move(key), .kind = CorruptionSpec::Kind::kDelete};
+  return CorruptionSpec{
+      .key = std::move(key), .kind = CorruptionSpec::Kind::kDelete, .value = Value()};
 }
 
 const char* kOutlookPrefs = "HKEY_CURRENT_USER\\Software\\Microsoft\\Office\\12.0\\Outlook\\Preferences";

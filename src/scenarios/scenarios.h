@@ -25,7 +25,7 @@ struct CorruptionSpec {
   };
   std::string key;
   Kind kind = Kind::kFlipBool;
-  Value value;  // For kSetValue.
+  Value value = {};  // For kSetValue.
 };
 
 struct ErrorScenario {

@@ -34,7 +34,7 @@ size_t VersionedRecord::EstimatedBytes() const {
 VersionedRecord& TTKV::mutable_record(const std::string& key) {
   auto [it, inserted] = index_.try_emplace(key, static_cast<uint32_t>(records_.size()));
   if (inserted) {
-    records_.push_back(VersionedRecord{.key = key});
+    records_.push_back(VersionedRecord{.key = key, .versions = {}});
     names_.push_back(key);
   }
   return records_[it->second];
@@ -49,6 +49,12 @@ void TTKV::record_write(const std::string& key, Value value, TimeMicros t) {
   ++rec.write_count;
 }
 
+// GCC 12's -Wmaybe-uninitialized misfires on the monostate variant inside
+// the tombstone Value temporary at -O2 (GCC PR105562).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 void TTKV::record_delete(const std::string& key, TimeMicros t) {
   VersionedRecord& rec = mutable_record(key);
   if (!rec.versions.empty() && rec.versions.back().timestamp > t) {
@@ -57,6 +63,9 @@ void TTKV::record_delete(const std::string& key, TimeMicros t) {
   rec.versions.push_back(Version{.timestamp = t, .value = Value(), .is_delete = true});
   ++rec.delete_count;
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 void TTKV::record_read(const std::string& key, TimeMicros /*t*/) {
   ++mutable_record(key).read_count;

@@ -4,6 +4,14 @@
 
 namespace ocasta {
 
+// GCC 12's -Wmaybe-uninitialized misfires on the variant inside
+// std::optional<Value> at -O2 (GCC PR105562); `current` is checked before
+// every dereference below.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 Value NextValue(Rng& rng, const KeySpec& spec, const std::optional<Value>& current) {
   switch (spec.type) {
     case ValueType::kBool: {
@@ -45,5 +53,9 @@ Value NextValue(Rng& rng, const KeySpec& spec, const std::optional<Value>& curre
   }
   return Value();
 }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace ocasta

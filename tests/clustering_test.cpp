@@ -54,6 +54,36 @@ TEST(GroupWrites, EmptyAndErrorCases) {
   EXPECT_THROW(GroupWrites({}, -1), Error);
 }
 
+TEST(GroupWrites, GapExactlyEqualToWindowStaysInOneGroup) {
+  // The boundary is inclusive: a new group starts only when the gap exceeds
+  // the window, so a gap of exactly one window keeps the burst together.
+  const auto groups = GroupWrites({W(0, 0), W(1.0, 1)}, Seconds(1));
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].key_ids, (std::vector<uint32_t>{0, 1}));
+
+  // One microsecond past the window starts a new group.
+  const WriteEvent just_past{.timestamp = Seconds(1) + 1, .key_id = 1, .is_delete = false};
+  const auto split = GroupWrites({W(0, 0), just_past}, Seconds(1));
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_EQ(split[0].key_ids, (std::vector<uint32_t>{0}));
+  EXPECT_EQ(split[1].key_ids, (std::vector<uint32_t>{1}));
+}
+
+TEST(GroupWrites, ZeroWindowSplitsOnAnyGap) {
+  // With a zero-width window even a one-microsecond gap separates groups.
+  const WriteEvent one_later{.timestamp = Seconds(1) + 1, .key_id = 1, .is_delete = false};
+  const auto groups = GroupWrites({W(1, 0), one_later}, 0);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].key_ids, (std::vector<uint32_t>{0}));
+  EXPECT_EQ(groups[1].key_ids, (std::vector<uint32_t>{1}));
+}
+
+TEST(GroupWrites, UnsortedInputWithinWindowThrows) {
+  // Out-of-order events are rejected even when both would land in the same
+  // group — the window pass relies on the TTKV's time-ordered event stream.
+  EXPECT_THROW(GroupWrites({W(1, 0), W(0.5, 1)}, Seconds(1)), Error);
+}
+
 // ----- Correlation --------------------------------------------------------------------
 
 TEST(Correlation, PaperFormula) {
@@ -232,6 +262,58 @@ TEST(Engine, VersionCountsCountBursts) {
   ASSERT_EQ(clusters.size(), 1u);
   EXPECT_EQ(clusters.cluster(0).version_count, 5u);
   EXPECT_EQ(clusters.cluster(0).last_modified, Seconds(400));
+}
+
+TEST(Engine, AnnotateClustersIgnoresUnclusteredKeys) {
+  // Regression: a key mapped to kNoCluster (or out of the index's range) must
+  // be skipped, not used to index clusters[] out of bounds.
+  std::vector<CoModGroup> groups;
+  groups.push_back({Seconds(1), Seconds(2), {0, 1, 2}});
+  groups.push_back({Seconds(3), Seconds(4), {1, 7}});  // 7 beyond the index.
+  const std::vector<uint32_t> cluster_index = {0, ClusterSet::kNoCluster, 0};
+  std::vector<KeyCluster> clusters(1);
+  clusters[0].keys = {0, 2};
+  AnnotateClusters(groups, cluster_index, clusters);
+  EXPECT_EQ(clusters[0].version_count, 1u);  // Only the first group touches it.
+  EXPECT_EQ(clusters[0].last_modified, Seconds(2));
+}
+
+TEST(Engine, MultiThreadedClusteringMatchesSingleThreaded) {
+  // A randomised trace large enough to engage the threaded correlation pass:
+  // correlated triples mixed with solo writes across 400 keys.
+  Rng rng(11);
+  TTKV ttkv;
+  TimeMicros t = 0;
+  for (int burst = 0; burst < 5000; ++burst) {
+    t += Seconds(10);
+    const uint32_t base = static_cast<uint32_t>(rng.next_below(400));
+    if (burst % 3 == 0) {
+      for (uint32_t i = 0; i < 3; ++i) {
+        ttkv.record_write("k" + std::to_string((base + i) % 400), Value(burst),
+                          t + static_cast<TimeMicros>(i) * Seconds(0.1));
+      }
+    } else {
+      ttkv.record_write("k" + std::to_string(base), Value(burst), t);
+    }
+  }
+
+  for (const Linkage linkage : {Linkage::kComplete, Linkage::kSingle, Linkage::kAverage}) {
+    ClusteringParams params;
+    params.threshold_correlation = 1.0;
+    params.linkage = linkage;
+    params.num_threads = 1;
+    const ClusterSet single = ClusterKeys(ttkv, params);
+    for (const int threads : {4, 0}) {  // 0 = hardware concurrency.
+      params.num_threads = threads;
+      const ClusterSet multi = ClusterKeys(ttkv, params);
+      ASSERT_EQ(single.size(), multi.size()) << LinkageName(linkage);
+      for (size_t i = 0; i < single.size(); ++i) {
+        EXPECT_EQ(single.cluster(i).keys, multi.cluster(i).keys);
+        EXPECT_EQ(single.cluster(i).version_count, multi.cluster(i).version_count);
+        EXPECT_EQ(single.cluster(i).last_modified, multi.cluster(i).last_modified);
+      }
+    }
+  }
 }
 
 TEST(Engine, InvalidThresholdThrows) {

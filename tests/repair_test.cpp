@@ -343,7 +343,9 @@ TEST(UserModel, StudyErrorsMatchPaperCases) {
   EXPECT_EQ(errors[3].error_id, 16);
   // Case 16 is the one most participants fixed by hand.
   for (const auto& error : errors) {
-    if (error.error_id != 16) EXPECT_LT(error.manual_fix_prob, errors[3].manual_fix_prob);
+    if (error.error_id != 16) {
+      EXPECT_LT(error.manual_fix_prob, errors[3].manual_fix_prob);
+    }
   }
 }
 

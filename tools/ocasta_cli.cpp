@@ -7,6 +7,7 @@
 //       --threshold <corr>   correlation threshold (default 2.0)
 //       --window <seconds>   co-modification window (default 1.0)
 //       --linkage <complete|single|average>
+//       --threads <n>        correlation worker threads (0 = all cores)
 //   snapshot <trace.tsv> <app> <out.ttkv> build + persist the app's TTKV
 //   history <snapshot.ttkv> <key>         dump a key's version history
 //   repair --scenario <1-16> [options]    run a Table III error end-to-end
@@ -129,6 +130,8 @@ int CmdCluster(const Args& args) {
   params.threshold_correlation = args.GetDouble("threshold", 2.0);
   params.window_seconds = args.GetDouble("window", 1.0);
   params.linkage = LinkageFromName(args.Get("linkage", "complete"));
+  params.num_threads = static_cast<int>(args.GetDouble("threads", 1));
+  if (params.num_threads < 0) throw Error("--threads must be >= 0 (0 = all cores)");
   const ClusterSet clusters = ClusterKeys(ttkv, params);
   std::printf("%s: %zu keys, %zu clusters (%zu multi-key, avg size %.1f)\n\n",
               args.positional[1].c_str(), ttkv.num_keys(), clusters.size(),
