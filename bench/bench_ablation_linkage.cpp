@@ -11,12 +11,14 @@
 #include "analysis/ground_truth.h"
 #include "apps/catalog.h"
 #include "bench_util.h"
+#include "common/flags.h"
 #include "clustering/engine.h"
 
 using namespace ocasta;
 using namespace ocasta::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  if (ocasta::Args::Parse(argc, argv).Has("quiet")) ocasta::bench::SetQuiet(true);
   TextTable table(
       {"Threshold", "Linkage", "Multi clusters", "Correct", "Oversized", "Overall accuracy"});
   // At threshold 2, "always modified together" is transitive, so all three

@@ -14,6 +14,7 @@
 
 #include "analysis/stats.h"
 #include "bench_util.h"
+#include "common/flags.h"
 #include "scenarios/harness.h"
 
 using namespace ocasta;
@@ -58,7 +59,8 @@ double AvgTotalTrials(SearchStrategy strategy, double bound_days) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (ocasta::Args::Parse(argc, argv).Has("quiet")) ocasta::bench::SetQuiet(true);
   {
     SeriesChart chart("InjectionDays", {"BFS", "DFS"});
     for (double days : {1.0, 2.0, 4.0, 7.0, 10.0, 14.0}) {

@@ -9,6 +9,7 @@
 
 #include "apps/catalog.h"
 #include "bench_util.h"
+#include "common/flags.h"
 #include "clustering/engine.h"
 
 using namespace ocasta;
@@ -38,7 +39,8 @@ double PooledAverageSize(const ClusteringParams& params) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (ocasta::Args::Parse(argc, argv).Has("quiet")) ocasta::bench::SetQuiet(true);
   {
     SeriesChart chart("WindowSeconds", {"AvgClusterSize"});
     for (double window : {0.0, 1.0, 2.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0}) {

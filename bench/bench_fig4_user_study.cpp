@@ -11,13 +11,15 @@
 
 #include "analysis/stats.h"
 #include "bench_util.h"
+#include "common/flags.h"
 #include "repair/user_model.h"
 #include "scenarios/harness.h"
 
 using namespace ocasta;
 using namespace ocasta::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  if (ocasta::Args::Parse(argc, argv).Has("quiet")) ocasta::bench::SetQuiet(true);
   const std::vector<ParticipantProfile> participants = StudyParticipants(/*seed=*/2014);
   Rng rng(41);
 

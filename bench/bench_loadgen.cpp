@@ -1,0 +1,227 @@
+// bench_loadgen — multi-client load generator for the ocastad daemon.
+//
+// Boots a loopback TtkvServer in-process, spins up N client threads (one
+// TcpClient connection each, like the DECS/DiStore load-generator shape:
+// clients + warmup + measure phases), and drives a configurable PUT/GET mix
+// over a keyspace chosen uniformly or Zipf-skewed. After a warmup phase,
+// the measure phase records per-op latency; the run emits BENCH_server.json
+// with ops/sec and p50/p99 latency per op kind.
+//
+//   bench_loadgen --clients 8 --keys 2000 --put-ratio 0.5 --dist zipf
+//                 --theta 0.99 --shards 8 --warmup-ms 300 --measure-ms 1500
+//                 --batch 1 --value-bytes 64 --json BENCH_server.json [--quiet]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "client/ttkv_client.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "server/server.h"
+#include "workload/keydist.h"
+
+namespace ocasta {
+namespace {
+
+struct LoadGenConfig {
+  size_t clients = 8;
+  size_t keys = 2000;
+  double put_ratio = 0.5;
+  KeyDist dist = KeyDist::kZipf;
+  double theta = 0.99;
+  size_t shards = 8;
+  int warmup_ms = 300;
+  int measure_ms = 1500;
+  size_t batch = 1;        // Pipelining depth (1 = strict request/reply).
+  size_t value_bytes = 64;
+  uint64_t seed = 42;
+  std::string json_path = "BENCH_server.json";
+};
+
+enum class Phase { kWarmup, kMeasure, kDone };
+
+struct ClientResult {
+  std::vector<double> put_us;  // Per-op latency, measure phase only.
+  std::vector<double> get_us;
+};
+
+void RunClient(const LoadGenConfig& cfg, uint16_t port, size_t id,
+               const KeyChooser& chooser, const std::atomic<Phase>& phase,
+               ClientResult* result) {
+  TtkvClient client("127.0.0.1", port);
+  client.Connect();
+  Rng rng(cfg.seed * 1000003 + id);
+  const std::string payload(cfg.value_bytes, 'x');
+  std::vector<std::pair<std::string, Value>> put_batch;
+  std::vector<std::string> get_batch;
+
+  const auto key_name = [&](size_t index) { return "bench/key" + std::to_string(index); };
+
+  while (phase.load(std::memory_order_acquire) != Phase::kDone) {
+    const bool measuring = phase.load(std::memory_order_acquire) == Phase::kMeasure;
+    const bool is_put = rng.next_bool(cfg.put_ratio);
+    const auto start = std::chrono::steady_clock::now();
+    if (is_put) {
+      if (cfg.batch == 1) {
+        client.Put(key_name(chooser.Next(rng)), Value(payload));
+      } else {
+        put_batch.clear();
+        for (size_t i = 0; i < cfg.batch; ++i) {
+          put_batch.emplace_back(key_name(chooser.Next(rng)), Value(payload));
+        }
+        client.PutBatch(put_batch);
+      }
+    } else {
+      if (cfg.batch == 1) {
+        client.Get(key_name(chooser.Next(rng)));
+      } else {
+        get_batch.clear();
+        for (size_t i = 0; i < cfg.batch; ++i) get_batch.push_back(key_name(chooser.Next(rng)));
+        client.GetBatch(get_batch);
+      }
+    }
+    if (measuring) {
+      const double us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - start)
+                            .count() /
+                        static_cast<double>(cfg.batch);
+      (is_put ? result->put_us : result->get_us).push_back(us);
+    }
+  }
+}
+
+double Percentile(std::vector<double>& sorted_in_place, double p) {
+  if (sorted_in_place.empty()) return 0.0;
+  std::sort(sorted_in_place.begin(), sorted_in_place.end());
+  const size_t index = std::min(
+      sorted_in_place.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_in_place.size() - 1) / 100.0 + 0.5));
+  return sorted_in_place[index];
+}
+
+int RunLoadGen(const LoadGenConfig& cfg) {
+  TtkvServer server(ServerOptions{.port = 0,
+                                  .num_shards = cfg.shards,
+                                  .cluster_window_seconds = 1.0});
+  server.Start();
+  if (!bench::QuietFlag()) {
+    std::fprintf(stderr,
+                 "[loadgen] ocastad on 127.0.0.1:%u — %zu clients, %zu keys (%s), "
+                 "put-ratio %.2f, batch %zu\n",
+                 static_cast<unsigned>(server.port()), cfg.clients, cfg.keys,
+                 KeyDistName(cfg.dist), cfg.put_ratio, cfg.batch);
+  }
+
+  const KeyChooser chooser(cfg.dist, cfg.keys, cfg.theta);
+  std::atomic<Phase> phase{Phase::kWarmup};
+  std::vector<ClientResult> results(cfg.clients);
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.clients);
+  for (size_t i = 0; i < cfg.clients; ++i) {
+    threads.emplace_back(RunClient, std::cref(cfg), server.port(), i, std::cref(chooser),
+                         std::cref(phase), &results[i]);
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.warmup_ms));
+  const auto measure_start = std::chrono::steady_clock::now();
+  phase.store(Phase::kMeasure, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.measure_ms));
+  phase.store(Phase::kDone, std::memory_order_release);
+  const double measure_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - measure_start).count();
+  for (std::thread& t : threads) t.join();
+
+  const EngineStats stats = server.engine().Stats();
+  server.Stop();
+
+  std::vector<double> put_us;
+  std::vector<double> get_us;
+  for (ClientResult& result : results) {
+    put_us.insert(put_us.end(), result.put_us.begin(), result.put_us.end());
+    get_us.insert(get_us.end(), result.get_us.begin(), result.get_us.end());
+  }
+  const uint64_t put_ops = static_cast<uint64_t>(put_us.size()) * cfg.batch;
+  const uint64_t get_ops = static_cast<uint64_t>(get_us.size()) * cfg.batch;
+  const uint64_t total_ops = put_ops + get_ops;
+  const double ops_per_sec = static_cast<double>(total_ops) / measure_seconds;
+
+  const double put_p50 = Percentile(put_us, 50), put_p99 = Percentile(put_us, 99);
+  const double get_p50 = Percentile(get_us, 50), get_p99 = Percentile(get_us, 99);
+
+  if (!bench::QuietFlag()) {
+    std::fprintf(stderr,
+                 "[loadgen] measured %.2fs: %llu ops (%.0f ops/sec) — put p50 %.1fus p99 "
+                 "%.1fus, get p50 %.1fus p99 %.1fus; daemon saw %llu puts / %llu gets\n",
+                 measure_seconds, static_cast<unsigned long long>(total_ops), ops_per_sec,
+                 put_p50, put_p99, get_p50, get_p99,
+                 static_cast<unsigned long long>(stats.puts),
+                 static_cast<unsigned long long>(stats.gets));
+  }
+
+  std::FILE* out = std::fopen(cfg.json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", cfg.json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"benchmark\": \"server_loadgen\",\n"
+               "  \"config\": {\"clients\": %zu, \"keys\": %zu, \"put_ratio\": %.2f,\n"
+               "             \"dist\": \"%s\", \"theta\": %.2f, \"shards\": %zu,\n"
+               "             \"warmup_ms\": %d, \"measure_ms\": %d, \"batch\": %zu,\n"
+               "             \"value_bytes\": %zu},\n"
+               "  \"measure_seconds\": %.3f,\n"
+               "  \"total_ops\": %llu,\n"
+               "  \"ops_per_sec\": %.1f,\n"
+               "  \"put\": {\"ops\": %llu, \"p50_us\": %.1f, \"p99_us\": %.1f},\n"
+               "  \"get\": {\"ops\": %llu, \"p50_us\": %.1f, \"p99_us\": %.1f},\n"
+               "  \"server\": {\"num_keys\": %zu, \"writes\": %llu, \"reads\": %llu}\n"
+               "}\n",
+               cfg.clients, cfg.keys, cfg.put_ratio, KeyDistName(cfg.dist), cfg.theta,
+               cfg.shards, cfg.warmup_ms, cfg.measure_ms, cfg.batch, cfg.value_bytes,
+               measure_seconds, static_cast<unsigned long long>(total_ops), ops_per_sec,
+               static_cast<unsigned long long>(put_ops), put_p50, put_p99,
+               static_cast<unsigned long long>(get_ops), get_p50, get_p99,
+               stats.ttkv.num_keys, static_cast<unsigned long long>(stats.ttkv.writes),
+               static_cast<unsigned long long>(stats.ttkv.reads));
+  std::fclose(out);
+  if (!bench::QuietFlag()) std::fprintf(stderr, "[loadgen] wrote %s\n", cfg.json_path.c_str());
+  // Gate on the run having actually measured traffic, not on throughput:
+  // a loaded CI machine must not flake the bench.
+  return total_ops > 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ocasta
+
+int main(int argc, char** argv) {
+  using namespace ocasta;
+  const Args args = Args::Parse(argc, argv);
+  if (args.Has("quiet")) bench::SetQuiet(true);
+  LoadGenConfig cfg;
+  cfg.clients = static_cast<size_t>(args.GetInt("clients", 8));
+  cfg.keys = static_cast<size_t>(args.GetInt("keys", 2000));
+  cfg.put_ratio = args.GetDouble("put-ratio", 0.5);
+  cfg.theta = args.GetDouble("theta", 0.99);
+  cfg.shards = static_cast<size_t>(args.GetInt("shards", 8));
+  cfg.warmup_ms = static_cast<int>(args.GetInt("warmup-ms", 300));
+  cfg.measure_ms = static_cast<int>(args.GetInt("measure-ms", 1500));
+  cfg.batch = static_cast<size_t>(args.GetInt("batch", 1));
+  cfg.value_bytes = static_cast<size_t>(args.GetInt("value-bytes", 64));
+  cfg.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  cfg.json_path = args.Get("json", "BENCH_server.json");
+  try {
+    cfg.dist = KeyDistByName(args.Get("dist", "zipf"));
+    if (cfg.clients == 0 || cfg.batch == 0) throw Error("--clients and --batch must be >= 1");
+    if (cfg.put_ratio < 0.0 || cfg.put_ratio > 1.0) throw Error("--put-ratio must be in [0,1]");
+    return RunLoadGen(cfg);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

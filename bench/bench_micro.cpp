@@ -16,10 +16,12 @@
 #include <cstring>
 #include <limits>
 
+#include "bench_util.h"
 #include "clustering/correlation.h"
 #include "clustering/engine.h"
 #include "clustering/hac.h"
 #include "clustering/window.h"
+#include "common/flags.h"
 #include "common/rng.h"
 #include "parsers/codec.h"
 #include "ttkv/ttkv.h"
@@ -385,7 +387,7 @@ int RunClusteringBaseline(const char* json_path) {
   const auto groups = GroupWrites(events, Seconds(1));
   const double max_distance = 0.5;  // Threshold correlation 2.
 
-  std::fprintf(stderr, "[clustering] %zu keys, %zu writes, %zu groups\n", num_keys,
+  if (!bench::QuietFlag()) std::fprintf(stderr, "[clustering] %zu keys, %zu writes, %zu groups\n", num_keys,
                events.size(), groups.size());
 
   const PipelineRun baseline = TimePipeline([&] {
@@ -393,7 +395,7 @@ int RunClusteringBaseline(const char* json_path) {
     return seed_baseline::AgglomerativeCluster(ActiveIds(corr, num_keys), DistancesFrom(corr),
                                                Linkage::kComplete, max_distance);
   });
-  std::fprintf(stderr, "[clustering] baseline: %.1f ms\n", baseline.millis);
+  if (!bench::QuietFlag()) std::fprintf(stderr, "[clustering] baseline: %.1f ms\n", baseline.millis);
 
   // Best of three for the optimized path; the baseline's O(n²) probe makes
   // repeating it pointless.
@@ -409,7 +411,7 @@ int RunClusteringBaseline(const char* json_path) {
     if (run.millis < optimized.millis) optimized.millis = run.millis;
     optimized.clusters = std::move(run.clusters);
   }
-  std::fprintf(stderr, "[clustering] optimized (%d threads): %.1f ms\n", optimized_threads,
+  if (!bench::QuietFlag()) std::fprintf(stderr, "[clustering] optimized (%d threads): %.1f ms\n", optimized_threads,
                optimized.millis);
 
   // The refactor must not change results: multi-threaded correlations and
@@ -421,7 +423,7 @@ int RunClusteringBaseline(const char* json_path) {
   const bool identical =
       optimized.clusters == baseline.clusters && single_clusters == baseline.clusters;
   const double speedup = baseline.millis / optimized.millis;
-  std::fprintf(stderr, "[clustering] speedup %.1fx, identical=%s\n", speedup,
+  if (!bench::QuietFlag()) std::fprintf(stderr, "[clustering] speedup %.1fx, identical=%s\n", speedup,
                identical ? "true" : "false");
 
   std::FILE* out = std::fopen(json_path, "w");
@@ -446,7 +448,7 @@ int RunClusteringBaseline(const char* json_path) {
                optimized_threads, speedup, identical ? "true" : "false",
                optimized.clusters.size());
   std::fclose(out);
-  std::fprintf(stderr, "[clustering] wrote %s\n", json_path);
+  if (!bench::QuietFlag()) std::fprintf(stderr, "[clustering] wrote %s\n", json_path);
   // Exit status gates only on correctness; the speedup is recorded as data
   // so a loaded or throttled machine cannot flake the run.
   return identical ? 0 : 1;
@@ -456,12 +458,23 @@ int RunClusteringBaseline(const char* json_path) {
 }  // namespace ocasta
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--clustering-json") == 0) {
-      return ocasta::RunClusteringBaseline(i + 1 < argc ? argv[i + 1]
-                                                        : "BENCH_clustering.json");
-    }
+  const ocasta::Args args = ocasta::Args::Parse(argc, argv);
+  if (args.Has("quiet")) ocasta::bench::SetQuiet(true);
+  if (args.Has("clustering-json")) {
+    const std::string path = args.Get("clustering-json", "true");
+    return ocasta::RunClusteringBaseline(path == "true" ? "BENCH_clustering.json"
+                                                        : path.c_str());
   }
+  // Strip our own flags before handing argv to google-benchmark, which
+  // rejects unknown arguments.
+  std::vector<char*> filtered;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quiet") != 0) filtered.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(filtered.size());
+  filtered.push_back(nullptr);
+  argc = filtered_argc;
+  argv = filtered.data();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

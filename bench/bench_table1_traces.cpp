@@ -15,12 +15,14 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/flags.h"
 #include "ttkv/ttkv.h"
 
 using namespace ocasta;
 using namespace ocasta::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  if (ocasta::Args::Parse(argc, argv).Has("quiet")) ocasta::bench::SetQuiet(true);
   TextTable table({"Name", "Days", "Reads", "Writes", "# Keys", "TTKV Size"});
   for (const MachineTrace& machine : AllMachines()) {
     const TTKV ttkv = BuildMachineTtkv(machine);

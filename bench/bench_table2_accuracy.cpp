@@ -15,12 +15,14 @@
 #include "analysis/ground_truth.h"
 #include "apps/catalog.h"
 #include "bench_util.h"
+#include "common/flags.h"
 #include "clustering/engine.h"
 
 using namespace ocasta;
 using namespace ocasta::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  if (ocasta::Args::Parse(argc, argv).Has("quiet")) ocasta::bench::SetQuiet(true);
   TextTable table({"Application", "#Keys", "#Clusters", "%Accuracy", "Oversized", "Undersized"});
   size_t total_keys = 0;
   size_t total_multi = 0;

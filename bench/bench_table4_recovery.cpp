@@ -12,12 +12,14 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/flags.h"
 #include "scenarios/harness.h"
 
 using namespace ocasta;
 using namespace ocasta::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  if (ocasta::Args::Parse(argc, argv).Has("quiet")) ocasta::bench::SetQuiet(true);
   TextTable table({"Case", "Cl.Size", "Trials", "Time(find/all)", "Screens", "Ocasta", "NoClust",
                    "Params"});
   double saved_ratio_sum = 0;

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -14,12 +15,22 @@
 
 namespace ocasta::bench {
 
+// Progress chatter gate. JSON-emitting runs (bench_loadgen, bench_micro
+// --clustering-json, any bench under --quiet) silence the "[gen] ..."
+// stderr noise so machine-readable output stays clean. Also settable via
+// the OCASTA_BENCH_QUIET environment variable for the table benches.
+inline bool& QuietFlag() {
+  static bool quiet = std::getenv("OCASTA_BENCH_QUIET") != nullptr;
+  return quiet;
+}
+inline void SetQuiet(bool quiet) { QuietFlag() = quiet; }
+
 // Generates all nine Table I machines once (deterministic seeds).
 inline const std::vector<MachineTrace>& AllMachines() {
   static const std::vector<MachineTrace> machines = [] {
     std::vector<MachineTrace> out;
     for (const MachineProfile& profile : Table1Profiles()) {
-      std::fprintf(stderr, "[gen] %s...\n", profile.name.c_str());
+      if (!QuietFlag()) std::fprintf(stderr, "[gen] %s...\n", profile.name.c_str());
       out.push_back(GenerateMachineTrace(profile));
     }
     return out;

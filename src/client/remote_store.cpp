@@ -1,0 +1,26 @@
+#include "client/remote_store.h"
+
+namespace ocasta {
+
+ConfigMap RemoteStore::Snapshot() const {
+  const TTKV ttkv = client_.Snapshot();
+  ConfigMap state;
+  for (const std::string& key : ttkv.key_names()) {
+    std::optional<Value> value = ttkv.latest(key);
+    if (value.has_value()) state.emplace(key, std::move(*value));
+  }
+  return state;
+}
+
+void RemoteStore::RestoreSnapshot(const ConfigMap& state) {
+  const ConfigMap current = Snapshot();
+  for (const auto& [key, value] : current) {
+    if (state.count(key) == 0) client_.Delete(key);
+  }
+  for (const auto& [key, value] : state) {
+    const auto it = current.find(key);
+    if (it == current.end() || !(it->second == value)) client_.Put(key, value);
+  }
+}
+
+}  // namespace ocasta

@@ -1,0 +1,243 @@
+#include "client/ttkv_client.h"
+
+#include <unistd.h>
+
+#include "server/wire.h"
+#include "ttkv/serialize.h"
+
+namespace ocasta {
+
+namespace {
+
+// Consumes the status byte; server-reported errors become StoreError.
+std::string CheckReply(std::string reply) {
+  BinaryReader r(reply);
+  const uint8_t status = r.u8();
+  if (status == kStatusOk) return reply.substr(1);
+  if (status == kStatusErr) throw StoreError("ocastad: " + r.str());
+  throw WireError("malformed reply status");
+}
+
+std::string EncodePut(const std::string& key, const Value& value, TimeMicros t) {
+  BinaryWriter w;
+  w.u8(static_cast<uint8_t>(Op::kPut));
+  w.str(key);
+  w.i64(t);
+  w.value(value);
+  return w.take();
+}
+
+std::string EncodeKeyOnly(Op op, const std::string& key) {
+  BinaryWriter w;
+  w.u8(static_cast<uint8_t>(op));
+  w.str(key);
+  return w.take();
+}
+
+std::optional<Value> DecodeOptionalValue(const std::string& body) {
+  BinaryReader r(body);
+  if (r.u8() == 0) return std::nullopt;
+  return r.value();
+}
+
+}  // namespace
+
+TtkvClient::TtkvClient(std::string host, uint16_t port) : host_(std::move(host)), port_(port) {}
+
+TtkvClient::~TtkvClient() { Close(); }
+
+void TtkvClient::Connect() {
+  if (fd_ >= 0) return;
+  fd_ = ConnectTcp(host_, port_);
+}
+
+void TtkvClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::vector<std::string> TtkvClient::RpcPipelined(const std::vector<std::string>& requests) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      Connect();
+      for (const std::string& request : requests) SendFrame(fd_, request);
+      std::vector<std::string> replies;
+      replies.reserve(requests.size());
+      for (size_t i = 0; i < requests.size(); ++i) {
+        auto reply = RecvFrame(fd_);
+        if (!reply.has_value()) throw WireError("daemon closed the connection");
+        replies.push_back(std::move(*reply));
+      }
+      return replies;
+    } catch (const WireError&) {
+      // Stale or broken connection: reconnect once and retry the batch.
+      // (A retried PUT that already reached the daemon records a duplicate
+      // version — acceptable for a recorder, same as the paper's at-least-
+      // once logging.)
+      Close();
+      if (attempt >= 1) throw;
+    }
+  }
+}
+
+std::string TtkvClient::Rpc(const std::string& request) {
+  return CheckReply(std::move(RpcPipelined({request}).front()));
+}
+
+void TtkvClient::Ping() {
+  BinaryWriter w;
+  w.u8(static_cast<uint8_t>(Op::kPing));
+  Rpc(w.take());
+}
+
+void TtkvClient::Put(const std::string& key, const Value& value, TimeMicros t) {
+  Rpc(EncodePut(key, value, t));
+}
+
+bool TtkvClient::Delete(const std::string& key, TimeMicros t) {
+  BinaryWriter w;
+  w.u8(static_cast<uint8_t>(Op::kDelete));
+  w.str(key);
+  w.i64(t);
+  const std::string body = Rpc(w.take());
+  BinaryReader r(body);
+  return r.u8() != 0;
+}
+
+std::optional<Value> TtkvClient::Get(const std::string& key) {
+  return DecodeOptionalValue(Rpc(EncodeKeyOnly(Op::kGet, key)));
+}
+
+std::optional<Value> TtkvClient::GetAt(const std::string& key, TimeMicros t) {
+  BinaryWriter w;
+  w.u8(static_cast<uint8_t>(Op::kGetAt));
+  w.str(key);
+  w.i64(t);
+  return DecodeOptionalValue(Rpc(w.take()));
+}
+
+std::optional<VersionedRecord> TtkvClient::History(const std::string& key) {
+  const std::string body = Rpc(EncodeKeyOnly(Op::kHistory, key));
+  BinaryReader r(body);
+  if (r.u8() == 0) return std::nullopt;
+  VersionedRecord rec;
+  rec.key = key;
+  rec.write_count = r.u64();
+  rec.delete_count = r.u64();
+  rec.read_count = r.u64();
+  const uint32_t n = r.u32();
+  rec.versions.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Version v;
+    v.timestamp = r.i64();
+    v.is_delete = r.u8() != 0;
+    v.value = r.value();
+    rec.versions.push_back(std::move(v));
+  }
+  return rec;
+}
+
+EngineStats TtkvClient::Stats() {
+  BinaryWriter w;
+  w.u8(static_cast<uint8_t>(Op::kStats));
+  const std::string body = Rpc(w.take());
+  BinaryReader r(body);
+  EngineStats stats;
+  stats.ttkv.reads = r.u64();
+  stats.ttkv.writes = r.u64();
+  stats.ttkv.deletes = r.u64();
+  stats.ttkv.num_keys = r.u64();
+  stats.ttkv.size_bytes = r.u64();
+  stats.num_shards = r.u32();
+  stats.puts = r.u64();
+  stats.gets = r.u64();
+  stats.deletes = r.u64();
+  r.u64();  // connections_served; not part of EngineStats.
+  return stats;
+}
+
+std::vector<std::string> TtkvClient::ListKeys(const std::string& prefix) {
+  const std::string body = Rpc(EncodeKeyOnly(Op::kListKeys, prefix));
+  BinaryReader r(body);
+  const uint32_t n = r.u32();
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) keys.push_back(r.str());
+  return keys;
+}
+
+TTKV TtkvClient::Snapshot() {
+  BinaryWriter w;
+  w.u8(static_cast<uint8_t>(Op::kSnapshot));
+  const std::string body = Rpc(w.take());
+  BinaryReader r(body);
+  return TTKV::Deserialize(r.str());
+}
+
+uint64_t TtkvClient::Compact(TimeMicros horizon) {
+  BinaryWriter w;
+  w.u8(static_cast<uint8_t>(Op::kCompact));
+  w.i64(horizon);
+  const std::string body = Rpc(w.take());
+  BinaryReader r(body);
+  return r.u64();
+}
+
+std::vector<NamedCluster> TtkvClient::ClusterNow(double threshold_correlation, Linkage linkage) {
+  BinaryWriter w;
+  w.u8(static_cast<uint8_t>(Op::kClusterNow));
+  w.f64(threshold_correlation);
+  uint8_t code = 0;
+  switch (linkage) {
+    case Linkage::kComplete: code = 0; break;
+    case Linkage::kSingle: code = 1; break;
+    case Linkage::kAverage: code = 2; break;
+  }
+  w.u8(code);
+  const std::string body = Rpc(w.take());
+  BinaryReader r(body);
+  const uint32_t n = r.u32();
+  std::vector<NamedCluster> clusters;
+  clusters.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    NamedCluster cluster;
+    cluster.version_count = r.u64();
+    cluster.last_modified = r.i64();
+    const uint32_t m = r.u32();
+    cluster.keys.reserve(m);
+    for (uint32_t j = 0; j < m; ++j) cluster.keys.push_back(r.str());
+    clusters.push_back(std::move(cluster));
+  }
+  return clusters;
+}
+
+void TtkvClient::Shutdown() {
+  BinaryWriter w;
+  w.u8(static_cast<uint8_t>(Op::kShutdown));
+  Rpc(w.take());
+  Close();
+}
+
+void TtkvClient::PutBatch(const std::vector<std::pair<std::string, Value>>& entries,
+                          TimeMicros t) {
+  std::vector<std::string> requests;
+  requests.reserve(entries.size());
+  for (const auto& [key, value] : entries) requests.push_back(EncodePut(key, value, t));
+  for (std::string& reply : RpcPipelined(requests)) CheckReply(std::move(reply));
+}
+
+std::vector<std::optional<Value>> TtkvClient::GetBatch(const std::vector<std::string>& keys) {
+  std::vector<std::string> requests;
+  requests.reserve(keys.size());
+  for (const std::string& key : keys) requests.push_back(EncodeKeyOnly(Op::kGet, key));
+  std::vector<std::optional<Value>> values;
+  values.reserve(keys.size());
+  for (std::string& reply : RpcPipelined(requests)) {
+    values.push_back(DecodeOptionalValue(CheckReply(std::move(reply))));
+  }
+  return values;
+}
+
+}  // namespace ocasta

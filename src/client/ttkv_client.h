@@ -1,0 +1,76 @@
+// TtkvClient — the client library for the ocastad daemon.
+//
+// One client owns one TCP connection and is synchronous: every RPC sends a
+// request frame and blocks for the reply. A transport failure (daemon
+// restarted, connection reset) triggers one transparent reconnect + retry
+// before surfacing WireError; server-reported failures (bad key, malformed
+// request) surface as StoreError and are never retried.
+//
+// The *Batch calls pipeline: all request frames are written back-to-back
+// and the replies are read afterwards, amortizing a round trip over the
+// whole batch — the intended fast path for bulk recording.
+//
+// Not thread-safe: use one TtkvClient per thread (see bench_loadgen).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "clustering/hac.h"
+#include "server/sharded_ttkv.h"
+#include "ttkv/ttkv.h"
+#include "ttkv/value.h"
+
+namespace ocasta {
+
+class TtkvClient {
+ public:
+  // Connects lazily on the first RPC (or explicitly via Connect()).
+  TtkvClient(std::string host, uint16_t port);
+  ~TtkvClient();
+
+  TtkvClient(const TtkvClient&) = delete;
+  TtkvClient& operator=(const TtkvClient&) = delete;
+
+  void Connect();  // Idempotent; throws WireError when the daemon is down.
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // --- Single-op RPCs -------------------------------------------------------
+  void Ping();
+  void Put(const std::string& key, const Value& value, TimeMicros t = 0);
+  bool Delete(const std::string& key, TimeMicros t = 0);
+  std::optional<Value> Get(const std::string& key);
+  std::optional<Value> GetAt(const std::string& key, TimeMicros t);
+  std::optional<VersionedRecord> History(const std::string& key);
+  EngineStats Stats();
+  std::vector<std::string> ListKeys(const std::string& prefix = "");
+  TTKV Snapshot();
+  uint64_t Compact(TimeMicros horizon);
+  std::vector<NamedCluster> ClusterNow(double threshold_correlation,
+                                       Linkage linkage = Linkage::kComplete);
+  void Shutdown();  // Asks the daemon to stop; the connection dies with it.
+
+  // --- Pipelined batches ----------------------------------------------------
+  void PutBatch(const std::vector<std::pair<std::string, Value>>& entries, TimeMicros t = 0);
+  std::vector<std::optional<Value>> GetBatch(const std::vector<std::string>& keys);
+
+ private:
+  // Sends one request and reads its reply body (status byte consumed;
+  // kStatusErr raised as StoreError). Reconnects + retries once on
+  // transport failure.
+  std::string Rpc(const std::string& request);
+
+  // Pipelined core: sends every request, then reads every reply. Retries
+  // the whole batch once on transport failure.
+  std::vector<std::string> RpcPipelined(const std::vector<std::string>& requests);
+
+  std::string host_;
+  uint16_t port_;
+  int fd_ = -1;
+};
+
+}  // namespace ocasta

@@ -1,0 +1,51 @@
+// Minimal command-line flag parsing shared by the CLI and bench binaries:
+// positional arguments plus "--name value" pairs ("--name" alone is the
+// boolean "true"). Extracted from ocasta_cli so every driver binary parses
+// flags the same way.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ocasta {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  static Args Parse(int argc, char** argv, int from = 1) {
+    Args args;
+    for (int i = from; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        const std::string name = argv[i] + 2;
+        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+          args.flags[name] = argv[++i];
+        } else {
+          args.flags[name] = "true";
+        }
+      } else {
+        args.positional.push_back(argv[i]);
+      }
+    }
+    return args;
+  }
+
+  std::string Get(const std::string& name, const std::string& fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+  int64_t GetInt(const std::string& name, int64_t fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+  bool Has(const std::string& name) const { return flags.count(name) != 0; }
+};
+
+}  // namespace ocasta

@@ -1,0 +1,267 @@
+#include "server/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+
+#include "server/wire.h"
+#include "ttkv/serialize.h"
+
+namespace ocasta {
+
+namespace {
+
+Linkage LinkageFromWire(uint8_t code) {
+  switch (code) {
+    case 0: return Linkage::kComplete;
+    case 1: return Linkage::kSingle;
+    case 2: return Linkage::kAverage;
+  }
+  throw ParseError("unknown linkage code");
+}
+
+void WriteError(BinaryWriter* w, const std::string& message) {
+  w->u8(kStatusErr);
+  w->str(message);
+}
+
+}  // namespace
+
+TtkvServer::TtkvServer(ServerOptions options)
+    : options_(options), engine_(options.num_shards, options.cluster_window_seconds) {}
+
+TtkvServer::~TtkvServer() { Stop(); }
+
+void TtkvServer::Start() {
+  if (started_.exchange(true)) throw Error("TtkvServer already started");
+  listen_fd_ = ListenLoopback(options_.port);
+  port_ = BoundPort(listen_fd_);
+  accept_thread_ = std::thread(&TtkvServer::AcceptLoop, this);
+}
+
+void TtkvServer::RequestStop() {
+  if (!stopping_.exchange(true)) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void TtkvServer::Stop() {
+  if (!started_.load()) return;
+  RequestStop();
+  Wait();
+}
+
+void TtkvServer::Wait() {
+  std::lock_guard<std::mutex> lock(join_mu_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TtkvServer::ReapFinishedConns() {
+  std::erase_if(conns_, [](const std::unique_ptr<Conn>& conn) {
+    if (!conn->done.load(std::memory_order_acquire)) return false;
+    conn->thread.join();
+    return true;
+  });
+}
+
+void TtkvServer::AcceptLoop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // Transient resource exhaustion (fd limits, socket buffers) must not
+      // kill a long-running daemon: back off briefly and keep accepting.
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS || errno == ENOMEM) {
+        ReapFinishedConns();
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      break;  // Listening socket gone or fatal error: stop accepting.
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      continue;
+    }
+    // Replies are small frames; without NODELAY, Nagle + delayed ACK stalls
+    // pipelined batches by tens of milliseconds.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn_fds_.insert(fd);
+    }
+    ReapFinishedConns();
+    conns_.push_back(std::make_unique<Conn>());
+    conns_.back()->thread = std::thread(&TtkvServer::Serve, this, fd, conns_.back().get());
+  }
+  // Drain: wake every blocked connection read, then join all handlers.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (const std::unique_ptr<Conn>& conn : conns_) conn->thread.join();
+  conns_.clear();
+}
+
+void TtkvServer::Serve(int fd, Conn* conn) {
+  bool shutdown_requested = false;
+  try {
+    while (auto request = RecvFrame(fd)) {
+      std::string reply;
+      shutdown_requested = HandleRequest(*request, &reply);
+      SendFrame(fd, reply);
+      if (shutdown_requested) break;
+    }
+  } catch (const Error&) {
+    // Transport failure or unframeable garbage: drop the connection. The
+    // engine is untouched mid-request, so other clients are unaffected.
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.erase(fd);
+  }
+  ::close(fd);
+  if (shutdown_requested) RequestStop();
+  conn->done.store(true, std::memory_order_release);
+}
+
+bool TtkvServer::HandleRequest(const std::string& request, std::string* reply) {
+  BinaryWriter w;
+  bool shutdown_requested = false;
+  try {
+    BinaryReader r(request);
+    const Op op = static_cast<Op>(r.u8());
+    switch (op) {
+      case Op::kPing: {
+        w.u8(kStatusOk);
+        break;
+      }
+      case Op::kPut: {
+        const std::string key = r.str();
+        const TimeMicros t = r.i64();
+        Value value = r.value();
+        engine_.Put(key, std::move(value), t);
+        w.u8(kStatusOk);
+        break;
+      }
+      case Op::kDelete: {
+        const std::string key = r.str();
+        const TimeMicros t = r.i64();
+        const bool existed = engine_.Delete(key, t);
+        w.u8(kStatusOk);
+        w.u8(existed ? 1 : 0);
+        break;
+      }
+      case Op::kGet: {
+        const std::optional<Value> value = engine_.Get(r.str());
+        w.u8(kStatusOk);
+        w.u8(value.has_value() ? 1 : 0);
+        if (value.has_value()) w.value(*value);
+        break;
+      }
+      case Op::kGetAt: {
+        const std::string key = r.str();
+        const TimeMicros t = r.i64();
+        const std::optional<Value> value = engine_.GetAt(key, t);
+        w.u8(kStatusOk);
+        w.u8(value.has_value() ? 1 : 0);
+        if (value.has_value()) w.value(*value);
+        break;
+      }
+      case Op::kHistory: {
+        const std::optional<VersionedRecord> rec = engine_.History(r.str());
+        w.u8(kStatusOk);
+        w.u8(rec.has_value() ? 1 : 0);
+        if (rec.has_value()) {
+          w.u64(rec->write_count);
+          w.u64(rec->delete_count);
+          w.u64(rec->read_count);
+          w.u32(static_cast<uint32_t>(rec->versions.size()));
+          for (const Version& v : rec->versions) {
+            w.i64(v.timestamp);
+            w.u8(v.is_delete ? 1 : 0);
+            w.value(v.value);
+          }
+        }
+        break;
+      }
+      case Op::kStats: {
+        const EngineStats stats = engine_.Stats();
+        w.u8(kStatusOk);
+        w.u64(stats.ttkv.reads);
+        w.u64(stats.ttkv.writes);
+        w.u64(stats.ttkv.deletes);
+        w.u64(stats.ttkv.num_keys);
+        w.u64(stats.ttkv.size_bytes);
+        w.u32(static_cast<uint32_t>(stats.num_shards));
+        w.u64(stats.puts);
+        w.u64(stats.gets);
+        w.u64(stats.deletes);
+        w.u64(connections_.load());
+        break;
+      }
+      case Op::kListKeys: {
+        const std::vector<std::string> keys = engine_.ListKeys(r.str());
+        w.u8(kStatusOk);
+        w.u32(static_cast<uint32_t>(keys.size()));
+        for (const std::string& key : keys) w.str(key);
+        break;
+      }
+      case Op::kSnapshot: {
+        const std::string bytes = engine_.Snapshot().Serialize();
+        w.u8(kStatusOk);
+        w.str(bytes);
+        break;
+      }
+      case Op::kCompact: {
+        const TimeMicros horizon = r.i64();
+        w.u8(kStatusOk);
+        w.u64(engine_.CompactBefore(horizon));
+        break;
+      }
+      case Op::kClusterNow: {
+        const double threshold = r.f64();
+        const Linkage linkage = LinkageFromWire(r.u8());
+        const std::vector<NamedCluster> clusters = engine_.ClusterNow(threshold, linkage);
+        w.u8(kStatusOk);
+        w.u32(static_cast<uint32_t>(clusters.size()));
+        for (const NamedCluster& cluster : clusters) {
+          w.u64(cluster.version_count);
+          w.i64(cluster.last_modified);
+          w.u32(static_cast<uint32_t>(cluster.keys.size()));
+          for (const std::string& key : cluster.keys) w.str(key);
+        }
+        break;
+      }
+      case Op::kShutdown: {
+        w.u8(kStatusOk);
+        shutdown_requested = true;
+        break;
+      }
+      default: {
+        WriteError(&w, "unknown op code " + std::to_string(static_cast<int>(op)));
+        break;
+      }
+    }
+    if (!shutdown_requested && !r.at_end()) {
+      // Trailing bytes mean the client framed the request wrong; surface it.
+      w = BinaryWriter();
+      WriteError(&w, std::string("trailing bytes after ") + OpName(op) + " request");
+    }
+  } catch (const Error& e) {
+    w = BinaryWriter();
+    WriteError(&w, e.what());
+  }
+  *reply = w.take();
+  return shutdown_requested;
+}
+
+}  // namespace ocasta

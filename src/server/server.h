@@ -1,0 +1,98 @@
+// ocastad — the TTKV network daemon.
+//
+// A TCP server exposing a ShardedTtkv over the length-prefixed binary
+// protocol in wire.h: a thread-per-connection accept loop (the paper's
+// Redis backend is likewise a standalone server shared by all recorders),
+// synchronous request/reply per connection, and pipelining-friendly framing
+// (clients may write any number of requests before reading replies; replies
+// come back in request order).
+//
+// Shutdown is graceful from either side: Stop() from the embedding process,
+// or the SHUTDOWN op from any client. Both close the listening socket and
+// then shut down every open connection so blocked reads drain; every
+// connection thread is joined before Wait()/Stop() returns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "server/sharded_ttkv.h"
+
+namespace ocasta {
+
+struct ServerOptions {
+  uint16_t port = 0;  // 0 = pick an ephemeral port (see TtkvServer::port()).
+  size_t num_shards = 8;
+  double cluster_window_seconds = 1.0;
+};
+
+class TtkvServer {
+ public:
+  explicit TtkvServer(ServerOptions options = {});
+  ~TtkvServer();
+
+  TtkvServer(const TtkvServer&) = delete;
+  TtkvServer& operator=(const TtkvServer&) = delete;
+
+  // Binds, listens, and starts the accept loop. Throws WireError when the
+  // port is taken.
+  void Start();
+
+  // Requests shutdown (idempotent) and blocks until every thread is joined.
+  void Stop();
+
+  // Blocks until the server stops (Stop() or a client SHUTDOWN op).
+  void Wait();
+
+  // Port actually bound; valid after Start().
+  uint16_t port() const { return port_; }
+
+  // Direct engine access for embedding (benches, tests).
+  ShardedTtkv& engine() { return engine_; }
+
+  uint64_t connections_served() const { return connections_.load(); }
+
+ private:
+  struct Conn {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void Serve(int fd, Conn* conn);
+
+  // Joins and discards connections whose handler has finished, so a
+  // long-running daemon under connection churn does not accumulate
+  // unjoined threads. Called from the accept thread only.
+  void ReapFinishedConns();
+
+  // Dispatches one request payload; always produces a reply payload.
+  // Returns true when the request asked for server shutdown.
+  bool HandleRequest(const std::string& request, std::string* reply);
+
+  void RequestStop();
+
+  ServerOptions options_;
+  ShardedTtkv engine_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> connections_{0};
+
+  std::mutex conn_mu_;                // Guards conn_fds_.
+  std::unordered_set<int> conn_fds_;  // Open connection sockets.
+  std::vector<std::unique_ptr<Conn>> conns_;  // Touched only by the accept thread.
+
+  std::mutex join_mu_;  // Serializes Wait()/Stop() joiners.
+};
+
+}  // namespace ocasta

@@ -1,0 +1,219 @@
+#include "server/sharded_ttkv.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.h"
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace ocasta {
+
+ShardedTtkv::ShardedTtkv(size_t num_shards, double cluster_window_seconds)
+    : tracker_(cluster_window_seconds, /*quantize_to_seconds=*/false) {
+  if (num_shards == 0) throw Error("ShardedTtkv needs at least one shard");
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+size_t ShardedTtkv::shard_of(const std::string& key) const {
+  return Fnv1a(key) % shards_.size();
+}
+
+TimeMicros ShardedTtkv::StampNow() {
+  const int64_t wall = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count();
+  int64_t prev = clock_.load(std::memory_order_relaxed);
+  int64_t next;
+  do {
+    next = std::max(wall, prev + 1);
+  } while (!clock_.compare_exchange_weak(prev, next, std::memory_order_relaxed));
+  return next;
+}
+
+namespace {
+
+// Per-shard pending-event cap: beyond this the writing thread triggers a
+// global drain so an un-queried daemon's buffers stay bounded.
+constexpr size_t kPendingDrainThreshold = 8192;
+
+}  // namespace
+
+void ShardedTtkv::DrainTracker() const {
+  std::lock_guard<std::mutex> tracker_lock(tracker_mu_);
+  std::vector<PendingEvent> events;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (events.empty()) {
+      events = std::move(shard->pending);
+    } else {
+      events.insert(events.end(), std::make_move_iterator(shard->pending.begin()),
+                    std::make_move_iterator(shard->pending.end()));
+    }
+    shard->pending.clear();
+  }
+  // Deterministic global order: by timestamp, keys break ties.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const PendingEvent& a, const PendingEvent& b) {
+                     return a.timestamp != b.timestamp ? a.timestamp < b.timestamp
+                                                       : a.key < b.key;
+                   });
+  for (PendingEvent& event : events) {
+    // Clamp across drains: a write stamped before an earlier drain's newest
+    // event must not move the tracker backwards.
+    const TimeMicros t = event.timestamp < tracker_last_ ? tracker_last_ : event.timestamp;
+    tracker_last_ = t;
+    tracker_.OnAccess(AccessEvent{.timestamp = t,
+                                  .app = "ocastad",
+                                  .store = StoreKind::kGconf,
+                                  .op = event.is_delete ? AccessOp::kDelete : AccessOp::kWrite,
+                                  .key = std::move(event.key),
+                                  .value = Value()});
+  }
+}
+
+namespace {
+
+// Clamp floor for one key: concurrent writers race between stamping and
+// acquiring the shard lock, so an op's timestamp may be older than the
+// key's newest version. TTKV only requires per-key monotonicity (equal is
+// fine); clamping to the key's own last version keeps explicit timestamps
+// of other keys untouched.
+TimeMicros ClampToKey(const TTKV& ttkv, const std::string& key, TimeMicros t) {
+  if (!ttkv.contains(key)) return t;
+  const TimeMicros last = ttkv.record(key).last_modified();
+  return t < last ? last : t;
+}
+
+}  // namespace
+
+void ShardedTtkv::Put(const std::string& key, Value value, TimeMicros t) {
+  if (key.empty()) throw StoreError("empty key");
+  if (t == 0) t = StampNow();
+  Shard& shard = *shards_[shard_of(key)];
+  bool need_drain;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const TimeMicros applied = ClampToKey(shard.ttkv, key, t);
+    shard.ttkv.record_write(key, std::move(value), applied);
+    shard.pending.push_back(PendingEvent{.timestamp = applied, .is_delete = false, .key = key});
+    need_drain = shard.pending.size() >= kPendingDrainThreshold;
+  }
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  if (need_drain) DrainTracker();
+}
+
+bool ShardedTtkv::Delete(const std::string& key, TimeMicros t) {
+  if (key.empty()) throw StoreError("empty key");
+  if (t == 0) t = StampNow();
+  Shard& shard = *shards_[shard_of(key)];
+  bool need_drain;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (!shard.ttkv.contains(key) || !shard.ttkv.latest(key).has_value()) return false;
+    const TimeMicros applied = ClampToKey(shard.ttkv, key, t);
+    shard.ttkv.record_delete(key, applied);
+    shard.pending.push_back(PendingEvent{.timestamp = applied, .is_delete = true, .key = key});
+    need_drain = shard.pending.size() >= kPendingDrainThreshold;
+  }
+  deletes_.fetch_add(1, std::memory_order_relaxed);
+  if (need_drain) DrainTracker();
+  return true;
+}
+
+std::optional<Value> ShardedTtkv::Get(const std::string& key) {
+  Shard& shard = *shards_[shard_of(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  gets_.fetch_add(1, std::memory_order_relaxed);
+  if (!shard.ttkv.contains(key)) return std::nullopt;
+  shard.ttkv.record_read(key, 0);
+  return shard.ttkv.latest(key);
+}
+
+std::optional<Value> ShardedTtkv::GetAt(const std::string& key, TimeMicros t) const {
+  const Shard& shard = *shards_[shard_of(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.ttkv.value_at(key, t);
+}
+
+std::optional<VersionedRecord> ShardedTtkv::History(const std::string& key) const {
+  const Shard& shard = *shards_[shard_of(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (!shard.ttkv.contains(key)) return std::nullopt;
+  return shard.ttkv.record(key);
+}
+
+std::vector<std::string> ShardedTtkv::ListKeys(const std::string& prefix) const {
+  std::vector<std::string> keys;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const std::string& key : shard->ttkv.key_names()) {
+      if (StartsWith(key, prefix) && shard->ttkv.latest(key).has_value()) keys.push_back(key);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+EngineStats ShardedTtkv::Stats() const {
+  EngineStats out;
+  out.num_shards = shards_.size();
+  out.puts = puts_.load(std::memory_order_relaxed);
+  out.gets = gets_.load(std::memory_order_relaxed);
+  out.deletes = deletes_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    const TtkvStats s = shard->ttkv.stats();
+    out.ttkv.reads += s.reads;
+    out.ttkv.writes += s.writes;
+    out.ttkv.deletes += s.deletes;
+    out.ttkv.num_keys += s.num_keys;
+    out.ttkv.size_bytes += s.size_bytes;
+  }
+  return out;
+}
+
+TTKV ShardedTtkv::Snapshot() const {
+  std::vector<VersionedRecord> records;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const std::string& key : shard->ttkv.key_names()) {
+      records.push_back(shard->ttkv.record(key));
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const VersionedRecord& a, const VersionedRecord& b) { return a.key < b.key; });
+  TTKV merged;
+  for (VersionedRecord& rec : records) merged.ImportRecord(std::move(rec));
+  return merged;
+}
+
+size_t ShardedTtkv::CompactBefore(TimeMicros horizon) {
+  size_t dropped = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    dropped += shard->ttkv.CompactBefore(horizon);
+  }
+  return dropped;
+}
+
+std::vector<NamedCluster> ShardedTtkv::ClusterNow(double threshold_correlation,
+                                                  Linkage linkage) const {
+  DrainTracker();
+  std::lock_guard<std::mutex> lock(tracker_mu_);
+  const ClusterSet set = tracker_.ClusterNow(threshold_correlation, linkage);
+  std::vector<NamedCluster> out;
+  out.reserve(set.size());
+  for (const KeyCluster& cluster : set.clusters()) {
+    NamedCluster named;
+    named.version_count = cluster.version_count;
+    named.last_modified = cluster.last_modified;
+    named.keys.reserve(cluster.keys.size());
+    for (uint32_t id : cluster.keys) named.keys.push_back(tracker_.key_names()[id]);
+    out.push_back(std::move(named));
+  }
+  return out;
+}
+
+}  // namespace ocasta

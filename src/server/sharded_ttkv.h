@@ -1,0 +1,132 @@
+// The sharded, thread-safe TTKV engine behind the ocastad daemon.
+//
+// The paper's TTKV runs inside one Redis server and serves many recorders
+// at once; the in-process TTKV is single-threaded. This engine bridges the
+// two: N independent TTKV shards (keys hashed with FNV-1a), each guarded by
+// its own mutex, so writers to different shards never contend. A separate
+// mutex-striped OnlineClusterTracker observes every write/delete so the
+// daemon can answer CLUSTER_NOW queries without replaying history.
+//
+// Timestamps: callers may supply explicit microsecond timestamps (trace
+// replay, deterministic tests) or pass 0 to have the engine stamp the
+// operation from a monotonicized wall clock. Because concurrent writers
+// race between stamping and applying, timestamps are clamped per key to be
+// non-decreasing (equal timestamps are legal in TTKV — the paper's traces
+// are second-quantized anyway).
+//
+// Clustering: writes append a small pending event to their own shard (no
+// cross-shard lock on the write path); the shared tracker is fed lazily —
+// on CLUSTER_NOW, or when a shard's buffer fills — by merging all pending
+// events in timestamp order under the tracker lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "clustering/online.h"
+#include "common/time.h"
+#include "ttkv/ttkv.h"
+#include "ttkv/value.h"
+
+namespace ocasta {
+
+// Cross-shard aggregate statistics (TtkvStats plus engine counters).
+struct EngineStats {
+  TtkvStats ttkv;
+  size_t num_shards = 0;
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+};
+
+// ClusterNow output: clusters reference keys by name because the tracker's
+// dense ids are engine-internal.
+struct NamedCluster {
+  std::vector<std::string> keys;
+  uint64_t version_count = 0;
+  TimeMicros last_modified = 0;
+};
+
+class ShardedTtkv {
+ public:
+  explicit ShardedTtkv(size_t num_shards = 8, double cluster_window_seconds = 1.0);
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t shard_of(const std::string& key) const;
+
+  // --- Writes (t == 0 → engine-assigned monotonic wall-clock stamp) --------
+  void Put(const std::string& key, Value value, TimeMicros t = 0);
+
+  // Tombstones `key` and returns true when it had a live value; absent or
+  // already-deleted keys return false without recording anything (so churny
+  // blind deletes cannot bloat the store).
+  bool Delete(const std::string& key, TimeMicros t = 0);
+
+  // --- Reads ----------------------------------------------------------------
+  // Counts a read against the key's record (Table I accounting), like the
+  // interception layer does.
+  std::optional<Value> Get(const std::string& key);
+  std::optional<Value> GetAt(const std::string& key, TimeMicros t) const;
+
+  // Full history of one key; nullopt when the key was never written.
+  std::optional<VersionedRecord> History(const std::string& key) const;
+
+  // Keys with a live (non-tombstoned) value matching `prefix`, sorted.
+  std::vector<std::string> ListKeys(const std::string& prefix) const;
+
+  EngineStats Stats() const;
+
+  // Merged single-TTKV snapshot of all shards, records sorted by key so the
+  // result is independent of shard count. Shards are locked one at a time:
+  // the snapshot is per-shard consistent, not a global point-in-time cut.
+  TTKV Snapshot() const;
+
+  // TTKV::CompactBefore across every shard; returns total versions dropped.
+  size_t CompactBefore(TimeMicros horizon);
+
+  // Clusters all keys observed so far (see OnlineClusterTracker).
+  std::vector<NamedCluster> ClusterNow(double threshold_correlation,
+                                       Linkage linkage = Linkage::kComplete) const;
+
+ private:
+  // A write/delete awaiting the shared cluster tracker (values are not
+  // needed for co-modification analysis).
+  struct PendingEvent {
+    TimeMicros timestamp = 0;
+    bool is_delete = false;
+    std::string key;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    TTKV ttkv;                                  // Guarded by mu.
+    mutable std::vector<PendingEvent> pending;  // Guarded by mu.
+  };
+
+  TimeMicros StampNow();
+
+  // Moves every shard's pending events into the tracker, merged in
+  // timestamp order. Takes tracker_mu_ then each shard mutex in turn;
+  // writers never hold a shard mutex while taking tracker_mu_.
+  void DrainTracker() const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Monotonicized wall clock shared by all shards.
+  std::atomic<int64_t> clock_{0};
+
+  std::atomic<uint64_t> puts_{0};
+  std::atomic<uint64_t> gets_{0};
+  std::atomic<uint64_t> deletes_{0};
+
+  mutable std::mutex tracker_mu_;
+  mutable OnlineClusterTracker tracker_;   // Guarded by tracker_mu_.
+  mutable TimeMicros tracker_last_ = 0;    // Guarded by tracker_mu_.
+};
+
+}  // namespace ocasta

@@ -1,0 +1,143 @@
+#include "server/wire.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ocasta {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kPing: return "PING";
+    case Op::kPut: return "PUT";
+    case Op::kDelete: return "DELETE";
+    case Op::kGet: return "GET";
+    case Op::kGetAt: return "GET_AT";
+    case Op::kHistory: return "HISTORY";
+    case Op::kStats: return "STATS";
+    case Op::kListKeys: return "LIST_KEYS";
+    case Op::kSnapshot: return "SNAPSHOT";
+    case Op::kCompact: return "COMPACT";
+    case Op::kClusterNow: return "CLUSTER_NOW";
+    case Op::kShutdown: return "SHUTDOWN";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+void WriteAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(Errno("send"));
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+// Returns bytes read; stops early only on EOF.
+size_t ReadUpTo(int fd, char* data, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(Errno("recv"));
+    }
+    if (n == 0) break;  // EOF.
+    got += static_cast<size_t>(n);
+  }
+  return got;
+}
+
+}  // namespace
+
+void SendFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) throw WireError("frame exceeds kMaxFrameBytes");
+  char header[4];
+  const auto len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  // One send for the common small-frame case keeps the op off Nagle's radar.
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  frame.append(header, 4);
+  frame.append(payload);
+  WriteAll(fd, frame.data(), frame.size());
+}
+
+std::optional<std::string> RecvFrame(int fd) {
+  char header[4];
+  const size_t got = ReadUpTo(fd, header, 4);
+  if (got == 0) return std::nullopt;  // Clean EOF between frames.
+  if (got < 4) throw WireError("connection closed mid-frame");
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(static_cast<uint8_t>(header[i])) << (8 * i);
+  if (len > kMaxFrameBytes) throw WireError("frame length exceeds kMaxFrameBytes");
+  std::string payload(len, '\0');
+  if (ReadUpTo(fd, payload.data(), len) < len) throw WireError("connection closed mid-frame");
+  return payload;
+}
+
+int ListenLoopback(uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw WireError(Errno("socket"));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string msg = Errno("bind");
+    ::close(fd);
+    throw WireError(msg);
+  }
+  if (::listen(fd, backlog) < 0) {
+    const std::string msg = Errno("listen");
+    ::close(fd);
+    throw WireError(msg);
+  }
+  return fd;
+}
+
+uint16_t BoundPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throw WireError(Errno("getsockname"));
+  }
+  return ntohs(addr.sin_port);
+}
+
+int ConnectTcp(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw WireError(Errno("socket"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw WireError("invalid host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string msg = Errno("connect to " + host + ":" + std::to_string(port));
+    ::close(fd);
+    throw WireError(msg);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace ocasta

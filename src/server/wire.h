@@ -1,0 +1,69 @@
+// The ocastad wire protocol: framing, op codes, and POSIX socket helpers
+// shared by the server and the client library. See docs/PROTOCOL.md for the
+// byte-level specification.
+//
+// Every message (request or reply) is one frame: a little-endian u32 payload
+// length followed by the payload. Request payloads start with a u8 op code;
+// reply payloads start with a u8 status (kOk / kErr). All integers, strings
+// and values reuse the BinaryWriter/BinaryReader layout of the TTKV
+// snapshot format.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+
+namespace ocasta {
+
+enum class Op : uint8_t {
+  kPing = 1,
+  kPut = 2,
+  kDelete = 3,
+  kGet = 4,
+  kGetAt = 5,
+  kHistory = 6,
+  kStats = 7,
+  kListKeys = 8,
+  kSnapshot = 9,
+  kCompact = 10,
+  kClusterNow = 11,
+  kShutdown = 12,
+};
+
+const char* OpName(Op op);
+
+inline constexpr uint8_t kStatusOk = 0;
+inline constexpr uint8_t kStatusErr = 1;
+
+// Upper bound on a single frame. Large enough for a multi-MB TTKV snapshot
+// reply (Table I sizes), small enough that a garbage length prefix fails
+// immediately instead of allocating gigabytes.
+inline constexpr uint32_t kMaxFrameBytes = 256u << 20;
+
+// Raised for transport-level failures (peer gone, short read, oversized
+// frame). Server-reported errors surface as StoreError instead.
+class WireError : public Error {
+ public:
+  using Error::Error;
+};
+
+// Writes one length-prefixed frame; throws WireError on I/O failure.
+void SendFrame(int fd, std::string_view payload);
+
+// Reads one frame. nullopt on clean EOF at a frame boundary; throws
+// WireError on mid-frame EOF, I/O failure, or an oversized length prefix.
+std::optional<std::string> RecvFrame(int fd);
+
+// Binds and listens on 127.0.0.1:port (0 = ephemeral); returns the fd.
+int ListenLoopback(uint16_t port, int backlog = 128);
+
+// Port a listening socket is actually bound to.
+uint16_t BoundPort(int fd);
+
+// Connects to host:port; throws WireError when the peer is unreachable.
+int ConnectTcp(const std::string& host, uint16_t port);
+
+}  // namespace ocasta

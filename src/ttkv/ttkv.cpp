@@ -159,6 +159,19 @@ size_t TTKV::CompactBefore(TimeMicros horizon) {
   return dropped;
 }
 
+void TTKV::ImportRecord(VersionedRecord rec) {
+  if (index_.count(rec.key) != 0) throw StoreError("ImportRecord: key already present: " + rec.key);
+  for (size_t i = 1; i < rec.versions.size(); ++i) {
+    if (rec.versions[i - 1].timestamp > rec.versions[i].timestamp) {
+      throw StoreError("ImportRecord: versions out of time order: " + rec.key);
+    }
+  }
+  index_.emplace(rec.key, static_cast<uint32_t>(records_.size()));
+  names_.push_back(rec.key);
+  total_reads_ += rec.read_count;
+  records_.push_back(std::move(rec));
+}
+
 namespace {
 constexpr uint32_t kMagic = 0x4f435454;  // "OCTT"
 constexpr uint8_t kFormatVersion = 1;

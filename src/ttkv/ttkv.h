@@ -130,6 +130,12 @@ class TTKV {
   // Returns the number of versions dropped.
   size_t CompactBefore(TimeMicros horizon);
 
+  // Appends a fully-formed record, e.g. when merging per-shard stores into
+  // one snapshot (see server/sharded_ttkv.h). The key must be new to this
+  // store and the versions time-ordered; the record's read count folds into
+  // the store-wide read total.
+  void ImportRecord(VersionedRecord rec);
+
   // --- Persistence ----------------------------------------------------------
 
   // Binary snapshot of the full store (all histories + counters).

@@ -1,0 +1,42 @@
+#include "workload/keydist.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ocasta {
+
+KeyDist KeyDistByName(const std::string& name) {
+  if (name == "uniform") return KeyDist::kUniform;
+  if (name == "zipf") return KeyDist::kZipf;
+  throw Error("unknown key distribution: " + name + " (want uniform|zipf)");
+}
+
+const char* KeyDistName(KeyDist dist) {
+  return dist == KeyDist::kUniform ? "uniform" : "zipf";
+}
+
+KeyChooser::KeyChooser(KeyDist dist, size_t num_keys, double theta)
+    : dist_(dist), num_keys_(num_keys) {
+  if (num_keys == 0) throw Error("KeyChooser needs at least one key");
+  if (dist_ == KeyDist::kZipf) {
+    if (theta <= 0) throw Error("zipf theta must be positive");
+    cdf_.resize(num_keys);
+    double total = 0.0;
+    for (size_t rank = 0; rank < num_keys; ++rank) {
+      total += 1.0 / std::pow(static_cast<double>(rank + 1), theta);
+      cdf_[rank] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+}
+
+size_t KeyChooser::Next(Rng& rng) const {
+  if (dist_ == KeyDist::kUniform) return rng.next_below(num_keys_);
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return std::min(static_cast<size_t>(it - cdf_.begin()), num_keys_ - 1);
+}
+
+}  // namespace ocasta

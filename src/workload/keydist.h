@@ -1,0 +1,44 @@
+// Key-choice distributions for load generation.
+//
+// The load-generator bench picks which key each simulated client touches
+// next. Uniform choice models the spread-out churn of desktop traces;
+// Zipf(theta) models the skewed popularity real KV front-ends see (a small
+// set of hot settings absorbing most traffic). Draws come from the shared
+// deterministic Rng so runs are reproducible.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ocasta {
+
+enum class KeyDist : uint8_t {
+  kUniform = 0,
+  kZipf = 1,
+};
+
+// "uniform" | "zipf"; throws Error otherwise.
+KeyDist KeyDistByName(const std::string& name);
+const char* KeyDistName(KeyDist dist);
+
+class KeyChooser {
+ public:
+  // For kZipf, `theta` > 0 is the skew exponent (weights 1/rank^theta;
+  // 0.99 is the YCSB default). Ignored for kUniform.
+  KeyChooser(KeyDist dist, size_t num_keys, double theta = 0.99);
+
+  size_t num_keys() const { return num_keys_; }
+
+  // Next key index in [0, num_keys).
+  size_t Next(Rng& rng) const;
+
+ private:
+  KeyDist dist_;
+  size_t num_keys_;
+  std::vector<double> cdf_;  // Zipf only: cumulative weights, normalized.
+};
+
+}  // namespace ocasta

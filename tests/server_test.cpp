@@ -1,0 +1,312 @@
+// End-to-end tests for the ocastad daemon: wire framing, every protocol op
+// through TtkvClient, pipelined batches, error replies, concurrent clients,
+// graceful shutdown from both sides, and the RemoteStore ConfigStore
+// backend driving the interception layer over the network.
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <thread>
+
+#include "client/remote_store.h"
+#include "client/ttkv_client.h"
+#include "configstore/intercepting_store.h"
+#include "logger/recorder.h"
+#include "server/wire.h"
+#include "ttkv/serialize.h"
+
+namespace ocasta {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<TtkvServer>(ServerOptions{.port = 0, .num_shards = 4});
+    server_->Start();
+  }
+  void TearDown() override { server_->Stop(); }
+
+  TtkvClient MakeClient() { return TtkvClient("127.0.0.1", server_->port()); }
+
+  std::unique_ptr<TtkvServer> server_;
+};
+
+TEST_F(ServerTest, PingAndEphemeralPort) {
+  EXPECT_GT(server_->port(), 0);
+  TtkvClient client = MakeClient();
+  client.Ping();
+  EXPECT_TRUE(client.connected());
+}
+
+TEST_F(ServerTest, PutGetDeleteHistoryRoundTrip) {
+  TtkvClient client = MakeClient();
+  client.Put("/apps/term/shell", Value("zsh"), Seconds(1));
+  client.Put("/apps/term/shell", Value("bash"), Seconds(2));
+  client.Put("/apps/term/cols", Value(80), Seconds(3));
+
+  EXPECT_EQ(client.Get("/apps/term/shell"), Value("bash"));
+  EXPECT_EQ(client.GetAt("/apps/term/shell", Seconds(1)), Value("zsh"));
+  EXPECT_EQ(client.Get("/nope"), std::nullopt);
+
+  EXPECT_TRUE(client.Delete("/apps/term/cols", Seconds(4)));
+  EXPECT_FALSE(client.Delete("/apps/term/cols", Seconds(5)));
+
+  const auto record = client.History("/apps/term/shell");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->key, "/apps/term/shell");
+  EXPECT_EQ(record->write_count, 2u);
+  ASSERT_EQ(record->versions.size(), 2u);
+  EXPECT_EQ(record->versions[0].value, Value("zsh"));
+  EXPECT_EQ(record->versions[1].value, Value("bash"));
+  EXPECT_FALSE(client.History("/nope").has_value());
+}
+
+TEST_F(ServerTest, AllValueTypesSurviveTheWire) {
+  TtkvClient client = MakeClient();
+  const std::vector<Value> values = {
+      Value(true), Value(static_cast<int64_t>(-7)), Value(3.25), Value("text"),
+      Value(std::vector<std::string>{"a", "b", "c"})};
+  for (size_t i = 0; i < values.size(); ++i) {
+    client.Put("type/key" + std::to_string(i), values[i], Seconds(static_cast<double>(i + 1)));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(client.Get("type/key" + std::to_string(i)), values[i]);
+  }
+}
+
+TEST_F(ServerTest, StatsListKeysSnapshotCompact) {
+  TtkvClient client = MakeClient();
+  client.Put("/a/one", Value(1), Seconds(10));
+  client.Put("/a/two", Value(2), Seconds(20));
+  client.Put("/a/one", Value(11), Seconds(30));
+  client.Get("/a/one");
+
+  const EngineStats stats = client.Stats();
+  EXPECT_EQ(stats.ttkv.num_keys, 2u);
+  EXPECT_EQ(stats.ttkv.writes, 3u);
+  EXPECT_EQ(stats.ttkv.reads, 1u);
+  EXPECT_EQ(stats.num_shards, 4u);
+  EXPECT_EQ(stats.puts, 3u);
+
+  EXPECT_EQ(client.ListKeys("/a/"), (std::vector<std::string>{"/a/one", "/a/two"}));
+
+  const TTKV snapshot = client.Snapshot();
+  EXPECT_EQ(snapshot.num_keys(), 2u);
+  EXPECT_EQ(snapshot.latest("/a/one"), Value(11));
+  EXPECT_EQ(snapshot.value_at("/a/one", Seconds(15)), Value(1));
+
+  EXPECT_EQ(client.Compact(Seconds(35)), 1u);  // /a/one's first version.
+  EXPECT_EQ(client.Snapshot().record("/a/one").versions.size(), 1u);
+}
+
+TEST_F(ServerTest, ClusterNowOverTheWire) {
+  TtkvClient client = MakeClient();
+  for (int burst = 0; burst < 3; ++burst) {
+    const TimeMicros t = Seconds(100 * (burst + 1));
+    client.Put("net/a", Value(burst), t);
+    client.Put("net/b", Value(burst), t + Seconds(0.3));
+  }
+  const auto clusters = client.ClusterNow(1.5, Linkage::kComplete);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].keys, (std::vector<std::string>{"net/a", "net/b"}));
+  EXPECT_GE(clusters[0].version_count, 2u);
+}
+
+TEST_F(ServerTest, PipelinedBatches) {
+  TtkvClient client = MakeClient();
+  std::vector<std::pair<std::string, Value>> entries;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 64; ++i) {
+    keys.push_back("batch/key" + std::to_string(i));
+    entries.emplace_back(keys.back(), Value(i));
+  }
+  client.PutBatch(entries, Seconds(1));
+  const auto values = client.GetBatch(keys);
+  ASSERT_EQ(values.size(), keys.size());
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(values[i].has_value());
+    EXPECT_EQ(*values[i], Value(i));
+  }
+  EXPECT_EQ(client.Stats().puts, 64u);
+}
+
+TEST_F(ServerTest, ServerErrorsSurfaceAsStoreError) {
+  TtkvClient client = MakeClient();
+  EXPECT_THROW(client.Put("", Value(1)), StoreError);  // Engine rejects empty keys.
+  client.Ping();                                       // Connection survives the error.
+}
+
+TEST_F(ServerTest, MalformedRequestsGetErrorReplies) {
+  const int fd = ConnectTcp("127.0.0.1", server_->port());
+
+  // Unknown op code.
+  SendFrame(fd, std::string(1, '\x63'));
+  auto reply = RecvFrame(fd);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(static_cast<uint8_t>((*reply)[0]), kStatusErr);
+
+  // Truncated PUT body (key length prefix promises more bytes than sent).
+  BinaryWriter w;
+  w.u8(static_cast<uint8_t>(Op::kPut));
+  w.u32(1000);
+  SendFrame(fd, w.buffer());
+  reply = RecvFrame(fd);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(static_cast<uint8_t>((*reply)[0]), kStatusErr);
+
+  // Trailing bytes after a well-formed request.
+  BinaryWriter w2;
+  w2.u8(static_cast<uint8_t>(Op::kPing));
+  w2.str("junk");
+  SendFrame(fd, w2.buffer());
+  reply = RecvFrame(fd);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(static_cast<uint8_t>((*reply)[0]), kStatusErr);
+
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+TEST_F(ServerTest, ConcurrentClientsSeeConsistentTotals) {
+  constexpr int kClients = 6;
+  constexpr int kOpsPerClient = 200;
+  std::vector<std::thread> threads;
+  for (int id = 0; id < kClients; ++id) {
+    threads.emplace_back([&, id] {
+      TtkvClient client("127.0.0.1", server_->port());
+      for (int i = 0; i < kOpsPerClient; ++i) {
+        const std::string key = "conc/key" + std::to_string((id * 7 + i) % 23);
+        client.Put(key, Value(id));
+        client.Get(key);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  TtkvClient client = MakeClient();
+  const EngineStats stats = client.Stats();
+  EXPECT_EQ(stats.puts, static_cast<uint64_t>(kClients) * kOpsPerClient);
+  EXPECT_EQ(stats.gets, static_cast<uint64_t>(kClients) * kOpsPerClient);
+  EXPECT_EQ(stats.ttkv.num_keys, 23u);
+}
+
+TEST_F(ServerTest, ClientShutdownOpStopsTheServer) {
+  TtkvClient client = MakeClient();
+  client.Put("k", Value(1), Seconds(1));
+  client.Shutdown();
+  server_->Wait();  // Returns because the client asked for shutdown.
+  EXPECT_THROW(TtkvClient("127.0.0.1", server_->port()).Ping(), WireError);
+}
+
+// --- RemoteStore ------------------------------------------------------------
+
+TEST_F(ServerTest, RemoteStoreRoundTrip) {
+  TtkvClient client = MakeClient();
+  RemoteStore store(client);
+
+  EXPECT_EQ(store.kind(), StoreKind::kGconf);
+  EXPECT_EQ(store.Read("/apps/x"), std::nullopt);
+  store.Write("/apps/x", Value(5));
+  store.Write("/apps/y", Value("on"));
+  EXPECT_EQ(store.Read("/apps/x"), Value(5));
+  EXPECT_EQ(store.ListKeys("/apps/"), (std::vector<std::string>{"/apps/x", "/apps/y"}));
+  EXPECT_TRUE(store.Remove("/apps/y"));
+  EXPECT_FALSE(store.Remove("/apps/y"));
+  EXPECT_EQ(store.Read("/apps/y"), std::nullopt);
+
+  // History is preserved daemon-side even after Remove.
+  const auto record = client.History("/apps/y");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->delete_count, 1u);
+}
+
+TEST_F(ServerTest, RemoteStoreSnapshotAndRestore) {
+  TtkvClient client = MakeClient();
+  RemoteStore store(client);
+  store.Write("/cfg/a", Value(1));
+  store.Write("/cfg/b", Value(2));
+  const ConfigMap saved = store.Snapshot();
+  ASSERT_EQ(saved.size(), 2u);
+
+  store.Write("/cfg/a", Value(99));
+  store.Write("/cfg/extra", Value("drop me"));
+  store.Remove("/cfg/b");
+
+  store.RestoreSnapshot(saved);
+  EXPECT_EQ(store.Read("/cfg/a"), Value(1));
+  EXPECT_EQ(store.Read("/cfg/b"), Value(2));
+  EXPECT_EQ(store.Read("/cfg/extra"), std::nullopt);
+  EXPECT_EQ(store.Snapshot(), saved);
+}
+
+// The interception decorator works over the network backend unchanged: a
+// local TtkvRecorder observes the same accesses the daemon records.
+TEST_F(ServerTest, InterceptionLayerOverRemoteStore) {
+  TtkvClient client = MakeClient();
+  RemoteStore backing(client);
+  SimClock clock(Seconds(100));
+  TTKV local;
+  TtkvRecorder recorder(local);
+  InterceptingStore store(backing, "editor", clock, &recorder);
+
+  store.Write("/editor/font", Value("mono"));
+  clock.advance(Seconds(1));
+  store.Write("/editor/size", Value(12));
+  clock.advance(Seconds(1));
+  store.Read("/editor/font");
+  store.Remove("/editor/size");
+
+  // Local recorder saw everything...
+  EXPECT_EQ(local.num_keys(), 2u);
+  EXPECT_EQ(local.record("/editor/size").delete_count, 1u);
+  // ...and so did the daemon.
+  const EngineStats stats = client.Stats();
+  EXPECT_EQ(stats.puts, 2u);
+  EXPECT_EQ(stats.deletes, 1u);
+  EXPECT_EQ(client.Get("/editor/font"), Value("mono"));
+}
+
+// Wire-level framing sanity: oversized length prefixes are rejected.
+TEST(WireTest, OversizedFrameRejected) {
+  const int listen_fd = ListenLoopback(0);
+  const uint16_t port = BoundPort(listen_fd);
+  const int sender = ConnectTcp("127.0.0.1", port);
+  const int receiver = ::accept(listen_fd, nullptr, nullptr);
+  ASSERT_GE(receiver, 0);
+
+  const char bogus_header[4] = {'\xff', '\xff', '\xff', '\xff'};  // 4 GiB frame.
+  ASSERT_EQ(::send(sender, bogus_header, 4, 0), 4);
+  EXPECT_THROW(RecvFrame(receiver), WireError);
+
+  ::close(sender);
+  ::close(receiver);
+  ::close(listen_fd);
+}
+
+TEST(WireTest, FrameRoundTripAndCleanEof) {
+  const int listen_fd = ListenLoopback(0);
+  const uint16_t port = BoundPort(listen_fd);
+  const int sender = ConnectTcp("127.0.0.1", port);
+  const int receiver = ::accept(listen_fd, nullptr, nullptr);
+  ASSERT_GE(receiver, 0);
+
+  SendFrame(sender, "hello");
+  SendFrame(sender, "");  // Empty frames are legal.
+  auto frame = RecvFrame(receiver);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(*frame, "hello");
+  frame = RecvFrame(receiver);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(*frame, "");
+
+  ::close(sender);
+  EXPECT_EQ(RecvFrame(receiver), std::nullopt);  // EOF at a frame boundary.
+  ::close(receiver);
+  ::close(listen_fd);
+}
+
+}  // namespace
+}  // namespace ocasta

@@ -1,0 +1,258 @@
+// Tests for the sharded thread-safe TTKV engine behind ocastad, including
+// the concurrency determinism properties the daemon relies on: per-shard
+// version order, counter determinism under colliding writers, and
+// single-threaded-replay equivalence for shard-partitioned writers.
+#include "server/sharded_ttkv.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.h"
+
+namespace ocasta {
+namespace {
+
+TEST(ShardedTtkv, PutGetDeleteRoundTrip) {
+  ShardedTtkv engine(4);
+  engine.Put("/apps/editor/font", Value("mono"), Seconds(1));
+  engine.Put("/apps/editor/size", Value(12), Seconds(2));
+  EXPECT_EQ(engine.Get("/apps/editor/font"), Value("mono"));
+  EXPECT_EQ(engine.Get("/apps/editor/size"), Value(12));
+  EXPECT_EQ(engine.Get("/apps/editor/missing"), std::nullopt);
+
+  EXPECT_TRUE(engine.Delete("/apps/editor/font", Seconds(3)));
+  EXPECT_EQ(engine.Get("/apps/editor/font"), std::nullopt);
+  // Deleting an absent or already-deleted key records nothing.
+  EXPECT_FALSE(engine.Delete("/apps/editor/font", Seconds(4)));
+  EXPECT_FALSE(engine.Delete("/apps/editor/never", Seconds(4)));
+
+  const EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.ttkv.num_keys, 2u);
+  EXPECT_EQ(stats.ttkv.writes, 3u);  // Two puts + one tombstone.
+  EXPECT_EQ(stats.ttkv.deletes, 1u);
+  EXPECT_EQ(stats.puts, 2u);
+  EXPECT_EQ(stats.deletes, 1u);
+  EXPECT_EQ(stats.num_shards, 4u);
+}
+
+TEST(ShardedTtkv, TimeTravelAcrossShards) {
+  ShardedTtkv engine(3);
+  engine.Put("k", Value(1), Seconds(10));
+  engine.Put("k", Value(2), Seconds(20));
+  EXPECT_EQ(engine.GetAt("k", Seconds(15)), Value(1));
+  EXPECT_EQ(engine.GetAt("k", Seconds(25)), Value(2));
+  EXPECT_EQ(engine.GetAt("k", Seconds(5)), std::nullopt);
+}
+
+TEST(ShardedTtkv, HistoryAndListKeys) {
+  ShardedTtkv engine(4);
+  engine.Put("/a/x", Value(1), Seconds(1));
+  engine.Put("/a/y", Value(2), Seconds(2));
+  engine.Put("/b/z", Value(3), Seconds(3));
+  engine.Delete("/a/y", Seconds(4));
+
+  const auto record = engine.History("/a/y");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->write_count, 1u);
+  EXPECT_EQ(record->delete_count, 1u);
+  ASSERT_EQ(record->versions.size(), 2u);
+  EXPECT_TRUE(record->versions.back().is_delete);
+  EXPECT_FALSE(engine.History("/nope").has_value());
+
+  // Tombstoned keys drop out of the live listing.
+  EXPECT_EQ(engine.ListKeys("/a"), (std::vector<std::string>{"/a/x"}));
+  EXPECT_EQ(engine.ListKeys(""), (std::vector<std::string>{"/a/x", "/b/z"}));
+}
+
+TEST(ShardedTtkv, SnapshotMergesShardsIndependentOfShardCount) {
+  const auto fill = [](ShardedTtkv& engine) {
+    engine.Put("alpha", Value(1), Seconds(1));
+    engine.Put("beta", Value("b"), Seconds(2));
+    engine.Put("alpha", Value(3), Seconds(3));
+    engine.Delete("beta", Seconds(4));
+    engine.Get("alpha");  // One read, counted in the snapshot.
+  };
+  ShardedTtkv one(1);
+  ShardedTtkv many(7);
+  fill(one);
+  fill(many);
+  const TTKV a = one.Snapshot();
+  const TTKV b = many.Snapshot();
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.stats().reads, 1u);
+  EXPECT_EQ(a.latest("alpha"), Value(3));
+  EXPECT_EQ(a.latest("beta"), std::nullopt);
+}
+
+TEST(ShardedTtkv, ServerAssignedTimestampsAreMonotonicPerKey) {
+  ShardedTtkv engine(2);
+  for (int i = 0; i < 100; ++i) engine.Put("hot", Value(i));  // t = 0 → stamped.
+  const auto record = engine.History("hot");
+  ASSERT_TRUE(record.has_value());
+  ASSERT_EQ(record->versions.size(), 100u);
+  for (size_t i = 1; i < record->versions.size(); ++i) {
+    EXPECT_LE(record->versions[i - 1].timestamp, record->versions[i].timestamp);
+  }
+}
+
+TEST(ShardedTtkv, CompactBeforeSpansShards) {
+  ShardedTtkv engine(4);
+  for (int k = 0; k < 16; ++k) {
+    const std::string key = "key" + std::to_string(k);
+    for (int v = 0; v < 4; ++v) engine.Put(key, Value(v), Seconds(10 * (v + 1)));
+  }
+  const size_t dropped = engine.CompactBefore(Seconds(35));
+  EXPECT_EQ(dropped, 16u * 2u);  // Versions at 10s and 20s go; 30s survives as the floor.
+  EXPECT_EQ(engine.GetAt("key0", Seconds(36)), Value(2));
+  EXPECT_EQ(engine.Stats().ttkv.writes, 64u);  // Lifetime counters unaffected.
+}
+
+TEST(ShardedTtkv, ClusterNowFindsCoModifiedKeys) {
+  ShardedTtkv engine(4);
+  // Three bursts of {a, b} within a window, plus a solo key far away.
+  for (int burst = 0; burst < 3; ++burst) {
+    const TimeMicros t = Seconds(100 * (burst + 1));
+    engine.Put("grp/a", Value(burst), t);
+    engine.Put("grp/b", Value(burst), t + Seconds(0.2));
+    engine.Put("solo", Value(burst), t + Seconds(50));
+  }
+  const auto clusters = engine.ClusterNow(1.5);
+  bool found = false;
+  for (const NamedCluster& cluster : clusters) {
+    if (cluster.keys.size() == 2) {
+      EXPECT_EQ(cluster.keys, (std::vector<std::string>{"grp/a", "grp/b"}));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ShardedTtkv, RejectsEmptyKeysAndZeroShards) {
+  EXPECT_THROW(ShardedTtkv(0), Error);
+  ShardedTtkv engine(2);
+  EXPECT_THROW(engine.Put("", Value(1)), StoreError);
+  EXPECT_THROW(engine.Delete(""), StoreError);
+}
+
+// --- Concurrency ------------------------------------------------------------
+
+// Writers on disjoint shards: the final state must be exactly what a
+// single-threaded replay of the same per-shard sequences produces.
+TEST(ShardedTtkvConcurrency, DisjointShardWritersMatchSingleThreadedReplay) {
+  constexpr size_t kShards = 4;
+  constexpr size_t kKeysPerShard = 40;
+  constexpr int kWritesPerKey = 25;
+
+  ShardedTtkv probe(kShards);
+  // Partition a key universe by the shard each key actually hashes to.
+  std::vector<std::vector<std::string>> keys_by_shard(kShards);
+  const auto all_full = [&] {
+    for (const auto& bucket : keys_by_shard) {
+      if (bucket.size() < kKeysPerShard) return false;
+    }
+    return true;
+  };
+  for (int i = 0; !all_full(); ++i) {
+    const std::string key = "det/key" + std::to_string(i);
+    auto& bucket = keys_by_shard[probe.shard_of(key)];
+    if (bucket.size() < kKeysPerShard) bucket.push_back(key);
+  }
+
+  const auto write_shard = [&](ShardedTtkv& engine, size_t shard) {
+    for (int v = 0; v < kWritesPerKey; ++v) {
+      for (const std::string& key : keys_by_shard[shard]) {
+        engine.Put(key, Value(v), Seconds(v + 1));
+      }
+    }
+  };
+
+  // Concurrent run: one thread per shard.
+  ShardedTtkv concurrent(kShards);
+  {
+    std::vector<std::thread> threads;
+    for (size_t s = 0; s < kShards; ++s) {
+      threads.emplace_back([&, s] { write_shard(concurrent, s); });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Single-threaded replay of the same per-shard op sequences.
+  ShardedTtkv sequential(kShards);
+  for (size_t s = 0; s < kShards; ++s) write_shard(sequential, s);
+
+  EXPECT_TRUE(concurrent.Snapshot() == sequential.Snapshot());
+}
+
+// Colliding writers on a shared hot key set: totals are deterministic and
+// per-key version order stays monotone even though interleaving is not.
+TEST(ShardedTtkvConcurrency, CollidingWritersKeepDeterministicCounters) {
+  constexpr int kThreads = 8;
+  constexpr int kWritesPerThread = 500;
+  const std::vector<std::string> hot_keys = {"hot/a", "hot/b", "hot/c"};
+
+  ShardedTtkv engine(4);
+  std::vector<std::thread> threads;
+  for (int id = 0; id < kThreads; ++id) {
+    threads.emplace_back([&, id] {
+      for (int i = 0; i < kWritesPerThread; ++i) {
+        // Server-assigned timestamps: colliding writers must never throw.
+        engine.Put(hot_keys[(id + i) % hot_keys.size()], Value(id * kWritesPerThread + i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.ttkv.writes, static_cast<uint64_t>(kThreads) * kWritesPerThread);
+  EXPECT_EQ(stats.puts, static_cast<uint64_t>(kThreads) * kWritesPerThread);
+  EXPECT_EQ(stats.ttkv.num_keys, hot_keys.size());
+
+  uint64_t versions = 0;
+  for (const std::string& key : hot_keys) {
+    const auto record = engine.History(key);
+    ASSERT_TRUE(record.has_value());
+    versions += record->versions.size();
+    for (size_t i = 1; i < record->versions.size(); ++i) {
+      ASSERT_LE(record->versions[i - 1].timestamp, record->versions[i].timestamp);
+    }
+  }
+  EXPECT_EQ(versions, static_cast<uint64_t>(kThreads) * kWritesPerThread);
+}
+
+// Mixed readers/writers/snapshotters racing: no crashes, snapshots are
+// internally consistent, and the final write total adds up.
+TEST(ShardedTtkvConcurrency, MixedOpsUnderContention) {
+  constexpr int kWriters = 4;
+  constexpr int kOpsPerWriter = 300;
+  ShardedTtkv engine(4);
+  std::vector<std::thread> threads;
+  for (int id = 0; id < kWriters; ++id) {
+    threads.emplace_back([&, id] {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        const std::string key = "mix/key" + std::to_string(i % 17);
+        engine.Put(key, Value(id), 0);
+        engine.Get(key);
+        if (i % 10 == 9) engine.Delete(key);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < 30; ++i) {
+      const TTKV snapshot = engine.Snapshot();
+      const TtkvStats stats = snapshot.stats();
+      ASSERT_LE(stats.deletes, stats.writes);
+      engine.ListKeys("mix/");
+      engine.ClusterNow(2.0);
+    }
+  });
+  for (std::thread& t : threads) t.join();
+
+  const EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.puts, static_cast<uint64_t>(kWriters) * kOpsPerWriter);
+  EXPECT_EQ(stats.ttkv.writes - stats.ttkv.deletes,
+            static_cast<uint64_t>(kWriters) * kOpsPerWriter);
+}
+
+}  // namespace
+}  // namespace ocasta

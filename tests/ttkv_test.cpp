@@ -214,6 +214,83 @@ TEST(Ttkv, DeserializeRejectsGarbage) {
   EXPECT_THROW(TTKV::Deserialize(valid + "trailing"), ParseError);
 }
 
+// A populated snapshot exercising every value type, used by the corruption
+// tests below.
+std::string SampleSnapshotBytes() {
+  TTKV ttkv;
+  ttkv.record_write("app/bool", Value(true), Seconds(1));
+  ttkv.record_write("app/int", Value(-42), Seconds(2));
+  ttkv.record_write("app/real", Value(2.5), Seconds(3));
+  ttkv.record_write("app/str", Value("hello"), Seconds(4));
+  ttkv.record_write("app/list", Value(std::vector<std::string>{"a", "b"}), Seconds(5));
+  ttkv.record_delete("app/str", Seconds(6));
+  ttkv.record_reads("app/int", 3);
+  return ttkv.Serialize();
+}
+
+// Truncating a valid snapshot at ANY byte boundary must raise ParseError —
+// never crash, hang, or silently return a partial store.
+TEST(Ttkv, DeserializeRejectsEveryTruncation) {
+  const std::string bytes = SampleSnapshotBytes();
+  ASSERT_GT(bytes.size(), 100u);
+  for (size_t n = 0; n < bytes.size(); ++n) {
+    EXPECT_THROW(TTKV::Deserialize(bytes.substr(0, n)), ParseError) << "prefix length " << n;
+  }
+}
+
+TEST(Ttkv, DeserializeRejectsBadValueTag) {
+  // The last record is app/list; its value starts tag(1) + count(4) +
+  // 2 × (len(4) + 1 byte) = 15 bytes from the end.
+  std::string bytes = SampleSnapshotBytes();
+  const size_t tag_pos = bytes.size() - 15;
+  ASSERT_EQ(static_cast<uint8_t>(bytes[tag_pos]), static_cast<uint8_t>(ValueType::kStringList));
+  bytes[tag_pos] = '\x2a';
+  EXPECT_THROW(TTKV::Deserialize(bytes), ParseError);
+}
+
+TEST(Ttkv, DeserializeRejectsOversizedStringListCount) {
+  // Patch app/list's element count (the 4 bytes after its value tag) to
+  // 0xffffffff: it must fail cleanly instead of reserving 4G strings.
+  std::string bytes = SampleSnapshotBytes();
+  const size_t count_pos = bytes.size() - 14;
+  for (size_t i = 0; i < 4; ++i) bytes[count_pos + i] = '\xff';
+  EXPECT_THROW(TTKV::Deserialize(bytes), ParseError);
+}
+
+TEST(Ttkv, DeserializeRejectsOversizedRecordAndVersionCounts) {
+  // Record count lives at offset 13 (magic 4 + version 1 + reads 8).
+  std::string bytes = SampleSnapshotBytes();
+  for (size_t i = 0; i < 8; ++i) bytes[13 + i] = '\x7f';
+  EXPECT_THROW(TTKV::Deserialize(bytes), ParseError);
+
+  // Version count of the first record: offset 21 (header) + str "app/bool"
+  // (4 + 8) + three counters (24).
+  bytes = SampleSnapshotBytes();
+  const size_t version_count_pos = 21 + 12 + 24;
+  for (size_t i = 0; i < 8; ++i) bytes[version_count_pos + i] = '\x7f';
+  EXPECT_THROW(TTKV::Deserialize(bytes), ParseError);
+}
+
+TEST(Ttkv, ImportRecordMergesAndValidates) {
+  TTKV source;
+  source.record_write("k", Value(1), Seconds(1));
+  source.record_write("k", Value(2), Seconds(2));
+  source.record_reads("k", 5);
+
+  TTKV merged;
+  merged.ImportRecord(source.record("k"));
+  EXPECT_EQ(merged.latest("k"), Value(2));
+  EXPECT_EQ(merged.stats().reads, 5u);
+  EXPECT_TRUE(merged == source);
+
+  EXPECT_THROW(merged.ImportRecord(source.record("k")), StoreError);  // Duplicate key.
+  VersionedRecord unordered;
+  unordered.key = "bad";
+  unordered.versions = {Version{.timestamp = Seconds(2), .value = Value(1), .is_delete = false},
+                        Version{.timestamp = Seconds(1), .value = Value(2), .is_delete = false}};
+  EXPECT_THROW(merged.ImportRecord(unordered), StoreError);
+}
+
 TEST(VersionedRecord, FirstLastModified) {
   TTKV ttkv;
   ttkv.record_write("k", Value(1), Seconds(4));

@@ -12,23 +12,34 @@
 //   history <snapshot.ttkv> <key>         dump a key's version history
 //   repair --scenario <1-16> [options]    run a Table III error end-to-end
 //       --strategy <dfs|bfs>  --spurious <n>  --tuned
+//   serve [options]                       run the ocastad TTKV daemon
+//       --port <n>      TCP port (default 7341, 0 = ephemeral)
+//       --shards <n>    engine shard count (default 8)
+//       --window <s>    online-clustering window seconds (default 1.0)
+//       --port-file <p> write the bound port to a file (for scripts)
+//   remote <op> [args] [--host --port]    talk to a running ocastad
+//       ops: ping, put <key> <value>, get <key>, delete <key>,
+//            history <key>, stats, list [prefix], cluster [--threshold
+//            --linkage], compact <seconds>, snapshot <out.ttkv>, shutdown
 //   list                                  machines, applications, scenarios
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "analysis/ground_truth.h"
 #include "apps/catalog.h"
+#include "client/ttkv_client.h"
 #include "clustering/engine.h"
 #include "common/error.h"
+#include "common/flags.h"
 #include "common/io.h"
 #include "common/strings.h"
 #include "common/table.h"
 #include "logger/recorder.h"
+#include "parsers/config_map.h"
 #include "scenarios/harness.h"
+#include "server/server.h"
 #include "workload/generator.h"
 #include "workload/profiles.h"
 
@@ -36,42 +47,11 @@ using namespace ocasta;
 
 namespace {
 
-// Minimal flag parsing: positional args plus "--name value" pairs.
-struct Args {
-  std::vector<std::string> positional;
-  std::map<std::string, std::string> flags;
-
-  static Args Parse(int argc, char** argv, int from) {
-    Args args;
-    for (int i = from; i < argc; ++i) {
-      if (std::strncmp(argv[i], "--", 2) == 0) {
-        const std::string name = argv[i] + 2;
-        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-          args.flags[name] = argv[++i];
-        } else {
-          args.flags[name] = "true";
-        }
-      } else {
-        args.positional.push_back(argv[i]);
-      }
-    }
-    return args;
-  }
-
-  std::string Get(const std::string& name, const std::string& fallback) const {
-    auto it = flags.find(name);
-    return it == flags.end() ? fallback : it->second;
-  }
-  double GetDouble(const std::string& name, double fallback) const {
-    auto it = flags.find(name);
-    return it == flags.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
-  }
-  bool Has(const std::string& name) const { return flags.count(name) != 0; }
-};
+constexpr uint16_t kDefaultPort = 7341;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: ocasta_cli <record|stats|cluster|snapshot|history|repair|list> ...\n"
+               "usage: ocasta_cli <record|stats|cluster|snapshot|history|repair|serve|remote|list> ...\n"
                "run 'ocasta_cli list' to see machines, applications and scenarios\n");
   return 2;
 }
@@ -155,10 +135,7 @@ int CmdSnapshot(const Args& args) {
   return 0;
 }
 
-int CmdHistory(const Args& args) {
-  if (args.positional.size() != 2) return Usage();
-  const TTKV ttkv = TTKV::Deserialize(ReadFile(args.positional[0]));
-  const VersionedRecord& record = ttkv.record(args.positional[1]);
+void PrintHistory(const VersionedRecord& record) {
   std::printf("%s: %llu writes, %llu deletions, %llu reads\n", record.key.c_str(),
               static_cast<unsigned long long>(record.write_count),
               static_cast<unsigned long long>(record.delete_count),
@@ -167,6 +144,12 @@ int CmdHistory(const Args& args) {
     std::printf("  [%s] %s\n", FormatTimestamp(version.timestamp).c_str(),
                 version.is_delete ? "<deleted>" : version.value.ToDisplay().c_str());
   }
+}
+
+int CmdHistory(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  const TTKV ttkv = TTKV::Deserialize(ReadFile(args.positional[0]));
+  PrintHistory(ttkv.record(args.positional[1]));
   return 0;
 }
 
@@ -192,6 +175,117 @@ int CmdRepair(const Args& args) {
     std::printf("hint: this error needs tuning in the paper too — retry with --tuned\n");
   }
   return run.ocasta.fixed ? 0 : 1;
+}
+
+int CmdServe(const Args& args) {
+  ServerOptions options;
+  options.port = static_cast<uint16_t>(args.GetInt("port", kDefaultPort));
+  options.num_shards = static_cast<size_t>(args.GetInt("shards", 8));
+  options.cluster_window_seconds = args.GetDouble("window", 1.0);
+  TtkvServer server(options);
+  server.Start();
+  std::printf("ocastad listening on 127.0.0.1:%u (%zu shards)\n",
+              static_cast<unsigned>(server.port()), options.num_shards);
+  std::fflush(stdout);
+  if (args.Has("port-file")) {
+    WriteFile(args.Get("port-file", ""), std::to_string(server.port()) + "\n");
+  }
+  server.Wait();
+  std::printf("ocastad stopped after %llu connections\n",
+              static_cast<unsigned long long>(server.connections_served()));
+  return 0;
+}
+
+int CmdRemote(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const std::string& op = args.positional[0];
+  const auto arg = [&](size_t i) -> const std::string& {
+    if (i >= args.positional.size()) throw Error("remote " + op + ": missing argument");
+    return args.positional[i];
+  };
+  TtkvClient client(args.Get("host", "127.0.0.1"),
+                    static_cast<uint16_t>(args.GetInt("port", kDefaultPort)));
+  if (op == "ping") {
+    client.Ping();
+    std::printf("pong\n");
+    return 0;
+  }
+  if (op == "put") {
+    client.Put(arg(1), InferScalar(arg(2)));
+    std::printf("ok\n");
+    return 0;
+  }
+  if (op == "get") {
+    const std::optional<Value> value = client.Get(arg(1));
+    if (!value.has_value()) {
+      std::printf("(absent)\n");
+      return 1;
+    }
+    std::printf("%s\n", value->ToDisplay().c_str());
+    return 0;
+  }
+  if (op == "delete") {
+    std::printf("%s\n", client.Delete(arg(1)) ? "deleted" : "(absent)");
+    return 0;
+  }
+  if (op == "history") {
+    const std::optional<VersionedRecord> record = client.History(arg(1));
+    if (!record.has_value()) throw Error("unknown key: " + arg(1));
+    PrintHistory(*record);
+    return 0;
+  }
+  if (op == "stats") {
+    const EngineStats stats = client.Stats();
+    std::printf("keys %zu, writes %llu (deletes %llu), reads %llu, ~%zu bytes\n",
+                stats.ttkv.num_keys, static_cast<unsigned long long>(stats.ttkv.writes),
+                static_cast<unsigned long long>(stats.ttkv.deletes),
+                static_cast<unsigned long long>(stats.ttkv.reads), stats.ttkv.size_bytes);
+    std::printf("shards %zu, ops served: %llu puts, %llu gets, %llu deletes\n",
+                stats.num_shards, static_cast<unsigned long long>(stats.puts),
+                static_cast<unsigned long long>(stats.gets),
+                static_cast<unsigned long long>(stats.deletes));
+    return 0;
+  }
+  if (op == "list") {
+    for (const std::string& key :
+         client.ListKeys(args.positional.size() > 1 ? args.positional[1] : "")) {
+      std::printf("%s\n", key.c_str());
+    }
+    return 0;
+  }
+  if (op == "cluster") {
+    const auto clusters = client.ClusterNow(args.GetDouble("threshold", 2.0),
+                                            LinkageFromName(args.Get("linkage", "complete")));
+    for (const NamedCluster& cluster : clusters) {
+      if (cluster.keys.size() < 2) continue;
+      std::printf("cluster (%zu keys, %llu modifications):\n", cluster.keys.size(),
+                  static_cast<unsigned long long>(cluster.version_count));
+      for (const std::string& key : cluster.keys) std::printf("    %s\n", key.c_str());
+    }
+    return 0;
+  }
+  if (op == "compact") {
+    char* end = nullptr;
+    const double horizon = std::strtod(arg(1).c_str(), &end);
+    if (end == arg(1).c_str() || *end != '\0') {
+      throw Error("compact: horizon must be a number in seconds, got: " + arg(1));
+    }
+    const uint64_t dropped = client.Compact(Seconds(horizon));
+    std::printf("dropped %llu versions\n", static_cast<unsigned long long>(dropped));
+    return 0;
+  }
+  if (op == "snapshot") {
+    const std::string bytes = client.Snapshot().Serialize();
+    WriteFile(arg(1), bytes);
+    std::printf("wrote %s: %zu bytes\n", arg(1).c_str(), bytes.size());
+    return 0;
+  }
+  if (op == "shutdown") {
+    client.Shutdown();
+    std::printf("ocastad shutting down\n");
+    return 0;
+  }
+  return Usage();
 }
 
 int CmdList() {
@@ -227,8 +321,12 @@ int main(int argc, char** argv) {
     if (command == "snapshot") return CmdSnapshot(args);
     if (command == "history") return CmdHistory(args);
     if (command == "repair") return CmdRepair(args);
+    if (command == "serve") return CmdServe(args);
+    if (command == "remote") return CmdRemote(args);
     if (command == "list") return CmdList();
-  } catch (const Error& e) {
+  } catch (const std::exception& e) {
+    // Error and all its subclasses, plus stray std::stod/stoll failures:
+    // the CLI contract is `error: ...` + exit 1, never a crash.
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
