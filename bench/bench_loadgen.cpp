@@ -1,34 +1,54 @@
-// bench_loadgen — multi-client load generator for the ocastad daemon.
+// bench_loadgen — multi-client load generator for the api::Engine backends.
 //
-// Boots a loopback TtkvServer in-process, spins up N client threads (one
-// TcpClient connection each, like the DECS/DiStore load-generator shape:
-// clients + warmup + measure phases), and drives a configurable PUT/GET mix
-// over a keyspace chosen uniformly or Zipf-skewed. After a warmup phase,
-// the measure phase records per-op latency; the run emits BENCH_server.json
-// with ops/sec and p50/p99 latency per op kind.
+// Spins up N client threads and drives a configurable PUT/GET mix over a
+// keyspace chosen uniformly or Zipf-skewed (clients + warmup + measure
+// phases, the DECS/DiStore load-generator shape). --backend picks the
+// engine under test:
+//   remote   boots a loopback TtkvServer in-process; every client owns one
+//            RemoteEngine connection (protocol v2, BATCH frames when
+//            --batch > 1)
+//   sharded  all clients share one in-process ShardedTtkv (grouped shard
+//            locking when --batch > 1)
+//   local    all clients share one LocalEngine (one mutex)
+// After a warmup phase, the measure phase records per-op latency; the run
+// emits BENCH JSON with ops/sec, p50/p99 latency per op kind, and the
+// engine's shard-lock acquisition count.
 //
-//   bench_loadgen --clients 8 --keys 2000 --put-ratio 0.5 --dist zipf
-//                 --theta 0.99 --shards 8 --warmup-ms 300 --measure-ms 1500
-//                 --batch 1 --value-bytes 64 --json BENCH_server.json [--quiet]
+// --suite runs the committed BENCH_server.json matrix instead: remote and
+// sharded backends, each at batch depth 1 and --batch (default 16), plus
+// the sharded batched-vs-single speedup and locks-per-op — the measurement
+// behind the BatchCmd fast path.
+//
+//   bench_loadgen --backend remote --clients 8 --keys 2000 --put-ratio 0.5
+//                 --dist zipf --theta 0.99 --shards 8 --warmup-ms 300
+//                 --measure-ms 1500 --batch 1 --value-bytes 64
+//                 --json BENCH_server.json [--quiet] [--suite]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "api/engine.h"
+#include "api/local_engine.h"
+#include "api/remote_engine.h"
 #include "bench_util.h"
-#include "client/ttkv_client.h"
+#include "common/error.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "server/server.h"
+#include "server/sharded_ttkv.h"
 #include "workload/keydist.h"
 
 namespace ocasta {
 namespace {
 
 struct LoadGenConfig {
+  std::string backend = "remote";
   size_t clients = 8;
   size_t keys = 2000;
   double put_ratio = 0.5;
@@ -37,9 +57,10 @@ struct LoadGenConfig {
   size_t shards = 8;
   int warmup_ms = 300;
   int measure_ms = 1500;
-  size_t batch = 1;        // Pipelining depth (1 = strict request/reply).
+  size_t batch = 1;        // Commands per BatchCmd (1 = single Apply per op).
   size_t value_bytes = 64;
   uint64_t seed = 42;
+  bool suite = false;
   std::string json_path = "BENCH_server.json";
 };
 
@@ -50,40 +71,35 @@ struct ClientResult {
   std::vector<double> get_us;
 };
 
-void RunClient(const LoadGenConfig& cfg, uint16_t port, size_t id,
-               const KeyChooser& chooser, const std::atomic<Phase>& phase,
-               ClientResult* result) {
-  TtkvClient client("127.0.0.1", port);
-  client.Connect();
+void RunClient(const LoadGenConfig& cfg, api::Engine& engine, size_t id,
+               const std::vector<std::string>& key_names, const KeyChooser& chooser,
+               const std::atomic<Phase>& phase, ClientResult* result) {
   Rng rng(cfg.seed * 1000003 + id);
-  const std::string payload(cfg.value_bytes, 'x');
-  std::vector<std::pair<std::string, Value>> put_batch;
-  std::vector<std::string> get_batch;
+  const Value payload(std::string(cfg.value_bytes, 'x'));
+  api::BatchCmd batch;
 
-  const auto key_name = [&](size_t index) { return "bench/key" + std::to_string(index); };
+  const auto key_name = [&](size_t index) -> const std::string& { return key_names[index]; };
 
   while (phase.load(std::memory_order_acquire) != Phase::kDone) {
     const bool measuring = phase.load(std::memory_order_acquire) == Phase::kMeasure;
     const bool is_put = rng.next_bool(cfg.put_ratio);
     const auto start = std::chrono::steady_clock::now();
-    if (is_put) {
-      if (cfg.batch == 1) {
-        client.Put(key_name(chooser.Next(rng)), Value(payload));
+    if (cfg.batch == 1) {
+      if (is_put) {
+        engine.Apply(api::PutCmd{key_name(chooser.Next(rng)), payload, 0});
       } else {
-        put_batch.clear();
-        for (size_t i = 0; i < cfg.batch; ++i) {
-          put_batch.emplace_back(key_name(chooser.Next(rng)), Value(payload));
-        }
-        client.PutBatch(put_batch);
+        engine.Apply(api::GetCmd{key_name(chooser.Next(rng))});
       }
     } else {
-      if (cfg.batch == 1) {
-        client.Get(key_name(chooser.Next(rng)));
-      } else {
-        get_batch.clear();
-        for (size_t i = 0; i < cfg.batch; ++i) get_batch.push_back(key_name(chooser.Next(rng)));
-        client.GetBatch(get_batch);
+      batch.commands.clear();
+      for (size_t i = 0; i < cfg.batch; ++i) {
+        if (is_put) {
+          batch.commands.push_back(api::PutCmd{key_name(chooser.Next(rng)), payload, 0});
+        } else {
+          batch.commands.push_back(api::GetCmd{key_name(chooser.Next(rng))});
+        }
       }
+      engine.ApplyBatch(std::span(batch.commands));
     }
     if (measuring) {
       const double us = std::chrono::duration<double, std::micro>(
@@ -104,18 +120,53 @@ double Percentile(std::vector<double>& sorted_in_place, double p) {
   return sorted_in_place[index];
 }
 
-int RunLoadGen(const LoadGenConfig& cfg) {
-  TtkvServer server(ServerOptions{.port = 0,
-                                  .num_shards = cfg.shards,
-                                  .cluster_window_seconds = 1.0});
-  server.Start();
+struct RunMetrics {
+  std::string backend;
+  size_t batch = 1;
+  double measure_seconds = 0;
+  uint64_t total_ops = 0;
+  uint64_t put_ops = 0;
+  uint64_t get_ops = 0;
+  double ops_per_sec = 0;
+  double put_p50 = 0, put_p99 = 0, get_p50 = 0, get_p99 = 0;
+  EngineStats stats;
+};
+
+RunMetrics RunOne(const LoadGenConfig& cfg) {
+  // The engine under test plus, for the remote backend, the daemon that
+  // owns it. Per-client engines (one connection each) are created below.
+  std::unique_ptr<TtkvServer> server;
+  std::unique_ptr<api::Engine> shared_engine;
+  std::vector<std::unique_ptr<api::Engine>> client_engines(cfg.clients);
+
+  if (cfg.backend == "remote") {
+    server = std::make_unique<TtkvServer>(ServerOptions{
+        .port = 0, .num_shards = cfg.shards, .cluster_window_seconds = 1.0});
+    server->Start();
+    for (auto& engine : client_engines) {
+      engine = std::make_unique<api::RemoteEngine>("127.0.0.1", server->port());
+    }
+  } else if (cfg.backend == "sharded") {
+    shared_engine = std::make_unique<ShardedTtkv>(cfg.shards, 1.0);
+  } else if (cfg.backend == "local") {
+    shared_engine = std::make_unique<api::LocalEngine>();
+  } else {
+    throw Error("unknown backend: " + cfg.backend + " (expected local|sharded|remote)");
+  }
+
   if (!bench::QuietFlag()) {
     std::fprintf(stderr,
-                 "[loadgen] ocastad on 127.0.0.1:%u — %zu clients, %zu keys (%s), "
-                 "put-ratio %.2f, batch %zu\n",
-                 static_cast<unsigned>(server.port()), cfg.clients, cfg.keys,
-                 KeyDistName(cfg.dist), cfg.put_ratio, cfg.batch);
+                 "[loadgen] backend %s — %zu clients, %zu keys (%s), put-ratio %.2f, "
+                 "batch %zu\n",
+                 cfg.backend.c_str(), cfg.clients, cfg.keys, KeyDistName(cfg.dist),
+                 cfg.put_ratio, cfg.batch);
   }
+
+  // Shared read-only key table: per-op key-name construction would
+  // otherwise dominate the in-process backends' measurement.
+  std::vector<std::string> key_names;
+  key_names.reserve(cfg.keys);
+  for (size_t i = 0; i < cfg.keys; ++i) key_names.push_back("bench/key" + std::to_string(i));
 
   const KeyChooser chooser(cfg.dist, cfg.keys, cfg.theta);
   std::atomic<Phase> phase{Phase::kWarmup};
@@ -123,8 +174,9 @@ int RunLoadGen(const LoadGenConfig& cfg) {
   std::vector<std::thread> threads;
   threads.reserve(cfg.clients);
   for (size_t i = 0; i < cfg.clients; ++i) {
-    threads.emplace_back(RunClient, std::cref(cfg), server.port(), i, std::cref(chooser),
-                         std::cref(phase), &results[i]);
+    api::Engine& engine = client_engines[i] ? *client_engines[i] : *shared_engine;
+    threads.emplace_back(RunClient, std::cref(cfg), std::ref(engine), i, std::cref(key_names),
+                         std::cref(chooser), std::cref(phase), &results[i]);
   }
 
   std::this_thread::sleep_for(std::chrono::milliseconds(cfg.warmup_ms));
@@ -136,8 +188,13 @@ int RunLoadGen(const LoadGenConfig& cfg) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - measure_start).count();
   for (std::thread& t : threads) t.join();
 
-  const EngineStats stats = server.engine().Stats();
-  server.Stop();
+  RunMetrics m;
+  m.backend = cfg.backend;
+  m.batch = cfg.batch;
+  // Engine-side truth (lock counts, op totals) comes from the engine that
+  // actually executed the commands — the daemon's for the remote backend.
+  m.stats = server ? server->engine().Stats() : api::Stats(*shared_engine);
+  if (server) server->Stop();
 
   std::vector<double> put_us;
   std::vector<double> get_us;
@@ -145,55 +202,135 @@ int RunLoadGen(const LoadGenConfig& cfg) {
     put_us.insert(put_us.end(), result.put_us.begin(), result.put_us.end());
     get_us.insert(get_us.end(), result.get_us.begin(), result.get_us.end());
   }
-  const uint64_t put_ops = static_cast<uint64_t>(put_us.size()) * cfg.batch;
-  const uint64_t get_ops = static_cast<uint64_t>(get_us.size()) * cfg.batch;
-  const uint64_t total_ops = put_ops + get_ops;
-  const double ops_per_sec = static_cast<double>(total_ops) / measure_seconds;
-
-  const double put_p50 = Percentile(put_us, 50), put_p99 = Percentile(put_us, 99);
-  const double get_p50 = Percentile(get_us, 50), get_p99 = Percentile(get_us, 99);
+  m.put_ops = static_cast<uint64_t>(put_us.size()) * cfg.batch;
+  m.get_ops = static_cast<uint64_t>(get_us.size()) * cfg.batch;
+  m.total_ops = m.put_ops + m.get_ops;
+  m.measure_seconds = measure_seconds;
+  m.ops_per_sec = static_cast<double>(m.total_ops) / measure_seconds;
+  m.put_p50 = Percentile(put_us, 50);
+  m.put_p99 = Percentile(put_us, 99);
+  m.get_p50 = Percentile(get_us, 50);
+  m.get_p99 = Percentile(get_us, 99);
 
   if (!bench::QuietFlag()) {
     std::fprintf(stderr,
-                 "[loadgen] measured %.2fs: %llu ops (%.0f ops/sec) — put p50 %.1fus p99 "
-                 "%.1fus, get p50 %.1fus p99 %.1fus; daemon saw %llu puts / %llu gets\n",
-                 measure_seconds, static_cast<unsigned long long>(total_ops), ops_per_sec,
-                 put_p50, put_p99, get_p50, get_p99,
-                 static_cast<unsigned long long>(stats.puts),
-                 static_cast<unsigned long long>(stats.gets));
+                 "[loadgen] %s batch=%zu: %.2fs, %llu ops (%.0f ops/sec) — put p50 %.1fus "
+                 "p99 %.1fus, get p50 %.1fus p99 %.1fus; %llu lock acquisitions\n",
+                 m.backend.c_str(), m.batch, m.measure_seconds,
+                 static_cast<unsigned long long>(m.total_ops), m.ops_per_sec, m.put_p50,
+                 m.put_p99, m.get_p50, m.get_p99,
+                 static_cast<unsigned long long>(m.stats.lock_acquisitions));
   }
+  return m;
+}
+
+void WriteRunJson(std::FILE* out, const RunMetrics& m, const char* indent) {
+  std::fprintf(out,
+               "%s{\"backend\": \"%s\", \"batch\": %zu,\n"
+               "%s \"measure_seconds\": %.3f, \"total_ops\": %llu, \"ops_per_sec\": %.1f,\n"
+               "%s \"put\": {\"ops\": %llu, \"p50_us\": %.1f, \"p99_us\": %.1f},\n"
+               "%s \"get\": {\"ops\": %llu, \"p50_us\": %.1f, \"p99_us\": %.1f},\n"
+               "%s \"engine\": {\"num_keys\": %zu, \"writes\": %llu, \"reads\": %llu, "
+               "\"lock_acquisitions\": %llu}}",
+               indent, m.backend.c_str(), m.batch, indent, m.measure_seconds,
+               static_cast<unsigned long long>(m.total_ops), m.ops_per_sec, indent,
+               static_cast<unsigned long long>(m.put_ops), m.put_p50, m.put_p99, indent,
+               static_cast<unsigned long long>(m.get_ops), m.get_p50, m.get_p99, indent,
+               m.stats.ttkv.num_keys, static_cast<unsigned long long>(m.stats.ttkv.writes),
+               static_cast<unsigned long long>(m.stats.ttkv.reads),
+               static_cast<unsigned long long>(m.stats.lock_acquisitions));
+}
+
+void WriteConfigJson(std::FILE* out, const LoadGenConfig& cfg) {
+  std::fprintf(out,
+               "  \"config\": {\"clients\": %zu, \"keys\": %zu, \"put_ratio\": %.2f,\n"
+               "             \"dist\": \"%s\", \"theta\": %.2f, \"shards\": %zu,\n"
+               "             \"warmup_ms\": %d, \"measure_ms\": %d,\n"
+               "             \"value_bytes\": %zu},\n",
+               cfg.clients, cfg.keys, cfg.put_ratio, KeyDistName(cfg.dist), cfg.theta,
+               cfg.shards, cfg.warmup_ms, cfg.measure_ms, cfg.value_bytes);
+}
+
+double LocksPerOp(const RunMetrics& m) {
+  const uint64_t ops = m.stats.puts + m.stats.gets + m.stats.deletes;
+  return ops == 0 ? 0.0 : static_cast<double>(m.stats.lock_acquisitions) /
+                              static_cast<double>(ops);
+}
+
+int RunSingle(const LoadGenConfig& cfg) {
+  const RunMetrics m = RunOne(cfg);
+  std::FILE* out = std::fopen(cfg.json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", cfg.json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"server_loadgen\",\n");
+  WriteConfigJson(out, cfg);
+  std::fprintf(out, "  \"run\":\n");
+  WriteRunJson(out, m, "    ");
+  std::fprintf(out, "\n}\n");
+  std::fclose(out);
+  if (!bench::QuietFlag()) std::fprintf(stderr, "[loadgen] wrote %s\n", cfg.json_path.c_str());
+  // Gate on the run having actually measured traffic, not on throughput:
+  // a loaded CI machine must not flake the bench.
+  return m.total_ops > 0 ? 0 : 1;
+}
+
+int RunSuite(const LoadGenConfig& cfg) {
+  const size_t batched = cfg.batch > 1 ? cfg.batch : 16;
+  std::vector<RunMetrics> runs;
+  for (const char* backend : {"remote", "sharded"}) {
+    for (const size_t batch : {size_t{1}, batched}) {
+      LoadGenConfig one = cfg;
+      one.backend = backend;
+      one.batch = batch;
+      runs.push_back(RunOne(one));
+    }
+  }
+  const RunMetrics& sharded_single = runs[2];
+  const RunMetrics& sharded_batched = runs[3];
+  const RunMetrics& remote_single = runs[0];
+  const RunMetrics& remote_batched = runs[1];
+  const double sharded_speedup =
+      sharded_single.ops_per_sec > 0 ? sharded_batched.ops_per_sec / sharded_single.ops_per_sec
+                                     : 0.0;
+  const double remote_speedup =
+      remote_single.ops_per_sec > 0 ? remote_batched.ops_per_sec / remote_single.ops_per_sec
+                                    : 0.0;
 
   std::FILE* out = std::fopen(cfg.json_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", cfg.json_path.c_str());
     return 1;
   }
+  std::fprintf(out, "{\n  \"benchmark\": \"server_loadgen_suite\",\n");
+  WriteConfigJson(out, cfg);
+  std::fprintf(out, "  \"runs\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    WriteRunJson(out, runs[i], "    ");
+    std::fprintf(out, i + 1 < runs.size() ? ",\n" : "\n");
+  }
   std::fprintf(out,
-               "{\n"
-               "  \"benchmark\": \"server_loadgen\",\n"
-               "  \"config\": {\"clients\": %zu, \"keys\": %zu, \"put_ratio\": %.2f,\n"
-               "             \"dist\": \"%s\", \"theta\": %.2f, \"shards\": %zu,\n"
-               "             \"warmup_ms\": %d, \"measure_ms\": %d, \"batch\": %zu,\n"
-               "             \"value_bytes\": %zu},\n"
-               "  \"measure_seconds\": %.3f,\n"
-               "  \"total_ops\": %llu,\n"
-               "  \"ops_per_sec\": %.1f,\n"
-               "  \"put\": {\"ops\": %llu, \"p50_us\": %.1f, \"p99_us\": %.1f},\n"
-               "  \"get\": {\"ops\": %llu, \"p50_us\": %.1f, \"p99_us\": %.1f},\n"
-               "  \"server\": {\"num_keys\": %zu, \"writes\": %llu, \"reads\": %llu}\n"
+               "  ],\n"
+               "  \"batch_depth\": %zu,\n"
+               "  \"remote_batch_speedup\": %.2f,\n"
+               "  \"sharded_batch_speedup\": %.2f,\n"
+               "  \"sharded_locks_per_op\": {\"batch_1\": %.3f, \"batch_%zu\": %.3f}\n"
                "}\n",
-               cfg.clients, cfg.keys, cfg.put_ratio, KeyDistName(cfg.dist), cfg.theta,
-               cfg.shards, cfg.warmup_ms, cfg.measure_ms, cfg.batch, cfg.value_bytes,
-               measure_seconds, static_cast<unsigned long long>(total_ops), ops_per_sec,
-               static_cast<unsigned long long>(put_ops), put_p50, put_p99,
-               static_cast<unsigned long long>(get_ops), get_p50, get_p99,
-               stats.ttkv.num_keys, static_cast<unsigned long long>(stats.ttkv.writes),
-               static_cast<unsigned long long>(stats.ttkv.reads));
+               batched, remote_speedup, sharded_speedup, LocksPerOp(sharded_single), batched,
+               LocksPerOp(sharded_batched));
   std::fclose(out);
-  if (!bench::QuietFlag()) std::fprintf(stderr, "[loadgen] wrote %s\n", cfg.json_path.c_str());
-  // Gate on the run having actually measured traffic, not on throughput:
-  // a loaded CI machine must not flake the bench.
-  return total_ops > 0 ? 0 : 1;
+  if (!bench::QuietFlag()) {
+    std::fprintf(stderr,
+                 "[loadgen] suite: remote batch speedup %.2fx, sharded batch speedup %.2fx "
+                 "(locks/op %.3f -> %.3f); wrote %s\n",
+                 remote_speedup, sharded_speedup, LocksPerOp(sharded_single),
+                 LocksPerOp(sharded_batched), cfg.json_path.c_str());
+  }
+  for (const RunMetrics& m : runs) {
+    if (m.total_ops == 0) return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -204,6 +341,7 @@ int main(int argc, char** argv) {
   const Args args = Args::Parse(argc, argv);
   if (args.Has("quiet")) bench::SetQuiet(true);
   LoadGenConfig cfg;
+  cfg.backend = args.Get("backend", "remote");
   cfg.clients = static_cast<size_t>(args.GetInt("clients", 8));
   cfg.keys = static_cast<size_t>(args.GetInt("keys", 2000));
   cfg.put_ratio = args.GetDouble("put-ratio", 0.5);
@@ -214,12 +352,13 @@ int main(int argc, char** argv) {
   cfg.batch = static_cast<size_t>(args.GetInt("batch", 1));
   cfg.value_bytes = static_cast<size_t>(args.GetInt("value-bytes", 64));
   cfg.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  cfg.suite = args.Has("suite");
   cfg.json_path = args.Get("json", "BENCH_server.json");
   try {
     cfg.dist = KeyDistByName(args.Get("dist", "zipf"));
     if (cfg.clients == 0 || cfg.batch == 0) throw Error("--clients and --batch must be >= 1");
     if (cfg.put_ratio < 0.0 || cfg.put_ratio > 1.0) throw Error("--put-ratio must be in [0,1]");
-    return RunLoadGen(cfg);
+    return cfg.suite ? RunSuite(cfg) : RunSingle(cfg);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

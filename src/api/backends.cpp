@@ -1,0 +1,24 @@
+#include "api/backends.h"
+
+#include "api/local_engine.h"
+#include "api/remote_engine.h"
+#include "common/error.h"
+#include "server/sharded_ttkv.h"
+
+namespace ocasta::api {
+
+std::unique_ptr<Engine> MakeEngine(const BackendOptions& options) {
+  if (options.backend == "local") {
+    return std::make_unique<LocalEngine>(
+        LocalEngine::Options{.cluster_window_seconds = options.cluster_window_seconds});
+  }
+  if (options.backend == "sharded") {
+    return std::make_unique<ShardedTtkv>(options.num_shards, options.cluster_window_seconds);
+  }
+  if (options.backend == "remote") {
+    return std::make_unique<RemoteEngine>(options.host, options.port);
+  }
+  throw Error("unknown backend: " + options.backend + " (expected local|sharded|remote)");
+}
+
+}  // namespace ocasta::api

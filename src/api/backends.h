@@ -1,0 +1,32 @@
+// Runtime backend selection: one factory mapping a --backend flag to an
+// api::Engine implementation, so the CLI, the benches, and embedding code
+// pick local / sharded / remote without compile-time knowledge of any of
+// them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "api/engine.h"
+
+namespace ocasta::api {
+
+struct BackendOptions {
+  std::string backend = "remote";  // "local" | "sharded" | "remote".
+
+  // sharded backend.
+  size_t num_shards = 8;
+
+  // local + sharded backends.
+  double cluster_window_seconds = 1.0;
+
+  // remote backend.
+  std::string host = "127.0.0.1";
+  uint16_t port = 7341;
+};
+
+// Throws Error on an unknown backend name.
+std::unique_ptr<Engine> MakeEngine(const BackendOptions& options);
+
+}  // namespace ocasta::api

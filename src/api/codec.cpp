@@ -1,0 +1,396 @@
+#include "api/codec.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "ttkv/serialize.h"
+
+namespace ocasta::api {
+
+namespace {
+
+Linkage LinkageFromWire(uint8_t code) {
+  switch (code) {
+    case 0: return Linkage::kComplete;
+    case 1: return Linkage::kSingle;
+    case 2: return Linkage::kAverage;
+  }
+  throw ParseError("unknown linkage code");
+}
+
+uint8_t LinkageToWire(Linkage linkage) {
+  switch (linkage) {
+    case Linkage::kComplete: return 0;
+    case Linkage::kSingle: return 1;
+    case Linkage::kAverage: return 2;
+  }
+  throw Error("unknown linkage");
+}
+
+// Reserve guard for untrusted counts: never pre-allocate more entries than
+// the remaining payload could possibly encode (each entry costs >= 1 byte),
+// so a corrupt count fails on a truncated read instead of a giant reserve.
+size_t SafeReserve(uint32_t count, const BinaryReader& r) {
+  return std::min<size_t>(count, r.remaining());
+}
+
+void EncodeCommandTo(BinaryWriter& w, const Command& cmd, size_t depth);
+Command DecodeCommandFrom(BinaryReader& r, size_t depth);
+void EncodeResultTo(BinaryWriter& w, const Result& result, size_t depth);
+Result DecodeResultFrom(BinaryReader& r, size_t depth);
+
+struct CommandEncoder {
+  BinaryWriter& w;
+  size_t depth;
+
+  void operator()(const PingCmd&) { w.u8(static_cast<uint8_t>(OpTag::kPing)); }
+  void operator()(const PutCmd& cmd) {
+    w.u8(static_cast<uint8_t>(OpTag::kPut));
+    w.str(cmd.key);
+    w.i64(cmd.timestamp);
+    w.value(cmd.value);
+  }
+  void operator()(const DeleteCmd& cmd) {
+    w.u8(static_cast<uint8_t>(OpTag::kDelete));
+    w.str(cmd.key);
+    w.i64(cmd.timestamp);
+    w.u8(cmd.force ? 1 : 0);
+  }
+  void operator()(const GetCmd& cmd) {
+    w.u8(static_cast<uint8_t>(OpTag::kGet));
+    w.str(cmd.key);
+  }
+  void operator()(const GetAtCmd& cmd) {
+    w.u8(static_cast<uint8_t>(OpTag::kGetAt));
+    w.str(cmd.key);
+    w.i64(cmd.timestamp);
+  }
+  void operator()(const HistoryCmd& cmd) {
+    w.u8(static_cast<uint8_t>(OpTag::kHistory));
+    w.str(cmd.key);
+  }
+  void operator()(const ListKeysCmd& cmd) {
+    w.u8(static_cast<uint8_t>(OpTag::kListKeys));
+    w.str(cmd.prefix);
+  }
+  void operator()(const StatsCmd&) { w.u8(static_cast<uint8_t>(OpTag::kStats)); }
+  void operator()(const SnapshotCmd&) { w.u8(static_cast<uint8_t>(OpTag::kSnapshot)); }
+  void operator()(const CompactCmd& cmd) {
+    w.u8(static_cast<uint8_t>(OpTag::kCompact));
+    w.i64(cmd.horizon);
+  }
+  void operator()(const ClusterNowCmd& cmd) {
+    w.u8(static_cast<uint8_t>(OpTag::kClusterNow));
+    w.f64(cmd.threshold_correlation);
+    w.u8(LinkageToWire(cmd.linkage));
+  }
+  void operator()(const ShutdownCmd&) { w.u8(static_cast<uint8_t>(OpTag::kShutdown)); }
+  void operator()(const BatchCmd& cmd) {
+    if (depth >= kMaxBatchDepth) throw Error("batch nesting exceeds kMaxBatchDepth");
+    w.u8(static_cast<uint8_t>(OpTag::kBatch));
+    w.u32(static_cast<uint32_t>(cmd.commands.size()));
+    for (const Command& sub : cmd.commands) EncodeCommandTo(w, sub, depth + 1);
+  }
+};
+
+void EncodeCommandTo(BinaryWriter& w, const Command& cmd, size_t depth) {
+  std::visit(CommandEncoder{w, depth}, cmd.op);
+}
+
+Command DecodeCommandFrom(BinaryReader& r, size_t depth) {
+  const auto tag = static_cast<OpTag>(r.u8());
+  switch (tag) {
+    case OpTag::kPing: return PingCmd{};
+    case OpTag::kPut: {
+      PutCmd cmd;
+      cmd.key = r.str();
+      cmd.timestamp = r.i64();
+      cmd.value = r.value();
+      return cmd;
+    }
+    case OpTag::kDelete: {
+      DeleteCmd cmd;
+      cmd.key = r.str();
+      cmd.timestamp = r.i64();
+      cmd.force = r.u8() != 0;
+      return cmd;
+    }
+    case OpTag::kGet: return GetCmd{r.str()};
+    case OpTag::kGetAt: {
+      GetAtCmd cmd;
+      cmd.key = r.str();
+      cmd.timestamp = r.i64();
+      return cmd;
+    }
+    case OpTag::kHistory: return HistoryCmd{r.str()};
+    case OpTag::kListKeys: return ListKeysCmd{r.str()};
+    case OpTag::kStats: return StatsCmd{};
+    case OpTag::kSnapshot: return SnapshotCmd{};
+    case OpTag::kCompact: return CompactCmd{r.i64()};
+    case OpTag::kClusterNow: {
+      ClusterNowCmd cmd;
+      cmd.threshold_correlation = r.f64();
+      cmd.linkage = LinkageFromWire(r.u8());
+      return cmd;
+    }
+    case OpTag::kShutdown: return ShutdownCmd{};
+    case OpTag::kBatch: {
+      if (depth >= kMaxBatchDepth) throw ParseError("batch nesting exceeds kMaxBatchDepth");
+      const uint32_t count = r.u32();
+      BatchCmd cmd;
+      cmd.commands.reserve(SafeReserve(count, r));
+      for (uint32_t i = 0; i < count; ++i) {
+        cmd.commands.push_back(DecodeCommandFrom(r, depth + 1));
+      }
+      return cmd;
+    }
+    case OpTag::kHello:
+      // HELLO is connection-level; it never appears inside generic
+      // dispatch (the server peeks for it before DecodeCommand).
+      throw ParseError("HELLO is not a dispatchable command");
+  }
+  throw ParseError("unknown op tag " + std::to_string(static_cast<int>(tag)));
+}
+
+struct ResultEncoder {
+  BinaryWriter& w;
+  size_t depth;
+
+  void operator()(const OkResult&) { w.u8(static_cast<uint8_t>(ResultTag::kOk)); }
+  void operator()(const ErrorResult& res) {
+    w.u8(static_cast<uint8_t>(ResultTag::kError));
+    w.str(res.message);
+  }
+  void operator()(const ExistedResult& res) {
+    w.u8(static_cast<uint8_t>(ResultTag::kExisted));
+    w.u8(res.existed ? 1 : 0);
+  }
+  void operator()(const ValueResult& res) {
+    w.u8(static_cast<uint8_t>(ResultTag::kValue));
+    w.u8(res.value.has_value() ? 1 : 0);
+    if (res.value.has_value()) w.value(*res.value);
+  }
+  void operator()(const HistoryResult& res) {
+    w.u8(static_cast<uint8_t>(ResultTag::kHistory));
+    w.u8(res.record.has_value() ? 1 : 0);
+    if (!res.record.has_value()) return;
+    const VersionedRecord& rec = *res.record;
+    w.str(rec.key);
+    w.u64(rec.write_count);
+    w.u64(rec.delete_count);
+    w.u64(rec.read_count);
+    w.u32(static_cast<uint32_t>(rec.versions.size()));
+    for (const Version& v : rec.versions) {
+      w.i64(v.timestamp);
+      w.u8(v.is_delete ? 1 : 0);
+      w.value(v.value);
+    }
+  }
+  void operator()(const KeysResult& res) {
+    w.u8(static_cast<uint8_t>(ResultTag::kKeys));
+    w.u32(static_cast<uint32_t>(res.keys.size()));
+    for (const std::string& key : res.keys) w.str(key);
+  }
+  void operator()(const StatsResult& res) {
+    w.u8(static_cast<uint8_t>(ResultTag::kStats));
+    const EngineStats& s = res.stats;
+    w.u64(s.ttkv.reads);
+    w.u64(s.ttkv.writes);
+    w.u64(s.ttkv.deletes);
+    w.u64(s.ttkv.num_keys);
+    w.u64(s.ttkv.size_bytes);
+    w.u32(static_cast<uint32_t>(s.num_shards));
+    w.u64(s.puts);
+    w.u64(s.gets);
+    w.u64(s.deletes);
+    w.u64(s.lock_acquisitions);
+  }
+  void operator()(const SnapshotResult& res) {
+    w.u8(static_cast<uint8_t>(ResultTag::kSnapshot));
+    w.str(res.snapshot.Serialize());
+  }
+  void operator()(const CompactResult& res) {
+    w.u8(static_cast<uint8_t>(ResultTag::kCompact));
+    w.u64(res.versions_dropped);
+  }
+  void operator()(const ClustersResult& res) {
+    w.u8(static_cast<uint8_t>(ResultTag::kClusters));
+    w.u32(static_cast<uint32_t>(res.clusters.size()));
+    for (const NamedCluster& cluster : res.clusters) {
+      w.u64(cluster.version_count);
+      w.i64(cluster.last_modified);
+      w.u32(static_cast<uint32_t>(cluster.keys.size()));
+      for (const std::string& key : cluster.keys) w.str(key);
+    }
+  }
+  void operator()(const BatchResult& res) {
+    if (depth >= kMaxBatchDepth) throw Error("batch nesting exceeds kMaxBatchDepth");
+    w.u8(static_cast<uint8_t>(ResultTag::kBatch));
+    w.u32(static_cast<uint32_t>(res.results.size()));
+    for (const Result& sub : res.results) EncodeResultTo(w, sub, depth + 1);
+  }
+};
+
+void EncodeResultTo(BinaryWriter& w, const Result& result, size_t depth) {
+  std::visit(ResultEncoder{w, depth}, result.op);
+}
+
+Result DecodeResultFrom(BinaryReader& r, size_t depth) {
+  const auto tag = static_cast<ResultTag>(r.u8());
+  switch (tag) {
+    case ResultTag::kOk: return OkResult{};
+    case ResultTag::kError: return ErrorResult{r.str()};
+    case ResultTag::kExisted: return ExistedResult{r.u8() != 0};
+    case ResultTag::kValue: {
+      ValueResult res;
+      if (r.u8() != 0) res.value = r.value();
+      return res;
+    }
+    case ResultTag::kHistory: {
+      HistoryResult res;
+      if (r.u8() == 0) return res;
+      VersionedRecord rec;
+      rec.key = r.str();
+      rec.write_count = r.u64();
+      rec.delete_count = r.u64();
+      rec.read_count = r.u64();
+      const uint32_t n = r.u32();
+      rec.versions.reserve(SafeReserve(n, r));
+      for (uint32_t i = 0; i < n; ++i) {
+        Version v;
+        v.timestamp = r.i64();
+        v.is_delete = r.u8() != 0;
+        v.value = r.value();
+        rec.versions.push_back(std::move(v));
+      }
+      res.record = std::move(rec);
+      return res;
+    }
+    case ResultTag::kKeys: {
+      KeysResult res;
+      const uint32_t n = r.u32();
+      res.keys.reserve(SafeReserve(n, r));
+      for (uint32_t i = 0; i < n; ++i) res.keys.push_back(r.str());
+      return res;
+    }
+    case ResultTag::kStats: {
+      StatsResult res;
+      EngineStats& s = res.stats;
+      s.ttkv.reads = r.u64();
+      s.ttkv.writes = r.u64();
+      s.ttkv.deletes = r.u64();
+      s.ttkv.num_keys = r.u64();
+      s.ttkv.size_bytes = r.u64();
+      s.num_shards = r.u32();
+      s.puts = r.u64();
+      s.gets = r.u64();
+      s.deletes = r.u64();
+      s.lock_acquisitions = r.u64();
+      return res;
+    }
+    case ResultTag::kSnapshot: return SnapshotResult{TTKV::Deserialize(r.str())};
+    case ResultTag::kCompact: return CompactResult{r.u64()};
+    case ResultTag::kClusters: {
+      ClustersResult res;
+      const uint32_t n = r.u32();
+      res.clusters.reserve(SafeReserve(n, r));
+      for (uint32_t i = 0; i < n; ++i) {
+        NamedCluster cluster;
+        cluster.version_count = r.u64();
+        cluster.last_modified = r.i64();
+        const uint32_t m = r.u32();
+        cluster.keys.reserve(SafeReserve(m, r));
+        for (uint32_t j = 0; j < m; ++j) cluster.keys.push_back(r.str());
+        res.clusters.push_back(std::move(cluster));
+      }
+      return res;
+    }
+    case ResultTag::kBatch: {
+      if (depth >= kMaxBatchDepth) throw ParseError("batch nesting exceeds kMaxBatchDepth");
+      const uint32_t n = r.u32();
+      BatchResult res;
+      res.results.reserve(SafeReserve(n, r));
+      for (uint32_t i = 0; i < n; ++i) res.results.push_back(DecodeResultFrom(r, depth + 1));
+      return res;
+    }
+    case ResultTag::kHello:
+      throw ParseError("HELLO reply outside version negotiation");
+  }
+  throw ParseError("unknown result tag " + std::to_string(static_cast<int>(tag)));
+}
+
+}  // namespace
+
+std::string EncodeCommand(const Command& cmd) {
+  BinaryWriter w;
+  EncodeCommandTo(w, cmd, 0);
+  return w.take();
+}
+
+std::string EncodeBatchRequest(std::span<const Command> commands) {
+  BinaryWriter w;
+  w.u8(static_cast<uint8_t>(OpTag::kBatch));
+  w.u32(static_cast<uint32_t>(commands.size()));
+  for (const Command& cmd : commands) EncodeCommandTo(w, cmd, 1);
+  return w.take();
+}
+
+Command DecodeCommand(std::string_view payload) {
+  BinaryReader r(payload);
+  Command cmd = DecodeCommandFrom(r, 0);
+  if (!r.at_end()) {
+    throw ParseError(std::string("trailing bytes after ") + CommandName(cmd) + " request");
+  }
+  return cmd;
+}
+
+std::string EncodeResult(const Result& result) {
+  BinaryWriter w;
+  EncodeResultTo(w, result, 0);
+  return w.take();
+}
+
+Result DecodeResult(std::string_view payload) {
+  BinaryReader r(payload);
+  Result result = DecodeResultFrom(r, 0);
+  if (!r.at_end()) throw ParseError("trailing bytes after reply");
+  return result;
+}
+
+bool IsHelloRequest(std::string_view payload) {
+  return !payload.empty() && static_cast<uint8_t>(payload[0]) == static_cast<uint8_t>(OpTag::kHello);
+}
+
+std::string EncodeHello(uint32_t version) {
+  BinaryWriter w;
+  w.u8(static_cast<uint8_t>(OpTag::kHello));
+  w.u32(version);
+  return w.take();
+}
+
+uint32_t DecodeHello(std::string_view payload) {
+  BinaryReader r(payload);
+  if (static_cast<OpTag>(r.u8()) != OpTag::kHello) throw ParseError("not a HELLO request");
+  const uint32_t version = r.u32();
+  if (!r.at_end()) throw ParseError("trailing bytes after HELLO request");
+  return version;
+}
+
+std::string EncodeHelloReply(uint32_t version) {
+  BinaryWriter w;
+  w.u8(static_cast<uint8_t>(ResultTag::kHello));
+  w.u32(version);
+  return w.take();
+}
+
+uint32_t DecodeHelloReply(std::string_view payload) {
+  BinaryReader r(payload);
+  const auto tag = static_cast<ResultTag>(r.u8());
+  if (tag == ResultTag::kError) throw StoreError("ocastad: " + r.str());
+  if (tag != ResultTag::kHello) throw ParseError("malformed HELLO reply");
+  const uint32_t version = r.u32();
+  if (!r.at_end()) throw ParseError("trailing bytes after HELLO reply");
+  return version;
+}
+
+}  // namespace ocasta::api

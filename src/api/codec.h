@@ -1,0 +1,100 @@
+// Protocol v2 codec: the single place Commands and Results are encoded to
+// and decoded from wire payloads. The server decodes requests and encodes
+// replies through these functions; TtkvClient does the reverse — neither
+// side carries per-op byte layouts of its own. docs/PROTOCOL.md is the
+// byte-level specification generated from this table.
+//
+// A request payload is a u8 op tag + the command body (or a HELLO, handled
+// by the dedicated functions below because version negotiation happens
+// before generic dispatch). A reply payload is a u8 result tag + the
+// result body. All primitives use the BinaryWriter/BinaryReader layout of
+// the TTKV snapshot format.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "api/command.h"
+
+namespace ocasta::api {
+
+// Protocol generation spoken by this build. v1 was the hand-rolled 12-op
+// protocol without HELLO/BATCH/force-delete; v2 is the first codec-
+// generated version and the oldest one this codec accepts.
+inline constexpr uint32_t kProtocolVersion = 2;
+inline constexpr uint32_t kMinProtocolVersion = 2;
+
+// Nested-batch depth cap: deeper batches are refused on encode (Error) and
+// decode (ParseError) so corrupt or hostile frames cannot recurse the
+// stack away. The top-level command sits at depth 0.
+inline constexpr size_t kMaxBatchDepth = 8;
+
+// Request op tags. Values 1-12 match protocol v1 for the ops it had.
+enum class OpTag : uint8_t {
+  kPing = 1,
+  kPut = 2,
+  kDelete = 3,
+  kGet = 4,
+  kGetAt = 5,
+  kHistory = 6,
+  kStats = 7,
+  kListKeys = 8,
+  kSnapshot = 9,
+  kCompact = 10,
+  kClusterNow = 11,
+  kShutdown = 12,
+  kHello = 13,
+  kBatch = 14,
+};
+
+// Reply result tags. kOk/kError keep v1's 0/1 status-byte values.
+enum class ResultTag : uint8_t {
+  kOk = 0,
+  kError = 1,
+  kExisted = 2,
+  kValue = 3,
+  kHistory = 4,
+  kKeys = 5,
+  kStats = 6,
+  kSnapshot = 7,
+  kCompact = 8,
+  kClusters = 9,
+  kBatch = 10,
+  kHello = 11,  // HELLO replies only; never produced by EncodeResult.
+};
+
+// --- Commands and Results ---------------------------------------------------
+
+std::string EncodeCommand(const Command& cmd);
+
+// Decodes a full request payload. Throws ParseError on an unknown tag, a
+// truncated body, trailing bytes, or an over-deep batch.
+Command DecodeCommand(std::string_view payload);
+
+// Encodes a span of commands as one BATCH request without materializing a
+// BatchCmd (the zero-copy path for Engine::ApplyBatch over the wire).
+// Byte-identical to EncodeCommand(BatchCmd{commands}).
+std::string EncodeBatchRequest(std::span<const Command> commands);
+
+std::string EncodeResult(const Result& result);
+
+// Decodes a full reply payload; same failure contract as DecodeCommand.
+Result DecodeResult(std::string_view payload);
+
+// --- HELLO version negotiation ----------------------------------------------
+// The first request on a connection may be HELLO carrying the client's
+// protocol version; the server answers with min(client, server), or an
+// ErrorResult when the client is older than kMinProtocolVersion.
+
+bool IsHelloRequest(std::string_view payload);
+std::string EncodeHello(uint32_t version);
+uint32_t DecodeHello(std::string_view payload);
+std::string EncodeHelloReply(uint32_t version);
+
+// Throws StoreError when the reply is an ErrorResult (version rejected),
+// ParseError when it is not a well-formed HELLO reply.
+uint32_t DecodeHelloReply(std::string_view payload);
+
+}  // namespace ocasta::api

@@ -1,0 +1,80 @@
+#include "api/engine.h"
+
+#include "common/error.h"
+
+namespace ocasta::api {
+
+std::vector<Result> Engine::ApplyBatch(std::span<const Command> cmds) {
+  std::vector<Result> results;
+  results.reserve(cmds.size());
+  for (const Command& cmd : cmds) results.push_back(Apply(cmd));
+  return results;
+}
+
+const char* CommandName(const Command& cmd) {
+  struct Namer {
+    const char* operator()(const PingCmd&) const { return "PING"; }
+    const char* operator()(const PutCmd&) const { return "PUT"; }
+    const char* operator()(const DeleteCmd&) const { return "DELETE"; }
+    const char* operator()(const GetCmd&) const { return "GET"; }
+    const char* operator()(const GetAtCmd&) const { return "GET_AT"; }
+    const char* operator()(const HistoryCmd&) const { return "HISTORY"; }
+    const char* operator()(const ListKeysCmd&) const { return "LIST_KEYS"; }
+    const char* operator()(const StatsCmd&) const { return "STATS"; }
+    const char* operator()(const SnapshotCmd&) const { return "SNAPSHOT"; }
+    const char* operator()(const CompactCmd&) const { return "COMPACT"; }
+    const char* operator()(const ClusterNowCmd&) const { return "CLUSTER_NOW"; }
+    const char* operator()(const ShutdownCmd&) const { return "SHUTDOWN"; }
+    const char* operator()(const BatchCmd&) const { return "BATCH"; }
+  };
+  return std::visit(Namer{}, cmd.op);
+}
+
+void Ping(Engine& engine) { Expect<OkResult>(engine.Apply(PingCmd{}), "PING"); }
+
+void Put(Engine& engine, const std::string& key, const Value& value, TimeMicros t) {
+  Expect<OkResult>(engine.Apply(PutCmd{key, value, t}), "PUT");
+}
+
+bool Delete(Engine& engine, const std::string& key, TimeMicros t, bool force) {
+  return Expect<ExistedResult>(engine.Apply(DeleteCmd{key, t, force}), "DELETE").existed;
+}
+
+std::optional<Value> Get(Engine& engine, const std::string& key) {
+  return Expect<ValueResult>(engine.Apply(GetCmd{key}), "GET").value;
+}
+
+std::optional<Value> GetAt(Engine& engine, const std::string& key, TimeMicros t) {
+  return Expect<ValueResult>(engine.Apply(GetAtCmd{key, t}), "GET_AT").value;
+}
+
+std::optional<VersionedRecord> History(Engine& engine, const std::string& key) {
+  return Expect<HistoryResult>(engine.Apply(HistoryCmd{key}), "HISTORY").record;
+}
+
+std::vector<std::string> ListKeys(Engine& engine, const std::string& prefix) {
+  return Expect<KeysResult>(engine.Apply(ListKeysCmd{prefix}), "LIST_KEYS").keys;
+}
+
+EngineStats Stats(Engine& engine) {
+  return Expect<StatsResult>(engine.Apply(StatsCmd{}), "STATS").stats;
+}
+
+TTKV Snapshot(Engine& engine) {
+  return Expect<SnapshotResult>(engine.Apply(SnapshotCmd{}), "SNAPSHOT").snapshot;
+}
+
+uint64_t Compact(Engine& engine, TimeMicros horizon) {
+  return Expect<CompactResult>(engine.Apply(CompactCmd{horizon}), "COMPACT").versions_dropped;
+}
+
+std::vector<NamedCluster> ClusterNow(Engine& engine, double threshold_correlation,
+                                     Linkage linkage) {
+  return Expect<ClustersResult>(engine.Apply(ClusterNowCmd{threshold_correlation, linkage}),
+                                "CLUSTER_NOW")
+      .clusters;
+}
+
+void Shutdown(Engine& engine) { Expect<OkResult>(engine.Apply(ShutdownCmd{}), "SHUTDOWN"); }
+
+}  // namespace ocasta::api

@@ -1,0 +1,148 @@
+#include "api/local_engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "clustering/engine.h"
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace ocasta::api {
+
+LocalEngine::LocalEngine(Options options) : options_(options) {}
+
+LocalEngine::LocalEngine(TTKV initial, Options options)
+    : ttkv_(std::move(initial)), options_(options) {}
+
+TimeMicros LocalEngine::StampNowLocked() {
+  const int64_t wall = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count();
+  clock_ = std::max(wall, clock_ + 1);
+  return clock_;
+}
+
+Result LocalEngine::Apply(const Command& cmd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++lock_acquisitions_;
+  return ApplyLocked(cmd);
+}
+
+std::vector<Result> LocalEngine::ApplyBatch(std::span<const Command> cmds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++lock_acquisitions_;
+  std::vector<Result> results;
+  results.reserve(cmds.size());
+  for (const Command& cmd : cmds) results.push_back(ApplyLocked(cmd));
+  return results;
+}
+
+Result LocalEngine::ApplyLocked(const Command& cmd) {
+  struct Dispatcher {
+    LocalEngine& self;
+
+    Result operator()(const PingCmd&) { return OkResult{}; }
+
+    Result operator()(const PutCmd& cmd) {
+      if (cmd.key.empty()) throw StoreError("empty key");
+      const TimeMicros t = cmd.timestamp == 0 ? self.StampNowLocked() : cmd.timestamp;
+      self.ttkv_.record_write_clamped(cmd.key, cmd.value, t);
+      ++self.puts_;
+      return OkResult{};
+    }
+
+    Result operator()(const DeleteCmd& cmd) {
+      if (cmd.key.empty()) throw StoreError("empty key");
+      const VersionedRecord* rec = self.ttkv_.find(cmd.key);
+      const bool existed = rec != nullptr && rec->latest().has_value();
+      if (!existed && !cmd.force) return ExistedResult{false};
+      const TimeMicros t = cmd.timestamp == 0 ? self.StampNowLocked() : cmd.timestamp;
+      self.ttkv_.record_delete_clamped(cmd.key, t);
+      ++self.deletes_;
+      return ExistedResult{existed};
+    }
+
+    Result operator()(const GetCmd& cmd) {
+      ++self.gets_;
+      return ValueResult{self.ttkv_.read_latest(cmd.key)};
+    }
+
+    Result operator()(const GetAtCmd& cmd) {
+      const VersionedRecord* rec = self.ttkv_.find(cmd.key);
+      ValueResult res;
+      if (rec != nullptr) res.value = rec->value_at(cmd.timestamp);
+      return res;
+    }
+
+    Result operator()(const HistoryCmd& cmd) {
+      const VersionedRecord* rec = self.ttkv_.find(cmd.key);
+      if (rec == nullptr) return HistoryResult{};
+      return HistoryResult{*rec};
+    }
+
+    Result operator()(const ListKeysCmd& cmd) {
+      KeysResult res;
+      for (uint32_t id = 0; id < self.ttkv_.num_keys(); ++id) {
+        const VersionedRecord& rec = self.ttkv_.record(id);
+        if (StartsWith(rec.key, cmd.prefix) && rec.latest().has_value()) {
+          res.keys.push_back(rec.key);
+        }
+      }
+      std::sort(res.keys.begin(), res.keys.end());
+      return res;
+    }
+
+    Result operator()(const StatsCmd&) {
+      StatsResult res;
+      res.stats.ttkv = self.ttkv_.stats();
+      res.stats.num_shards = 1;
+      res.stats.puts = self.puts_;
+      res.stats.gets = self.gets_;
+      res.stats.deletes = self.deletes_;
+      res.stats.lock_acquisitions = self.lock_acquisitions_;
+      return res;
+    }
+
+    Result operator()(const SnapshotCmd&) { return SnapshotResult{self.ttkv_}; }
+
+    Result operator()(const CompactCmd& cmd) {
+      return CompactResult{self.ttkv_.CompactBefore(cmd.horizon)};
+    }
+
+    Result operator()(const ClusterNowCmd& cmd) {
+      ClusteringParams params;
+      params.window_seconds = self.options_.cluster_window_seconds;
+      params.threshold_correlation = cmd.threshold_correlation;
+      params.linkage = cmd.linkage;
+      const ClusterSet set = ClusterKeys(self.ttkv_, params);
+      ClustersResult res;
+      res.clusters.reserve(set.size());
+      for (const KeyCluster& cluster : set.clusters()) {
+        NamedCluster named;
+        named.version_count = cluster.version_count;
+        named.last_modified = cluster.last_modified;
+        named.keys.reserve(cluster.keys.size());
+        for (uint32_t id : cluster.keys) named.keys.push_back(self.ttkv_.key_name(id));
+        res.clusters.push_back(std::move(named));
+      }
+      return res;
+    }
+
+    Result operator()(const ShutdownCmd&) { return OkResult{}; }
+
+    Result operator()(const BatchCmd& cmd) {
+      BatchResult res;
+      res.results.reserve(cmd.commands.size());
+      for (const Command& sub : cmd.commands) res.results.push_back(self.ApplyLocked(sub));
+      return res;
+    }
+  };
+
+  try {
+    return std::visit(Dispatcher{*this}, cmd.op);
+  } catch (const Error& e) {
+    return ErrorResult{e.what()};
+  }
+}
+
+}  // namespace ocasta::api

@@ -1,0 +1,54 @@
+// LocalEngine — the in-process api::Engine over one TTKV.
+//
+// The thinnest backend: a single TTKV guarded by one mutex, matching the
+// paper's one-store-per-recorder deployment. It answers the full Command
+// vocabulary — ClusterNow runs the offline clustering pipeline over the
+// store's write history (there is no online tracker at this scale), and
+// ShutdownCmd is a no-op. ApplyBatch takes the mutex once for the whole
+// batch, the single-shard analog of ShardedTtkv's grouped locking.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "api/engine.h"
+#include "ttkv/ttkv.h"
+
+namespace ocasta::api {
+
+class LocalEngine final : public Engine {
+ public:
+  struct Options {
+    // Co-modification window for ClusterNowCmd (see ClusteringParams).
+    double cluster_window_seconds = 1.0;
+  };
+
+  LocalEngine() : LocalEngine(Options{}) {}
+  explicit LocalEngine(Options options);
+  // Adopts an existing store, e.g. a deserialized snapshot for trace replay.
+  explicit LocalEngine(TTKV initial) : LocalEngine(std::move(initial), Options{}) {}
+  LocalEngine(TTKV initial, Options options);
+
+  Result Apply(const Command& cmd) override;
+  std::vector<Result> ApplyBatch(std::span<const Command> cmds) override;
+  const char* backend_name() const override { return "local"; }
+
+ private:
+  // Dispatches one command with mu_ held. Never throws: command-level
+  // failures come back as ErrorResult.
+  Result ApplyLocked(const Command& cmd);
+
+  // Monotonicized wall-clock stamp for timestamp == 0 ops; mu_ held.
+  TimeMicros StampNowLocked();
+
+  mutable std::mutex mu_;
+  TTKV ttkv_;
+  Options options_;
+  int64_t clock_ = 0;
+  uint64_t puts_ = 0;
+  uint64_t gets_ = 0;
+  uint64_t deletes_ = 0;
+  uint64_t lock_acquisitions_ = 0;
+};
+
+}  // namespace ocasta::api

@@ -1,0 +1,12 @@
+#include "api/remote_engine.h"
+
+namespace ocasta::api {
+
+RemoteEngine::RemoteEngine(std::string host, uint16_t port)
+    : owned_(std::make_unique<TtkvClient>(std::move(host), port)), client_(owned_.get()) {}
+
+std::vector<Result> RemoteEngine::ApplyBatch(std::span<const Command> cmds) {
+  return client_->ApplyBatch(cmds);
+}
+
+}  // namespace ocasta::api

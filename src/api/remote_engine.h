@@ -1,0 +1,42 @@
+// RemoteEngine — the api::Engine over a TtkvClient speaking protocol v2.
+//
+// Apply encodes one Command into one request frame and decodes the reply;
+// ApplyBatch wraps the span in a BatchCmd so the whole batch travels as a
+// single BATCH frame and runs through the daemon's grouped-locking fast
+// path (one round trip, at most num_shards lock acquisitions server-side).
+// Transport failures throw WireError after the client's one transparent
+// reconnect; command-level failures come back as ErrorResult like every
+// other backend.
+//
+// Not thread-safe (one connection): use one RemoteEngine per thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "api/engine.h"
+#include "client/ttkv_client.h"
+
+namespace ocasta::api {
+
+class RemoteEngine final : public Engine {
+ public:
+  // Owns its connection; connects lazily on the first Apply.
+  RemoteEngine(std::string host, uint16_t port);
+
+  // Borrows an existing client, which must outlive this engine.
+  explicit RemoteEngine(TtkvClient& client) : client_(&client) {}
+
+  Result Apply(const Command& cmd) override { return client_->Apply(cmd); }
+  std::vector<Result> ApplyBatch(std::span<const Command> cmds) override;
+  const char* backend_name() const override { return "remote"; }
+
+  TtkvClient& client() { return *client_; }
+
+ private:
+  std::unique_ptr<TtkvClient> owned_;
+  TtkvClient* client_ = nullptr;
+};
+
+}  // namespace ocasta::api

@@ -1,0 +1,38 @@
+// Engine-level result types shared by every TTKV backend (local, sharded,
+// remote). These used to live in server/sharded_ttkv.h; they moved here so
+// the api layer is the root of the dependency graph: backends include api,
+// never the other way around.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "ttkv/ttkv.h"
+
+namespace ocasta {
+
+// Cross-shard aggregate statistics (TtkvStats plus engine counters).
+struct EngineStats {
+  TtkvStats ttkv;
+  size_t num_shards = 0;
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+  // Shard-mutex acquisitions since engine construction. The batched Apply
+  // path exists to push this down: N single-key commands cost N lock
+  // acquisitions applied one by one, but at most num_shards when grouped
+  // into one BatchCmd (see bench_loadgen --suite).
+  uint64_t lock_acquisitions = 0;
+};
+
+// ClusterNow output: clusters reference keys by name because the tracker's
+// dense ids are engine-internal.
+struct NamedCluster {
+  std::vector<std::string> keys;
+  uint64_t version_count = 0;
+  TimeMicros last_modified = 0;
+};
+
+}  // namespace ocasta

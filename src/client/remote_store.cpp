@@ -3,7 +3,7 @@
 namespace ocasta {
 
 ConfigMap RemoteStore::Snapshot() const {
-  const TTKV ttkv = client_.Snapshot();
+  const TTKV ttkv = api::Snapshot(engine_);
   ConfigMap state;
   for (const std::string& key : ttkv.key_names()) {
     std::optional<Value> value = ttkv.latest(key);
@@ -14,12 +14,22 @@ ConfigMap RemoteStore::Snapshot() const {
 
 void RemoteStore::RestoreSnapshot(const ConfigMap& state) {
   const ConfigMap current = Snapshot();
+  api::BatchCmd batch;
   for (const auto& [key, value] : current) {
-    if (state.count(key) == 0) client_.Delete(key);
+    if (state.count(key) == 0) batch.commands.push_back(api::DeleteCmd{key});
   }
   for (const auto& [key, value] : state) {
     const auto it = current.find(key);
-    if (it == current.end() || !(it->second == value)) client_.Put(key, value);
+    if (it == current.end() || !(it->second == value)) {
+      batch.commands.push_back(api::PutCmd{key, value});
+    }
+  }
+  if (batch.commands.empty()) return;
+  for (api::Result& result : api::Expect<api::BatchResult>(
+           engine_.Apply(std::move(batch)), "RESTORE_SNAPSHOT").results) {
+    if (auto* err = std::get_if<api::ErrorResult>(&result.op)) {
+      throw StoreError("RestoreSnapshot: " + err->message);
+    }
   }
 }
 

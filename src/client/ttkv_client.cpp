@@ -2,42 +2,21 @@
 
 #include <unistd.h>
 
+#include "api/codec.h"
 #include "server/wire.h"
-#include "ttkv/serialize.h"
 
 namespace ocasta {
 
 namespace {
 
-// Consumes the status byte; server-reported errors become StoreError.
-std::string CheckReply(std::string reply) {
-  BinaryReader r(reply);
-  const uint8_t status = r.u8();
-  if (status == kStatusOk) return reply.substr(1);
-  if (status == kStatusErr) throw StoreError("ocastad: " + r.str());
-  throw WireError("malformed reply status");
-}
-
-std::string EncodePut(const std::string& key, const Value& value, TimeMicros t) {
-  BinaryWriter w;
-  w.u8(static_cast<uint8_t>(Op::kPut));
-  w.str(key);
-  w.i64(t);
-  w.value(value);
-  return w.take();
-}
-
-std::string EncodeKeyOnly(Op op, const std::string& key) {
-  BinaryWriter w;
-  w.u8(static_cast<uint8_t>(op));
-  w.str(key);
-  return w.take();
-}
-
-std::optional<Value> DecodeOptionalValue(const std::string& body) {
-  BinaryReader r(body);
-  if (r.u8() == 0) return std::nullopt;
-  return r.value();
+// Unwraps a typed reply; the daemon's ErrorResult becomes StoreError.
+template <typename T>
+T Take(api::Result result, const char* what) {
+  if (auto* err = std::get_if<api::ErrorResult>(&result.op)) {
+    throw StoreError("ocastad: " + err->message);
+  }
+  if (auto* typed = std::get_if<T>(&result.op)) return std::move(*typed);
+  throw WireError(std::string("unexpected reply type for ") + what);
 }
 
 }  // namespace
@@ -49,6 +28,22 @@ TtkvClient::~TtkvClient() { Close(); }
 void TtkvClient::Connect() {
   if (fd_ >= 0) return;
   fd_ = ConnectTcp(host_, port_);
+  try {
+    // HELLO before anything else: agree on the protocol version while the
+    // connection is otherwise idle. A v1 daemon (which predates HELLO)
+    // would answer with an error reply, surfaced here as StoreError.
+    SendFrame(fd_, api::EncodeHello(api::kProtocolVersion));
+    const auto reply = RecvFrame(fd_);
+    if (!reply.has_value()) throw WireError("daemon closed the connection during HELLO");
+    protocol_version_ = api::DecodeHelloReply(*reply);
+    if (protocol_version_ < api::kMinProtocolVersion) {
+      throw WireError("daemon negotiated unsupported protocol version " +
+                      std::to_string(protocol_version_));
+    }
+  } catch (...) {
+    Close();
+    throw;
+  }
 }
 
 void TtkvClient::Close() {
@@ -56,186 +51,119 @@ void TtkvClient::Close() {
     ::close(fd_);
     fd_ = -1;
   }
+  protocol_version_ = 0;
 }
 
-std::vector<std::string> TtkvClient::RpcPipelined(const std::vector<std::string>& requests) {
+std::string TtkvClient::Rpc(const std::string& request) {
+  // A request the framing layer can never ship (e.g. a giant BATCH) is a
+  // deterministic client-side failure: surface it without tearing down a
+  // healthy connection or spending the reconnect-once budget on it.
+  if (request.size() > kMaxFrameBytes) {
+    throw WireError("request exceeds kMaxFrameBytes; split the batch");
+  }
   for (int attempt = 0;; ++attempt) {
     try {
       Connect();
-      for (const std::string& request : requests) SendFrame(fd_, request);
-      std::vector<std::string> replies;
-      replies.reserve(requests.size());
-      for (size_t i = 0; i < requests.size(); ++i) {
-        auto reply = RecvFrame(fd_);
-        if (!reply.has_value()) throw WireError("daemon closed the connection");
-        replies.push_back(std::move(*reply));
-      }
-      return replies;
+      SendFrame(fd_, request);
+      auto reply = RecvFrame(fd_);
+      if (!reply.has_value()) throw WireError("daemon closed the connection");
+      return std::move(*reply);
     } catch (const WireError&) {
-      // Stale or broken connection: reconnect once and retry the batch.
-      // (A retried PUT that already reached the daemon records a duplicate
-      // version — acceptable for a recorder, same as the paper's at-least-
-      // once logging.)
+      // Stale or broken connection: reconnect once and retry. (A retried
+      // PUT that already reached the daemon records a duplicate version —
+      // acceptable for a recorder, same as the paper's at-least-once
+      // logging.)
       Close();
       if (attempt >= 1) throw;
     }
   }
 }
 
-std::string TtkvClient::Rpc(const std::string& request) {
-  return CheckReply(std::move(RpcPipelined({request}).front()));
+api::Result TtkvClient::Apply(const api::Command& cmd) {
+  return api::DecodeResult(Rpc(api::EncodeCommand(cmd)));
 }
 
-void TtkvClient::Ping() {
-  BinaryWriter w;
-  w.u8(static_cast<uint8_t>(Op::kPing));
-  Rpc(w.take());
+std::vector<api::Result> TtkvClient::ApplyBatch(std::span<const api::Command> cmds) {
+  api::Result reply = api::DecodeResult(Rpc(api::EncodeBatchRequest(cmds)));
+  if (auto* err = std::get_if<api::ErrorResult>(&reply.op)) {
+    // The daemon rejected the batch wholesale (e.g. nesting too deep):
+    // every command failed the same way.
+    return std::vector<api::Result>(cmds.size(), api::Result(*err));
+  }
+  auto* batch = std::get_if<api::BatchResult>(&reply.op);
+  if (batch == nullptr || batch->results.size() != cmds.size()) {
+    throw WireError("malformed BATCH reply");
+  }
+  return std::move(batch->results);
 }
+
+void TtkvClient::Ping() { Take<api::OkResult>(Apply(api::PingCmd{}), "PING"); }
 
 void TtkvClient::Put(const std::string& key, const Value& value, TimeMicros t) {
-  Rpc(EncodePut(key, value, t));
+  Take<api::OkResult>(Apply(api::PutCmd{key, value, t}), "PUT");
 }
 
-bool TtkvClient::Delete(const std::string& key, TimeMicros t) {
-  BinaryWriter w;
-  w.u8(static_cast<uint8_t>(Op::kDelete));
-  w.str(key);
-  w.i64(t);
-  const std::string body = Rpc(w.take());
-  BinaryReader r(body);
-  return r.u8() != 0;
+bool TtkvClient::Delete(const std::string& key, TimeMicros t, bool force) {
+  return Take<api::ExistedResult>(Apply(api::DeleteCmd{key, t, force}), "DELETE").existed;
 }
 
 std::optional<Value> TtkvClient::Get(const std::string& key) {
-  return DecodeOptionalValue(Rpc(EncodeKeyOnly(Op::kGet, key)));
+  return Take<api::ValueResult>(Apply(api::GetCmd{key}), "GET").value;
 }
 
 std::optional<Value> TtkvClient::GetAt(const std::string& key, TimeMicros t) {
-  BinaryWriter w;
-  w.u8(static_cast<uint8_t>(Op::kGetAt));
-  w.str(key);
-  w.i64(t);
-  return DecodeOptionalValue(Rpc(w.take()));
+  return Take<api::ValueResult>(Apply(api::GetAtCmd{key, t}), "GET_AT").value;
 }
 
 std::optional<VersionedRecord> TtkvClient::History(const std::string& key) {
-  const std::string body = Rpc(EncodeKeyOnly(Op::kHistory, key));
-  BinaryReader r(body);
-  if (r.u8() == 0) return std::nullopt;
-  VersionedRecord rec;
-  rec.key = key;
-  rec.write_count = r.u64();
-  rec.delete_count = r.u64();
-  rec.read_count = r.u64();
-  const uint32_t n = r.u32();
-  rec.versions.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    Version v;
-    v.timestamp = r.i64();
-    v.is_delete = r.u8() != 0;
-    v.value = r.value();
-    rec.versions.push_back(std::move(v));
-  }
-  return rec;
+  return Take<api::HistoryResult>(Apply(api::HistoryCmd{key}), "HISTORY").record;
 }
 
 EngineStats TtkvClient::Stats() {
-  BinaryWriter w;
-  w.u8(static_cast<uint8_t>(Op::kStats));
-  const std::string body = Rpc(w.take());
-  BinaryReader r(body);
-  EngineStats stats;
-  stats.ttkv.reads = r.u64();
-  stats.ttkv.writes = r.u64();
-  stats.ttkv.deletes = r.u64();
-  stats.ttkv.num_keys = r.u64();
-  stats.ttkv.size_bytes = r.u64();
-  stats.num_shards = r.u32();
-  stats.puts = r.u64();
-  stats.gets = r.u64();
-  stats.deletes = r.u64();
-  r.u64();  // connections_served; not part of EngineStats.
-  return stats;
+  return Take<api::StatsResult>(Apply(api::StatsCmd{}), "STATS").stats;
 }
 
 std::vector<std::string> TtkvClient::ListKeys(const std::string& prefix) {
-  const std::string body = Rpc(EncodeKeyOnly(Op::kListKeys, prefix));
-  BinaryReader r(body);
-  const uint32_t n = r.u32();
-  std::vector<std::string> keys;
-  keys.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) keys.push_back(r.str());
-  return keys;
+  return Take<api::KeysResult>(Apply(api::ListKeysCmd{prefix}), "LIST_KEYS").keys;
 }
 
 TTKV TtkvClient::Snapshot() {
-  BinaryWriter w;
-  w.u8(static_cast<uint8_t>(Op::kSnapshot));
-  const std::string body = Rpc(w.take());
-  BinaryReader r(body);
-  return TTKV::Deserialize(r.str());
+  return Take<api::SnapshotResult>(Apply(api::SnapshotCmd{}), "SNAPSHOT").snapshot;
 }
 
 uint64_t TtkvClient::Compact(TimeMicros horizon) {
-  BinaryWriter w;
-  w.u8(static_cast<uint8_t>(Op::kCompact));
-  w.i64(horizon);
-  const std::string body = Rpc(w.take());
-  BinaryReader r(body);
-  return r.u64();
+  return Take<api::CompactResult>(Apply(api::CompactCmd{horizon}), "COMPACT").versions_dropped;
 }
 
-std::vector<NamedCluster> TtkvClient::ClusterNow(double threshold_correlation, Linkage linkage) {
-  BinaryWriter w;
-  w.u8(static_cast<uint8_t>(Op::kClusterNow));
-  w.f64(threshold_correlation);
-  uint8_t code = 0;
-  switch (linkage) {
-    case Linkage::kComplete: code = 0; break;
-    case Linkage::kSingle: code = 1; break;
-    case Linkage::kAverage: code = 2; break;
-  }
-  w.u8(code);
-  const std::string body = Rpc(w.take());
-  BinaryReader r(body);
-  const uint32_t n = r.u32();
-  std::vector<NamedCluster> clusters;
-  clusters.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    NamedCluster cluster;
-    cluster.version_count = r.u64();
-    cluster.last_modified = r.i64();
-    const uint32_t m = r.u32();
-    cluster.keys.reserve(m);
-    for (uint32_t j = 0; j < m; ++j) cluster.keys.push_back(r.str());
-    clusters.push_back(std::move(cluster));
-  }
-  return clusters;
+std::vector<NamedCluster> TtkvClient::ClusterNow(double threshold_correlation,
+                                                 Linkage linkage) {
+  return Take<api::ClustersResult>(Apply(api::ClusterNowCmd{threshold_correlation, linkage}),
+                                   "CLUSTER_NOW")
+      .clusters;
 }
 
 void TtkvClient::Shutdown() {
-  BinaryWriter w;
-  w.u8(static_cast<uint8_t>(Op::kShutdown));
-  Rpc(w.take());
+  Take<api::OkResult>(Apply(api::ShutdownCmd{}), "SHUTDOWN");
   Close();
 }
 
 void TtkvClient::PutBatch(const std::vector<std::pair<std::string, Value>>& entries,
                           TimeMicros t) {
-  std::vector<std::string> requests;
-  requests.reserve(entries.size());
-  for (const auto& [key, value] : entries) requests.push_back(EncodePut(key, value, t));
-  for (std::string& reply : RpcPipelined(requests)) CheckReply(std::move(reply));
+  std::vector<api::Command> cmds;
+  cmds.reserve(entries.size());
+  for (const auto& [key, value] : entries) cmds.push_back(api::PutCmd{key, value, t});
+  for (api::Result& result : ApplyBatch(cmds)) Take<api::OkResult>(std::move(result), "PUT");
 }
 
 std::vector<std::optional<Value>> TtkvClient::GetBatch(const std::vector<std::string>& keys) {
-  std::vector<std::string> requests;
-  requests.reserve(keys.size());
-  for (const std::string& key : keys) requests.push_back(EncodeKeyOnly(Op::kGet, key));
+  std::vector<api::Command> cmds;
+  cmds.reserve(keys.size());
+  for (const std::string& key : keys) cmds.push_back(api::GetCmd{key});
+  std::vector<api::Result> results = ApplyBatch(cmds);
   std::vector<std::optional<Value>> values;
-  values.reserve(keys.size());
-  for (std::string& reply : RpcPipelined(requests)) {
-    values.push_back(DecodeOptionalValue(CheckReply(std::move(reply))));
+  values.reserve(results.size());
+  for (api::Result& result : results) {
+    values.push_back(Take<api::ValueResult>(std::move(result), "GET").value);
   }
   return values;
 }

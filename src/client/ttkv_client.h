@@ -1,26 +1,33 @@
 // TtkvClient — the client library for the ocastad daemon.
 //
 // One client owns one TCP connection and is synchronous: every RPC sends a
-// request frame and blocks for the reply. A transport failure (daemon
+// request frame and blocks for the reply. Connecting performs HELLO version
+// negotiation (the daemon answers with the highest protocol version both
+// sides speak; see protocol_version()). A transport failure (daemon
 // restarted, connection reset) triggers one transparent reconnect + retry
 // before surfacing WireError; server-reported failures (bad key, malformed
 // request) surface as StoreError and are never retried.
 //
-// The *Batch calls pipeline: all request frames are written back-to-back
-// and the replies are read afterwards, amortizing a round trip over the
-// whole batch — the intended fast path for bulk recording.
+// All request/reply byte layouts live in api/codec.h — this class carries
+// no per-op encode/decode logic. Apply() is the generic entry point
+// (api::RemoteEngine is a thin adapter over it); the typed methods are
+// conveniences that unwrap the matching Result alternative. The *Batch
+// calls ship one BatchCmd as a single BATCH frame, amortizing a round trip
+// AND the daemon's shard locking over the whole batch — the intended fast
+// path for bulk recording.
 //
 // Not thread-safe: use one TtkvClient per thread (see bench_loadgen).
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "api/command.h"
 #include "clustering/hac.h"
-#include "server/sharded_ttkv.h"
 #include "ttkv/ttkv.h"
 #include "ttkv/value.h"
 
@@ -35,14 +42,31 @@ class TtkvClient {
   TtkvClient(const TtkvClient&) = delete;
   TtkvClient& operator=(const TtkvClient&) = delete;
 
-  void Connect();  // Idempotent; throws WireError when the daemon is down.
+  // Idempotent; throws WireError when the daemon is down and StoreError
+  // when it rejects our protocol version.
+  void Connect();
   void Close();
   bool connected() const { return fd_ >= 0; }
 
-  // --- Single-op RPCs -------------------------------------------------------
+  // Protocol version negotiated by the last Connect(); 0 before then.
+  uint32_t protocol_version() const { return protocol_version_; }
+
+  // Generic RPC: one Command in, one Result out. Command-level failures
+  // come back as ErrorResult; transport failures throw WireError after the
+  // transparent reconnect.
+  api::Result Apply(const api::Command& cmd);
+
+  // Ships `cmds` as one BATCH frame (encoded straight from the span, no
+  // BatchCmd copy) and returns the per-command results in order. A reply
+  // that is not a well-formed BATCH result of matching size throws
+  // WireError; a wholesale ErrorResult (batch rejected) is returned as
+  // that error at every index.
+  std::vector<api::Result> ApplyBatch(std::span<const api::Command> cmds);
+
+  // --- Typed RPCs (ErrorResult raised as StoreError) ------------------------
   void Ping();
   void Put(const std::string& key, const Value& value, TimeMicros t = 0);
-  bool Delete(const std::string& key, TimeMicros t = 0);
+  bool Delete(const std::string& key, TimeMicros t = 0, bool force = false);
   std::optional<Value> Get(const std::string& key);
   std::optional<Value> GetAt(const std::string& key, TimeMicros t);
   std::optional<VersionedRecord> History(const std::string& key);
@@ -54,23 +78,19 @@ class TtkvClient {
                                        Linkage linkage = Linkage::kComplete);
   void Shutdown();  // Asks the daemon to stop; the connection dies with it.
 
-  // --- Pipelined batches ----------------------------------------------------
+  // --- Single-frame batches -------------------------------------------------
   void PutBatch(const std::vector<std::pair<std::string, Value>>& entries, TimeMicros t = 0);
   std::vector<std::optional<Value>> GetBatch(const std::vector<std::string>& keys);
 
  private:
-  // Sends one request and reads its reply body (status byte consumed;
-  // kStatusErr raised as StoreError). Reconnects + retries once on
-  // transport failure.
+  // Sends one request frame and reads the reply frame. Reconnects +
+  // retries once on transport failure.
   std::string Rpc(const std::string& request);
-
-  // Pipelined core: sends every request, then reads every reply. Retries
-  // the whole batch once on transport failure.
-  std::vector<std::string> RpcPipelined(const std::vector<std::string>& requests);
 
   std::string host_;
   uint16_t port_;
   int fd_ = -1;
+  uint32_t protocol_version_ = 0;
 };
 
 }  // namespace ocasta

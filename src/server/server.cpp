@@ -5,31 +5,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 
+#include "api/codec.h"
 #include "server/wire.h"
-#include "ttkv/serialize.h"
 
 namespace ocasta {
-
-namespace {
-
-Linkage LinkageFromWire(uint8_t code) {
-  switch (code) {
-    case 0: return Linkage::kComplete;
-    case 1: return Linkage::kSingle;
-    case 2: return Linkage::kAverage;
-  }
-  throw ParseError("unknown linkage code");
-}
-
-void WriteError(BinaryWriter* w, const std::string& message) {
-  w->u8(kStatusErr);
-  w->str(message);
-}
-
-}  // namespace
 
 TtkvServer::TtkvServer(ServerOptions options)
     : options_(options), engine_(options.num_shards, options.cluster_window_seconds) {}
@@ -134,133 +117,30 @@ void TtkvServer::Serve(int fd, Conn* conn) {
 }
 
 bool TtkvServer::HandleRequest(const std::string& request, std::string* reply) {
-  BinaryWriter w;
+  // Thin decode → Apply → encode shim: the codec owns every byte layout and
+  // the engine owns every operation. The only server-side concerns are
+  // HELLO version negotiation and recognizing a top-level SHUTDOWN.
   bool shutdown_requested = false;
   try {
-    BinaryReader r(request);
-    const Op op = static_cast<Op>(r.u8());
-    switch (op) {
-      case Op::kPing: {
-        w.u8(kStatusOk);
-        break;
+    if (api::IsHelloRequest(request)) {
+      const uint32_t client_version = api::DecodeHello(request);
+      if (client_version < api::kMinProtocolVersion) {
+        *reply = api::EncodeResult(api::ErrorResult{
+            "unsupported protocol version " + std::to_string(client_version) +
+            " (daemon speaks " + std::to_string(api::kMinProtocolVersion) + ".." +
+            std::to_string(api::kProtocolVersion) + ")"});
+        return false;
       }
-      case Op::kPut: {
-        const std::string key = r.str();
-        const TimeMicros t = r.i64();
-        Value value = r.value();
-        engine_.Put(key, std::move(value), t);
-        w.u8(kStatusOk);
-        break;
-      }
-      case Op::kDelete: {
-        const std::string key = r.str();
-        const TimeMicros t = r.i64();
-        const bool existed = engine_.Delete(key, t);
-        w.u8(kStatusOk);
-        w.u8(existed ? 1 : 0);
-        break;
-      }
-      case Op::kGet: {
-        const std::optional<Value> value = engine_.Get(r.str());
-        w.u8(kStatusOk);
-        w.u8(value.has_value() ? 1 : 0);
-        if (value.has_value()) w.value(*value);
-        break;
-      }
-      case Op::kGetAt: {
-        const std::string key = r.str();
-        const TimeMicros t = r.i64();
-        const std::optional<Value> value = engine_.GetAt(key, t);
-        w.u8(kStatusOk);
-        w.u8(value.has_value() ? 1 : 0);
-        if (value.has_value()) w.value(*value);
-        break;
-      }
-      case Op::kHistory: {
-        const std::optional<VersionedRecord> rec = engine_.History(r.str());
-        w.u8(kStatusOk);
-        w.u8(rec.has_value() ? 1 : 0);
-        if (rec.has_value()) {
-          w.u64(rec->write_count);
-          w.u64(rec->delete_count);
-          w.u64(rec->read_count);
-          w.u32(static_cast<uint32_t>(rec->versions.size()));
-          for (const Version& v : rec->versions) {
-            w.i64(v.timestamp);
-            w.u8(v.is_delete ? 1 : 0);
-            w.value(v.value);
-          }
-        }
-        break;
-      }
-      case Op::kStats: {
-        const EngineStats stats = engine_.Stats();
-        w.u8(kStatusOk);
-        w.u64(stats.ttkv.reads);
-        w.u64(stats.ttkv.writes);
-        w.u64(stats.ttkv.deletes);
-        w.u64(stats.ttkv.num_keys);
-        w.u64(stats.ttkv.size_bytes);
-        w.u32(static_cast<uint32_t>(stats.num_shards));
-        w.u64(stats.puts);
-        w.u64(stats.gets);
-        w.u64(stats.deletes);
-        w.u64(connections_.load());
-        break;
-      }
-      case Op::kListKeys: {
-        const std::vector<std::string> keys = engine_.ListKeys(r.str());
-        w.u8(kStatusOk);
-        w.u32(static_cast<uint32_t>(keys.size()));
-        for (const std::string& key : keys) w.str(key);
-        break;
-      }
-      case Op::kSnapshot: {
-        const std::string bytes = engine_.Snapshot().Serialize();
-        w.u8(kStatusOk);
-        w.str(bytes);
-        break;
-      }
-      case Op::kCompact: {
-        const TimeMicros horizon = r.i64();
-        w.u8(kStatusOk);
-        w.u64(engine_.CompactBefore(horizon));
-        break;
-      }
-      case Op::kClusterNow: {
-        const double threshold = r.f64();
-        const Linkage linkage = LinkageFromWire(r.u8());
-        const std::vector<NamedCluster> clusters = engine_.ClusterNow(threshold, linkage);
-        w.u8(kStatusOk);
-        w.u32(static_cast<uint32_t>(clusters.size()));
-        for (const NamedCluster& cluster : clusters) {
-          w.u64(cluster.version_count);
-          w.i64(cluster.last_modified);
-          w.u32(static_cast<uint32_t>(cluster.keys.size()));
-          for (const std::string& key : cluster.keys) w.str(key);
-        }
-        break;
-      }
-      case Op::kShutdown: {
-        w.u8(kStatusOk);
-        shutdown_requested = true;
-        break;
-      }
-      default: {
-        WriteError(&w, "unknown op code " + std::to_string(static_cast<int>(op)));
-        break;
-      }
+      *reply = api::EncodeHelloReply(std::min(client_version, api::kProtocolVersion));
+      return false;
     }
-    if (!shutdown_requested && !r.at_end()) {
-      // Trailing bytes mean the client framed the request wrong; surface it.
-      w = BinaryWriter();
-      WriteError(&w, std::string("trailing bytes after ") + OpName(op) + " request");
-    }
+    const api::Command cmd = api::DecodeCommand(request);
+    shutdown_requested = std::holds_alternative<api::ShutdownCmd>(cmd.op);
+    *reply = api::EncodeResult(engine_.Apply(cmd));
   } catch (const Error& e) {
-    w = BinaryWriter();
-    WriteError(&w, e.what());
+    shutdown_requested = false;
+    *reply = api::EncodeResult(api::ErrorResult{e.what()});
   }
-  *reply = w.take();
   return shutdown_requested;
 }
 

@@ -20,16 +20,30 @@ size_t ShardedTtkv::shard_of(const std::string& key) const {
   return Fnv1a(key) % shards_.size();
 }
 
-TimeMicros ShardedTtkv::StampNow() {
+std::unique_lock<std::mutex> ShardedTtkv::LockShard(const Shard& shard) const {
+  lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_lock<std::mutex>(shard.mu);
+}
+
+TimeMicros ShardedTtkv::StampNow() { return StampBlock(1); }
+
+TimeMicros ShardedTtkv::StampBlock(size_t count) {
   const int64_t wall = std::chrono::duration_cast<std::chrono::microseconds>(
                            std::chrono::system_clock::now().time_since_epoch())
                            .count();
+  const auto span = static_cast<int64_t>(count);
   int64_t prev = clock_.load(std::memory_order_relaxed);
   int64_t next;
   do {
-    next = std::max(wall, prev + 1);
+    next = std::max(wall, prev + 1) + span - 1;
   } while (!clock_.compare_exchange_weak(prev, next, std::memory_order_relaxed));
-  return next;
+  return next - span + 1;
+}
+
+void ShardedTtkv::FlushCounts(const OpCounts& counts) {
+  if (counts.puts != 0) puts_.fetch_add(counts.puts, std::memory_order_relaxed);
+  if (counts.gets != 0) gets_.fetch_add(counts.gets, std::memory_order_relaxed);
+  if (counts.deletes != 0) deletes_.fetch_add(counts.deletes, std::memory_order_relaxed);
 }
 
 namespace {
@@ -38,13 +52,37 @@ namespace {
 // global drain so an un-queried daemon's buffers stay bounded.
 constexpr size_t kPendingDrainThreshold = 8192;
 
+// Shard routing key + stamp need of a single-key command, resolved with a
+// single variant inspection; key == nullptr for cross-shard commands. The
+// ONE table defining "single-key command" — Apply and ApplyBatch both
+// route through it.
+struct KeyInfo {
+  const std::string* key = nullptr;
+  bool needs_stamp = false;
+};
+
+KeyInfo KeyInfoOf(const api::Command& cmd) {
+  if (const auto* put = std::get_if<api::PutCmd>(&cmd.op)) {
+    return {&put->key, put->timestamp == 0};
+  }
+  if (const auto* del = std::get_if<api::DeleteCmd>(&cmd.op)) {
+    return {&del->key, del->timestamp == 0};
+  }
+  if (const auto* get = std::get_if<api::GetCmd>(&cmd.op)) return {&get->key, false};
+  if (const auto* get_at = std::get_if<api::GetAtCmd>(&cmd.op)) return {&get_at->key, false};
+  if (const auto* history = std::get_if<api::HistoryCmd>(&cmd.op)) {
+    return {&history->key, false};
+  }
+  return {};
+}
+
 }  // namespace
 
 void ShardedTtkv::DrainTracker() const {
   std::lock_guard<std::mutex> tracker_lock(tracker_mu_);
   std::vector<PendingEvent> events;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    const auto lock = LockShard(*shard);
     if (events.empty()) {
       events = std::move(shard->pending);
     } else {
@@ -73,20 +111,27 @@ void ShardedTtkv::DrainTracker() const {
   }
 }
 
-namespace {
-
-// Clamp floor for one key: concurrent writers race between stamping and
-// acquiring the shard lock, so an op's timestamp may be older than the
-// key's newest version. TTKV only requires per-key monotonicity (equal is
-// fine); clamping to the key's own last version keeps explicit timestamps
-// of other keys untouched.
-TimeMicros ClampToKey(const TTKV& ttkv, const std::string& key, TimeMicros t) {
-  if (!ttkv.contains(key)) return t;
-  const TimeMicros last = ttkv.record(key).last_modified();
-  return t < last ? last : t;
+bool ShardedTtkv::PutLocked(Shard& shard, const std::string& key, Value value, TimeMicros t) {
+  // The clamped write resolves the key's record once; explicit timestamps
+  // older than the key's newest version are clamped up (concurrent writers
+  // race between stamping and locking, and TTKV only needs per-key order).
+  const TimeMicros applied = shard.ttkv.record_write_clamped(key, std::move(value), t);
+  shard.pending.push_back(PendingEvent{.timestamp = applied, .is_delete = false, .key = key});
+  return shard.pending.size() >= kPendingDrainThreshold;
 }
 
-}  // namespace
+ShardedTtkv::DeleteOutcome ShardedTtkv::DeleteLocked(Shard& shard, const std::string& key,
+                                                     TimeMicros t, bool force) {
+  DeleteOutcome out;
+  const VersionedRecord* rec = shard.ttkv.find(key);
+  out.existed = rec != nullptr && rec->latest().has_value();
+  out.recorded = out.existed || force;
+  if (!out.recorded) return out;
+  const TimeMicros applied = shard.ttkv.record_delete_clamped(key, t);
+  shard.pending.push_back(PendingEvent{.timestamp = applied, .is_delete = true, .key = key});
+  out.need_drain = shard.pending.size() >= kPendingDrainThreshold;
+  return out;
+}
 
 void ShardedTtkv::Put(const std::string& key, Value value, TimeMicros t) {
   if (key.empty()) throw StoreError("empty key");
@@ -94,62 +139,57 @@ void ShardedTtkv::Put(const std::string& key, Value value, TimeMicros t) {
   Shard& shard = *shards_[shard_of(key)];
   bool need_drain;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    const TimeMicros applied = ClampToKey(shard.ttkv, key, t);
-    shard.ttkv.record_write(key, std::move(value), applied);
-    shard.pending.push_back(PendingEvent{.timestamp = applied, .is_delete = false, .key = key});
-    need_drain = shard.pending.size() >= kPendingDrainThreshold;
+    const auto lock = LockShard(shard);
+    need_drain = PutLocked(shard, key, std::move(value), t);
   }
   puts_.fetch_add(1, std::memory_order_relaxed);
   if (need_drain) DrainTracker();
 }
 
-bool ShardedTtkv::Delete(const std::string& key, TimeMicros t) {
+bool ShardedTtkv::Delete(const std::string& key, TimeMicros t, bool force) {
   if (key.empty()) throw StoreError("empty key");
   if (t == 0) t = StampNow();
   Shard& shard = *shards_[shard_of(key)];
-  bool need_drain;
+  DeleteOutcome out;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    if (!shard.ttkv.contains(key) || !shard.ttkv.latest(key).has_value()) return false;
-    const TimeMicros applied = ClampToKey(shard.ttkv, key, t);
-    shard.ttkv.record_delete(key, applied);
-    shard.pending.push_back(PendingEvent{.timestamp = applied, .is_delete = true, .key = key});
-    need_drain = shard.pending.size() >= kPendingDrainThreshold;
+    const auto lock = LockShard(shard);
+    out = DeleteLocked(shard, key, t, force);
   }
-  deletes_.fetch_add(1, std::memory_order_relaxed);
-  if (need_drain) DrainTracker();
-  return true;
+  if (out.recorded) deletes_.fetch_add(1, std::memory_order_relaxed);
+  if (out.need_drain) DrainTracker();
+  return out.existed;
 }
 
 std::optional<Value> ShardedTtkv::Get(const std::string& key) {
   Shard& shard = *shards_[shard_of(key)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto lock = LockShard(shard);
   gets_.fetch_add(1, std::memory_order_relaxed);
-  if (!shard.ttkv.contains(key)) return std::nullopt;
-  shard.ttkv.record_read(key, 0);
-  return shard.ttkv.latest(key);
+  return shard.ttkv.read_latest(key);
 }
 
 std::optional<Value> ShardedTtkv::GetAt(const std::string& key, TimeMicros t) const {
   const Shard& shard = *shards_[shard_of(key)];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.ttkv.value_at(key, t);
+  const auto lock = LockShard(shard);
+  const VersionedRecord* rec = shard.ttkv.find(key);
+  if (rec == nullptr) return std::nullopt;
+  return rec->value_at(t);
 }
 
 std::optional<VersionedRecord> ShardedTtkv::History(const std::string& key) const {
   const Shard& shard = *shards_[shard_of(key)];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  if (!shard.ttkv.contains(key)) return std::nullopt;
-  return shard.ttkv.record(key);
+  const auto lock = LockShard(shard);
+  const VersionedRecord* rec = shard.ttkv.find(key);
+  if (rec == nullptr) return std::nullopt;
+  return *rec;
 }
 
 std::vector<std::string> ShardedTtkv::ListKeys(const std::string& prefix) const {
   std::vector<std::string> keys;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    for (const std::string& key : shard->ttkv.key_names()) {
-      if (StartsWith(key, prefix) && shard->ttkv.latest(key).has_value()) keys.push_back(key);
+    const auto lock = LockShard(*shard);
+    for (uint32_t id = 0; id < shard->ttkv.num_keys(); ++id) {
+      const VersionedRecord& rec = shard->ttkv.record(id);
+      if (StartsWith(rec.key, prefix) && rec.latest().has_value()) keys.push_back(rec.key);
     }
   }
   std::sort(keys.begin(), keys.end());
@@ -162,8 +202,9 @@ EngineStats ShardedTtkv::Stats() const {
   out.puts = puts_.load(std::memory_order_relaxed);
   out.gets = gets_.load(std::memory_order_relaxed);
   out.deletes = deletes_.load(std::memory_order_relaxed);
+  out.lock_acquisitions = lock_acquisitions_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    const auto lock = LockShard(*shard);
     const TtkvStats s = shard->ttkv.stats();
     out.ttkv.reads += s.reads;
     out.ttkv.writes += s.writes;
@@ -177,9 +218,9 @@ EngineStats ShardedTtkv::Stats() const {
 TTKV ShardedTtkv::Snapshot() const {
   std::vector<VersionedRecord> records;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    for (const std::string& key : shard->ttkv.key_names()) {
-      records.push_back(shard->ttkv.record(key));
+    const auto lock = LockShard(*shard);
+    for (uint32_t id = 0; id < shard->ttkv.num_keys(); ++id) {
+      records.push_back(shard->ttkv.record(id));
     }
   }
   std::sort(records.begin(), records.end(),
@@ -192,7 +233,7 @@ TTKV ShardedTtkv::Snapshot() const {
 size_t ShardedTtkv::CompactBefore(TimeMicros horizon) {
   size_t dropped = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    const auto lock = LockShard(*shard);
     dropped += shard->ttkv.CompactBefore(horizon);
   }
   return dropped;
@@ -214,6 +255,173 @@ std::vector<NamedCluster> ShardedTtkv::ClusterNow(double threshold_correlation,
     out.push_back(std::move(named));
   }
   return out;
+}
+
+// --- api::Engine ------------------------------------------------------------
+
+api::Result ShardedTtkv::ApplyKeyedLocked(Shard& shard, const api::Command& cmd,
+                                          bool* need_drain, TimeMicros assigned_stamp,
+                                          OpCounts* counts) {
+  try {
+    if (const auto* put = std::get_if<api::PutCmd>(&cmd.op)) {
+      if (put->key.empty()) throw StoreError("empty key");
+      const TimeMicros t = put->timestamp != 0 ? put->timestamp
+                           : assigned_stamp != 0 ? assigned_stamp
+                                                 : StampNow();
+      *need_drain |= PutLocked(shard, put->key, put->value, t);
+      ++counts->puts;
+      return api::OkResult{};
+    }
+    if (const auto* del = std::get_if<api::DeleteCmd>(&cmd.op)) {
+      if (del->key.empty()) throw StoreError("empty key");
+      const TimeMicros t = del->timestamp != 0 ? del->timestamp
+                           : assigned_stamp != 0 ? assigned_stamp
+                                                 : StampNow();
+      const DeleteOutcome out = DeleteLocked(shard, del->key, t, del->force);
+      *need_drain |= out.need_drain;
+      if (out.recorded) ++counts->deletes;
+      return api::ExistedResult{out.existed};
+    }
+    if (const auto* get = std::get_if<api::GetCmd>(&cmd.op)) {
+      ++counts->gets;
+      return api::ValueResult{shard.ttkv.read_latest(get->key)};
+    }
+    if (const auto* get_at = std::get_if<api::GetAtCmd>(&cmd.op)) {
+      const VersionedRecord* rec = shard.ttkv.find(get_at->key);
+      api::ValueResult res;
+      if (rec != nullptr) res.value = rec->value_at(get_at->timestamp);
+      return res;
+    }
+    if (const auto* history = std::get_if<api::HistoryCmd>(&cmd.op)) {
+      const VersionedRecord* rec = shard.ttkv.find(history->key);
+      if (rec == nullptr) return api::HistoryResult{};
+      return api::HistoryResult{*rec};
+    }
+    throw Error("ApplyKeyedLocked on a cross-shard command");
+  } catch (const Error& e) {
+    return api::ErrorResult{e.what()};
+  }
+}
+
+api::Result ShardedTtkv::Apply(const api::Command& cmd) {
+  if (const std::string* key = KeyInfoOf(cmd).key) {
+    Shard& shard = *shards_[shard_of(*key)];
+    bool need_drain = false;
+    OpCounts counts;
+    api::Result result;
+    {
+      const auto lock = LockShard(shard);
+      result = ApplyKeyedLocked(shard, cmd, &need_drain, 0, &counts);
+    }
+    FlushCounts(counts);
+    if (need_drain) DrainTracker();
+    return result;
+  }
+
+  try {
+    if (std::holds_alternative<api::PingCmd>(cmd.op)) return api::OkResult{};
+    if (std::holds_alternative<api::StatsCmd>(cmd.op)) return api::StatsResult{Stats()};
+    if (const auto* list = std::get_if<api::ListKeysCmd>(&cmd.op)) {
+      return api::KeysResult{ListKeys(list->prefix)};
+    }
+    if (std::holds_alternative<api::SnapshotCmd>(cmd.op)) {
+      return api::SnapshotResult{Snapshot()};
+    }
+    if (const auto* compact = std::get_if<api::CompactCmd>(&cmd.op)) {
+      return api::CompactResult{CompactBefore(compact->horizon)};
+    }
+    if (const auto* cluster = std::get_if<api::ClusterNowCmd>(&cmd.op)) {
+      return api::ClustersResult{ClusterNow(cluster->threshold_correlation, cluster->linkage)};
+    }
+    // The engine has no connections to drain; the server recognizes
+    // top-level SHUTDOWN itself.
+    if (std::holds_alternative<api::ShutdownCmd>(cmd.op)) return api::OkResult{};
+    if (const auto* batch = std::get_if<api::BatchCmd>(&cmd.op)) {
+      return api::BatchResult{ApplyBatch(std::span(batch->commands))};
+    }
+    throw Error("unhandled command");
+  } catch (const Error& e) {
+    return api::ErrorResult{e.what()};
+  }
+}
+
+namespace {
+
+// One grouped single-key command: its shard, its index in the batch, and
+// its pre-reserved engine stamp. During collection `stamp` is a flag (1 =
+// the command needs an engine-assigned timestamp); the flush rewrites it
+// with the reserved stamp.
+struct RunEntry {
+  uint32_t shard = 0;
+  uint32_t index = 0;
+  TimeMicros stamp = 0;
+};
+
+}  // namespace
+
+std::vector<api::Result> ShardedTtkv::ApplyBatch(std::span<const api::Command> cmds) {
+  std::vector<api::Result> results(cmds.size());
+  // The run of consecutive single-key commands currently being grouped.
+  // All grouping work — hashing, stamp reservation, sorting — happens out
+  // here, outside any lock; each shard mutex is then held only while its
+  // own commands apply. The per-op contended atomics are amortized too:
+  // one StampBlock CAS reserves every engine-assigned timestamp in the run
+  // (assigned in batch order, so per-key stamps stay monotonic), and op
+  // counters flush once per run.
+  std::vector<RunEntry> run;
+  size_t stamps_needed = 0;
+  bool need_drain = false;
+
+  const auto flush_run = [&] {
+    if (run.empty()) return;
+    OpCounts counts;
+    if (stamps_needed > 0) {
+      TimeMicros stamp = StampBlock(stamps_needed);
+      for (RunEntry& entry : run) {
+        if (entry.stamp != 0) entry.stamp = stamp++;
+      }
+      stamps_needed = 0;
+    }
+    // Sorting on (shard, batch index) groups by shard while keeping
+    // same-shard commands in original batch order (same key → same shard,
+    // so per-key order is preserved) — equivalent to a stable sort by
+    // shard, without stable_sort's temporary buffer allocation.
+    std::sort(run.begin(), run.end(), [](const RunEntry& a, const RunEntry& b) {
+      return a.shard != b.shard ? a.shard < b.shard : a.index < b.index;
+    });
+    for (size_t j = 0; j < run.size();) {
+      const uint32_t sid = run[j].shard;
+      Shard& shard = *shards_[sid];
+      const auto lock = LockShard(shard);
+      for (; j < run.size() && run[j].shard == sid; ++j) {
+        results[run[j].index] =
+            ApplyKeyedLocked(shard, cmds[run[j].index], &need_drain, run[j].stamp, &counts);
+      }
+    }
+    // Counters flush per run so a barrier command (e.g. STATS) observes
+    // every grouped command before it.
+    FlushCounts(counts);
+    run.clear();
+  };
+
+  for (size_t i = 0; i < cmds.size(); ++i) {
+    const KeyInfo info = KeyInfoOf(cmds[i]);
+    if (info.key != nullptr) {
+      run.push_back(RunEntry{.shard = static_cast<uint32_t>(shard_of(*info.key)),
+                             .index = static_cast<uint32_t>(i),
+                             .stamp = info.needs_stamp ? 1 : 0});
+      stamps_needed += info.needs_stamp ? 1 : 0;
+      continue;
+    }
+    // Cross-shard command: it must observe every grouped command before it
+    // in the batch, so flush the run first (a barrier).
+    flush_run();
+    results[i] = Apply(cmds[i]);
+  }
+  flush_run();
+
+  if (need_drain) DrainTracker();
+  return results;
 }
 
 }  // namespace ocasta

@@ -7,6 +7,17 @@
 // mutex-striped OnlineClusterTracker observes every write/delete so the
 // daemon can answer CLUSTER_NOW queries without replaying history.
 //
+// ShardedTtkv implements api::Engine natively. Single-key commands lock
+// their shard once; ApplyBatch is the batched fast path: consecutive
+// single-key commands are grouped by shard and each shard is locked ONCE
+// for its whole group, so a batch of K commands costs at most num_shards
+// lock acquisitions instead of K (shard_lock_acquisitions() and
+// EngineStats::lock_acquisitions expose the count; bench_loadgen --suite
+// measures the win). Grouping preserves per-key order — equal keys hash to
+// the same shard and apply in batch order — but not cross-key order
+// between shards; cross-shard commands (STATS, SNAPSHOT, ...) act as
+// barriers within a batch.
+//
 // Timestamps: callers may supply explicit microsecond timestamps (trace
 // replay, deterministic tests) or pass 0 to have the engine stamp the
 // operation from a monotonicized wall clock. Because concurrent writers
@@ -28,6 +39,8 @@
 #include <string>
 #include <vector>
 
+#include "api/engine.h"
+#include "api/types.h"
 #include "clustering/online.h"
 #include "common/time.h"
 #include "ttkv/ttkv.h"
@@ -35,37 +48,32 @@
 
 namespace ocasta {
 
-// Cross-shard aggregate statistics (TtkvStats plus engine counters).
-struct EngineStats {
-  TtkvStats ttkv;
-  size_t num_shards = 0;
-  uint64_t puts = 0;
-  uint64_t gets = 0;
-  uint64_t deletes = 0;
-};
-
-// ClusterNow output: clusters reference keys by name because the tracker's
-// dense ids are engine-internal.
-struct NamedCluster {
-  std::vector<std::string> keys;
-  uint64_t version_count = 0;
-  TimeMicros last_modified = 0;
-};
-
-class ShardedTtkv {
+class ShardedTtkv final : public api::Engine {
  public:
   explicit ShardedTtkv(size_t num_shards = 8, double cluster_window_seconds = 1.0);
+
+  // --- api::Engine ----------------------------------------------------------
+  api::Result Apply(const api::Command& cmd) override;
+  std::vector<api::Result> ApplyBatch(std::span<const api::Command> cmds) override;
+  const char* backend_name() const override { return "sharded"; }
 
   size_t num_shards() const { return shards_.size(); }
   size_t shard_of(const std::string& key) const;
 
+  // Shard-mutex acquisitions since construction (batching telemetry).
+  uint64_t shard_lock_acquisitions() const {
+    return lock_acquisitions_.load(std::memory_order_relaxed);
+  }
+
   // --- Writes (t == 0 → engine-assigned monotonic wall-clock stamp) --------
   void Put(const std::string& key, Value value, TimeMicros t = 0);
 
-  // Tombstones `key` and returns true when it had a live value; absent or
-  // already-deleted keys return false without recording anything (so churny
-  // blind deletes cannot bloat the store).
-  bool Delete(const std::string& key, TimeMicros t = 0);
+  // Tombstones `key` and returns true when it had a live value. By default
+  // absent or already-tombstoned keys return false without recording
+  // anything (so churny blind deletes cannot bloat the store); force = true
+  // records the tombstone unconditionally, matching TTKV::record_delete
+  // (see api::DeleteCmd for the policy rationale).
+  bool Delete(const std::string& key, TimeMicros t = 0, bool force = false);
 
   // --- Reads ----------------------------------------------------------------
   // Counts a read against the key's record (Table I accounting), like the
@@ -108,7 +116,44 @@ class ShardedTtkv {
     mutable std::vector<PendingEvent> pending;  // Guarded by mu.
   };
 
+  // Locks a shard and counts the acquisition. Every shard-mutex lock in
+  // this engine goes through here so lock_acquisitions stays honest.
+  std::unique_lock<std::mutex> LockShard(const Shard& shard) const;
+
   TimeMicros StampNow();
+
+  // Batched analog of StampNow: reserves `count` consecutive stamps with
+  // ONE CAS on the shared clock and returns the first. The per-op CAS is a
+  // contended hot spot under multi-client load; a batch pays it once.
+  TimeMicros StampBlock(size_t count);
+
+  // Engine op counters accumulated during a batch and flushed with one
+  // atomic add per counter per run (instead of one contended RMW per op).
+  struct OpCounts {
+    uint64_t puts = 0;
+    uint64_t gets = 0;
+    uint64_t deletes = 0;
+  };
+  void FlushCounts(const OpCounts& counts);
+
+  // --- Cores that assume the shard mutex is held ---------------------------
+  // Return true when the shard's pending buffer crossed the drain
+  // threshold (the caller drains after releasing the lock).
+  bool PutLocked(Shard& shard, const std::string& key, Value value, TimeMicros t);
+  struct DeleteOutcome {
+    bool existed = false;
+    bool recorded = false;
+    bool need_drain = false;
+  };
+  DeleteOutcome DeleteLocked(Shard& shard, const std::string& key, TimeMicros t, bool force);
+
+  // Applies one single-key command (Put/Delete/Get/GetAt/History) to its
+  // shard with the shard mutex held; never throws. `need_drain` is OR-ed
+  // and op counters accumulate into `counts` (the caller flushes).
+  // `assigned_stamp` is the pre-reserved stamp for a timestamp-0 write (0 =
+  // reserve one now via StampNow).
+  api::Result ApplyKeyedLocked(Shard& shard, const api::Command& cmd, bool* need_drain,
+                               TimeMicros assigned_stamp, OpCounts* counts);
 
   // Moves every shard's pending events into the tracker, merged in
   // timestamp order. Takes tracker_mu_ then each shard mutex in turn;
@@ -123,6 +168,7 @@ class ShardedTtkv {
   std::atomic<uint64_t> puts_{0};
   std::atomic<uint64_t> gets_{0};
   std::atomic<uint64_t> deletes_{0};
+  mutable std::atomic<uint64_t> lock_acquisitions_{0};
 
   mutable std::mutex tracker_mu_;
   mutable OnlineClusterTracker tracker_;   // Guarded by tracker_mu_.

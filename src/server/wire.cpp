@@ -10,24 +10,6 @@
 
 namespace ocasta {
 
-const char* OpName(Op op) {
-  switch (op) {
-    case Op::kPing: return "PING";
-    case Op::kPut: return "PUT";
-    case Op::kDelete: return "DELETE";
-    case Op::kGet: return "GET";
-    case Op::kGetAt: return "GET_AT";
-    case Op::kHistory: return "HISTORY";
-    case Op::kStats: return "STATS";
-    case Op::kListKeys: return "LIST_KEYS";
-    case Op::kSnapshot: return "SNAPSHOT";
-    case Op::kCompact: return "COMPACT";
-    case Op::kClusterNow: return "CLUSTER_NOW";
-    case Op::kShutdown: return "SHUTDOWN";
-  }
-  return "UNKNOWN";
-}
-
 namespace {
 
 std::string Errno(const std::string& what) {

@@ -1,12 +1,10 @@
-// The ocastad wire protocol: framing, op codes, and POSIX socket helpers
-// shared by the server and the client library. See docs/PROTOCOL.md for the
-// byte-level specification.
+// The ocastad wire transport: framing and POSIX socket helpers shared by
+// the server and the client library. This layer is payload-agnostic — op
+// tags, bodies, and replies are the api/codec.h layer; see docs/PROTOCOL.md
+// for the byte-level specification.
 //
-// Every message (request or reply) is one frame: a little-endian u32 payload
-// length followed by the payload. Request payloads start with a u8 op code;
-// reply payloads start with a u8 status (kOk / kErr). All integers, strings
-// and values reuse the BinaryWriter/BinaryReader layout of the TTKV
-// snapshot format.
+// Every message (request or reply) is one frame: a little-endian u32
+// payload length followed by the payload.
 #pragma once
 
 #include <cstdint>
@@ -17,26 +15,6 @@
 #include "common/error.h"
 
 namespace ocasta {
-
-enum class Op : uint8_t {
-  kPing = 1,
-  kPut = 2,
-  kDelete = 3,
-  kGet = 4,
-  kGetAt = 5,
-  kHistory = 6,
-  kStats = 7,
-  kListKeys = 8,
-  kSnapshot = 9,
-  kCompact = 10,
-  kClusterNow = 11,
-  kShutdown = 12,
-};
-
-const char* OpName(Op op);
-
-inline constexpr uint8_t kStatusOk = 0;
-inline constexpr uint8_t kStatusErr = 1;
 
 // Upper bound on a single frame. Large enough for a multi-MB TTKV snapshot
 // reply (Table I sizes), small enough that a garbage length prefix fails

@@ -67,6 +67,43 @@ void TTKV::record_delete(const std::string& key, TimeMicros t) {
 #pragma GCC diagnostic pop
 #endif
 
+TimeMicros TTKV::record_write_clamped(const std::string& key, Value value, TimeMicros t) {
+  VersionedRecord& rec = mutable_record(key);
+  if (!rec.versions.empty() && rec.versions.back().timestamp > t) {
+    t = rec.versions.back().timestamp;
+  }
+  rec.versions.push_back(Version{.timestamp = t, .value = std::move(value), .is_delete = false});
+  ++rec.write_count;
+  return t;
+}
+
+// See record_delete for the GCC 12 -Wmaybe-uninitialized note.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+TimeMicros TTKV::record_delete_clamped(const std::string& key, TimeMicros t) {
+  VersionedRecord& rec = mutable_record(key);
+  if (!rec.versions.empty() && rec.versions.back().timestamp > t) {
+    t = rec.versions.back().timestamp;
+  }
+  rec.versions.push_back(Version{.timestamp = t, .value = Value(), .is_delete = true});
+  ++rec.delete_count;
+  return t;
+}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+std::optional<Value> TTKV::read_latest(const std::string& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  VersionedRecord& rec = records_[it->second];
+  ++rec.read_count;
+  ++total_reads_;
+  return rec.latest();
+}
+
 void TTKV::record_read(const std::string& key, TimeMicros /*t*/) {
   ++mutable_record(key).read_count;
   ++total_reads_;
@@ -89,6 +126,11 @@ const std::string& TTKV::key_name(uint32_t id) const {
 }
 
 const VersionedRecord& TTKV::record(const std::string& key) const { return records_[key_id(key)]; }
+
+const VersionedRecord* TTKV::find(const std::string& key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &records_[it->second];
+}
 
 const VersionedRecord& TTKV::record(uint32_t id) const {
   if (id >= records_.size()) throw StoreError("TTKV key id out of range");

@@ -10,9 +10,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/time.h"
@@ -83,6 +83,18 @@ class TTKV {
   // Records a deletion tombstone.
   void record_delete(const std::string& key, TimeMicros t);
 
+  // Single-lookup fast paths for the engines' hot write path: clamp `t` to
+  // the key's newest version (per-key monotonicity; concurrent writers race
+  // between stamping and locking) and record, resolving the key's record
+  // exactly ONCE instead of the contains + clamp + record triple lookup.
+  // Return the timestamp actually applied.
+  TimeMicros record_write_clamped(const std::string& key, Value value, TimeMicros t);
+  TimeMicros record_delete_clamped(const std::string& key, TimeMicros t);
+
+  // Counts a read and returns the latest live value in one lookup; absent
+  // keys return nullopt without creating a record.
+  std::optional<Value> read_latest(const std::string& key);
+
   // Counts a read. Reads do not contribute versions; they only feed the
   // Table I statistics and the "key was accessed" inventory.
   void record_read(const std::string& key, TimeMicros t);
@@ -104,6 +116,10 @@ class TTKV {
 
   const VersionedRecord& record(const std::string& key) const;
   const VersionedRecord& record(uint32_t id) const;
+
+  // Record lookup without creating: nullptr when the key was never
+  // recorded.
+  const VersionedRecord* find(const std::string& key) const;
 
   std::optional<Value> latest(const std::string& key) const;
   std::optional<Value> value_at(const std::string& key, TimeMicros t) const;
@@ -149,7 +165,10 @@ class TTKV {
 
   std::vector<VersionedRecord> records_;
   std::vector<std::string> names_;
-  std::map<std::string, uint32_t> index_;
+  // Hash index: key → dense id. Nothing depends on index order (names_ and
+  // records_ preserve first-seen order; ListKeys-style consumers sort), and
+  // the O(1) lookup is the hot engine paths' single biggest cost.
+  std::unordered_map<std::string, uint32_t> index_;
   uint64_t total_reads_ = 0;
 };
 

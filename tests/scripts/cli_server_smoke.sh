@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Loopback smoke test for the ocastad daemon, driven through ocasta_cli:
 #   1. corrupt-snapshot handling: the CLI must report `error:` and exit 1;
-#   2. serve → remote put/get/delete/history/stats/list → shutdown.
+#   2. batch subcommand against the in-process sharded backend;
+#   3. serve → remote put/get/delete/history/stats/list/batch → shutdown.
 # Usage: cli_server_smoke.sh <path-to-ocasta_cli>
 set -u
 
@@ -33,7 +34,26 @@ if "$CLI" history "$DIR/trunc.ttkv" somekey > /dev/null 2> "$DIR/err2.txt"; then
 fi
 grep -q '^error:' "$DIR/err2.txt" || fail "expected 'error:' prefix on truncated snapshot"
 
-# --- 2. Loopback daemon round trip ------------------------------------------
+# --- 2. batch subcommand over the in-process sharded backend ----------------
+OUT="$(printf 'put /b/one 1\nput /b/one 2\nget /b/one\ndelete /b/one\ndelete /b/one\ndelete /b/one force\nhistory /b/one\n' \
+        | "$CLI" batch --backend sharded)" || fail "batch --backend sharded"
+echo "$OUT" | head -3 | tail -1 | grep -q '^2$' || fail "batch get should print 2, got: $OUT"
+echo "$OUT" | sed -n 4p | grep -q 'deleted' || fail "batch delete should report deleted"
+echo "$OUT" | sed -n 5p | grep -q '(absent)' || fail "batch re-delete should be suppressed"
+echo "$OUT" | grep -q '2 writes, 2 deletions' || fail "forced tombstone missing from history: $OUT"
+
+# A bad line must fail the whole batch parse with the error: contract —
+# unknown commands and malformed numeric arguments alike.
+if printf 'frobnicate /b/x\n' | "$CLI" batch --backend local > /dev/null 2> "$DIR/err3.txt"; then
+  fail "batch with an unknown command should exit nonzero"
+fi
+grep -q '^error:' "$DIR/err3.txt" || fail "expected 'error:' prefix from batch parse"
+if printf 'getat /b/x notanumber\n' | "$CLI" batch --backend local > /dev/null 2> "$DIR/err4.txt"; then
+  fail "batch getat with a bad timestamp should exit nonzero"
+fi
+grep -q '^error:.*number' "$DIR/err4.txt" || fail "expected numeric parse error, got: $(cat "$DIR/err4.txt")"
+
+# --- 3. Loopback daemon round trip ------------------------------------------
 "$CLI" serve --port 0 --shards 4 --port-file "$DIR/port" > "$DIR/serve.log" 2>&1 &
 SRV_PID=$!
 
@@ -71,6 +91,11 @@ OUT="$(R list /apps/demo/)" || fail "remote list after delete"
 
 OUT="$(R stats)" || fail "remote stats"
 echo "$OUT" | grep -q 'shards 4' || fail "stats should report 4 shards, got: $OUT"
+
+# Batch against the running daemon: one BATCH frame end to end.
+OUT="$(printf 'put /apps/demo/batched 7\nget /apps/demo/batched\n' \
+        | "$CLI" batch --port "$PORT")" || fail "batch against daemon"
+echo "$OUT" | tail -1 | grep -q '^7$' || fail "remote batch get should print 7, got: $OUT"
 
 R snapshot "$DIR/remote.ttkv" > /dev/null || fail "remote snapshot"
 OUT="$("$CLI" history "$DIR/remote.ttkv" /apps/demo/answer)" || fail "history on remote snapshot"

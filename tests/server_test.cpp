@@ -1,5 +1,6 @@
-// End-to-end tests for the ocastad daemon: wire framing, every protocol op
-// through TtkvClient, pipelined batches, error replies, concurrent clients,
+// End-to-end tests for the ocastad daemon: wire framing, HELLO version
+// negotiation, every protocol-v2 op through TtkvClient, single-frame BATCH
+// commands, error replies, concurrent clients, reconnect-once semantics,
 // graceful shutdown from both sides, and the RemoteStore ConfigStore
 // backend driving the interception layer over the network.
 #include "server/server.h"
@@ -11,6 +12,8 @@
 
 #include <thread>
 
+#include "api/codec.h"
+#include "api/remote_engine.h"
 #include "client/remote_store.h"
 #include "client/ttkv_client.h"
 #include "configstore/intercepting_store.h"
@@ -140,34 +143,114 @@ TEST_F(ServerTest, ServerErrorsSurfaceAsStoreError) {
 }
 
 TEST_F(ServerTest, MalformedRequestsGetErrorReplies) {
+  const auto is_error_reply = [](const std::string& reply) {
+    return !reply.empty() && static_cast<uint8_t>(reply[0]) ==
+                                 static_cast<uint8_t>(api::ResultTag::kError);
+  };
   const int fd = ConnectTcp("127.0.0.1", server_->port());
 
-  // Unknown op code.
+  // Unknown op tag.
   SendFrame(fd, std::string(1, '\x63'));
   auto reply = RecvFrame(fd);
   ASSERT_TRUE(reply.has_value());
-  EXPECT_EQ(static_cast<uint8_t>((*reply)[0]), kStatusErr);
+  EXPECT_TRUE(is_error_reply(*reply));
 
   // Truncated PUT body (key length prefix promises more bytes than sent).
   BinaryWriter w;
-  w.u8(static_cast<uint8_t>(Op::kPut));
+  w.u8(static_cast<uint8_t>(api::OpTag::kPut));
   w.u32(1000);
   SendFrame(fd, w.buffer());
   reply = RecvFrame(fd);
   ASSERT_TRUE(reply.has_value());
-  EXPECT_EQ(static_cast<uint8_t>((*reply)[0]), kStatusErr);
+  EXPECT_TRUE(is_error_reply(*reply));
 
   // Trailing bytes after a well-formed request.
   BinaryWriter w2;
-  w2.u8(static_cast<uint8_t>(Op::kPing));
+  w2.u8(static_cast<uint8_t>(api::OpTag::kPing));
   w2.str("junk");
   SendFrame(fd, w2.buffer());
   reply = RecvFrame(fd);
   ASSERT_TRUE(reply.has_value());
-  EXPECT_EQ(static_cast<uint8_t>((*reply)[0]), kStatusErr);
+  EXPECT_TRUE(is_error_reply(*reply));
 
   ::shutdown(fd, SHUT_RDWR);
   ::close(fd);
+}
+
+TEST_F(ServerTest, HelloNegotiatesProtocolVersion) {
+  // TtkvClient performs HELLO on Connect and records the outcome.
+  TtkvClient client = MakeClient();
+  client.Ping();
+  EXPECT_EQ(client.protocol_version(), api::kProtocolVersion);
+
+  // A raw HELLO with a too-old version is rejected with an error reply;
+  // the connection stays usable for a fresh, acceptable HELLO.
+  const int fd = ConnectTcp("127.0.0.1", server_->port());
+  SendFrame(fd, api::EncodeHello(1));
+  auto reply = RecvFrame(fd);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_THROW(api::DecodeHelloReply(*reply), StoreError);
+
+  // A newer client negotiates down to the daemon's version.
+  SendFrame(fd, api::EncodeHello(api::kProtocolVersion + 7));
+  reply = RecvFrame(fd);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(api::DecodeHelloReply(*reply), api::kProtocolVersion);
+
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+TEST_F(ServerTest, BatchCommandOverTheWire) {
+  TtkvClient client = MakeClient();
+  api::BatchCmd batch;
+  batch.commands.push_back(api::PutCmd{"wire/a", Value(1), Seconds(1)});
+  batch.commands.push_back(api::PutCmd{"wire/b", Value(2), Seconds(2)});
+  batch.commands.push_back(api::GetCmd{"wire/a"});
+  batch.commands.push_back(api::DeleteCmd{"wire/b", Seconds(3), false});
+  batch.commands.push_back(api::PutCmd{"", Value(0), 0});  // Fails; siblings unaffected.
+  batch.commands.push_back(api::HistoryCmd{"wire/b"});
+
+  const auto results =
+      api::Expect<api::BatchResult>(client.Apply(batch), "BATCH").results;
+  ASSERT_EQ(results.size(), 6u);
+  EXPECT_TRUE(std::holds_alternative<api::OkResult>(results[0].op));
+  EXPECT_TRUE(std::holds_alternative<api::OkResult>(results[1].op));
+  EXPECT_EQ(std::get<api::ValueResult>(results[2].op).value, Value(1));
+  EXPECT_TRUE(std::get<api::ExistedResult>(results[3].op).existed);
+  EXPECT_TRUE(std::holds_alternative<api::ErrorResult>(results[4].op));
+  const auto& record = std::get<api::HistoryResult>(results[5].op).record;
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->key, "wire/b");
+  EXPECT_EQ(record->delete_count, 1u);
+}
+
+// The regression the reconnect contract promises: a daemon restart is
+// survived by exactly one transparent reconnect, and a second transport
+// failure surfaces as a clean WireError instead of a hang or a retry loop.
+TEST(ClientReconnectTest, ReconnectsOnceThenFailsCleanly) {
+  auto first = std::make_unique<TtkvServer>(ServerOptions{.port = 0, .num_shards = 2});
+  first->Start();
+  const uint16_t port = first->port();
+
+  TtkvClient client("127.0.0.1", port);
+  client.Ping();
+  EXPECT_EQ(first->connections_served(), 1u);
+  first->Stop();
+  first.reset();
+
+  // Daemon comes back on the same port: the next RPC reconnects
+  // transparently — the restarted daemon sees exactly one connection.
+  TtkvServer second(ServerOptions{.port = port, .num_shards = 2});
+  second.Start();
+  client.Put("reconnect/key", Value(42), Seconds(1));
+  EXPECT_EQ(client.Get("reconnect/key"), Value(42));
+  EXPECT_EQ(second.connections_served(), 1u);
+
+  // Daemon gone for good: the retry's reconnect also fails, so the RPC
+  // must raise WireError promptly (one reconnect attempt, no hang).
+  second.Stop();
+  EXPECT_THROW(client.Ping(), WireError);
 }
 
 TEST_F(ServerTest, ConcurrentClientsSeeConsistentTotals) {
@@ -205,7 +288,8 @@ TEST_F(ServerTest, ClientShutdownOpStopsTheServer) {
 
 TEST_F(ServerTest, RemoteStoreRoundTrip) {
   TtkvClient client = MakeClient();
-  RemoteStore store(client);
+  api::RemoteEngine engine(client);
+  RemoteStore store(engine);
 
   EXPECT_EQ(store.kind(), StoreKind::kGconf);
   EXPECT_EQ(store.Read("/apps/x"), std::nullopt);
@@ -225,7 +309,8 @@ TEST_F(ServerTest, RemoteStoreRoundTrip) {
 
 TEST_F(ServerTest, RemoteStoreSnapshotAndRestore) {
   TtkvClient client = MakeClient();
-  RemoteStore store(client);
+  api::RemoteEngine engine(client);
+  RemoteStore store(engine);
   store.Write("/cfg/a", Value(1));
   store.Write("/cfg/b", Value(2));
   const ConfigMap saved = store.Snapshot();
@@ -246,7 +331,8 @@ TEST_F(ServerTest, RemoteStoreSnapshotAndRestore) {
 // local TtkvRecorder observes the same accesses the daemon records.
 TEST_F(ServerTest, InterceptionLayerOverRemoteStore) {
   TtkvClient client = MakeClient();
-  RemoteStore backing(client);
+  api::RemoteEngine engine(client);
+  RemoteStore backing(engine);
   SimClock clock(Seconds(100));
   TTKV local;
   TtkvRecorder recorder(local);

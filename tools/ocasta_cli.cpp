@@ -17,19 +17,30 @@
 //       --shards <n>    engine shard count (default 8)
 //       --window <s>    online-clustering window seconds (default 1.0)
 //       --port-file <p> write the bound port to a file (for scripts)
-//   remote <op> [args] [--host --port]    talk to a running ocastad
-//       ops: ping, put <key> <value>, get <key>, delete <key>,
+//   remote <op> [args] [--backend --host --port --shards --window]
+//       drive any api::Engine backend (default: remote, a running ocastad)
+//       ops: ping, put <key> <value>, get <key>, delete <key> [--force],
 //            history <key>, stats, list [prefix], cluster [--threshold
 //            --linkage], compact <seconds>, snapshot <out.ttkv>, shutdown
+//   batch [--backend --host --port --shards --window]
+//       newline-delimited commands from stdin applied as ONE BatchCmd
+//       (trace replay through any backend); lines:
+//            ping | put <key> <value> | get <key> | getat <key> <seconds>
+//            | delete <key> [force] | history <key> | list [prefix]
+//            | stats | compact <seconds> | cluster <threshold> [linkage]
 //   list                                  machines, applications, scenarios
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "analysis/ground_truth.h"
+#include "api/backends.h"
+#include "api/engine.h"
 #include "apps/catalog.h"
-#include "client/ttkv_client.h"
 #include "clustering/engine.h"
 #include "common/error.h"
 #include "common/flags.h"
@@ -50,10 +61,23 @@ namespace {
 constexpr uint16_t kDefaultPort = 7341;
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: ocasta_cli <record|stats|cluster|snapshot|history|repair|serve|remote|list> ...\n"
-               "run 'ocasta_cli list' to see machines, applications and scenarios\n");
+  std::fprintf(
+      stderr,
+      "usage: ocasta_cli <record|stats|cluster|snapshot|history|repair|serve|remote|batch|list> ...\n"
+      "run 'ocasta_cli list' to see machines, applications and scenarios\n");
   return 2;
+}
+
+// Shared --backend/--host/--port/--shards/--window parsing for the
+// subcommands that drive an api::Engine.
+api::BackendOptions BackendFromArgs(const Args& args, const std::string& default_backend) {
+  api::BackendOptions options;
+  options.backend = args.Get("backend", default_backend);
+  options.num_shards = static_cast<size_t>(args.GetInt("shards", 8));
+  options.cluster_window_seconds = args.GetDouble("window", 1.0);
+  options.host = args.Get("host", "127.0.0.1");
+  options.port = static_cast<uint16_t>(args.GetInt("port", kDefaultPort));
+  return options;
 }
 
 TTKV TtkvFromTraceFile(const std::string& path, const std::string& app) {
@@ -203,20 +227,21 @@ int CmdRemote(const Args& args) {
     if (i >= args.positional.size()) throw Error("remote " + op + ": missing argument");
     return args.positional[i];
   };
-  TtkvClient client(args.Get("host", "127.0.0.1"),
-                    static_cast<uint16_t>(args.GetInt("port", kDefaultPort)));
+  // The op runs against whichever backend --backend picks; "remote" (the
+  // default) talks to a running ocastad, "sharded"/"local" run in-process.
+  const std::unique_ptr<api::Engine> engine = api::MakeEngine(BackendFromArgs(args, "remote"));
   if (op == "ping") {
-    client.Ping();
+    api::Ping(*engine);
     std::printf("pong\n");
     return 0;
   }
   if (op == "put") {
-    client.Put(arg(1), InferScalar(arg(2)));
+    api::Put(*engine, arg(1), InferScalar(arg(2)));
     std::printf("ok\n");
     return 0;
   }
   if (op == "get") {
-    const std::optional<Value> value = client.Get(arg(1));
+    const std::optional<Value> value = api::Get(*engine, arg(1));
     if (!value.has_value()) {
       std::printf("(absent)\n");
       return 1;
@@ -225,17 +250,18 @@ int CmdRemote(const Args& args) {
     return 0;
   }
   if (op == "delete") {
-    std::printf("%s\n", client.Delete(arg(1)) ? "deleted" : "(absent)");
+    std::printf("%s\n", api::Delete(*engine, arg(1), 0, args.Has("force")) ? "deleted"
+                                                                           : "(absent)");
     return 0;
   }
   if (op == "history") {
-    const std::optional<VersionedRecord> record = client.History(arg(1));
+    const std::optional<VersionedRecord> record = api::History(*engine, arg(1));
     if (!record.has_value()) throw Error("unknown key: " + arg(1));
     PrintHistory(*record);
     return 0;
   }
   if (op == "stats") {
-    const EngineStats stats = client.Stats();
+    const EngineStats stats = api::Stats(*engine);
     std::printf("keys %zu, writes %llu (deletes %llu), reads %llu, ~%zu bytes\n",
                 stats.ttkv.num_keys, static_cast<unsigned long long>(stats.ttkv.writes),
                 static_cast<unsigned long long>(stats.ttkv.deletes),
@@ -248,14 +274,14 @@ int CmdRemote(const Args& args) {
   }
   if (op == "list") {
     for (const std::string& key :
-         client.ListKeys(args.positional.size() > 1 ? args.positional[1] : "")) {
+         api::ListKeys(*engine, args.positional.size() > 1 ? args.positional[1] : "")) {
       std::printf("%s\n", key.c_str());
     }
     return 0;
   }
   if (op == "cluster") {
-    const auto clusters = client.ClusterNow(args.GetDouble("threshold", 2.0),
-                                            LinkageFromName(args.Get("linkage", "complete")));
+    const auto clusters = api::ClusterNow(*engine, args.GetDouble("threshold", 2.0),
+                                          LinkageFromName(args.Get("linkage", "complete")));
     for (const NamedCluster& cluster : clusters) {
       if (cluster.keys.size() < 2) continue;
       std::printf("cluster (%zu keys, %llu modifications):\n", cluster.keys.size(),
@@ -270,22 +296,166 @@ int CmdRemote(const Args& args) {
     if (end == arg(1).c_str() || *end != '\0') {
       throw Error("compact: horizon must be a number in seconds, got: " + arg(1));
     }
-    const uint64_t dropped = client.Compact(Seconds(horizon));
+    const uint64_t dropped = api::Compact(*engine, Seconds(horizon));
     std::printf("dropped %llu versions\n", static_cast<unsigned long long>(dropped));
     return 0;
   }
   if (op == "snapshot") {
-    const std::string bytes = client.Snapshot().Serialize();
+    const std::string bytes = api::Snapshot(*engine).Serialize();
     WriteFile(arg(1), bytes);
     std::printf("wrote %s: %zu bytes\n", arg(1).c_str(), bytes.size());
     return 0;
   }
   if (op == "shutdown") {
-    client.Shutdown();
+    api::Shutdown(*engine);
     std::printf("ocastad shutting down\n");
     return 0;
   }
   return Usage();
+}
+
+// --- batch: newline-delimited commands from stdin, one BatchCmd ------------
+
+double ParseNumber(const std::string& what, const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    throw Error(what + ": expected a number, got: " + text);
+  }
+  return value;
+}
+
+api::Command ParseBatchLine(const std::vector<std::string>& tokens) {
+  const std::string& op = tokens[0];
+  const auto want = [&](size_t n) {
+    if (tokens.size() - 1 != n) {
+      throw Error("batch " + op + ": expected " + std::to_string(n) + " argument(s)");
+    }
+  };
+  if (op == "ping") {
+    want(0);
+    return api::PingCmd{};
+  }
+  if (op == "put") {
+    want(2);
+    return api::PutCmd{tokens[1], InferScalar(tokens[2]), 0};
+  }
+  if (op == "get") {
+    want(1);
+    return api::GetCmd{tokens[1]};
+  }
+  if (op == "getat") {
+    want(2);
+    return api::GetAtCmd{tokens[1], Seconds(ParseNumber("batch getat", tokens[2]))};
+  }
+  if (op == "delete") {
+    if (tokens.size() == 3 && tokens[2] == "force") return api::DeleteCmd{tokens[1], 0, true};
+    want(1);
+    return api::DeleteCmd{tokens[1], 0, false};
+  }
+  if (op == "history") {
+    want(1);
+    return api::HistoryCmd{tokens[1]};
+  }
+  if (op == "list") {
+    if (tokens.size() == 1) return api::ListKeysCmd{""};
+    want(1);
+    return api::ListKeysCmd{tokens[1]};
+  }
+  if (op == "stats") {
+    want(0);
+    return api::StatsCmd{};
+  }
+  if (op == "compact") {
+    want(1);
+    return api::CompactCmd{Seconds(ParseNumber("batch compact", tokens[1]))};
+  }
+  if (op == "cluster") {
+    api::ClusterNowCmd cmd;
+    if (tokens.size() < 2 || tokens.size() > 3) throw Error("batch cluster: <threshold> [linkage]");
+    cmd.threshold_correlation = ParseNumber("batch cluster", tokens[1]);
+    if (tokens.size() == 3) cmd.linkage = LinkageFromName(tokens[2]);
+    return cmd;
+  }
+  throw Error("batch: unknown command: " + op);
+}
+
+void PrintBatchResult(const api::Result& result) {
+  if (const auto* err = std::get_if<api::ErrorResult>(&result.op)) {
+    std::printf("error: %s\n", err->message.c_str());
+    return;
+  }
+  if (std::holds_alternative<api::OkResult>(result.op)) {
+    std::printf("ok\n");
+    return;
+  }
+  if (const auto* existed = std::get_if<api::ExistedResult>(&result.op)) {
+    std::printf("%s\n", existed->existed ? "deleted" : "(absent)");
+    return;
+  }
+  if (const auto* value = std::get_if<api::ValueResult>(&result.op)) {
+    std::printf("%s\n", value->value.has_value() ? value->value->ToDisplay().c_str()
+                                                 : "(absent)");
+    return;
+  }
+  if (const auto* history = std::get_if<api::HistoryResult>(&result.op)) {
+    if (!history->record.has_value()) {
+      std::printf("(absent)\n");
+    } else {
+      PrintHistory(*history->record);
+    }
+    return;
+  }
+  if (const auto* keys = std::get_if<api::KeysResult>(&result.op)) {
+    std::printf("%zu keys", keys->keys.size());
+    for (const std::string& key : keys->keys) std::printf(" %s", key.c_str());
+    std::printf("\n");
+    return;
+  }
+  if (const auto* stats = std::get_if<api::StatsResult>(&result.op)) {
+    std::printf("keys %zu, writes %llu, reads %llu\n", stats->stats.ttkv.num_keys,
+                static_cast<unsigned long long>(stats->stats.ttkv.writes),
+                static_cast<unsigned long long>(stats->stats.ttkv.reads));
+    return;
+  }
+  if (const auto* compact = std::get_if<api::CompactResult>(&result.op)) {
+    std::printf("dropped %llu versions\n",
+                static_cast<unsigned long long>(compact->versions_dropped));
+    return;
+  }
+  if (const auto* clusters = std::get_if<api::ClustersResult>(&result.op)) {
+    std::printf("%zu clusters\n", clusters->clusters.size());
+    return;
+  }
+  std::printf("(unprintable result)\n");
+}
+
+int CmdBatch(const Args& args) {
+  const std::unique_ptr<api::Engine> engine = api::MakeEngine(BackendFromArgs(args, "remote"));
+  api::BatchCmd batch;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    batch.commands.push_back(ParseBatchLine(SplitNonEmpty(trimmed, ' ')));
+  }
+  if (batch.commands.empty()) {
+    std::printf("batch: no commands on stdin\n");
+    return 0;
+  }
+  // One ApplyBatch: a single BATCH frame on the remote backend, grouped
+  // shard locking on the sharded backend.
+  const std::vector<api::Result> results = engine->ApplyBatch(std::span(batch.commands));
+  int failures = 0;
+  for (const api::Result& result : results) {
+    if (api::IsError(result)) ++failures;
+    PrintBatchResult(result);
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "batch: %d of %zu commands failed\n", failures, results.size());
+    return 1;
+  }
+  return 0;
 }
 
 int CmdList() {
@@ -323,6 +493,7 @@ int main(int argc, char** argv) {
     if (command == "repair") return CmdRepair(args);
     if (command == "serve") return CmdServe(args);
     if (command == "remote") return CmdRemote(args);
+    if (command == "batch") return CmdBatch(args);
     if (command == "list") return CmdList();
   } catch (const std::exception& e) {
     // Error and all its subclasses, plus stray std::stod/stoll failures:
