@@ -10,19 +10,24 @@
 //   sharded  all clients share one in-process ShardedTtkv (grouped shard
 //            locking when --batch > 1)
 //   local    all clients share one LocalEngine (one mutex)
+//   durable  a write-ahead-logged DurableEngine over ShardedTtkv in a
+//            fresh temp dir (or --data-dir); --fsync off|batch|always
+//            picks the durability policy under test
 // After a warmup phase, the measure phase records per-op latency; the run
 // emits BENCH JSON with ops/sec, p50/p99 latency per op kind, and the
 // engine's shard-lock acquisition count.
 //
 // --suite runs the committed BENCH_server.json matrix instead: remote and
-// sharded backends, each at batch depth 1 and --batch (default 16), plus
-// the sharded batched-vs-single speedup and locks-per-op — the measurement
-// behind the BatchCmd fast path.
+// sharded backends at batch depth 1 and --batch (default 16) — the
+// measurement behind the BatchCmd fast path — plus the durable backend at
+// the batched depth under each fsync policy, quantifying what
+// acked-means-durable costs against the in-memory sharded engine (group
+// commit is what keeps fsync=batch close).
 //
 //   bench_loadgen --backend remote --clients 8 --keys 2000 --put-ratio 0.5
 //                 --dist zipf --theta 0.99 --shards 8 --warmup-ms 300
 //                 --measure-ms 1500 --batch 1 --value-bytes 64
-//                 --json BENCH_server.json [--quiet] [--suite]
+//                 --fsync batch --json BENCH_server.json [--quiet] [--suite]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -33,7 +38,12 @@
 #include <thread>
 #include <vector>
 
+#include <cstdlib>
+#include <filesystem>
+
+#include "api/backends.h"
 #include "api/engine.h"
+#include "persist/durable_engine.h"
 #include "api/local_engine.h"
 #include "api/remote_engine.h"
 #include "bench_util.h"
@@ -62,6 +72,9 @@ struct LoadGenConfig {
   uint64_t seed = 42;
   bool suite = false;
   std::string json_path = "BENCH_server.json";
+  // durable backend only.
+  std::string fsync = "batch";
+  std::string data_dir;  // Empty = a fresh temp dir, removed after the run.
 };
 
 enum class Phase { kWarmup, kMeasure, kDone };
@@ -122,6 +135,9 @@ double Percentile(std::vector<double>& sorted_in_place, double p) {
 
 struct RunMetrics {
   std::string backend;
+  std::string fsync;          // Durable runs only; empty otherwise.
+  uint64_t wal_records = 0;   // Durable runs: records logged.
+  uint64_t wal_flushes = 0;   // Durable runs: disk flushes performed.
   size_t batch = 1;
   double measure_seconds = 0;
   uint64_t total_ops = 0;
@@ -133,6 +149,15 @@ struct RunMetrics {
 };
 
 RunMetrics RunOne(const LoadGenConfig& cfg) {
+  // Durable-backend scratch dir, removed on every exit path (including a
+  // MakeEngine throw). Declared before the engine so the WAL closes before
+  // the directory disappears.
+  struct ScratchDir {
+    std::string path;
+    ~ScratchDir() {
+      if (!path.empty()) std::filesystem::remove_all(path);
+    }
+  } scratch;
   // The engine under test plus, for the remote backend, the daemon that
   // owns it. Per-client engines (one connection each) are created below.
   std::unique_ptr<TtkvServer> server;
@@ -150,16 +175,34 @@ RunMetrics RunOne(const LoadGenConfig& cfg) {
     shared_engine = std::make_unique<ShardedTtkv>(cfg.shards, 1.0);
   } else if (cfg.backend == "local") {
     shared_engine = std::make_unique<api::LocalEngine>();
+  } else if (cfg.backend == "durable") {
+    // A fresh data dir per run unless pinned: recovering a previous run's
+    // log would skew the measurement.
+    std::string dir = cfg.data_dir;
+    if (dir.empty()) {
+      char tmpl[] = "/tmp/ocasta_loadgen_XXXXXX";
+      if (::mkdtemp(tmpl) == nullptr) throw Error("mkdtemp failed for durable bench dir");
+      dir = tmpl;
+      scratch.path = dir;  // Removed after the run.
+    }
+    api::BackendOptions durable;
+    durable.backend = "sharded";
+    durable.num_shards = cfg.shards;
+    durable.data_dir = dir;
+    durable.fsync = cfg.fsync;
+    shared_engine = api::MakeEngine(durable);
   } else {
-    throw Error("unknown backend: " + cfg.backend + " (expected local|sharded|remote)");
+    throw Error("unknown backend: " + cfg.backend +
+                " (expected local|sharded|remote|durable)");
   }
 
   if (!bench::QuietFlag()) {
     std::fprintf(stderr,
-                 "[loadgen] backend %s — %zu clients, %zu keys (%s), put-ratio %.2f, "
+                 "[loadgen] backend %s%s%s — %zu clients, %zu keys (%s), put-ratio %.2f, "
                  "batch %zu\n",
-                 cfg.backend.c_str(), cfg.clients, cfg.keys, KeyDistName(cfg.dist),
-                 cfg.put_ratio, cfg.batch);
+                 cfg.backend.c_str(), cfg.backend == "durable" ? " fsync=" : "",
+                 cfg.backend == "durable" ? cfg.fsync.c_str() : "", cfg.clients, cfg.keys,
+                 KeyDistName(cfg.dist), cfg.put_ratio, cfg.batch);
   }
 
   // Shared read-only key table: per-op key-name construction would
@@ -190,11 +233,17 @@ RunMetrics RunOne(const LoadGenConfig& cfg) {
 
   RunMetrics m;
   m.backend = cfg.backend;
+  if (cfg.backend == "durable") m.fsync = cfg.fsync;
   m.batch = cfg.batch;
   // Engine-side truth (lock counts, op totals) comes from the engine that
   // actually executed the commands — the daemon's for the remote backend.
-  m.stats = server ? server->engine().Stats() : api::Stats(*shared_engine);
+  m.stats = server ? api::Stats(server->engine()) : api::Stats(*shared_engine);
+  if (auto* durable = dynamic_cast<persist::DurableEngine*>(shared_engine.get())) {
+    m.wal_records = durable->wal().last_lsn();
+    m.wal_flushes = durable->wal().sync_count();
+  }
   if (server) server->Stop();
+  shared_engine.reset();  // Close the WAL; `scratch` then removes its dir.
 
   std::vector<double> put_us;
   std::vector<double> get_us;
@@ -225,14 +274,20 @@ RunMetrics RunOne(const LoadGenConfig& cfg) {
 }
 
 void WriteRunJson(std::FILE* out, const RunMetrics& m, const char* indent) {
+  std::fprintf(out, "%s{\"backend\": \"%s\", ", indent, m.backend.c_str());
+  if (!m.fsync.empty()) {
+    std::fprintf(out, "\"fsync\": \"%s\", \"wal_records\": %llu, \"wal_flushes\": %llu, ",
+                 m.fsync.c_str(), static_cast<unsigned long long>(m.wal_records),
+                 static_cast<unsigned long long>(m.wal_flushes));
+  }
   std::fprintf(out,
-               "%s{\"backend\": \"%s\", \"batch\": %zu,\n"
+               "\"batch\": %zu,\n"
                "%s \"measure_seconds\": %.3f, \"total_ops\": %llu, \"ops_per_sec\": %.1f,\n"
                "%s \"put\": {\"ops\": %llu, \"p50_us\": %.1f, \"p99_us\": %.1f},\n"
                "%s \"get\": {\"ops\": %llu, \"p50_us\": %.1f, \"p99_us\": %.1f},\n"
                "%s \"engine\": {\"num_keys\": %zu, \"writes\": %llu, \"reads\": %llu, "
                "\"lock_acquisitions\": %llu}}",
-               indent, m.backend.c_str(), m.batch, indent, m.measure_seconds,
+               m.batch, indent, m.measure_seconds,
                static_cast<unsigned long long>(m.total_ops), m.ops_per_sec, indent,
                static_cast<unsigned long long>(m.put_ops), m.put_p50, m.put_p99, indent,
                static_cast<unsigned long long>(m.get_ops), m.get_p50, m.get_p99, indent,
@@ -287,16 +342,45 @@ int RunSuite(const LoadGenConfig& cfg) {
       runs.push_back(RunOne(one));
     }
   }
-  const RunMetrics& sharded_single = runs[2];
-  const RunMetrics& sharded_batched = runs[3];
+  // The durability cost matrix: the WAL-decorated sharded engine at the
+  // batched depth under each fsync policy, against run[3] (the same engine,
+  // same depth, no log) as the in-memory baseline. Group commit — one fsync
+  // acknowledging a whole batch of writers — is what keeps "batch" close.
+  for (const char* fsync : {"off", "batch", "always"}) {
+    LoadGenConfig one = cfg;
+    one.backend = "durable";
+    one.fsync = fsync;
+    one.batch = batched;
+    // Always a fresh temp dir, even when --data-dir was passed: the rows
+    // would otherwise recover and replay each other's logs.
+    one.data_dir.clear();
+    runs.push_back(RunOne(one));
+  }
   const RunMetrics& remote_single = runs[0];
   const RunMetrics& remote_batched = runs[1];
+  const RunMetrics& sharded_single = runs[2];
+  const RunMetrics& sharded_batched = runs[3];
   const double sharded_speedup =
       sharded_single.ops_per_sec > 0 ? sharded_batched.ops_per_sec / sharded_single.ops_per_sec
                                      : 0.0;
   const double remote_speedup =
       remote_single.ops_per_sec > 0 ? remote_batched.ops_per_sec / remote_single.ops_per_sec
                                     : 0.0;
+  // Durable throughput relative to the in-memory sharded engine (1.0 =
+  // free durability; >= 0.5 = "within 2x").
+  const auto durable_relative = [&](size_t index) {
+    return sharded_batched.ops_per_sec > 0
+               ? runs[index].ops_per_sec / sharded_batched.ops_per_sec
+               : 0.0;
+  };
+  // What group commit specifically buys: the disk-flushing policies
+  // relative to the same WAL stack with the log left in the page cache
+  // (fsync=off). This isolates the flush cost from the logging cost.
+  const RunMetrics& durable_off = runs[4];
+  const auto flush_relative = [&](size_t index) {
+    return durable_off.ops_per_sec > 0 ? runs[index].ops_per_sec / durable_off.ops_per_sec
+                                       : 0.0;
+  };
 
   std::FILE* out = std::fopen(cfg.json_path.c_str(), "w");
   if (out == nullptr) {
@@ -315,17 +399,25 @@ int RunSuite(const LoadGenConfig& cfg) {
                "  \"batch_depth\": %zu,\n"
                "  \"remote_batch_speedup\": %.2f,\n"
                "  \"sharded_batch_speedup\": %.2f,\n"
-               "  \"sharded_locks_per_op\": {\"batch_1\": %.3f, \"batch_%zu\": %.3f}\n"
+               "  \"sharded_locks_per_op\": {\"batch_1\": %.3f, \"batch_%zu\": %.3f},\n"
+               "  \"durable_vs_sharded_batched\": "
+               "{\"off\": %.2f, \"batch\": %.2f, \"always\": %.2f},\n"
+               "  \"durable_vs_fsync_off\": {\"batch\": %.2f, \"always\": %.2f}\n"
                "}\n",
                batched, remote_speedup, sharded_speedup, LocksPerOp(sharded_single), batched,
-               LocksPerOp(sharded_batched));
+               LocksPerOp(sharded_batched), durable_relative(4), durable_relative(5),
+               durable_relative(6), flush_relative(5), flush_relative(6));
   std::fclose(out);
   if (!bench::QuietFlag()) {
     std::fprintf(stderr,
                  "[loadgen] suite: remote batch speedup %.2fx, sharded batch speedup %.2fx "
-                 "(locks/op %.3f -> %.3f); wrote %s\n",
+                 "(locks/op %.3f -> %.3f); durable vs in-memory: off %.2fx, batch %.2fx, "
+                 "always %.2fx; flush cost vs fsync=off: batch %.2fx, always %.2fx; "
+                 "wrote %s\n",
                  remote_speedup, sharded_speedup, LocksPerOp(sharded_single),
-                 LocksPerOp(sharded_batched), cfg.json_path.c_str());
+                 LocksPerOp(sharded_batched), durable_relative(4), durable_relative(5),
+                 durable_relative(6), flush_relative(5), flush_relative(6),
+                 cfg.json_path.c_str());
   }
   for (const RunMetrics& m : runs) {
     if (m.total_ops == 0) return 1;
@@ -354,6 +446,8 @@ int main(int argc, char** argv) {
   cfg.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
   cfg.suite = args.Has("suite");
   cfg.json_path = args.Get("json", "BENCH_server.json");
+  cfg.fsync = args.Get("fsync", "batch");
+  cfg.data_dir = args.Get("data-dir", "");
   try {
     cfg.dist = KeyDistByName(args.Get("dist", "zipf"));
     if (cfg.clients == 0 || cfg.batch == 0) throw Error("--clients and --batch must be >= 1");

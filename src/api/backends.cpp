@@ -3,11 +3,51 @@
 #include "api/local_engine.h"
 #include "api/remote_engine.h"
 #include "common/error.h"
+#include "persist/durable_engine.h"
 #include "server/sharded_ttkv.h"
 
 namespace ocasta::api {
 
+namespace {
+
+// Builds the in-process engine the durable decorator wraps — from recovered
+// state when a snapshot/log exists, from the empty TTKV on first boot.
+persist::DurableEngine::InnerFactory InnerFactoryFor(const BackendOptions& options) {
+  if (options.backend == "local") {
+    return [options](TTKV recovered) -> std::unique_ptr<Engine> {
+      return std::make_unique<LocalEngine>(
+          std::move(recovered),
+          LocalEngine::Options{.cluster_window_seconds = options.cluster_window_seconds});
+    };
+  }
+  return [options](TTKV recovered) -> std::unique_ptr<Engine> {
+    auto engine =
+        std::make_unique<ShardedTtkv>(options.num_shards, options.cluster_window_seconds);
+    engine->ImportSnapshot(recovered);
+    return engine;
+  };
+}
+
+}  // namespace
+
 std::unique_ptr<Engine> MakeEngine(const BackendOptions& options) {
+  if (options.backend != "local" && options.backend != "sharded" &&
+      options.backend != "remote") {
+    throw Error("unknown backend: " + options.backend + " (expected local|sharded|remote)");
+  }
+  if (!options.data_dir.empty()) {
+    if (options.backend == "remote") {
+      throw Error("--data-dir requires a local or sharded backend "
+                  "(the daemon owns durability for remote clients)");
+    }
+    persist::DurableOptions durable;
+    durable.wal.fsync = persist::FsyncPolicyByName(options.fsync);
+    durable.wal.segment_bytes = options.wal_segment_bytes;
+    durable.checkpoint_wal_bytes = options.checkpoint_wal_bytes;
+    durable.checkpoint_interval_seconds = options.checkpoint_interval_seconds;
+    return std::make_unique<persist::DurableEngine>(options.data_dir,
+                                                    InnerFactoryFor(options), durable);
+  }
   if (options.backend == "local") {
     return std::make_unique<LocalEngine>(
         LocalEngine::Options{.cluster_window_seconds = options.cluster_window_seconds});
@@ -15,10 +55,7 @@ std::unique_ptr<Engine> MakeEngine(const BackendOptions& options) {
   if (options.backend == "sharded") {
     return std::make_unique<ShardedTtkv>(options.num_shards, options.cluster_window_seconds);
   }
-  if (options.backend == "remote") {
-    return std::make_unique<RemoteEngine>(options.host, options.port);
-  }
-  throw Error("unknown backend: " + options.backend + " (expected local|sharded|remote)");
+  return std::make_unique<RemoteEngine>(options.host, options.port);
 }
 
 }  // namespace ocasta::api

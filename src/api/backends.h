@@ -24,9 +24,20 @@ struct BackendOptions {
   // remote backend.
   std::string host = "127.0.0.1";
   uint16_t port = 7341;
+
+  // Durability (local + sharded backends). A non-empty data_dir wraps the
+  // engine in persist::DurableEngine: write-ahead logged, crash-recovered
+  // from <data_dir>/snap-*.ttkv + wal-*.log. The remote backend rejects it
+  // — durability lives in the daemon, not the client.
+  std::string data_dir = "";
+  std::string fsync = "batch";  // "off" | "batch" | "always".
+  size_t wal_segment_bytes = 64u << 20;
+  uint64_t checkpoint_wal_bytes = 64u << 20;
+  double checkpoint_interval_seconds = 0.0;
 };
 
-// Throws Error on an unknown backend name.
+// Throws Error on an unknown backend name, an unknown fsync policy, or
+// --data-dir combined with the remote backend.
 std::unique_ptr<Engine> MakeEngine(const BackendOptions& options);
 
 }  // namespace ocasta::api

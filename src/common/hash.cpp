@@ -1,5 +1,7 @@
 #include "common/hash.h"
 
+#include <array>
+
 namespace ocasta {
 
 std::string HashToHex(uint64_t h) {
@@ -10,6 +12,30 @@ std::string HashToHex(uint64_t h) {
     h >>= 4;
   }
   return out;
+}
+
+namespace {
+
+// Reflected CRC-32 table for polynomial 0xEDB88320, built once at startup.
+std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = MakeCrc32Table();
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (char ch : data) {
+    crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
 }
 
 }  // namespace ocasta

@@ -1,9 +1,10 @@
-// Hashing helpers: FNV-1a 64-bit and hash combination.
+// Hashing helpers: FNV-1a 64-bit, CRC-32, and hash combination.
 //
-// Used for screenshot fingerprints (deduplication in the repair gallery)
-// and for content-addressing rendered application state. Stability across
-// platforms matters (hashes appear in golden tests), hence a fixed
-// algorithm instead of std::hash.
+// Used for screenshot fingerprints (deduplication in the repair gallery),
+// for content-addressing rendered application state, and for framing
+// write-ahead-log records (persist/wal.h). Stability across platforms
+// matters (hashes appear in golden tests and on-disk artifacts), hence
+// fixed algorithms instead of std::hash.
 #pragma once
 
 #include <cstdint>
@@ -31,5 +32,11 @@ constexpr uint64_t HashCombine(uint64_t a, uint64_t b) {
 
 // Hex rendering of a 64-bit hash, 16 lowercase digits.
 std::string HashToHex(uint64_t h);
+
+// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip CRC). Detects the torn and
+// bit-flipped write-ahead-log records that a plain length prefix cannot.
+// Incremental: feed the previous return value back as `seed` to checksum a
+// record split across buffers. Seed 0 with no data yields 0.
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
 
 }  // namespace ocasta

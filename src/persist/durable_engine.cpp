@@ -1,0 +1,355 @@
+#include "persist/durable_engine.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "api/codec.h"
+#include "common/io.h"
+
+namespace ocasta::persist {
+
+namespace {
+
+std::string SnapshotName(uint64_t lsn) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "snap-%020llu.ttkv", static_cast<unsigned long long>(lsn));
+  return buf;
+}
+
+// snap-*.ttkv files in `dir`, ascending by the LSN embedded in the name.
+std::vector<std::pair<uint64_t, std::string>> ListSnapshots(const std::string& dir) {
+  std::vector<std::pair<uint64_t, std::string>> snaps;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return snaps;
+  while (dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.starts_with("snap-") && name.ends_with(".ttkv")) {
+      const uint64_t lsn = std::strtoull(name.c_str() + 5, nullptr, 10);
+      if (lsn > 0) snaps.emplace_back(lsn, name);
+    }
+  }
+  ::closedir(d);
+  std::sort(snaps.begin(), snaps.end());
+  return snaps;
+}
+
+// Deepest version timestamp a command carries, for restoring the monotonic
+// clock after replay (0 = none).
+TimeMicros MaxTimestampOf(const api::Command& cmd) {
+  if (const auto* put = std::get_if<api::PutCmd>(&cmd.op)) return put->timestamp;
+  if (const auto* del = std::get_if<api::DeleteCmd>(&cmd.op)) return del->timestamp;
+  if (const auto* batch = std::get_if<api::BatchCmd>(&cmd.op)) {
+    TimeMicros max_t = 0;
+    for (const api::Command& sub : batch->commands) max_t = std::max(max_t, MaxTimestampOf(sub));
+    return max_t;
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool IsMutating(const api::Command& cmd) {
+  if (std::holds_alternative<api::PutCmd>(cmd.op) ||
+      std::holds_alternative<api::DeleteCmd>(cmd.op) ||
+      std::holds_alternative<api::CompactCmd>(cmd.op)) {
+    return true;
+  }
+  if (const auto* batch = std::get_if<api::BatchCmd>(&cmd.op)) {
+    for (const api::Command& sub : batch->commands) {
+      if (IsMutating(sub)) return true;
+    }
+  }
+  return false;
+}
+
+DurableEngine::DurableEngine(std::string data_dir, InnerFactory factory, DurableOptions options)
+    : dir_(std::move(data_dir)), options_(options), wal_(dir_, options.wal) {
+  // 0. Sweep snapshots that died mid-write: a crash between creating
+  //    snap-<lsn>.ttkv.tmp and its rename leaves the tmp behind, and later
+  //    checkpoints use different LSNs so the name never gets reused.
+  if (DIR* d = ::opendir(dir_.c_str())) {
+    while (dirent* entry = ::readdir(d)) {
+      const std::string_view name = entry->d_name;
+      if (name.starts_with("snap-") && name.ends_with(".tmp")) {
+        ::unlink((dir_ + "/" + std::string(name)).c_str());
+      }
+    }
+    ::closedir(d);
+  }
+
+  // 1. Newest snapshot that deserializes cleanly anchors recovery; corrupt
+  //    ones fall back to the next-older (retained_snapshots keeps a spare).
+  TTKV snapshot;
+  uint64_t snapshot_lsn = 0;
+  const auto snaps = ListSnapshots(dir_);
+  for (auto it = snaps.rbegin(); it != snaps.rend(); ++it) {
+    try {
+      snapshot = TTKV::Deserialize(ReadFile(dir_ + "/" + it->second));
+      snapshot_lsn = it->first;
+      break;
+    } catch (const Error&) {
+      // Torn or bit-flipped snapshot: keep walking back. With no valid
+      // snapshot at all, the full log replays from an empty store.
+    }
+  }
+  recovery_.snapshot_lsn = snapshot_lsn;
+  recovery_.dropped_bytes = wal_.recovered_dropped_bytes();
+
+  // 2. Restore the monotonic clock past everything recovered, so fresh
+  //    engine-assigned stamps never collide with replayed history.
+  int64_t clock = 0;
+  for (uint32_t id = 0; id < snapshot.num_keys(); ++id) {
+    clock = std::max<int64_t>(clock, snapshot.record(id).last_modified());
+  }
+
+  // 3. Inner engine from the snapshot, then replay strictly PAST the
+  //    snapshot seam: a record with lsn <= snapshot_lsn is already inside
+  //    the snapshot, and applying it again would double-append versions
+  //    (see PersistTest.SnapshotSeamIsIdempotent).
+  inner_ = factory(std::move(snapshot));
+  std::vector<WalRecord> records = wal_.TakeRecovered();
+  // Refuse to serve a provably partial store: if the log's first surviving
+  // record is beyond snapshot_lsn + 1, the records in between existed once
+  // (checkpoint truncation deleted their segments trusting a snapshot that
+  // is now unreadable) and nothing can resurrect them. Silently booting
+  // without acknowledged writes would be worse than refusing to run.
+  if (!records.empty() && records.front().lsn > snapshot_lsn + 1) {
+    throw Error("unrecoverable data dir " + dir_ + ": log starts at record " +
+                std::to_string(records.front().lsn) + " but no usable snapshot covers 1.." +
+                std::to_string(records.front().lsn - 1) +
+                " (every newer snapshot failed to load)");
+  }
+  if (records.empty() && snapshot_lsn == 0 && !snaps.empty()) {
+    throw Error("unrecoverable data dir " + dir_ +
+                ": snapshots exist but none loads, and no log records survive");
+  }
+  if (snapshot_lsn > wal_.last_lsn()) {
+    // The log is entirely behind the snapshot (kernel crash under
+    // fsync=off): every surviving record is covered. Restart numbering
+    // past the snapshot so future records replay.
+    recovery_.skipped += records.size();
+    wal_.ResetTo(snapshot_lsn + 1);
+  } else {
+    for (WalRecord& record : records) {
+      if (record.lsn <= snapshot_lsn) {
+        ++recovery_.skipped;
+        continue;
+      }
+      const api::Command cmd = api::DecodeCommand(record.payload);
+      clock = std::max<int64_t>(clock, MaxTimestampOf(cmd));
+      inner_->Apply(cmd);
+      ++recovery_.replayed;
+    }
+  }
+  clock_.store(clock, std::memory_order_relaxed);
+  checkpointed_lsn_ = snapshot_lsn;
+
+  // 4. Background checkpointing, when any trigger is configured.
+  if (options_.checkpoint_wal_bytes > 0 || options_.checkpoint_interval_seconds > 0) {
+    checkpoint_thread_ = std::thread(&DurableEngine::CheckpointThread, this);
+  }
+}
+
+DurableEngine::~DurableEngine() {
+  // Deliberately NO parting checkpoint: a clean shutdown must exercise the
+  // same replay path as a crash, or recovery bugs hide behind tidy exits.
+  if (checkpoint_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      stopping_ = true;
+    }
+    wake_cv_.notify_all();
+    checkpoint_thread_.join();
+  }
+}
+
+TimeMicros DurableEngine::StampNow() {
+  const int64_t wall = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count();
+  int64_t prev = clock_.load(std::memory_order_relaxed);
+  int64_t next;
+  do {
+    next = std::max(wall, prev + 1);
+  } while (!clock_.compare_exchange_weak(prev, next, std::memory_order_relaxed));
+  return next;
+}
+
+void DurableEngine::Stamp(api::Command* cmd) {
+  if (auto* put = std::get_if<api::PutCmd>(&cmd->op)) {
+    if (put->timestamp == 0) put->timestamp = StampNow();
+    return;
+  }
+  if (auto* del = std::get_if<api::DeleteCmd>(&cmd->op)) {
+    if (del->timestamp == 0) del->timestamp = StampNow();
+    return;
+  }
+  if (auto* batch = std::get_if<api::BatchCmd>(&cmd->op)) {
+    for (api::Command& sub : batch->commands) Stamp(&sub);
+  }
+}
+
+void DurableEngine::MaybeWakeCheckpointer() {
+  if (options_.checkpoint_wal_bytes > 0 &&
+      wal_.appended_bytes() - checkpointed_wal_bytes_.load(std::memory_order_relaxed) >=
+          options_.checkpoint_wal_bytes) {
+    // Taken-then-dropped lock: without it the notify can land between the
+    // checkpoint thread's predicate evaluation and its wait(), and the
+    // last mutation before an idle period would leave the byte-triggered
+    // checkpoint unscheduled forever.
+    { std::lock_guard<std::mutex> lock(wake_mu_); }
+    wake_cv_.notify_all();
+  }
+}
+
+api::Result DurableEngine::Apply(const api::Command& cmd) {
+  if (!IsMutating(cmd)) return inner_->Apply(cmd);
+  // Stamp and encode before the mutation lock: the record's bytes are
+  // fixed here, mu_ only decides its position in the log/apply order.
+  api::Command stamped = cmd;
+  Stamp(&stamped);
+  const std::string payload = api::EncodeCommand(stamped);
+  uint64_t lsn = 0;
+  api::Result result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    lsn = wal_.Append(payload);
+    result = inner_->Apply(stamped);
+  }
+  // The flush happens outside mu_ so queued writers group-commit: one
+  // fdatasync acknowledges every record written before it started.
+  wal_.Sync(lsn);
+  MaybeWakeCheckpointer();
+  return result;
+}
+
+std::vector<api::Result> DurableEngine::ApplyBatch(std::span<const api::Command> cmds) {
+  bool any_mutating = false;
+  for (const api::Command& cmd : cmds) any_mutating |= IsMutating(cmd);
+  // Read-only batches never touch the log or the mutation lock.
+  if (!any_mutating) return inner_->ApplyBatch(cmds);
+
+  // Stamp + encode outside mu_ (see Apply).
+  std::vector<api::Command> stamped(cmds.begin(), cmds.end());
+  std::vector<std::string> payloads;
+  payloads.reserve(stamped.size());
+  for (api::Command& cmd : stamped) {
+    if (!IsMutating(cmd)) continue;
+    Stamp(&cmd);
+    payloads.push_back(api::EncodeCommand(cmd));
+  }
+  uint64_t lsn = 0;
+  std::vector<api::Result> results;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.wal.fsync == FsyncPolicy::kAlways) {
+      // One flush per record: the worst-case policy the bench quantifies
+      // against group commit.
+      for (const std::string& payload : payloads) wal_.Sync(wal_.Append(payload));
+    } else {
+      lsn = wal_.Append(std::span<const std::string>(payloads));
+    }
+    results = inner_->ApplyBatch(std::span<const api::Command>(stamped));
+  }
+  if (lsn != 0) wal_.Sync(lsn);
+  MaybeWakeCheckpointer();
+  return results;
+}
+
+void DurableEngine::WriteSnapshotFile(uint64_t lsn, const std::string& bytes) {
+  const std::string path = dir_ + "/" + SnapshotName(lsn);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw Error("cannot create snapshot: " + tmp + ": " + std::strerror(errno));
+  const char* data = bytes.data();
+  size_t remaining = bytes.size();
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw Error("snapshot write failed: " + tmp + ": " + std::strerror(errno));
+    }
+    data += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  // An unflushed snapshot must never be published: Checkpoint() truncates
+  // WAL segments on the strength of this file, and trusting a failed fsync
+  // here would delete the only other copy of those records (the same
+  // fsyncgate discipline Wal::Sync applies to the log).
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw Error("snapshot fsync failed: " + tmp + ": " + std::strerror(errno));
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw Error("snapshot rename failed: " + path + ": " + std::strerror(errno));
+  }
+  FsyncDir(dir_);
+}
+
+void DurableEngine::Checkpoint() {
+  std::lock_guard<std::mutex> checkpoint_lock(checkpoint_mu_);
+  uint64_t lsn = 0;
+  TTKV snapshot;
+  {
+    // Stall mutations for the capture so the snapshot is an exact LSN cut;
+    // serialization and file IO happen after release.
+    std::lock_guard<std::mutex> lock(mu_);
+    lsn = wal_.last_lsn();
+    if (lsn == 0 || lsn == checkpointed_lsn_) return;
+    snapshot = api::Snapshot(*inner_);
+  }
+  WriteSnapshotFile(lsn, snapshot.Serialize());
+  checkpointed_lsn_ = lsn;
+  checkpointed_wal_bytes_.store(wal_.appended_bytes(), std::memory_order_relaxed);
+
+  // Prune snapshots beyond the retention window, then drop the WAL
+  // segments the OLDEST retained snapshot covers — an older anchor plus
+  // its replay tail stays available even if the newest snapshot corrupts.
+  const size_t retain = std::max<size_t>(options_.retained_snapshots, 1);
+  auto snaps = ListSnapshots(dir_);
+  if (snaps.size() > retain) {
+    for (size_t i = 0; i + retain < snaps.size(); ++i) {
+      ::unlink((dir_ + "/" + snaps[i].second).c_str());
+    }
+    snaps.erase(snaps.begin(), snaps.end() - static_cast<ptrdiff_t>(retain));
+  }
+  if (snaps.size() >= retain) wal_.TruncateThrough(snaps.front().first);
+}
+
+void DurableEngine::CheckpointThread() {
+  const auto bytes_due = [this] {
+    return options_.checkpoint_wal_bytes > 0 &&
+           wal_.appended_bytes() - checkpointed_wal_bytes_.load(std::memory_order_relaxed) >=
+               options_.checkpoint_wal_bytes;
+  };
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      if (options_.checkpoint_interval_seconds > 0) {
+        wake_cv_.wait_for(
+            lock, std::chrono::duration<double>(options_.checkpoint_interval_seconds),
+            [&] { return stopping_ || bytes_due(); });
+      } else {
+        wake_cv_.wait(lock, [&] { return stopping_ || bytes_due(); });
+      }
+      if (stopping_) return;
+    }
+    Checkpoint();
+  }
+}
+
+}  // namespace ocasta::persist

@@ -1,0 +1,141 @@
+// DurableEngine — write-ahead logging + crash recovery over any api::Engine.
+//
+// A decorator: reads pass straight through to the inner engine, while every
+// MUTATING command (Put, Delete, Compact, and any Batch containing one) is
+// appended to the WAL before it is applied — acknowledged means logged, and
+// logged means recoverable. The typed api::Command vocabulary is the log
+// record: the same codec that frames the wire protocol frames the log, so
+// replay is literally re-Apply()ing decoded commands.
+//
+// Determinism is the load-bearing property. Engine-assigned timestamps
+// (timestamp == 0) are stamped HERE, from a lock-free monotonic clock,
+// before logging, so the record replays to byte-identical state instead of
+// re-stamping from a later wall clock. Mutations are serialized by one
+// mutex across {append, apply}, making log order equal apply order — per-
+// key clamping then replays identically whatever order stamps were drawn
+// in. Everything expensive is hoisted out of that mutex: stamping and
+// encoding happen before it, and the fdatasync (the slow part) after it,
+// so concurrent writers group-commit — one disk flush acknowledges every
+// writer queued behind it.
+//
+// Recovery (the constructor): load the newest snapshot that deserializes
+// cleanly (snap-<lsn>.ttkv, falling back to older ones, then to empty),
+// build the inner engine from it, then replay only WAL records with
+// lsn > snapshot lsn — strictly after the snapshot seam, so a record the
+// snapshot already contains is never double-applied — and truncate any torn
+// tail (see Wal). Checkpoint() re-anchors the log: snapshot the inner
+// engine at an exact LSN cut, retain the last `retained_snapshots`
+// snapshots, and delete the WAL segments the oldest retained snapshot
+// covers. A background thread checkpoints on a byte threshold and/or
+// interval.
+//
+// What durability does NOT cover: read counters bumped by standalone GETs
+// (reads are never logged; counters survive only up to the last
+// checkpoint's snapshot), engine op counters (puts_/gets_ reset on
+// recovery), and the online clustering tracker's window state. A command
+// already applied in memory but not yet fsynced can be observed by a
+// concurrent read before its ack — readers see at worst a write that a
+// crash would un-ack, the usual WAL read-uncommitted window.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "api/engine.h"
+#include "persist/wal.h"
+
+namespace ocasta::persist {
+
+struct DurableOptions {
+  WalOptions wal;
+  // Checkpoint when this many WAL bytes accumulate since the last one
+  // (0 = no size trigger).
+  uint64_t checkpoint_wal_bytes = 64u << 20;
+  // Periodic checkpoint interval (0 = no timer). Either trigger runs on the
+  // background thread; with both at 0 no thread is started and only
+  // explicit Checkpoint() calls anchor the log.
+  double checkpoint_interval_seconds = 0.0;
+  // Snapshots kept on disk. 2 means a corrupt newest snapshot still leaves
+  // a recoverable older anchor (the WAL is only truncated past the OLDEST
+  // retained snapshot).
+  size_t retained_snapshots = 2;
+};
+
+// True for commands the WAL must record: Put, Delete, Compact, or a Batch
+// containing any of them.
+bool IsMutating(const api::Command& cmd);
+
+class DurableEngine final : public api::Engine {
+ public:
+  // Builds the inner engine from recovered state (an empty TTKV on first
+  // boot). The factory runs once, during construction.
+  using InnerFactory = std::function<std::unique_ptr<api::Engine>(TTKV recovered)>;
+
+  // Opens `data_dir` (creating it), recovers, and goes live. Throws Error
+  // when the directory is unusable or a WAL record fails to decode after
+  // passing its CRC (format skew — refusing to run beats silently dropping
+  // acknowledged writes).
+  DurableEngine(std::string data_dir, InnerFactory factory, DurableOptions options = {});
+  ~DurableEngine() override;
+
+  api::Result Apply(const api::Command& cmd) override;
+  std::vector<api::Result> ApplyBatch(std::span<const api::Command> cmds) override;
+  const char* backend_name() const override { return "durable"; }
+
+  // Snapshot-anchors the log right now: writes snap-<last_lsn>.ttkv (tmp +
+  // fsync + rename), prunes snapshots beyond retained_snapshots, truncates
+  // covered WAL segments. Safe to call concurrently with traffic; mutation
+  // writers stall while the state is captured (not while it is written).
+  void Checkpoint();
+
+  // Recovery telemetry from construction time.
+  struct RecoveryInfo {
+    uint64_t snapshot_lsn = 0;   // 0 = booted from an empty store.
+    uint64_t replayed = 0;       // WAL records applied on top of the snapshot.
+    uint64_t skipped = 0;        // Records at or below the snapshot seam.
+    uint64_t dropped_bytes = 0;  // Torn/corrupt bytes truncated from the log.
+  };
+  const RecoveryInfo& recovery() const { return recovery_; }
+
+  api::Engine& inner() { return *inner_; }
+  Wal& wal() { return wal_; }
+
+ private:
+  // Rewrites timestamp-0 Put/Delete stamps (recursively through batches)
+  // from the monotonic clock. Lock-free; called before mu_.
+  void Stamp(api::Command* cmd);
+  TimeMicros StampNow();
+  void MaybeWakeCheckpointer();
+
+  void CheckpointThread();
+  void WriteSnapshotFile(uint64_t lsn, const std::string& bytes);
+
+  const std::string dir_;
+  const DurableOptions options_;
+
+  // Serializes mutations across {append, apply} so replay order is apply
+  // order. Reads and read-only batches bypass it entirely.
+  std::mutex mu_;
+  Wal wal_;
+  std::unique_ptr<api::Engine> inner_;
+  std::atomic<int64_t> clock_{0};  // Monotonicized wall clock (stamps).
+  RecoveryInfo recovery_;
+
+  std::mutex checkpoint_mu_;       // Serializes Checkpoint() bodies.
+  uint64_t checkpointed_lsn_ = 0;  // Guarded by checkpoint_mu_.
+  // Read racily by writers to decide whether to wake the checkpointer.
+  std::atomic<uint64_t> checkpointed_wal_bytes_{0};
+
+  std::thread checkpoint_thread_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stopping_ = false;  // Guarded by wake_mu_.
+};
+
+}  // namespace ocasta::persist

@@ -1,0 +1,401 @@
+#include "persist/wal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/io.h"
+#include "ttkv/serialize.h"
+
+namespace ocasta::persist {
+
+namespace {
+
+constexpr uint32_t kSegmentMagic = 0x4c57434f;  // "OCWL"
+constexpr uint8_t kSegmentVersion = 1;
+constexpr size_t kSegmentHeaderBytes = 4 + 1 + 8;
+constexpr size_t kRecordHeaderBytes = 4 + 4 + 8;
+// Sanity cap on one record: a length field larger than this is corruption,
+// not a command (the codec's frames are far smaller).
+constexpr size_t kMaxRecordBytes = 256u << 20;
+
+std::string SegmentName(uint64_t first_lsn) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%020llu.log",
+                static_cast<unsigned long long>(first_lsn));
+  return buf;
+}
+
+// CRC input: the 8 little-endian LSN bytes, then the payload.
+uint32_t RecordCrc(uint64_t lsn, std::string_view payload) {
+  char lsn_bytes[8];
+  for (int i = 0; i < 8; ++i) lsn_bytes[i] = static_cast<char>((lsn >> (8 * i)) & 0xff);
+  return Crc32(payload, Crc32(std::string_view(lsn_bytes, 8)));
+}
+
+void AppendRecordFrame(std::string* out, uint64_t lsn, std::string_view payload) {
+  BinaryWriter w;
+  w.u32(static_cast<uint32_t>(payload.size()));
+  w.u32(RecordCrc(lsn, payload));
+  w.u64(lsn);
+  out->append(w.buffer());
+  out->append(payload);
+}
+
+// Lists wal-*.log files in `dir`, sorted by name (zero-padded first LSN, so
+// lexical order == log order). Missing dir => empty.
+std::vector<std::string> ListSegments(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return names;
+  while (dirent* entry = ::readdir(d)) {
+    const std::string_view name = entry->d_name;
+    if (name.starts_with("wal-") && name.ends_with(".log")) names.emplace_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// Validation outcome for one segment file.
+struct SegmentScan {
+  size_t valid_bytes = 0;    // Prefix that parsed cleanly (header included).
+  size_t dropped_bytes = 0;  // Torn/corrupt suffix.
+  uint64_t first_lsn = 0;    // From the header, when header_ok.
+  bool header_ok = false;
+  bool clean = false;  // No dropped bytes: safe to continue into the next segment.
+};
+
+// Validates one segment's bytes in place, appending good records to `out`.
+// `expected_lsn` advances past each valid record; 0 means "adopt this
+// segment's header LSN" — checkpoint truncation deletes old segments, so a
+// healthy log may legitimately start far past LSN 1. Never throws on
+// corrupt content — corruption simply ends the valid prefix.
+SegmentScan ScanSegment(const std::string& bytes, uint64_t* expected_lsn,
+                        std::vector<WalRecord>* out) {
+  SegmentScan scan;
+  if (bytes.size() < kSegmentHeaderBytes) {
+    // Zero-length or torn-header segment: no usable records. Legal as the
+    // crash remnant of a rotation; the whole file is droppable.
+    scan.dropped_bytes = bytes.size();
+    return scan;
+  }
+  BinaryReader header(std::string_view(bytes).substr(0, kSegmentHeaderBytes));
+  const bool magic_ok = header.u32() == kSegmentMagic && header.u8() == kSegmentVersion;
+  const uint64_t first_lsn = magic_ok ? header.u64() : 0;
+  if (!magic_ok || first_lsn == 0 || (*expected_lsn != 0 && first_lsn != *expected_lsn)) {
+    scan.dropped_bytes = bytes.size();
+    return scan;
+  }
+  *expected_lsn = first_lsn;
+  scan.first_lsn = first_lsn;
+  scan.header_ok = true;
+  scan.valid_bytes = kSegmentHeaderBytes;
+
+  size_t pos = kSegmentHeaderBytes;
+  while (bytes.size() - pos >= kRecordHeaderBytes) {
+    BinaryReader r(std::string_view(bytes).substr(pos, kRecordHeaderBytes));
+    const uint32_t len = r.u32();
+    const uint32_t crc = r.u32();
+    const uint64_t lsn = r.u64();
+    if (len > kMaxRecordBytes || len > bytes.size() - pos - kRecordHeaderBytes) break;
+    const std::string_view payload(bytes.data() + pos + kRecordHeaderBytes, len);
+    if (lsn != *expected_lsn || RecordCrc(lsn, payload) != crc) break;
+    out->push_back(WalRecord{lsn, std::string(payload)});
+    ++*expected_lsn;
+    pos += kRecordHeaderBytes + len;
+    scan.valid_bytes = pos;
+  }
+  scan.dropped_bytes = bytes.size() - scan.valid_bytes;
+  scan.clean = scan.dropped_bytes == 0;
+  return scan;
+}
+
+struct DirScan {
+  WalScan result;
+  // The segment holding the last valid byte, and that byte's offset — what
+  // the constructor truncates to and appends after. Empty = no usable
+  // segment survives (start a fresh one).
+  std::string live_segment;
+  size_t live_valid_bytes = 0;
+  uint64_t live_first_lsn = 1;
+};
+
+DirScan ScanDir(const std::string& dir) {
+  DirScan scan;
+  uint64_t expected_lsn = 0;  // 0 = adopt the first segment's header LSN.
+  for (const std::string& name : ListSegments(dir)) {
+    ++scan.result.segments;
+    const std::string bytes = ReadFile(dir + "/" + name);
+    const SegmentScan seg = ScanSegment(bytes, &expected_lsn, &scan.result.records);
+    scan.result.dropped_bytes += seg.dropped_bytes;
+    if (seg.header_ok) {
+      scan.live_segment = name;
+      scan.live_valid_bytes = seg.valid_bytes;
+      scan.live_first_lsn = seg.first_lsn;
+    }
+    // A torn or corrupt record poisons everything after it: later segments
+    // would need the LSNs this one lost, so they can never validate.
+    if (!seg.clean) break;
+  }
+  scan.result.last_lsn = expected_lsn == 0 ? 0 : expected_lsn - 1;
+  return scan;
+}
+
+}  // namespace
+
+FsyncPolicy FsyncPolicyByName(const std::string& name) {
+  if (name == "off") return FsyncPolicy::kOff;
+  if (name == "batch") return FsyncPolicy::kBatch;
+  if (name == "always") return FsyncPolicy::kAlways;
+  throw Error("unknown fsync policy: " + name + " (expected off|batch|always)");
+}
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kOff: return "off";
+    case FsyncPolicy::kBatch: return "batch";
+    case FsyncPolicy::kAlways: return "always";
+  }
+  return "?";
+}
+
+void FsyncDir(const std::string& dir) {
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+WalScan Wal::Scan(const std::string& dir) { return ScanDir(dir).result; }
+
+Wal::Wal(std::string dir, WalOptions options) : dir_(std::move(dir)), options_(options) {
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw Error("cannot create WAL directory: " + dir_ + ": " + std::strerror(errno));
+  }
+  DirScan scan = ScanDir(dir_);
+  recovered_ = std::move(scan.result.records);
+  recovered_dropped_bytes_ = scan.result.dropped_bytes;
+  next_lsn_ = scan.result.last_lsn + 1;
+  written_lsn_.store(scan.result.last_lsn, std::memory_order_relaxed);
+  // Everything surviving the scan is on disk already; Sync must not stall
+  // on pre-recovery records.
+  synced_lsn_.store(scan.result.last_lsn, std::memory_order_relaxed);
+
+  if (scan.live_segment.empty()) {
+    // No segment with a valid header survives. Delete whatever files are
+    // there before starting fresh: a stale-but-intact later segment left
+    // behind could otherwise splice itself back into the new log the day
+    // the LSNs happen to line up, replaying old-era records as committed.
+    for (const std::string& name : ListSegments(dir_)) {
+      ::unlink((dir_ + "/" + name).c_str());
+    }
+    OpenNewSegmentLocked(next_lsn_);
+    return;
+  }
+  // Cut the torn suffix off the live segment, then also drop any segments
+  // sorted after it (they are unreachable past the corruption point).
+  const std::string live_path = dir_ + "/" + scan.live_segment;
+  if (::truncate(live_path.c_str(), static_cast<off_t>(scan.live_valid_bytes)) != 0) {
+    throw Error("cannot truncate torn WAL tail: " + live_path + ": " + std::strerror(errno));
+  }
+  for (const std::string& name : ListSegments(dir_)) {
+    if (name > scan.live_segment) ::unlink((dir_ + "/" + name).c_str());
+  }
+  fd_ = ::open(live_path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0) throw Error("cannot open WAL segment: " + live_path + ": " + std::strerror(errno));
+  segment_first_lsn_ = scan.live_first_lsn;
+  segment_size_ = scan.live_valid_bytes;
+  SyncDir();
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::vector<WalRecord> Wal::TakeRecovered() { return std::move(recovered_); }
+
+void Wal::SyncDir() const { FsyncDir(dir_); }
+
+void Wal::OpenNewSegmentLocked(uint64_t first_lsn) {
+  const std::string path = dir_ + "/" + SegmentName(first_lsn);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) throw Error("cannot create WAL segment: " + path + ": " + std::strerror(errno));
+  BinaryWriter header;
+  header.u32(kSegmentMagic);
+  header.u8(kSegmentVersion);
+  header.u64(first_lsn);
+  const std::string& bytes = header.buffer();
+  if (::write(fd, bytes.data(), bytes.size()) != static_cast<ssize_t>(bytes.size())) {
+    ::close(fd);
+    throw Error("cannot write WAL segment header: " + path + ": " + std::strerror(errno));
+  }
+  fd_ = fd;
+  segment_first_lsn_ = first_lsn;
+  segment_size_ = kSegmentHeaderBytes;
+  // Make the file itself durable before any record relies on it existing.
+  SyncDir();
+}
+
+void Wal::RotateLocked() {
+  // The old segment must be fully durable before records continue in a new
+  // one, whatever the policy — rotation is rare, the fsync is cheap
+  // amortized. An in-flight group-commit flush still holds the old fd;
+  // wait it out before closing (its leader re-acquires sync_mu_ to finish,
+  // which our cv wait releases).
+  {
+    std::unique_lock<std::mutex> sync_lock(sync_mu_);
+    sync_cv_.wait(sync_lock, [&] { return !flush_in_progress_; });
+    if (::fsync(fd_) != 0) {
+      poisoned_.store(true, std::memory_order_relaxed);
+      sync_cv_.notify_all();
+      throw Error("WAL fsync failed during rotation: " + std::string(std::strerror(errno)));
+    }
+    synced_lsn_.store(written_lsn_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    sync_cv_.notify_all();
+    ::close(fd_);
+    fd_ = -1;
+  }
+  OpenNewSegmentLocked(next_lsn_);
+}
+
+uint64_t Wal::Append(const std::string& payload) {
+  return Append(std::span<const std::string>(&payload, 1));
+}
+
+uint64_t Wal::Append(std::span<const std::string> payloads) {
+  if (payloads.empty()) return last_lsn();
+  std::lock_guard<std::mutex> lock(append_mu_);
+  if (poisoned_.load(std::memory_order_relaxed)) {
+    throw Error("WAL poisoned by an earlier disk failure: " + dir_);
+  }
+  if (segment_size_ > options_.segment_bytes) RotateLocked();
+  std::string buffer;
+  uint64_t lsn = next_lsn_;
+  for (const std::string& payload : payloads) AppendRecordFrame(&buffer, lsn++, payload);
+  const char* data = buffer.data();
+  size_t remaining = buffer.size();
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd_, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // A partially-written frame would sit mid-segment where recovery's
+      // CRC scan stops, so any record appended AFTER it would be silently
+      // discarded despite a successful ack. Poison the log: nothing more
+      // gets appended or acknowledged.
+      poisoned_.store(true, std::memory_order_relaxed);
+      throw Error("WAL write failed in " + dir_ + ": " + std::strerror(errno));
+    }
+    data += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  segment_size_ += buffer.size();
+  appended_bytes_.fetch_add(buffer.size(), std::memory_order_relaxed);
+  next_lsn_ = lsn;
+  written_lsn_.store(lsn - 1, std::memory_order_release);
+  return lsn - 1;
+}
+
+void Wal::Sync(uint64_t lsn) {
+  if (options_.fsync == FsyncPolicy::kOff) return;
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  for (;;) {
+    if (poisoned_.load(std::memory_order_relaxed)) {
+      throw Error("WAL poisoned by an earlier disk failure: " + dir_);
+    }
+    if (synced_lsn_.load(std::memory_order_relaxed) >= lsn) return;
+    if (flush_in_progress_) {
+      // A flush is in flight; it may cover us. Wait for it to land and
+      // re-check — a covered waiter returns HERE, never queueing behind
+      // the next leader's disk time.
+      sync_cv_.wait(lock, [&] {
+        return !flush_in_progress_ || synced_lsn_.load(std::memory_order_relaxed) >= lsn;
+      });
+      continue;
+    }
+    // Become the leader. Everything written before the flush starts is
+    // covered by it — `covered` is read first, then sync_mu_ is released
+    // so writers keep appending (and covered waiters keep waking) during
+    // the disk wait. Rotation cannot close fd_ underneath us: it waits for
+    // !flush_in_progress_. fdatasync suffices: record data and file size
+    // are flushed, and the segment's existence was fsynced (via its
+    // directory) at creation.
+    flush_in_progress_ = true;
+    const uint64_t covered = written_lsn_.load(std::memory_order_acquire);
+    lock.unlock();
+    const int rc = ::fdatasync(fd_);
+    lock.lock();
+    flush_in_progress_ = false;
+    if (rc != 0) {
+      // fsyncgate: after a failed fdatasync the kernel may have discarded
+      // the dirty pages and a RETRY can report success without the data
+      // ever reaching disk. The only safe reaction is to poison the log —
+      // waiters wake into the poisoned check above and refuse their acks.
+      poisoned_.store(true, std::memory_order_relaxed);
+      sync_cv_.notify_all();
+      throw Error("WAL fdatasync failed: " + std::string(std::strerror(errno)));
+    }
+    sync_count_.fetch_add(1, std::memory_order_relaxed);
+    if (covered > synced_lsn_.load(std::memory_order_relaxed)) {
+      synced_lsn_.store(covered, std::memory_order_release);
+    }
+    sync_cv_.notify_all();
+  }
+}
+
+size_t Wal::TruncateThrough(uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(append_mu_);
+  // A segment is removable when the NEXT segment starts at or below
+  // lsn + 1 — then every record it holds is <= lsn. The live segment
+  // always survives.
+  const std::vector<std::string> names = ListSegments(dir_);
+  size_t removed = 0;
+  for (size_t i = 0; i + 1 < names.size(); ++i) {
+    // Segment names embed their first LSN; the zero-padded decimal parses
+    // back losslessly.
+    const uint64_t next_first =
+        std::strtoull(names[i + 1].c_str() + 4, nullptr, 10);
+    if (names[i] == SegmentName(segment_first_lsn_) || next_first == 0 ||
+        next_first > lsn + 1) {
+      break;
+    }
+    if (::unlink((dir_ + "/" + names[i]).c_str()) == 0) ++removed;
+  }
+  if (removed > 0) SyncDir();
+  return removed;
+}
+
+void Wal::ResetTo(uint64_t first_lsn) {
+  std::lock_guard<std::mutex> lock(append_mu_);
+  if (first_lsn <= written_lsn_.load(std::memory_order_relaxed)) {
+    throw Error("Wal::ResetTo would renumber live records");
+  }
+  {
+    std::unique_lock<std::mutex> sync_lock(sync_mu_);
+    sync_cv_.wait(sync_lock, [&] { return !flush_in_progress_; });
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    synced_lsn_.store(first_lsn - 1, std::memory_order_relaxed);
+  }
+  for (const std::string& name : ListSegments(dir_)) ::unlink((dir_ + "/" + name).c_str());
+  next_lsn_ = first_lsn;
+  written_lsn_.store(first_lsn - 1, std::memory_order_relaxed);
+  OpenNewSegmentLocked(first_lsn);
+}
+
+uint64_t Wal::last_lsn() const { return written_lsn_.load(std::memory_order_acquire); }
+uint64_t Wal::synced_lsn() const { return synced_lsn_.load(std::memory_order_acquire); }
+uint64_t Wal::appended_bytes() const {
+  return appended_bytes_.load(std::memory_order_relaxed);
+}
+
+}  // namespace ocasta::persist

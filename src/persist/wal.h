@@ -1,0 +1,188 @@
+// The ocastad write-ahead log: CRC32-framed, length-prefixed, append-only
+// segments whose record payloads are codec-encoded api::Commands.
+//
+// On-disk layout (docs/DURABILITY.md is the byte-level spec):
+//
+//   <dir>/wal-<first_lsn, 20 digits>.log        one file per segment
+//
+//   segment  := header record*
+//   header   := u32 magic "OCWL" | u8 version (1) | u64 first_lsn
+//   record   := u32 payload_len | u32 crc | u64 lsn | payload
+//
+// `crc` is Crc32 over the 8 little-endian lsn bytes followed by the
+// payload, so a bit flip anywhere in a record — length, sequence, or body —
+// fails validation. LSNs (log sequence numbers) start at 1 and increase by
+// exactly 1 per record across segment boundaries; they anchor snapshots
+// (snap-<lsn>.ttkv covers records 1..lsn, replay resumes at lsn+1) and make
+// a record that slid to a wrong offset self-evidently invalid.
+//
+// Opening a directory SCANS it: every record is validated in order and the
+// first invalid one — torn tail from a crash mid-write, CRC flip, garbage,
+// length running past the file, LSN gap — ends recovery THERE. The torn
+// suffix is physically truncated so the next append produces a clean log,
+// and everything after a corrupt record is dropped (a log is only
+// trustworthy up to its first lie). The surviving records are exposed via
+// TakeRecovered() for replay.
+//
+// Durability policy (FsyncPolicy) decides when Sync() actually fsyncs.
+// Sync(lsn) is GROUP COMMIT: writers append concurrently (serialized by an
+// internal mutex), then block in Sync until their lsn is covered by some
+// fsync — one writer's fsync covers every record written before it started,
+// so N queued writers pay one disk flush, not N (see DurableEngine).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ocasta::persist {
+
+// When acknowledged writes reach the disk platter:
+//   kOff     never fsync — writes sit in the page cache (survives a killed
+//            process, not a crashed kernel or power loss).
+//   kBatch   one fsync per Sync() call, merged across concurrent writers
+//            (group commit). Acked => durable; the default.
+//   kAlways  like kBatch, but DurableEngine additionally syncs after EVERY
+//            record of a batch instead of once per batch — the
+//            one-fsync-per-command worst case the bench suite quantifies.
+enum class FsyncPolicy { kOff, kBatch, kAlways };
+
+// Parses "off" | "batch" | "always"; throws Error otherwise.
+FsyncPolicy FsyncPolicyByName(const std::string& name);
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+// fsyncs a directory so a just-created/renamed/unlinked entry survives a
+// crash. Best-effort (some filesystems refuse); shared by the WAL's
+// segment lifecycle and DurableEngine's snapshot writer.
+void FsyncDir(const std::string& dir);
+
+struct WalOptions {
+  // Rotate to a new segment once the live one exceeds this many bytes.
+  // Small segments make checkpoint truncation fine-grained; the tests use
+  // tiny values to force rotation.
+  size_t segment_bytes = 64u << 20;
+  FsyncPolicy fsync = FsyncPolicy::kBatch;
+};
+
+// One recovered record: its sequence number and its raw payload (a
+// codec-encoded api::Command, but the WAL itself is payload-agnostic).
+struct WalRecord {
+  uint64_t lsn = 0;
+  std::string payload;
+};
+
+// Outcome of scanning a log directory, for recovery telemetry and tests.
+struct WalScan {
+  std::vector<WalRecord> records;  // Every valid record, in LSN order.
+  uint64_t last_lsn = 0;           // Highest valid LSN (0 = empty log).
+  uint64_t dropped_bytes = 0;      // Torn/corrupt bytes past the last valid record.
+  size_t segments = 0;             // Segment files seen.
+};
+
+class Wal {
+ public:
+  // Opens `dir` (creating it if missing), scans and validates existing
+  // segments, truncates any torn tail, and positions appends at
+  // last_lsn + 1. Throws Error when the directory cannot be created or a
+  // segment cannot be opened/truncated (never on corrupt contents — those
+  // end the scan instead).
+  Wal(std::string dir, WalOptions options);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Validates `dir` without opening it for appending (recovery preview,
+  // corruption tests). Shares every validation rule with the constructor.
+  static WalScan Scan(const std::string& dir);
+
+  // Records recovered by the constructor's scan; call once, then replay.
+  std::vector<WalRecord> TakeRecovered();
+
+  // Torn/corrupt bytes the constructor's scan truncated away.
+  uint64_t recovered_dropped_bytes() const { return recovered_dropped_bytes_; }
+
+  // Appends payloads as consecutive records and returns the LAST assigned
+  // LSN. The write(2) happens before return; durability waits for Sync.
+  // Throws Error when the disk write fails (the caller must not ack) — and
+  // a failed write POISONS the log: every later Append/Sync throws too.
+  // A partial frame would sit mid-segment where recovery's CRC scan stops,
+  // silently discarding any acked record appended after it, and a failed
+  // fdatasync may have dropped dirty pages the kernel will never admit to
+  // again (the PostgreSQL fsyncgate lesson) — once durability is in doubt,
+  // refusing every subsequent ack is the only honest answer.
+  uint64_t Append(std::span<const std::string> payloads);
+  uint64_t Append(const std::string& payload);
+
+  // Blocks until every record with sequence <= lsn is flushed (no-op under
+  // kOff). Group commit, condvar-shaped: at most one fdatasync is in
+  // flight; callers it covers wake and return the moment it lands (they
+  // never queue behind the NEXT flush), and the first uncovered caller
+  // becomes the next leader. One disk flush acknowledges every record
+  // written before it started.
+  void Sync(uint64_t lsn);
+
+  // Deletes whole segments whose every record has lsn <= `lsn` (checkpoint
+  // truncation). The live segment is never deleted. Returns segments
+  // removed.
+  size_t TruncateThrough(uint64_t lsn);
+
+  // Restarts the log at `first_lsn`, deleting every segment. Recovery uses
+  // this when a snapshot is NEWER than every surviving record (possible
+  // after a kernel crash under fsync=off): the stale records are all
+  // covered by the snapshot, and fresh appends must number past it so the
+  // snapshot seam stays monotone. Requires first_lsn > last_lsn().
+  void ResetTo(uint64_t first_lsn);
+
+  uint64_t last_lsn() const;
+  uint64_t synced_lsn() const;
+  // Total record bytes appended since open (checkpoint trigger input).
+  uint64_t appended_bytes() const;
+  // Disk flushes actually performed by Sync since open. appends/flushes is
+  // the group-commit merge factor (bench_loadgen reports it).
+  uint64_t sync_count() const { return sync_count_.load(std::memory_order_relaxed); }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  void OpenNewSegmentLocked(uint64_t first_lsn);
+  void RotateLocked();
+  void SyncDir() const;
+
+  const std::string dir_;
+  const WalOptions options_;
+
+  std::vector<WalRecord> recovered_;
+  uint64_t recovered_dropped_bytes_ = 0;
+
+  // append_mu_ serializes writers (LSN assignment + write syscall);
+  // sync_mu_ serializes fsyncs and owns fd lifetime for flushing. Lock
+  // order: append_mu_ before sync_mu_, never the reverse.
+  mutable std::mutex append_mu_;
+  int fd_ = -1;                  // Live segment, O_APPEND. Guarded by append_mu_
+                                 // for writes, sync_mu_ for fsync/close.
+  uint64_t segment_first_lsn_ = 1;  // Guarded by append_mu_.
+  size_t segment_size_ = 0;         // Guarded by append_mu_.
+  uint64_t next_lsn_ = 1;           // Guarded by append_mu_.
+  std::atomic<uint64_t> written_lsn_{0};
+  std::atomic<uint64_t> appended_bytes_{0};
+
+  // Group-commit state. flush_in_progress_ is guarded by sync_mu_; the
+  // leader releases sync_mu_ for the fdatasync itself, and sync_cv_ wakes
+  // covered waiters (and rotation, which must not close an fd mid-flush).
+  std::mutex sync_mu_;
+  std::condition_variable sync_cv_;
+  bool flush_in_progress_ = false;
+  std::atomic<uint64_t> synced_lsn_{0};
+  std::atomic<uint64_t> sync_count_{0};
+
+  // Set on any write(2)/fdatasync failure; never cleared (see Append).
+  std::atomic<bool> poisoned_{false};
+};
+
+}  // namespace ocasta::persist

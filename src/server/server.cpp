@@ -9,13 +9,31 @@
 #include <cerrno>
 #include <chrono>
 
+#include "api/backends.h"
 #include "api/codec.h"
 #include "server/wire.h"
 
 namespace ocasta {
 
+namespace {
+
+// The daemon always runs the sharded engine; a data_dir wraps it in the
+// durable decorator via the same factory the CLI uses.
+std::unique_ptr<api::Engine> MakeServerEngine(const ServerOptions& options) {
+  api::BackendOptions backend;
+  backend.backend = "sharded";
+  backend.num_shards = options.num_shards;
+  backend.cluster_window_seconds = options.cluster_window_seconds;
+  backend.data_dir = options.data_dir;
+  backend.fsync = options.fsync;
+  backend.checkpoint_interval_seconds = options.checkpoint_interval_seconds;
+  return api::MakeEngine(backend);
+}
+
+}  // namespace
+
 TtkvServer::TtkvServer(ServerOptions options)
-    : options_(options), engine_(options.num_shards, options.cluster_window_seconds) {}
+    : options_(std::move(options)), engine_(MakeServerEngine(options_)) {}
 
 TtkvServer::~TtkvServer() { Stop(); }
 
@@ -136,7 +154,7 @@ bool TtkvServer::HandleRequest(const std::string& request, std::string* reply) {
     }
     const api::Command cmd = api::DecodeCommand(request);
     shutdown_requested = std::holds_alternative<api::ShutdownCmd>(cmd.op);
-    *reply = api::EncodeResult(engine_.Apply(cmd));
+    *reply = api::EncodeResult(engine_->Apply(cmd));
   } catch (const Error& e) {
     shutdown_requested = false;
     *reply = api::EncodeResult(api::ErrorResult{e.what()});

@@ -22,7 +22,7 @@
 #include <unordered_set>
 #include <vector>
 
-#include "server/sharded_ttkv.h"
+#include "api/engine.h"
 
 namespace ocasta {
 
@@ -30,6 +30,14 @@ struct ServerOptions {
   uint16_t port = 0;  // 0 = pick an ephemeral port (see TtkvServer::port()).
   size_t num_shards = 8;
   double cluster_window_seconds = 1.0;
+
+  // Durability. Empty data_dir = the historic in-memory daemon; non-empty
+  // wraps the sharded engine in a write-ahead-logged, crash-recovering
+  // persist::DurableEngine rooted at this directory (acked => durable under
+  // fsync "batch"/"always"; see docs/DURABILITY.md).
+  std::string data_dir = "";
+  std::string fsync = "batch";  // "off" | "batch" | "always".
+  double checkpoint_interval_seconds = 0.0;  // 0 = size-triggered only.
 };
 
 class TtkvServer {
@@ -53,8 +61,10 @@ class TtkvServer {
   // Port actually bound; valid after Start().
   uint16_t port() const { return port_; }
 
-  // Direct engine access for embedding (benches, tests).
-  ShardedTtkv& engine() { return engine_; }
+  // Direct engine access for embedding (benches, tests). The concrete type
+  // is ShardedTtkv, wrapped in a persist::DurableEngine when
+  // ServerOptions::data_dir is set.
+  api::Engine& engine() { return *engine_; }
 
   uint64_t connections_served() const { return connections_.load(); }
 
@@ -79,7 +89,7 @@ class TtkvServer {
   void RequestStop();
 
   ServerOptions options_;
-  ShardedTtkv engine_;
+  std::unique_ptr<api::Engine> engine_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;

@@ -230,6 +230,28 @@ TTKV ShardedTtkv::Snapshot() const {
   return merged;
 }
 
+void ShardedTtkv::ImportSnapshot(const TTKV& snapshot) {
+  // Group records by shard and lock each shard ONCE — the same shape as
+  // ApplyBatch's grouped locking, and it keeps the lock_acquisitions
+  // telemetry from starting N high on a freshly recovered engine.
+  std::vector<std::vector<uint32_t>> by_shard(shards_.size());
+  TimeMicros newest = 0;
+  for (uint32_t id = 0; id < snapshot.num_keys(); ++id) {
+    const VersionedRecord& rec = snapshot.record(id);
+    by_shard[shard_of(rec.key)].push_back(id);
+    newest = std::max(newest, rec.last_modified());
+  }
+  for (size_t s = 0; s < by_shard.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    const auto lock = LockShard(shard);
+    for (uint32_t id : by_shard[s]) shard.ttkv.ImportRecord(snapshot.record(id));
+  }
+  int64_t prev = clock_.load(std::memory_order_relaxed);
+  while (prev < newest && !clock_.compare_exchange_weak(prev, newest, std::memory_order_relaxed)) {
+  }
+}
+
 size_t ShardedTtkv::CompactBefore(TimeMicros horizon) {
   size_t dropped = 0;
   for (const auto& shard : shards_) {

@@ -97,6 +97,15 @@ class ShardedTtkv final : public api::Engine {
   // TTKV::CompactBefore across every shard; returns total versions dropped.
   size_t CompactBefore(TimeMicros horizon);
 
+  // Splits a merged snapshot back into shards — the inverse of Snapshot(),
+  // used by crash recovery (persist/durable_engine.h) and shard-count
+  // migration. Every record lands in its key's shard, and the engine clock
+  // advances past the newest restored timestamp so fresh engine-assigned
+  // stamps never collide with restored history. The keys must be new to
+  // this engine (throws StoreError otherwise), so restore into a fresh
+  // instance.
+  void ImportSnapshot(const TTKV& snapshot);
+
   // Clusters all keys observed so far (see OnlineClusterTracker).
   std::vector<NamedCluster> ClusterNow(double threshold_correlation,
                                        Linkage linkage = Linkage::kComplete) const;

@@ -1,0 +1,148 @@
+#!/usr/bin/env bash
+# Crash-injection smoke test for the durable ocastad daemon.
+#
+# Each iteration:
+#   1. starts `ocasta_cli serve --data-dir ...` (durable, fsync=batch);
+#   2. drives batches of PUTs at it, recording which batches the daemon
+#      ACKNOWLEDGED (CLI exit 0 = every command in the batch succeeded);
+#   3. kill -9s the daemon mid-load from a background killer;
+#   4. restarts the daemon on the SAME data dir;
+#   5. verifies every acknowledged write survived with its exact value, and
+#      that the counter key's history is a strictly increasing sequence
+#      whose prefix covers every acknowledged batch (order intact; a final
+#      durable-but-unacked batch may legitimately extend it).
+#
+# Zero acknowledged-write loss, every iteration, or the test fails.
+#
+# Usage: crash_recovery_smoke.sh <path-to-ocasta_cli> [iterations]
+# Iterations default to $CRASH_SMOKE_ITERS, then 20.
+set -u
+
+CLI="$1"
+ITERS="${2:-${CRASH_SMOKE_ITERS:-20}}"
+DIR="$(mktemp -d)"
+SRV_PID=""
+KILLER_PID=""
+
+cleanup() {
+  [ -n "$KILLER_PID" ] && kill "$KILLER_PID" 2>/dev/null
+  [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  [ -f "$DIR/serve.log" ] && sed 's/^/  serve.log: /' "$DIR/serve.log" >&2
+  exit 1
+}
+
+# Starts the daemon against $1 (data dir) and sets SRV_PID/PORT.
+start_server() {
+  rm -f "$DIR/port"
+  "$CLI" serve --port 0 --shards 4 --data-dir "$1" --fsync batch \
+         --port-file "$DIR/port" > "$DIR/serve.log" 2>&1 &
+  SRV_PID=$!
+  for _ in $(seq 1 200); do
+    [ -s "$DIR/port" ] && break
+    kill -0 "$SRV_PID" 2>/dev/null || fail "server died during startup"
+    sleep 0.05
+  done
+  [ -s "$DIR/port" ] || fail "server did not write its port file"
+  PORT="$(tr -d '[:space:]' < "$DIR/port")"
+}
+
+# One batch of puts: seq/<iter>/<batch>/<k> = <k> for k in 1..10, plus the
+# history-order sentinel ctr/<iter> = <batch>.
+emit_batch() {
+  local iter="$1" batch="$2" k
+  for k in $(seq 1 10); do
+    echo "put seq/$iter/$batch/$k $k"
+  done
+  echo "put ctr/$iter $batch"
+}
+
+TOTAL_ACKED=0
+
+for ITER in $(seq 1 "$ITERS"); do
+  DATA="$DIR/data-$ITER"
+  start_server "$DATA"
+
+  # Kill the daemon mid-load after a random 50-350ms delay.
+  ( sleep "$(printf '0.%03d' $(( (RANDOM % 301) + 50 )))"; kill -9 "$SRV_PID" 2>/dev/null ) &
+  KILLER_PID=$!
+
+  # Drive acknowledged batches until the daemon dies. A batch counts as
+  # acknowledged ONLY when the CLI exits 0 (all replies received, no
+  # errors); the batch in flight when the kill lands is simply not counted.
+  ACKED=0
+  BATCH=0
+  while kill -0 "$SRV_PID" 2>/dev/null; do
+    BATCH=$((BATCH + 1))
+    if emit_batch "$ITER" "$BATCH" | "$CLI" batch --port "$PORT" > /dev/null 2>&1; then
+      ACKED=$BATCH
+    else
+      break
+    fi
+  done
+  wait "$KILLER_PID" 2>/dev/null
+  KILLER_PID=""
+  wait "$SRV_PID" 2>/dev/null
+  SRV_PID=""
+  TOTAL_ACKED=$((TOTAL_ACKED + ACKED))
+
+  # Restart on the same data dir: recovery replays the log tail and
+  # truncates any record torn by the kill.
+  start_server "$DATA"
+
+  if [ "$ACKED" -gt 0 ]; then
+    # Every acknowledged put must read back with its exact value.
+    for b in $(seq 1 "$ACKED"); do
+      for k in $(seq 1 10); do
+        echo "get seq/$ITER/$b/$k"
+      done
+    done > "$DIR/gets.txt"
+    "$CLI" batch --port "$PORT" < "$DIR/gets.txt" > "$DIR/got.txt" 2>&1 \
+      || fail "iter $ITER: verification batch failed (acked=$ACKED)"
+    LINE=0
+    for b in $(seq 1 "$ACKED"); do
+      for k in $(seq 1 10); do
+        LINE=$((LINE + 1))
+        GOT="$(sed -n "${LINE}p" "$DIR/got.txt")"
+        [ "$GOT" = "$k" ] || fail "iter $ITER: lost acked write seq/$ITER/$b/$k (got '$GOT')"
+      done
+    done
+
+    # History order: ctr/<iter> was written 1, 2, ... — its recovered
+    # history must be exactly that sequence for the acked prefix, strictly
+    # increasing throughout (at most one unacked-but-durable tail entry).
+    "$CLI" remote history "ctr/$ITER" --port "$PORT" > "$DIR/hist.txt" 2>&1 \
+      || fail "iter $ITER: history ctr/$ITER failed"
+    awk -v acked="$ACKED" '
+      /^  \[/ {
+        n += 1
+        value = $NF
+        if (n <= acked && value != n) {
+          printf "history entry %d is %s, want %d\n", n, value, n; exit 1
+        }
+        if (value <= prev) {
+          printf "history not increasing at entry %d\n", n; exit 1
+        }
+        prev = value
+      }
+      END {
+        if (n < acked) { printf "history has %d entries, acked %d\n", n, acked; exit 1 }
+        if (n > acked + 1) { printf "history has %d entries for %d acked\n", n, acked; exit 1 }
+      }' "$DIR/hist.txt" || fail "iter $ITER: ctr history order broken: $(cat "$DIR/hist.txt")"
+  fi
+
+  "$CLI" remote shutdown --port "$PORT" > /dev/null 2>&1 || fail "iter $ITER: shutdown"
+  wait "$SRV_PID" 2>/dev/null
+  SRV_PID=""
+  echo "iter $ITER/$ITERS: $ACKED acked batches survived kill -9"
+done
+
+# The test is vacuous if the killer always won before a single ack landed.
+[ "$TOTAL_ACKED" -gt 0 ] || fail "no batch was ever acknowledged across $ITERS iterations"
+
+echo "OK: $ITERS/$ITERS iterations, $TOTAL_ACKED acked batches, zero acked writes lost"

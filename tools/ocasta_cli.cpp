@@ -17,12 +17,18 @@
 //       --shards <n>    engine shard count (default 8)
 //       --window <s>    online-clustering window seconds (default 1.0)
 //       --port-file <p> write the bound port to a file (for scripts)
-//   remote <op> [args] [--backend --host --port --shards --window]
-//       drive any api::Engine backend (default: remote, a running ocastad)
+//       --data-dir <d>  durable mode: write-ahead log + snapshots in <d>;
+//                       restart replays them (acked writes survive kill -9)
+//       --fsync <p>     off | batch (default, group commit) | always
+//       --checkpoint-interval <s>  periodic snapshot+log-truncation (0 = off)
+//   remote <op> [args] [--backend --host --port --shards --window
+//                       --data-dir --fsync]
+//       drive any api::Engine backend (default: remote, a running ocastad);
+//       --data-dir makes a local/sharded backend durable
 //       ops: ping, put <key> <value>, get <key>, delete <key> [--force],
 //            history <key>, stats, list [prefix], cluster [--threshold
 //            --linkage], compact <seconds>, snapshot <out.ttkv>, shutdown
-//   batch [--backend --host --port --shards --window]
+//   batch [--backend --host --port --shards --window --data-dir --fsync]
 //       newline-delimited commands from stdin applied as ONE BatchCmd
 //       (trace replay through any backend); lines:
 //            ping | put <key> <value> | get <key> | getat <key> <seconds>
@@ -68,8 +74,8 @@ int Usage() {
   return 2;
 }
 
-// Shared --backend/--host/--port/--shards/--window parsing for the
-// subcommands that drive an api::Engine.
+// Shared --backend/--host/--port/--shards/--window/--data-dir/--fsync
+// parsing for the subcommands that drive an api::Engine.
 api::BackendOptions BackendFromArgs(const Args& args, const std::string& default_backend) {
   api::BackendOptions options;
   options.backend = args.Get("backend", default_backend);
@@ -77,6 +83,8 @@ api::BackendOptions BackendFromArgs(const Args& args, const std::string& default
   options.cluster_window_seconds = args.GetDouble("window", 1.0);
   options.host = args.Get("host", "127.0.0.1");
   options.port = static_cast<uint16_t>(args.GetInt("port", kDefaultPort));
+  options.data_dir = args.Get("data-dir", "");
+  options.fsync = args.Get("fsync", "batch");
   return options;
 }
 
@@ -206,10 +214,19 @@ int CmdServe(const Args& args) {
   options.port = static_cast<uint16_t>(args.GetInt("port", kDefaultPort));
   options.num_shards = static_cast<size_t>(args.GetInt("shards", 8));
   options.cluster_window_seconds = args.GetDouble("window", 1.0);
+  options.data_dir = args.Get("data-dir", "");
+  options.fsync = args.Get("fsync", "batch");
+  options.checkpoint_interval_seconds = args.GetDouble("checkpoint-interval", 0.0);
   TtkvServer server(options);
   server.Start();
-  std::printf("ocastad listening on 127.0.0.1:%u (%zu shards)\n",
-              static_cast<unsigned>(server.port()), options.num_shards);
+  if (options.data_dir.empty()) {
+    std::printf("ocastad listening on 127.0.0.1:%u (%zu shards, in-memory)\n",
+                static_cast<unsigned>(server.port()), options.num_shards);
+  } else {
+    std::printf("ocastad listening on 127.0.0.1:%u (%zu shards, durable in %s, fsync=%s)\n",
+                static_cast<unsigned>(server.port()), options.num_shards,
+                options.data_dir.c_str(), options.fsync.c_str());
+  }
   std::fflush(stdout);
   if (args.Has("port-file")) {
     WriteFile(args.Get("port-file", ""), std::to_string(server.port()) + "\n");
