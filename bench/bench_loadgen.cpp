@@ -5,7 +5,7 @@
 // phases, the DECS/DiStore load-generator shape). --backend picks the
 // engine under test:
 //   remote   boots a loopback TtkvServer in-process; every client owns one
-//            RemoteEngine connection (protocol v2, BATCH frames when
+//            RemoteEngine connection (protocol v3, BATCH frames when
 //            --batch > 1)
 //   sharded  all clients share one in-process ShardedTtkv (grouped shard
 //            locking when --batch > 1)
@@ -17,17 +17,30 @@
 // emits BENCH JSON with ops/sec, p50/p99 latency per op kind, and the
 // engine's shard-lock acquisition count.
 //
+// --connections N switches to the connection-scaling driver: one epoll
+// thread multiplexing N nonblocking connections against an in-process
+// daemon, each keeping --inflight single-command frames pipelined
+// (inflight 1 = closed loop per connection, >1 = open loop). This is the
+// measurement behind the event-loop server's headline: frames per
+// syscall, not threads per client.
+//
 // --suite runs the committed BENCH_server.json matrix instead: remote and
 // sharded backends at batch depth 1 and --batch (default 16) — the
-// measurement behind the BatchCmd fast path — plus the durable backend at
-// the batched depth under each fsync policy, quantifying what
-// acked-means-durable costs against the in-memory sharded engine (group
-// commit is what keeps fsync=batch close).
+// measurement behind the BatchCmd fast path — plus the connection-scaling
+// rows (1..256 connections), the remote_batch1_vs_pr4 before/after of the
+// epoll rewrite, and the durable backend at the batched depth under each
+// fsync policy, quantifying what acked-means-durable costs against the
+// in-memory sharded engine (group commit is what keeps fsync=batch close).
+//
+// --check is the CI regression gate: a short fresh remote batch=1 run
+// compared against the committed --baseline JSON, failing on a >30% drop.
 //
 //   bench_loadgen --backend remote --clients 8 --keys 2000 --put-ratio 0.5
 //                 --dist zipf --theta 0.99 --shards 8 --warmup-ms 300
 //                 --measure-ms 1500 --batch 1 --value-bytes 64
 //                 --fsync batch --json BENCH_server.json [--quiet] [--suite]
+//                 [--connections N --inflight K --io-threads T]
+//                 [--check --baseline BENCH_server.json]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -38,10 +51,18 @@
 #include <thread>
 #include <vector>
 
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
 #include <cstdlib>
 #include <filesystem>
 
 #include "api/backends.h"
+#include "api/codec.h"
+#include "common/io.h"
+#include "parsers/json.h"
+#include "server/wire.h"
 #include "api/engine.h"
 #include "persist/durable_engine.h"
 #include "api/local_engine.h"
@@ -75,7 +96,24 @@ struct LoadGenConfig {
   // durable backend only.
   std::string fsync = "batch";
   std::string data_dir;  // Empty = a fresh temp dir, removed after the run.
+  // Connection-scaling driver (remote only): 0 = the classic per-thread
+  // closed-loop clients; N = one epoll thread multiplexing N nonblocking
+  // connections, each keeping `inflight` single-command frames pipelined
+  // (inflight 1 = closed loop per connection; >1 = open loop).
+  size_t connections = 0;
+  size_t inflight = 4;
+  size_t io_threads = 1;  // Daemon event-loop workers for remote runs.
+  // --check: fast CI regression gate comparing a fresh remote batch=1 run
+  // against the committed baseline JSON.
+  bool check = false;
+  std::string baseline_path = "BENCH_server.json";
 };
+
+// PR-4's thread-per-connection daemon measured on the benchmark host right
+// before the event-loop rewrite landed (16 closed-loop clients, batch 1,
+// zipf 0.99 — the exact runs[0] configuration). Committed so the suite
+// JSON carries its own before/after evidence.
+constexpr double kPr4RemoteBatch1Baseline = 123270.0;
 
 enum class Phase { kWarmup, kMeasure, kDone };
 
@@ -138,6 +176,8 @@ struct RunMetrics {
   std::string fsync;          // Durable runs only; empty otherwise.
   uint64_t wal_records = 0;   // Durable runs: records logged.
   uint64_t wal_flushes = 0;   // Durable runs: disk flushes performed.
+  uint64_t io_frames = 0;     // Remote runs: frames dispatched by the event loops.
+  uint64_t io_wakeups = 0;    // Remote runs: epoll wakeups (frames/wakeup = pipelining).
   size_t batch = 1;
   double measure_seconds = 0;
   uint64_t total_ops = 0;
@@ -165,8 +205,10 @@ RunMetrics RunOne(const LoadGenConfig& cfg) {
   std::vector<std::unique_ptr<api::Engine>> client_engines(cfg.clients);
 
   if (cfg.backend == "remote") {
-    server = std::make_unique<TtkvServer>(ServerOptions{
-        .port = 0, .num_shards = cfg.shards, .cluster_window_seconds = 1.0});
+    server = std::make_unique<TtkvServer>(ServerOptions{.port = 0,
+                                                        .num_shards = cfg.shards,
+                                                        .cluster_window_seconds = 1.0,
+                                                        .io_threads = cfg.io_threads});
     server->Start();
     for (auto& engine : client_engines) {
       engine = std::make_unique<api::RemoteEngine>("127.0.0.1", server->port());
@@ -242,7 +284,11 @@ RunMetrics RunOne(const LoadGenConfig& cfg) {
     m.wal_records = durable->wal().last_lsn();
     m.wal_flushes = durable->wal().sync_count();
   }
-  if (server) server->Stop();
+  if (server) {
+    m.io_frames = server->frames_dispatched();
+    m.io_wakeups = server->loop_wakeups();
+    server->Stop();
+  }
   shared_engine.reset();  // Close the WAL; `scratch` then removes its dir.
 
   std::vector<double> put_us;
@@ -264,11 +310,20 @@ RunMetrics RunOne(const LoadGenConfig& cfg) {
   if (!bench::QuietFlag()) {
     std::fprintf(stderr,
                  "[loadgen] %s batch=%zu: %.2fs, %llu ops (%.0f ops/sec) — put p50 %.1fus "
-                 "p99 %.1fus, get p50 %.1fus p99 %.1fus; %llu lock acquisitions\n",
+                 "p99 %.1fus, get p50 %.1fus p99 %.1fus; %llu lock acquisitions"
+                 " (%llu shared / %llu exclusive)\n",
                  m.backend.c_str(), m.batch, m.measure_seconds,
                  static_cast<unsigned long long>(m.total_ops), m.ops_per_sec, m.put_p50,
                  m.put_p99, m.get_p50, m.get_p99,
-                 static_cast<unsigned long long>(m.stats.lock_acquisitions));
+                 static_cast<unsigned long long>(m.stats.lock_acquisitions),
+                 static_cast<unsigned long long>(m.stats.read_lock_acquisitions),
+                 static_cast<unsigned long long>(m.stats.write_lock_acquisitions));
+    if (m.io_wakeups > 0) {
+      std::fprintf(stderr, "[loadgen] event loop: %llu frames over %llu wakeups (%.1f/wakeup)\n",
+                   static_cast<unsigned long long>(m.io_frames),
+                   static_cast<unsigned long long>(m.io_wakeups),
+                   static_cast<double>(m.io_frames) / static_cast<double>(m.io_wakeups));
+    }
   }
   return m;
 }
@@ -286,14 +341,16 @@ void WriteRunJson(std::FILE* out, const RunMetrics& m, const char* indent) {
                "%s \"put\": {\"ops\": %llu, \"p50_us\": %.1f, \"p99_us\": %.1f},\n"
                "%s \"get\": {\"ops\": %llu, \"p50_us\": %.1f, \"p99_us\": %.1f},\n"
                "%s \"engine\": {\"num_keys\": %zu, \"writes\": %llu, \"reads\": %llu, "
-               "\"lock_acquisitions\": %llu}}",
+               "\"lock_acquisitions\": %llu, \"read_locks\": %llu, \"write_locks\": %llu}}",
                m.batch, indent, m.measure_seconds,
                static_cast<unsigned long long>(m.total_ops), m.ops_per_sec, indent,
                static_cast<unsigned long long>(m.put_ops), m.put_p50, m.put_p99, indent,
                static_cast<unsigned long long>(m.get_ops), m.get_p50, m.get_p99, indent,
                m.stats.ttkv.num_keys, static_cast<unsigned long long>(m.stats.ttkv.writes),
                static_cast<unsigned long long>(m.stats.ttkv.reads),
-               static_cast<unsigned long long>(m.stats.lock_acquisitions));
+               static_cast<unsigned long long>(m.stats.lock_acquisitions),
+               static_cast<unsigned long long>(m.stats.read_lock_acquisitions),
+               static_cast<unsigned long long>(m.stats.write_lock_acquisitions));
 }
 
 void WriteConfigJson(std::FILE* out, const LoadGenConfig& cfg) {
@@ -312,7 +369,272 @@ double LocksPerOp(const RunMetrics& m) {
                               static_cast<double>(ops);
 }
 
+// --- Connection-scaling driver ----------------------------------------------
+// One epoll thread multiplexing N nonblocking connections against an
+// in-process daemon. Every request frame carries ONE command (batch=1 on
+// the wire); `inflight` frames ride each connection unacknowledged, so the
+// daemon's event loop sees real pipelining — many frames per read() — which
+// a thread-per-connection server could never exploit. Requests are drawn
+// from a pre-encoded pool so the single driver thread spends its cycles on
+// I/O, not on re-encoding the same PUT/GET mix.
+
+struct ConnRunMetrics {
+  size_t connections = 0;
+  size_t inflight = 0;
+  double measure_seconds = 0;
+  uint64_t total_ops = 0;
+  double ops_per_sec = 0;
+  uint64_t errors = 0;          // Error replies + unexpected disconnects.
+  uint64_t io_frames = 0;       // Daemon-side: frames dispatched.
+  uint64_t io_wakeups = 0;      // Daemon-side: epoll wakeups.
+};
+
+ConnRunMetrics RunConnectionsOne(const LoadGenConfig& cfg, size_t connections,
+                                 size_t inflight) {
+  ConnRunMetrics m;
+  m.connections = connections;
+  m.inflight = inflight;
+
+  TtkvServer server(ServerOptions{.port = 0,
+                                  .num_shards = cfg.shards,
+                                  .cluster_window_seconds = 1.0,
+                                  .io_threads = cfg.io_threads,
+                                  .max_conns = connections + 64});
+  server.Start();
+
+  // Pre-encoded single-command request frames (length prefix included).
+  Rng rng(cfg.seed);
+  const KeyChooser chooser(cfg.dist, cfg.keys, cfg.theta);
+  const Value payload(std::string(cfg.value_bytes, 'x'));
+  std::vector<std::string> pool;
+  pool.reserve(4096);
+  for (size_t i = 0; i < 4096; ++i) {
+    const std::string key = "bench/key" + std::to_string(chooser.Next(rng));
+    const std::string body = rng.next_bool(cfg.put_ratio)
+                                 ? api::EncodeCommand(api::PutCmd{key, payload, 0})
+                                 : api::EncodeCommand(api::GetCmd{key});
+    std::string frame;
+    frame.reserve(kFrameHeaderBytes + body.size());
+    AppendFrameHeader(frame, static_cast<uint32_t>(body.size()));
+    frame.append(body);
+    pool.push_back(std::move(frame));
+  }
+
+  struct DriverConn {
+    int fd = -1;
+    std::string in;      // Unparsed reply bytes.
+    size_t pos = 0;
+    std::string out;     // Request bytes not yet accepted by the socket.
+    size_t out_sent = 0;
+    bool want_write = false;
+    bool dead = false;
+  };
+  std::vector<DriverConn> conns(connections);
+
+  const int epfd = ::epoll_create1(0);
+  if (epfd < 0) throw Error("epoll_create1 failed in connection driver");
+
+  // Connect + HELLO each connection synchronously (blocking), then go
+  // nonblocking and register.
+  for (size_t i = 0; i < connections; ++i) {
+    DriverConn& conn = conns[i];
+    conn.fd = ConnectTcp("127.0.0.1", server.port());
+    SendFrame(conn.fd, api::EncodeHello(api::kProtocolVersion));
+    const auto hello = RecvFrame(conn.fd);
+    if (!hello.has_value()) throw Error("daemon closed connection during driver HELLO");
+    api::DecodeHelloReply(*hello);
+    const int flags = ::fcntl(conn.fd, F_GETFL, 0);
+    ::fcntl(conn.fd, F_SETFL, flags | O_NONBLOCK);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u32 = static_cast<uint32_t>(i);
+    ::epoll_ctl(epfd, EPOLL_CTL_ADD, conn.fd, &ev);
+  }
+
+  size_t pool_next = 0;
+  const auto next_frame = [&]() -> const std::string& {
+    const std::string& frame = pool[pool_next];
+    pool_next = (pool_next + 1) % pool.size();
+    return frame;
+  };
+  const auto update_interest = [&](size_t index) {
+    DriverConn& conn = conns[index];
+    epoll_event ev{};
+    ev.events = EPOLLIN | (conn.want_write ? EPOLLOUT : 0u);
+    ev.data.u32 = static_cast<uint32_t>(index);
+    ::epoll_ctl(epfd, EPOLL_CTL_MOD, conn.fd, &ev);
+  };
+  uint64_t errors = 0;
+  // Marks a connection dead AND removes it from the driver: leaving a
+  // closed peer registered would make its EOF readiness level-trigger
+  // every epoll_wait and busy-spin the driver for the rest of the run.
+  // Every kill is an error (the daemon dropped us or the socket died).
+  const auto kill_conn = [&](size_t index) {
+    DriverConn& conn = conns[index];
+    if (conn.dead) return;
+    conn.dead = true;
+    ++errors;
+    ::epoll_ctl(epfd, EPOLL_CTL_DEL, conn.fd, nullptr);
+    ::close(conn.fd);
+    conn.fd = -1;
+  };
+  // Flush a connection's pending request bytes; arms EPOLLOUT on a partial
+  // write so a kernel send-buffer stall never blocks the driver.
+  const auto flush = [&](size_t index) {
+    DriverConn& conn = conns[index];
+    while (conn.out_sent < conn.out.size()) {
+      const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_sent,
+                               conn.out.size() - conn.out_sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          if (!conn.want_write) {
+            conn.want_write = true;
+            update_interest(index);
+          }
+          return;
+        }
+        kill_conn(index);
+        return;
+      }
+      conn.out_sent += static_cast<size_t>(n);
+    }
+    conn.out.clear();
+    conn.out_sent = 0;
+    if (conn.want_write) {
+      conn.want_write = false;
+      update_interest(index);
+    }
+  };
+
+  // Prime the pipeline.
+  for (size_t i = 0; i < connections; ++i) {
+    for (size_t k = 0; k < inflight; ++k) conns[i].out += next_frame();
+    flush(i);  // A hard send error kills (and counts) the connection.
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto measure_start = start + std::chrono::milliseconds(cfg.warmup_ms);
+  const auto deadline = measure_start + std::chrono::milliseconds(cfg.measure_ms);
+  uint64_t measured = 0;
+  char scratch[256 << 10];
+  std::vector<epoll_event> events(512);
+
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    const int n = ::epoll_wait(epfd, events.data(), static_cast<int>(events.size()), 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    const bool measuring = std::chrono::steady_clock::now() >= measure_start;
+    for (int e = 0; e < n; ++e) {
+      const size_t index = events[e].data.u32;
+      DriverConn& conn = conns[index];
+      if (conn.fd < 0) continue;  // Killed earlier (fd deregistered + closed).
+      if ((events[e].events & EPOLLOUT) != 0) {
+        flush(index);
+        if (conn.fd < 0) continue;
+      }
+      if ((events[e].events & EPOLLIN) == 0) continue;
+      ssize_t got;
+      do {
+        got = ::recv(conn.fd, scratch, sizeof(scratch), 0);
+      } while (got < 0 && errno == EINTR);
+      if (got < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
+        kill_conn(index);
+        continue;
+      }
+      if (got == 0) {  // Daemon closed on us mid-run: that's an error.
+        kill_conn(index);
+        continue;
+      }
+      conn.in.append(scratch, static_cast<size_t>(got));
+      // Parse replies; each completed reply refills the pipeline by one.
+      size_t completed = 0;
+      while (conn.in.size() - conn.pos >= kFrameHeaderBytes) {
+        const uint32_t len = ReadFrameHeader(conn.in.data() + conn.pos);
+        if (conn.in.size() - conn.pos - kFrameHeaderBytes < len) break;
+        const char tag = conn.in[conn.pos + kFrameHeaderBytes];
+        if (len == 0 || tag == static_cast<char>(api::ResultTag::kError)) ++errors;
+        conn.pos += kFrameHeaderBytes + static_cast<size_t>(len);
+        ++completed;
+      }
+      if (conn.pos == conn.in.size()) {
+        conn.in.clear();
+        conn.pos = 0;
+      } else if (conn.pos >= (64u << 10)) {
+        // Continuously pipelined replies rarely land on a frame boundary;
+        // without this the consumed prefix grows with total bytes received.
+        conn.in.erase(0, conn.pos);
+        conn.pos = 0;
+      }
+      if (measuring) measured += completed;
+      for (size_t k = 0; k < completed; ++k) conn.out += next_frame();
+      if (completed > 0) flush(index);
+    }
+  }
+  const double measure_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - measure_start).count();
+
+  for (DriverConn& conn : conns) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  ::close(epfd);
+  m.io_frames = server.frames_dispatched();
+  m.io_wakeups = server.loop_wakeups();
+  server.Stop();
+
+  m.total_ops = measured;
+  m.measure_seconds = measure_seconds;
+  m.ops_per_sec = measure_seconds > 0 ? static_cast<double>(measured) / measure_seconds : 0.0;
+  m.errors = errors;
+  if (!bench::QuietFlag()) {
+    std::fprintf(stderr,
+                 "[loadgen] connections=%zu inflight=%zu: %.2fs, %llu ops (%.0f ops/sec), "
+                 "%llu errors; daemon %.1f frames/wakeup\n",
+                 m.connections, m.inflight, m.measure_seconds,
+                 static_cast<unsigned long long>(m.total_ops), m.ops_per_sec,
+                 static_cast<unsigned long long>(m.errors),
+                 m.io_wakeups > 0
+                     ? static_cast<double>(m.io_frames) / static_cast<double>(m.io_wakeups)
+                     : 0.0);
+  }
+  return m;
+}
+
+void WriteConnRunJson(std::FILE* out, const ConnRunMetrics& m, const char* indent) {
+  std::fprintf(out,
+               "%s{\"connections\": %zu, \"inflight\": %zu, \"measure_seconds\": %.3f, "
+               "\"total_ops\": %llu, \"ops_per_sec\": %.1f, \"errors\": %llu, "
+               "\"frames_per_wakeup\": %.1f}",
+               indent, m.connections, m.inflight, m.measure_seconds,
+               static_cast<unsigned long long>(m.total_ops), m.ops_per_sec,
+               static_cast<unsigned long long>(m.errors),
+               m.io_wakeups > 0
+                   ? static_cast<double>(m.io_frames) / static_cast<double>(m.io_wakeups)
+                   : 0.0);
+}
+
 int RunSingle(const LoadGenConfig& cfg) {
+  if (cfg.connections > 0) {
+    const ConnRunMetrics m = RunConnectionsOne(cfg, cfg.connections, cfg.inflight);
+    std::FILE* out = std::fopen(cfg.json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", cfg.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"benchmark\": \"server_loadgen_connections\",\n");
+    WriteConfigJson(out, cfg);
+    std::fprintf(out, "  \"run\":\n");
+    WriteConnRunJson(out, m, "    ");
+    std::fprintf(out, "\n}\n");
+    std::fclose(out);
+    if (!bench::QuietFlag()) std::fprintf(stderr, "[loadgen] wrote %s\n", cfg.json_path.c_str());
+    return m.total_ops > 0 && m.errors == 0 ? 0 : 1;
+  }
   const RunMetrics m = RunOne(cfg);
   std::FILE* out = std::fopen(cfg.json_path.c_str(), "w");
   if (out == nullptr) {
@@ -329,6 +651,51 @@ int RunSingle(const LoadGenConfig& cfg) {
   // Gate on the run having actually measured traffic, not on throughput:
   // a loaded CI machine must not flake the bench.
   return m.total_ops > 0 ? 0 : 1;
+}
+
+// --check: the CI regression gate. Reruns the committed baseline's remote
+// batch=1 configuration (short measure window) and fails when fresh
+// throughput drops more than 30% below the committed runs[0] number. The
+// committed JSON was measured on the benchmark host, so treat a cross-host
+// delta as environment, not regression — CI compares CI-to-committed
+// trends, and the 30% margin absorbs runner noise.
+int RunCheck(const LoadGenConfig& cfg) {
+  double committed = 0.0;
+  size_t committed_batch = 0;
+  std::string committed_backend;
+  try {
+    const ConfigMap baseline = JsonCodec().Parse(ReadFile(cfg.baseline_path));
+    const auto ops = baseline.find("runs/0/ops_per_sec");
+    const auto batch = baseline.find("runs/0/batch");
+    const auto backend = baseline.find("runs/0/backend");
+    if (ops == baseline.end() || batch == baseline.end() || backend == baseline.end()) {
+      throw Error("runs/0 metrics missing");
+    }
+    committed = ops->second.as_number();
+    committed_batch = static_cast<size_t>(batch->second.as_int());
+    committed_backend = backend->second.as_string();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "check: cannot read baseline %s: %s\n", cfg.baseline_path.c_str(),
+                 e.what());
+    return 1;
+  }
+  if (committed_backend != "remote" || committed_batch != 1 || committed <= 0) {
+    std::fprintf(stderr, "check: baseline runs[0] is not a remote batch=1 row\n");
+    return 1;
+  }
+
+  LoadGenConfig one = cfg;
+  one.backend = "remote";
+  one.batch = 1;
+  one.suite = false;
+  const RunMetrics m = RunOne(one);
+  const double ratio = m.ops_per_sec / committed;
+  const bool ok = ratio >= 0.7;
+  std::fprintf(stderr,
+               "[loadgen] check: fresh remote batch=1 %.0f ops/sec vs committed %.0f "
+               "(%.2fx) — %s\n",
+               m.ops_per_sec, committed, ratio, ok ? "OK" : "REGRESSION (>30% below baseline)");
+  return ok ? 0 : 1;
 }
 
 int RunSuite(const LoadGenConfig& cfg) {
@@ -356,6 +723,18 @@ int RunSuite(const LoadGenConfig& cfg) {
     one.data_dir.clear();
     runs.push_back(RunOne(one));
   }
+  // Connection-scaling matrix: the same daemon under 1..256 pipelined
+  // connections driven by the epoll client (single-command frames). This is
+  // the event-loop rewrite's headline: thread-per-connection throughput was
+  // flat-to-falling past a few dozen threads, the event loop holds steady
+  // at hundreds of connections and multiplies frames per syscall.
+  std::vector<ConnRunMetrics> conn_runs;
+  for (const size_t connections : {size_t{1}, size_t{4}, size_t{16}, size_t{64}, size_t{256}}) {
+    conn_runs.push_back(RunConnectionsOne(cfg, connections, cfg.inflight));
+  }
+  double pipelined_peak = 0.0;
+  for (const ConnRunMetrics& m : conn_runs) pipelined_peak = std::max(pipelined_peak, m.ops_per_sec);
+
   const RunMetrics& remote_single = runs[0];
   const RunMetrics& remote_batched = runs[1];
   const RunMetrics& sharded_single = runs[2];
@@ -394,19 +773,32 @@ int RunSuite(const LoadGenConfig& cfg) {
     WriteRunJson(out, runs[i], "    ");
     std::fprintf(out, i + 1 < runs.size() ? ",\n" : "\n");
   }
+  std::fprintf(out, "  ],\n  \"connection_scaling\": {\"inflight\": %zu, \"rows\": [\n",
+               cfg.inflight);
+  for (size_t i = 0; i < conn_runs.size(); ++i) {
+    WriteConnRunJson(out, conn_runs[i], "    ");
+    std::fprintf(out, i + 1 < conn_runs.size() ? ",\n" : "\n");
+  }
   std::fprintf(out,
-               "  ],\n"
+               "  ]},\n"
                "  \"batch_depth\": %zu,\n"
                "  \"remote_batch_speedup\": %.2f,\n"
                "  \"sharded_batch_speedup\": %.2f,\n"
                "  \"sharded_locks_per_op\": {\"batch_1\": %.3f, \"batch_%zu\": %.3f},\n"
+               "  \"remote_batch1_vs_pr4\": {\"pr4_thread_per_conn_ops_per_sec\": %.1f,\n"
+               "     \"closed_loop_ops_per_sec\": %.1f, \"closed_loop_speedup\": %.2f,\n"
+               "     \"pipelined_peak_ops_per_sec\": %.1f, \"pipelined_speedup\": %.2f},\n"
                "  \"durable_vs_sharded_batched\": "
                "{\"off\": %.2f, \"batch\": %.2f, \"always\": %.2f},\n"
                "  \"durable_vs_fsync_off\": {\"batch\": %.2f, \"always\": %.2f}\n"
                "}\n",
                batched, remote_speedup, sharded_speedup, LocksPerOp(sharded_single), batched,
-               LocksPerOp(sharded_batched), durable_relative(4), durable_relative(5),
-               durable_relative(6), flush_relative(5), flush_relative(6));
+               LocksPerOp(sharded_batched), kPr4RemoteBatch1Baseline,
+               remote_single.ops_per_sec,
+               remote_single.ops_per_sec / kPr4RemoteBatch1Baseline, pipelined_peak,
+               pipelined_peak / kPr4RemoteBatch1Baseline, durable_relative(4),
+               durable_relative(5), durable_relative(6), flush_relative(5),
+               flush_relative(6));
   std::fclose(out);
   if (!bench::QuietFlag()) {
     std::fprintf(stderr,
@@ -448,10 +840,18 @@ int main(int argc, char** argv) {
   cfg.json_path = args.Get("json", "BENCH_server.json");
   cfg.fsync = args.Get("fsync", "batch");
   cfg.data_dir = args.Get("data-dir", "");
+  cfg.connections = static_cast<size_t>(args.GetInt("connections", 0));
+  cfg.inflight = static_cast<size_t>(args.GetInt("inflight", 4));
+  cfg.io_threads = static_cast<size_t>(args.GetInt("io-threads", 1));
+  cfg.check = args.Has("check");
+  cfg.baseline_path = args.Get("baseline", "BENCH_server.json");
   try {
     cfg.dist = KeyDistByName(args.Get("dist", "zipf"));
     if (cfg.clients == 0 || cfg.batch == 0) throw Error("--clients and --batch must be >= 1");
     if (cfg.put_ratio < 0.0 || cfg.put_ratio > 1.0) throw Error("--put-ratio must be in [0,1]");
+    if (cfg.inflight == 0) throw Error("--inflight must be >= 1");
+    if (cfg.connections > 1024) throw Error("--connections caps at 1024");
+    if (cfg.check) return RunCheck(cfg);
     return cfg.suite ? RunSuite(cfg) : RunSingle(cfg);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

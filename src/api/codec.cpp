@@ -204,6 +204,8 @@ struct ResultEncoder {
     w.u64(s.gets);
     w.u64(s.deletes);
     w.u64(s.lock_acquisitions);
+    w.u64(s.read_lock_acquisitions);
+    w.u64(s.write_lock_acquisitions);
   }
   void operator()(const SnapshotResult& res) {
     w.u8(static_cast<uint8_t>(ResultTag::kSnapshot));
@@ -286,6 +288,8 @@ Result DecodeResultFrom(BinaryReader& r, size_t depth) {
       s.gets = r.u64();
       s.deletes = r.u64();
       s.lock_acquisitions = r.u64();
+      s.read_lock_acquisitions = r.u64();
+      s.write_lock_acquisitions = r.u64();
       return res;
     }
     case ResultTag::kSnapshot: return SnapshotResult{TTKV::Deserialize(r.str())};

@@ -1,4 +1,4 @@
-// Protocol v2 codec: the single place Commands and Results are encoded to
+// Protocol v3 codec: the single place Commands and Results are encoded to
 // and decoded from wire payloads. The server decodes requests and encodes
 // replies through these functions; TtkvClient does the reverse — neither
 // side carries per-op byte layouts of its own. docs/PROTOCOL.md is the
@@ -21,10 +21,12 @@
 namespace ocasta::api {
 
 // Protocol generation spoken by this build. v1 was the hand-rolled 12-op
-// protocol without HELLO/BATCH/force-delete; v2 is the first codec-
-// generated version and the oldest one this codec accepts.
-inline constexpr uint32_t kProtocolVersion = 2;
-inline constexpr uint32_t kMinProtocolVersion = 2;
+// protocol without HELLO/BATCH/force-delete; v2 was the first codec-
+// generated version; v3 extends the STATS reply with the read/write
+// shard-lock split (an incompatible layout change, so v3 is also the
+// oldest version this codec accepts).
+inline constexpr uint32_t kProtocolVersion = 3;
+inline constexpr uint32_t kMinProtocolVersion = 3;
 
 // Nested-batch depth cap: deeper batches are refused on encode (Error) and
 // decode (ParseError) so corrupt or hostile frames cannot recurse the

@@ -4,7 +4,7 @@
 //   LocalEngine   (api/local_engine.h)  — one in-process TTKV + a mutex.
 //   ShardedTtkv   (server/sharded_ttkv.h) — N mutex-striped shards; the
 //                                        engine behind the ocastad daemon.
-//   RemoteEngine  (api/remote_engine.h) — a TtkvClient speaking protocol v2.
+//   RemoteEngine  (api/remote_engine.h) — a TtkvClient speaking protocol v3.
 // All of them answer the same Command vocabulary, so the CLI, the benches,
 // RemoteStore, and every future layer (async server, replication, caching)
 // are written once against Engine and pick a backend at runtime

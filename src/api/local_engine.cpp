@@ -100,6 +100,8 @@ Result LocalEngine::ApplyLocked(const Command& cmd) {
       res.stats.gets = self.gets_;
       res.stats.deletes = self.deletes_;
       res.stats.lock_acquisitions = self.lock_acquisitions_;
+      // One plain mutex: every acquisition is exclusive.
+      res.stats.write_lock_acquisitions = self.lock_acquisitions_;
       return res;
     }
 

@@ -1,4 +1,4 @@
-// RemoteEngine — the api::Engine over a TtkvClient speaking protocol v2.
+// RemoteEngine — the api::Engine over a TtkvClient speaking protocol v3.
 //
 // Apply encodes one Command into one request frame and decodes the reply;
 // ApplyBatch wraps the span in a BatchCmd so the whole batch travels as a

@@ -20,11 +20,17 @@ struct EngineStats {
   uint64_t puts = 0;
   uint64_t gets = 0;
   uint64_t deletes = 0;
-  // Shard-mutex acquisitions since engine construction. The batched Apply
-  // path exists to push this down: N single-key commands cost N lock
-  // acquisitions applied one by one, but at most num_shards when grouped
-  // into one BatchCmd (see bench_loadgen --suite).
-  uint64_t lock_acquisitions = 0;
+  // Shard-lock acquisitions since engine construction, total and split by
+  // mode. The batched Apply path exists to push the total down: N
+  // single-key commands cost N lock acquisitions applied one by one, but
+  // at most num_shards when grouped into one BatchCmd (see bench_loadgen
+  // --suite). Since the shared_mutex conversion, GET/GET_AT/HISTORY and
+  // read-only batch groups take SHARED (reader) locks — concurrent readers
+  // of one shard no longer serialize — while writes take exclusive locks;
+  // the split shows which mode a workload actually exercises.
+  uint64_t lock_acquisitions = 0;        // = read + write.
+  uint64_t read_lock_acquisitions = 0;   // Shared-mode grabs.
+  uint64_t write_lock_acquisitions = 0;  // Exclusive-mode grabs.
 };
 
 // ClusterNow output: clusters reference keys by name because the tracker's

@@ -33,7 +33,7 @@ void TtkvClient::Connect() {
     // connection is otherwise idle. A v1 daemon (which predates HELLO)
     // would answer with an error reply, surfaced here as StoreError.
     SendFrame(fd_, api::EncodeHello(api::kProtocolVersion));
-    const auto reply = RecvFrame(fd_);
+    const auto reply = in_.Recv(fd_);
     if (!reply.has_value()) throw WireError("daemon closed the connection during HELLO");
     protocol_version_ = api::DecodeHelloReply(*reply);
     if (protocol_version_ < api::kMinProtocolVersion) {
@@ -51,6 +51,7 @@ void TtkvClient::Close() {
     ::close(fd_);
     fd_ = -1;
   }
+  in_.Reset();  // Buffered bytes belong to the dead connection.
   protocol_version_ = 0;
 }
 
@@ -65,7 +66,7 @@ std::string TtkvClient::Rpc(const std::string& request) {
     try {
       Connect();
       SendFrame(fd_, request);
-      auto reply = RecvFrame(fd_);
+      auto reply = in_.Recv(fd_);
       if (!reply.has_value()) throw WireError("daemon closed the connection");
       return std::move(*reply);
     } catch (const WireError&) {

@@ -28,6 +28,7 @@
 
 #include "api/command.h"
 #include "clustering/hac.h"
+#include "server/wire.h"
 #include "ttkv/ttkv.h"
 #include "ttkv/value.h"
 
@@ -90,6 +91,7 @@ class TtkvClient {
   std::string host_;
   uint16_t port_;
   int fd_ = -1;
+  FrameBuffer in_;  // Buffered reply reader: one recv per frame, not two.
   uint32_t protocol_version_ = 0;
 };
 

@@ -20,6 +20,9 @@ void WriteFile(const std::string& path, const std::string& contents) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw Error("cannot open for writing: " + path);
   out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  // Flush explicitly: the destructor's implicit flush swallows errors, so a
+  // full disk would otherwise report success.
+  out.flush();
   if (!out) throw Error("write failed: " + path);
 }
 

@@ -1,0 +1,418 @@
+#include "server/event_loop.h"
+
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+#include "server/wire.h"
+
+namespace ocasta {
+
+namespace {
+
+// Iovec fan-out per sendmsg. Enough to coalesce a deep pipeline's replies
+// into one syscall without building an IOV_MAX-sized array every flush.
+constexpr size_t kMaxIov = 64;
+
+// How often the idle sweep runs (also the epoll_wait timeout, so a quiet
+// worker wakes at this cadence).
+constexpr auto kSweepInterval = std::chrono::milliseconds(500);
+
+}  // namespace
+
+EventLoop::EventLoop(EventLoopOptions options, Handler handler, ShutdownFn request_shutdown,
+                     std::atomic<int64_t>* open_conns)
+    : options_(options),
+      handler_(std::move(handler)),
+      request_shutdown_(std::move(request_shutdown)),
+      open_conns_(open_conns) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw Error(std::string("epoll_create1: ") + std::strerror(errno));
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw Error(std::string("eventfd: ") + std::strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    const std::string msg = std::string("epoll_ctl(wake): ") + std::strerror(errno);
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    throw Error(msg);
+  }
+}
+
+EventLoop::~EventLoop() {
+  RequestStop();
+  Join();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::Start() {
+  read_scratch_.resize(options_.read_chunk_bytes);
+  last_sweep_ = std::chrono::steady_clock::now();
+  thread_ = std::thread(&EventLoop::Run, this);
+}
+
+void EventLoop::RequestStop() {
+  if (stop_.exchange(true)) return;
+  const uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) still wakes the loop; nothing to do.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void EventLoop::AddConnection(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (!drained_) {
+      pending_fds_.push_back(fd);
+      const uint64_t one = 1;
+      [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+      return;
+    }
+  }
+  // The loop already ran its final drain (shutdown raced the handoff):
+  // nobody will ever pick this fd up, so close it here or leak it.
+  ::close(fd);
+  open_conns_->fetch_sub(1, std::memory_order_relaxed);
+}
+
+void EventLoop::RegisterPending() {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    fds.swap(pending_fds_);
+  }
+  for (int fd : fds) {
+    if (stop_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      open_conns_->fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->last_active = std::chrono::steady_clock::now();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      open_conns_->fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    conns_.emplace(fd, std::move(conn));
+  }
+}
+
+void EventLoop::Run() {
+  constexpr int kMaxEvents = 128;
+  epoll_event events[kMaxEvents];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents,
+                               static_cast<int>(kSweepInterval.count()));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone: nothing sane left to do.
+    }
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drain;
+        while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+        RegisterPending();
+        continue;
+      }
+      const auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // Closed earlier this wakeup.
+      Conn* conn = it->second.get();
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0 &&
+          (events[i].events & EPOLLIN) == 0) {
+        CloseConn(conn);
+        continue;
+      }
+      if (!ProcessConn(conn)) continue;  // Connection closed.
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+    const auto now = std::chrono::steady_clock::now();
+    if (options_.idle_timeout_seconds > 0 && now - last_sweep_ >= kSweepInterval) {
+      last_sweep_ = now;
+      SweepIdle();
+    }
+  }
+  // Drain: register (and immediately close) anything still queued, then
+  // drop every live connection. Pending replies are flushed best-effort so
+  // a client that raced shutdown still sees answers to dispatched requests.
+  // `drained_` closes the handoff race: once set (under pending_mu_), an
+  // AddConnection that lost the race closes its fd itself instead of
+  // queueing onto a loop that will never run again.
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    drained_ = true;
+  }
+  RegisterPending();
+  // ONE deadline shared by the whole drain, not per connection: hundreds
+  // of parked slow readers must not turn shutdown into minutes.
+  const auto drain_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(1);
+  for (auto& [fd, conn] : conns_) {
+    FlushBlocking(conn.get(), drain_deadline);
+    ::close(conn->fd);
+    open_conns_->fetch_sub(1, std::memory_order_relaxed);
+  }
+  conns_.clear();
+}
+
+bool EventLoop::ProcessConn(Conn* conn) {
+  conn->last_active = std::chrono::steady_clock::now();
+
+  // Flush first: an EPOLLOUT wakeup (or a readable socket whose replies
+  // were parked) wants queue space before new frames are parsed.
+  if (!FlushOut(conn)) {
+    CloseConn(conn);
+    return false;
+  }
+
+  bool made_progress = true;
+  int reads_left = 4;  // Fairness cap; level-triggered epoll re-notifies.
+  while (made_progress) {
+    made_progress = false;
+
+    // Read whatever the kernel has (one chunk; level-triggered epoll
+    // re-arms if more is waiting). Skipped while paused or half-closed.
+    // recv lands in the loop-wide scratch buffer and only the bytes that
+    // actually arrived are appended — resizing `in` by the chunk size
+    // first would zero-fill 64 KiB per read, which dominated the per-op
+    // cost in profiling.
+    if (!conn->paused && !conn->peer_eof && reads_left > 0) {
+      --reads_left;
+      ssize_t n;
+      do {
+        n = ::recv(conn->fd, read_scratch_.data(), read_scratch_.size(), 0);
+      } while (n < 0 && errno == EINTR);
+      if (n < 0) {
+        if (errno != EAGAIN && errno != EWOULDBLOCK) {
+          CloseConn(conn);
+          return false;
+        }
+      } else if (n == 0) {
+        conn->peer_eof = true;  // Half-close: run buffered frames, flush, close.
+        UpdateInterest(conn);
+      } else {
+        conn->in.append(read_scratch_.data(), static_cast<size_t>(n));
+        // Only come back for more when the read filled the whole chunk —
+        // a short read means the kernel buffer is drained, and retrying
+        // would just burn a syscall on EAGAIN (level-triggered epoll
+        // re-notifies if more arrives anyway).
+        made_progress = static_cast<size_t>(n) == read_scratch_.size();
+      }
+    }
+
+    if (!ParseFrames(conn)) {
+      CloseConn(conn);
+      return false;
+    }
+    if (!FlushOut(conn)) {
+      CloseConn(conn);
+      return false;
+    }
+
+    // Backpressure accounting. Resuming re-enters the loop so frames
+    // buffered while paused are dispatched without waiting for new input.
+    if (!conn->paused && conn->out_bytes >= options_.write_high_watermark) {
+      conn->paused = true;
+      UpdateInterest(conn);
+    } else if (conn->paused && conn->out_bytes <= options_.write_low_watermark) {
+      conn->paused = false;
+      UpdateInterest(conn);
+      made_progress = true;
+    }
+    // ParseFrames may have stopped at the high watermark and FlushOut then
+    // drained the queue without ever hitting EAGAIN (fast reader): the
+    // leftover frames live in userspace, so no epoll event will ever
+    // re-deliver them — re-enter the loop and keep parsing.
+    if (conn->out_bytes < options_.write_high_watermark && HasCompleteFrame(*conn)) {
+      made_progress = true;
+    }
+    if (stop_.load(std::memory_order_relaxed)) break;
+  }
+
+  if (conn->peer_eof && conn->out.empty()) {
+    // Every buffered frame has been dispatched and every reply flushed; a
+    // partial frame left behind can never complete (mid-frame EOF), so the
+    // half-closed peer got everything it had coming.
+    CloseConn(conn);
+    return false;
+  }
+  return true;
+}
+
+bool EventLoop::HasCompleteFrame(const Conn& conn) {
+  const size_t avail = conn.in.size() - conn.pos;
+  if (avail < kFrameHeaderBytes) return false;
+  const uint32_t len = ReadFrameHeader(conn.in.data() + conn.pos);
+  return len <= kMaxFrameBytes && avail - kFrameHeaderBytes >= len;
+}
+
+bool EventLoop::ParseFrames(Conn* conn) {
+  while (conn->out_bytes < options_.write_high_watermark) {
+    const size_t avail = conn->in.size() - conn->pos;
+    if (avail < kFrameHeaderBytes) break;
+    const uint32_t len = ReadFrameHeader(conn->in.data() + conn->pos);
+    if (len > kMaxFrameBytes) return false;  // Garbage length prefix: drop the conn.
+    if (avail - kFrameHeaderBytes < len) {
+      // Reserve for the rest of the frame so a multi-MB payload arriving in
+      // chunks doesn't re-grow the buffer chunk by chunk.
+      conn->in.reserve(conn->pos + kFrameHeaderBytes + len);
+      break;
+    }
+    const std::string_view request(conn->in.data() + conn->pos + kFrameHeaderBytes, len);
+    conn->pos += kFrameHeaderBytes + static_cast<size_t>(len);
+
+    std::string reply;
+    const bool shutdown_requested = handler_(request, &reply);
+    frames_dispatched_.fetch_add(1, std::memory_order_relaxed);
+
+    // Frame the reply (length prefix + payload). Small replies coalesce
+    // into the queue's tail string so a deep pipeline's worth of replies
+    // becomes a handful of iovecs (and allocations), not one per frame.
+    if (conn->out.empty() || conn->out.back().size() >= (16u << 10)) {
+      conn->out.emplace_back();
+      conn->out.back().reserve(kFrameHeaderBytes + reply.size());
+    }
+    std::string& framed = conn->out.back();
+    AppendFrameHeader(framed, static_cast<uint32_t>(reply.size()));
+    framed.append(reply);
+    conn->out_bytes += kFrameHeaderBytes + reply.size();
+
+    if (shutdown_requested) {
+      // The reply must reach the client before the daemon dies (the client
+      // blocks on it), and stop_ is about to cut every loop short.
+      FlushBlocking(conn, std::chrono::steady_clock::now() + std::chrono::seconds(1));
+      request_shutdown_();
+      return true;
+    }
+  }
+  // Compact the consumed prefix once per cycle (not per frame).
+  if (conn->pos == conn->in.size()) {
+    conn->in.clear();
+    conn->pos = 0;
+    // A one-off multi-MB frame should not pin its buffer forever.
+    if (conn->in.capacity() > (1u << 20)) conn->in.shrink_to_fit();
+  } else if (conn->pos >= (64u << 10)) {
+    conn->in.erase(0, conn->pos);
+    conn->pos = 0;
+  }
+  return true;
+}
+
+bool EventLoop::FlushOut(Conn* conn) {
+  while (!conn->out.empty()) {
+    iovec iov[kMaxIov];
+    size_t niov = 0;
+    size_t offset = conn->out_head_sent;
+    for (const std::string& framed : conn->out) {
+      if (niov == kMaxIov) break;
+      iov[niov].iov_base = const_cast<char*>(framed.data()) + offset;
+      iov[niov].iov_len = framed.size() - offset;
+      ++niov;
+      offset = 0;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = niov;
+    ssize_t n;
+    do {
+      n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!conn->want_write) {
+          conn->want_write = true;
+          UpdateInterest(conn);
+        }
+        return true;
+      }
+      return false;  // EPIPE / ECONNRESET: client is gone.
+    }
+    size_t sent = static_cast<size_t>(n);
+    conn->out_bytes -= sent;
+    while (sent > 0) {
+      const size_t head_left = conn->out.front().size() - conn->out_head_sent;
+      if (sent >= head_left) {
+        sent -= head_left;
+        conn->out.pop_front();
+        conn->out_head_sent = 0;
+      } else {
+        conn->out_head_sent += sent;
+        sent = 0;
+      }
+    }
+  }
+  if (conn->want_write) {
+    conn->want_write = false;
+    UpdateInterest(conn);
+  }
+  return true;
+}
+
+void EventLoop::FlushBlocking(Conn* conn,
+                              std::chrono::steady_clock::time_point deadline) {
+  // Bounded by the caller's deadline: a stuck client cannot wedge shutdown.
+  while (!conn->out.empty()) {
+    if (!FlushOut(conn)) return;
+    if (conn->out.empty()) return;
+    if (std::chrono::steady_clock::now() >= deadline) return;
+    pollfd pfd{conn->fd, POLLOUT, 0};
+    ::poll(&pfd, 1, 50);
+  }
+}
+
+void EventLoop::UpdateInterest(Conn* conn) {
+  epoll_event ev{};
+  ev.events = 0;
+  if (!conn->paused && !conn->peer_eof) ev.events |= EPOLLIN;
+  if (conn->want_write) ev.events |= EPOLLOUT;
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void EventLoop::CloseConn(Conn* conn) {
+  const int fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  conns_.erase(fd);
+  open_conns_->fetch_sub(1, std::memory_order_relaxed);
+}
+
+void EventLoop::SweepIdle() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto limit = std::chrono::duration<double>(options_.idle_timeout_seconds);
+  std::vector<int> idle;
+  for (const auto& [fd, conn] : conns_) {
+    if (now - conn->last_active > limit) idle.push_back(fd);
+  }
+  for (int fd : idle) {
+    const auto it = conns_.find(fd);
+    if (it != conns_.end()) {
+      idle_closed_.fetch_add(1, std::memory_order_relaxed);
+      CloseConn(it->second.get());
+    }
+  }
+}
+
+}  // namespace ocasta

@@ -1,0 +1,150 @@
+// EventLoop — one epoll worker thread of the ocastad daemon.
+//
+// Each worker multiplexes hundreds of nonblocking connections over a single
+// epoll descriptor (the memcached accept/worker shape): the acceptor thread
+// hands fresh sockets over via a mutex-protected queue plus an eventfd
+// wakeup, and from then on the connection lives entirely on its worker —
+// its buffers are touched by exactly one thread, so the per-connection
+// state needs no locks.
+//
+// Per readiness wakeup the worker drains whatever the kernel has buffered
+// (one read() can carry MANY pipelined request frames), dispatches every
+// complete frame through the server's handler, coalesces the replies, and
+// flushes them with a single scatter-gather sendmsg (the writev path) —
+// request count per syscall is what the event-loop rewrite buys over the
+// old thread-per-connection server. Partial writes park the remainder in a
+// per-connection output queue and re-arm EPOLLOUT.
+//
+// Overload and lifecycle policy:
+//   * write-buffer backpressure — a client that pipelines a huge burst but
+//     stops reading accumulates replies server-side; past the high
+//     watermark the worker stops parsing (and reading) its input until the
+//     queue drains below the low watermark, bounding per-conn memory;
+//   * idle timeout — connections with no traffic for idle_timeout seconds
+//     are closed by a periodic sweep (0 disables);
+//   * half-close — a client may shut down its write side after a pipelined
+//     burst; buffered requests still execute and every reply is flushed
+//     before the connection closes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace ocasta {
+
+struct EventLoopOptions {
+  double idle_timeout_seconds = 300.0;  // 0 = connections never idle out.
+  // Backpressure watermarks on the per-connection reply queue.
+  size_t write_high_watermark = 8u << 20;
+  size_t write_low_watermark = 1u << 20;
+  size_t read_chunk_bytes = 64u << 10;  // recv() size per readiness event.
+};
+
+class EventLoop {
+ public:
+  // Dispatches one request payload into one reply payload; returns true
+  // when the request asked for server shutdown (TtkvServer::HandleRequest).
+  // The view aliases the connection's input buffer and dies with the call.
+  using Handler = std::function<bool(std::string_view, std::string*)>;
+
+  // Invoked (from a worker thread) when a client SHUTDOWN op is seen, after
+  // its reply has been flushed. Must be safe to call from any thread.
+  using ShutdownFn = std::function<void()>;
+
+  // `open_conns` is the server-wide open-connection gauge (shared with the
+  // acceptor's --max-conns admission check); the loop decrements it as
+  // connections close.
+  EventLoop(EventLoopOptions options, Handler handler, ShutdownFn request_shutdown,
+            std::atomic<int64_t>* open_conns);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  void Start();
+
+  // Signals the loop to exit (idempotent, any thread). Join() reaps it.
+  void RequestStop();
+  void Join();
+
+  // Hands a fresh connection to this worker. The fd must already be
+  // nonblocking; the loop owns it from this point on.
+  void AddConnection(int fd);
+
+  // Telemetry.
+  uint64_t frames_dispatched() const { return frames_dispatched_.load(std::memory_order_relaxed); }
+  uint64_t wakeups() const { return wakeups_.load(std::memory_order_relaxed); }
+  uint64_t idle_closed() const { return idle_closed_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string in;     // Received-but-unparsed bytes; pos is the parse cursor.
+    size_t pos = 0;
+    std::deque<std::string> out;  // Framed replies awaiting the socket.
+    size_t out_head_sent = 0;     // Bytes of out.front() already written.
+    size_t out_bytes = 0;         // Total queued reply bytes (backpressure gauge).
+    bool want_write = false;      // EPOLLOUT armed.
+    bool paused = false;          // EPOLLIN dropped: write queue over high water.
+    bool peer_eof = false;        // Client half-closed; flush then close.
+    std::chrono::steady_clock::time_point last_active;
+  };
+
+  void Run();
+  void RegisterPending();
+  // Parse + dispatch + flush until no further progress can be made.
+  // Returns false when the connection was closed.
+  bool ProcessConn(Conn* conn);
+  // Dispatches every complete frame in `in` (respecting backpressure).
+  // Returns false when the connection must close (protocol violation).
+  bool ParseFrames(Conn* conn);
+  // True when a full frame sits unparsed in `in` (length prefix sane and
+  // its payload fully buffered).
+  static bool HasCompleteFrame(const Conn& conn);
+  // Scatter-gather flush of the reply queue; arms/disarms EPOLLOUT.
+  // Returns false on a dead socket.
+  bool FlushOut(Conn* conn);
+  // Best-effort synchronous flush, bounded by `deadline` — used for the
+  // SHUTDOWN reply and the stop-time drain (which shares ONE deadline
+  // across all connections).
+  void FlushBlocking(Conn* conn, std::chrono::steady_clock::time_point deadline);
+  void UpdateInterest(Conn* conn);
+  void CloseConn(Conn* conn);
+  void SweepIdle();
+
+  EventLoopOptions options_;
+  Handler handler_;
+  ShutdownFn request_shutdown_;
+  std::atomic<int64_t>* open_conns_;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: new connections queued or stop requested.
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+
+  std::mutex pending_mu_;
+  std::vector<int> pending_fds_;  // Guarded by pending_mu_.
+  bool drained_ = false;          // Guarded by pending_mu_; set by the loop's
+                                  // final drain so late handoffs self-close.
+
+  // Conns are touched only by the loop thread.
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  std::vector<char> read_scratch_;  // Shared recv landing zone (loop thread only).
+  std::chrono::steady_clock::time_point last_sweep_;
+
+  std::atomic<uint64_t> frames_dispatched_{0};
+  std::atomic<uint64_t> wakeups_{0};
+  std::atomic<uint64_t> idle_closed_{0};
+};
+
+}  // namespace ocasta

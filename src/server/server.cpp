@@ -1,13 +1,16 @@
 #include "server/server.h"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <thread>
 
 #include "api/backends.h"
 #include "api/codec.h"
@@ -30,6 +33,14 @@ std::unique_ptr<api::Engine> MakeServerEngine(const ServerOptions& options) {
   return api::MakeEngine(backend);
 }
 
+size_t ResolveIoThreads(size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  // One loop handles hundreds of connections; more than 8 loops only helps
+  // when the engine itself scales past that.
+  return std::clamp<size_t>(hw, 1, 8);
+}
+
 }  // namespace
 
 TtkvServer::TtkvServer(ServerOptions options)
@@ -39,13 +50,34 @@ TtkvServer::~TtkvServer() { Stop(); }
 
 void TtkvServer::Start() {
   if (started_.exchange(true)) throw Error("TtkvServer already started");
-  listen_fd_ = ListenLoopback(options_.port);
+  // Backlog sized for connection storms (bench --connections opens hundreds
+  // at once); the kernel clamps to net.core.somaxconn.
+  const int backlog = options_.max_conns == 0
+                          ? 1024
+                          : static_cast<int>(std::min<size_t>(options_.max_conns, 4096));
+  listen_fd_ = ListenLoopback(options_.port, backlog);
   port_ = BoundPort(listen_fd_);
+
+  EventLoopOptions loop_options;
+  loop_options.idle_timeout_seconds = options_.idle_timeout_seconds;
+  const size_t io_threads = ResolveIoThreads(options_.io_threads);
+  loops_.reserve(io_threads);
+  for (size_t i = 0; i < io_threads; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>(
+        loop_options,
+        [this](std::string_view request, std::string* reply) {
+          return HandleRequest(request, reply);
+        },
+        [this] { RequestStop(); }, &open_conns_));
+  }
+  for (const auto& loop : loops_) loop->Start();
   accept_thread_ = std::thread(&TtkvServer::AcceptLoop, this);
 }
 
 void TtkvServer::RequestStop() {
-  if (!stopping_.exchange(true)) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (stopping_.exchange(true)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  for (const auto& loop : loops_) loop->RequestStop();
 }
 
 void TtkvServer::Stop() {
@@ -57,18 +89,11 @@ void TtkvServer::Stop() {
 void TtkvServer::Wait() {
   std::lock_guard<std::mutex> lock(join_mu_);
   if (accept_thread_.joinable()) accept_thread_.join();
+  for (const auto& loop : loops_) loop->Join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-}
-
-void TtkvServer::ReapFinishedConns() {
-  std::erase_if(conns_, [](const std::unique_ptr<Conn>& conn) {
-    if (!conn->done.load(std::memory_order_acquire)) return false;
-    conn->thread.join();
-    return true;
-  });
 }
 
 void TtkvServer::AcceptLoop() {
@@ -80,7 +105,6 @@ void TtkvServer::AcceptLoop() {
       // Transient resource exhaustion (fd limits, socket buffers) must not
       // kill a long-running daemon: back off briefly and keep accepting.
       if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS || errno == ENOMEM) {
-        ReapFinishedConns();
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
         continue;
       }
@@ -94,47 +118,66 @@ void TtkvServer::AcceptLoop() {
     // pipelined batches by tens of milliseconds.
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    if (options_.max_conns != 0 &&
+        open_conns_.load(std::memory_order_relaxed) >=
+            static_cast<int64_t>(options_.max_conns)) {
+      // Graceful overload: tell the client why before closing, instead of a
+      // silent RST. The socket is fresh (empty send buffer), so this small
+      // blocking send cannot stall the acceptor.
+      overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+      try {
+        SendFrame(fd, api::EncodeResult(api::ErrorResult{
+                          "server over --max-conns connection limit; retry later"}));
+      } catch (const Error&) {
+        // Client vanished mid-rejection; nothing to salvage.
+      }
+      ::shutdown(fd, SHUT_WR);  // Push the reply out before the close.
+      // Drain whatever the client already sent (a real client HELLOs right
+      // after connect): close()ing with unread bytes in the receive queue
+      // makes Linux send RST, which can discard the reply we just queued.
+      // Bounded so a hostile client cannot stall the acceptor.
+      pollfd pfd{fd, POLLIN, 0};
+      for (int spins = 0; spins < 4 && ::poll(&pfd, 1, 50) > 0; ++spins) {
+        char sink[4096];
+        const ssize_t drained = ::recv(fd, sink, sizeof(sink), 0);
+        if (drained <= 0) break;  // EOF (client saw our FIN) or error.
+      }
+      ::close(fd);
+      continue;
+    }
+
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+      ::close(fd);
+      continue;
+    }
     connections_.fetch_add(1);
-    {
-      std::lock_guard<std::mutex> lock(conn_mu_);
-      conn_fds_.insert(fd);
-    }
-    ReapFinishedConns();
-    conns_.push_back(std::make_unique<Conn>());
-    conns_.back()->thread = std::thread(&TtkvServer::Serve, this, fd, conns_.back().get());
+    open_conns_.fetch_add(1, std::memory_order_relaxed);
+    loops_[next_loop_]->AddConnection(fd);
+    next_loop_ = (next_loop_ + 1) % loops_.size();
   }
-  // Drain: wake every blocked connection read, then join all handlers.
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  for (const std::unique_ptr<Conn>& conn : conns_) conn->thread.join();
-  conns_.clear();
 }
 
-void TtkvServer::Serve(int fd, Conn* conn) {
-  bool shutdown_requested = false;
-  try {
-    while (auto request = RecvFrame(fd)) {
-      std::string reply;
-      shutdown_requested = HandleRequest(*request, &reply);
-      SendFrame(fd, reply);
-      if (shutdown_requested) break;
-    }
-  } catch (const Error&) {
-    // Transport failure or unframeable garbage: drop the connection. The
-    // engine is untouched mid-request, so other clients are unaffected.
-  }
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_fds_.erase(fd);
-  }
-  ::close(fd);
-  if (shutdown_requested) RequestStop();
-  conn->done.store(true, std::memory_order_release);
+uint64_t TtkvServer::frames_dispatched() const {
+  uint64_t total = 0;
+  for (const auto& loop : loops_) total += loop->frames_dispatched();
+  return total;
 }
 
-bool TtkvServer::HandleRequest(const std::string& request, std::string* reply) {
+uint64_t TtkvServer::loop_wakeups() const {
+  uint64_t total = 0;
+  for (const auto& loop : loops_) total += loop->wakeups();
+  return total;
+}
+
+uint64_t TtkvServer::idle_closed() const {
+  uint64_t total = 0;
+  for (const auto& loop : loops_) total += loop->idle_closed();
+  return total;
+}
+
+bool TtkvServer::HandleRequest(std::string_view request, std::string* reply) {
   // Thin decode → Apply → encode shim: the codec owns every byte layout and
   // the engine owns every operation. The only server-side concerns are
   // HELLO version negotiation and recognizing a top-level SHUTDOWN.

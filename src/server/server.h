@@ -1,16 +1,20 @@
 // ocastad — the TTKV network daemon.
 //
-// A TCP server exposing a ShardedTtkv over the length-prefixed binary
-// protocol in wire.h: a thread-per-connection accept loop (the paper's
-// Redis backend is likewise a standalone server shared by all recorders),
-// synchronous request/reply per connection, and pipelining-friendly framing
-// (clients may write any number of requests before reading replies; replies
-// come back in request order).
+// An epoll event-loop TCP server exposing an api::Engine over the
+// length-prefixed binary protocol in wire.h: one acceptor thread plus
+// --io-threads worker event loops (server/event_loop.h), each multiplexing
+// its share of the nonblocking connections (distributed round-robin — the
+// memcached accept/worker model). Pipelining is first-class: a worker
+// dispatches every complete frame a single read() delivers and flushes the
+// coalesced replies with one scatter-gather write; replies always come
+// back in request order per connection.
 //
-// Shutdown is graceful from either side: Stop() from the embedding process,
-// or the SHUTDOWN op from any client. Both close the listening socket and
-// then shut down every open connection so blocked reads drain; every
-// connection thread is joined before Wait()/Stop() returns.
+// Admission and lifecycle policy: connections beyond --max-conns receive a
+// graceful overload error reply and are closed; connections idle longer
+// than the idle timeout are swept. Shutdown is graceful from either side:
+// Stop() from the embedding process, or the SHUTDOWN op from any client
+// (its reply is flushed before the daemon stops). Every worker is joined
+// before Wait()/Stop() returns.
 #pragma once
 
 #include <atomic>
@@ -18,11 +22,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
-#include <unordered_set>
 #include <vector>
 
 #include "api/engine.h"
+#include "server/event_loop.h"
 
 namespace ocasta {
 
@@ -38,6 +43,12 @@ struct ServerOptions {
   std::string data_dir = "";
   std::string fsync = "batch";  // "off" | "batch" | "always".
   double checkpoint_interval_seconds = 0.0;  // 0 = size-triggered only.
+
+  // Event-loop sizing and overload policy (docs/SERVER.md).
+  size_t io_threads = 1;   // Worker event loops; 0 = one per hardware thread (capped).
+  size_t max_conns = 1024; // Open-connection cap; 0 = unlimited. Excess
+                           // connections get an error reply, then close.
+  double idle_timeout_seconds = 300.0;  // 0 = connections never idle out.
 };
 
 class TtkvServer {
@@ -48,8 +59,8 @@ class TtkvServer {
   TtkvServer(const TtkvServer&) = delete;
   TtkvServer& operator=(const TtkvServer&) = delete;
 
-  // Binds, listens, and starts the accept loop. Throws WireError when the
-  // port is taken.
+  // Binds, listens, starts the workers and the accept loop. Throws
+  // WireError when the port is taken.
   void Start();
 
   // Requests shutdown (idempotent) and blocks until every thread is joined.
@@ -66,25 +77,25 @@ class TtkvServer {
   // ServerOptions::data_dir is set.
   api::Engine& engine() { return *engine_; }
 
+  // Lifetime totals.
   uint64_t connections_served() const { return connections_.load(); }
+  uint64_t overload_rejections() const { return overload_rejections_.load(); }
+  int64_t open_connections() const { return open_conns_.load(); }
+  size_t io_threads() const { return loops_.size(); }
+
+  // Aggregated worker telemetry: how well the event loops amortize wakeups
+  // (frames per wakeup is the pipelining win the rewrite exists for).
+  uint64_t frames_dispatched() const;
+  uint64_t loop_wakeups() const;
+  uint64_t idle_closed() const;
 
  private:
-  struct Conn {
-    std::thread thread;
-    std::atomic<bool> done{false};
-  };
-
   void AcceptLoop();
-  void Serve(int fd, Conn* conn);
-
-  // Joins and discards connections whose handler has finished, so a
-  // long-running daemon under connection churn does not accumulate
-  // unjoined threads. Called from the accept thread only.
-  void ReapFinishedConns();
 
   // Dispatches one request payload; always produces a reply payload.
-  // Returns true when the request asked for server shutdown.
-  bool HandleRequest(const std::string& request, std::string* reply);
+  // Returns true when the request asked for server shutdown. Called
+  // concurrently from every worker.
+  bool HandleRequest(std::string_view request, std::string* reply);
 
   void RequestStop();
 
@@ -97,10 +108,11 @@ class TtkvServer {
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> overload_rejections_{0};
+  std::atomic<int64_t> open_conns_{0};
 
-  std::mutex conn_mu_;                // Guards conn_fds_.
-  std::unordered_set<int> conn_fds_;  // Open connection sockets.
-  std::vector<std::unique_ptr<Conn>> conns_;  // Touched only by the accept thread.
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  size_t next_loop_ = 0;  // Round-robin cursor; accept thread only.
 
   std::mutex join_mu_;  // Serializes Wait()/Stop() joiners.
 };

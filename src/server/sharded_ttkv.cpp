@@ -1,6 +1,7 @@
 #include "server/sharded_ttkv.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 
 #include "common/error.h"
@@ -20,9 +21,14 @@ size_t ShardedTtkv::shard_of(const std::string& key) const {
   return Fnv1a(key) % shards_.size();
 }
 
-std::unique_lock<std::mutex> ShardedTtkv::LockShard(const Shard& shard) const {
-  lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
-  return std::unique_lock<std::mutex>(shard.mu);
+std::unique_lock<std::shared_mutex> ShardedTtkv::LockShard(const Shard& shard) const {
+  write_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_lock<std::shared_mutex>(shard.mu);
+}
+
+std::shared_lock<std::shared_mutex> ShardedTtkv::LockShardShared(const Shard& shard) const {
+  read_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  return std::shared_lock<std::shared_mutex>(shard.mu);
 }
 
 TimeMicros ShardedTtkv::StampNow() { return StampBlock(1); }
@@ -55,25 +61,43 @@ constexpr size_t kPendingDrainThreshold = 8192;
 // Shard routing key + stamp need of a single-key command, resolved with a
 // single variant inspection; key == nullptr for cross-shard commands. The
 // ONE table defining "single-key command" — Apply and ApplyBatch both
-// route through it.
+// route through it. `is_read` marks commands eligible for a SHARED shard
+// lock (no TTKV mutation beyond atomic read counters).
 struct KeyInfo {
   const std::string* key = nullptr;
   bool needs_stamp = false;
+  bool is_read = false;
 };
 
 KeyInfo KeyInfoOf(const api::Command& cmd) {
   if (const auto* put = std::get_if<api::PutCmd>(&cmd.op)) {
-    return {&put->key, put->timestamp == 0};
+    return {&put->key, put->timestamp == 0, false};
   }
   if (const auto* del = std::get_if<api::DeleteCmd>(&cmd.op)) {
-    return {&del->key, del->timestamp == 0};
+    return {&del->key, del->timestamp == 0, false};
   }
-  if (const auto* get = std::get_if<api::GetCmd>(&cmd.op)) return {&get->key, false};
-  if (const auto* get_at = std::get_if<api::GetAtCmd>(&cmd.op)) return {&get_at->key, false};
+  if (const auto* get = std::get_if<api::GetCmd>(&cmd.op)) return {&get->key, false, true};
+  if (const auto* get_at = std::get_if<api::GetAtCmd>(&cmd.op)) {
+    return {&get_at->key, false, true};
+  }
   if (const auto* history = std::get_if<api::HistoryCmd>(&cmd.op)) {
-    return {&history->key, false};
+    return {&history->key, false, true};
   }
   return {};
+}
+
+// Copies a record under a SHARED lock: read_count may be concurrently
+// bumped by read_latest_shared's atomic increment, so it is loaded
+// atomically instead of through the (racy) default copy constructor.
+VersionedRecord CopyRecordShared(const VersionedRecord& rec) {
+  VersionedRecord out;
+  out.key = rec.key;
+  out.versions = rec.versions;
+  out.write_count = rec.write_count;
+  out.delete_count = rec.delete_count;
+  out.read_count = std::atomic_ref<uint64_t>(const_cast<VersionedRecord&>(rec).read_count)
+                       .load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace
@@ -162,14 +186,14 @@ bool ShardedTtkv::Delete(const std::string& key, TimeMicros t, bool force) {
 
 std::optional<Value> ShardedTtkv::Get(const std::string& key) {
   Shard& shard = *shards_[shard_of(key)];
-  const auto lock = LockShard(shard);
+  const auto lock = LockShardShared(shard);
   gets_.fetch_add(1, std::memory_order_relaxed);
-  return shard.ttkv.read_latest(key);
+  return shard.ttkv.read_latest_shared(key);
 }
 
 std::optional<Value> ShardedTtkv::GetAt(const std::string& key, TimeMicros t) const {
   const Shard& shard = *shards_[shard_of(key)];
-  const auto lock = LockShard(shard);
+  const auto lock = LockShardShared(shard);
   const VersionedRecord* rec = shard.ttkv.find(key);
   if (rec == nullptr) return std::nullopt;
   return rec->value_at(t);
@@ -177,10 +201,10 @@ std::optional<Value> ShardedTtkv::GetAt(const std::string& key, TimeMicros t) co
 
 std::optional<VersionedRecord> ShardedTtkv::History(const std::string& key) const {
   const Shard& shard = *shards_[shard_of(key)];
-  const auto lock = LockShard(shard);
+  const auto lock = LockShardShared(shard);
   const VersionedRecord* rec = shard.ttkv.find(key);
   if (rec == nullptr) return std::nullopt;
-  return *rec;
+  return CopyRecordShared(*rec);
 }
 
 std::vector<std::string> ShardedTtkv::ListKeys(const std::string& prefix) const {
@@ -202,7 +226,9 @@ EngineStats ShardedTtkv::Stats() const {
   out.puts = puts_.load(std::memory_order_relaxed);
   out.gets = gets_.load(std::memory_order_relaxed);
   out.deletes = deletes_.load(std::memory_order_relaxed);
-  out.lock_acquisitions = lock_acquisitions_.load(std::memory_order_relaxed);
+  out.read_lock_acquisitions = read_lock_acquisitions();
+  out.write_lock_acquisitions = write_lock_acquisitions();
+  out.lock_acquisitions = out.read_lock_acquisitions + out.write_lock_acquisitions;
   for (const auto& shard : shards_) {
     const auto lock = LockShard(*shard);
     const TtkvStats s = shard->ttkv.stats();
@@ -306,7 +332,8 @@ api::Result ShardedTtkv::ApplyKeyedLocked(Shard& shard, const api::Command& cmd,
     }
     if (const auto* get = std::get_if<api::GetCmd>(&cmd.op)) {
       ++counts->gets;
-      return api::ValueResult{shard.ttkv.read_latest(get->key)};
+      // Safe under shared OR exclusive locks (atomic read accounting).
+      return api::ValueResult{shard.ttkv.read_latest_shared(get->key)};
     }
     if (const auto* get_at = std::get_if<api::GetAtCmd>(&cmd.op)) {
       const VersionedRecord* rec = shard.ttkv.find(get_at->key);
@@ -317,7 +344,7 @@ api::Result ShardedTtkv::ApplyKeyedLocked(Shard& shard, const api::Command& cmd,
     if (const auto* history = std::get_if<api::HistoryCmd>(&cmd.op)) {
       const VersionedRecord* rec = shard.ttkv.find(history->key);
       if (rec == nullptr) return api::HistoryResult{};
-      return api::HistoryResult{*rec};
+      return api::HistoryResult{CopyRecordShared(*rec)};
     }
     throw Error("ApplyKeyedLocked on a cross-shard command");
   } catch (const Error& e) {
@@ -326,12 +353,16 @@ api::Result ShardedTtkv::ApplyKeyedLocked(Shard& shard, const api::Command& cmd,
 }
 
 api::Result ShardedTtkv::Apply(const api::Command& cmd) {
-  if (const std::string* key = KeyInfoOf(cmd).key) {
-    Shard& shard = *shards_[shard_of(*key)];
+  const KeyInfo info = KeyInfoOf(cmd);
+  if (info.key != nullptr) {
+    Shard& shard = *shards_[shard_of(*info.key)];
     bool need_drain = false;
     OpCounts counts;
     api::Result result;
-    {
+    if (info.is_read) {
+      const auto lock = LockShardShared(shard);
+      result = ApplyKeyedLocked(shard, cmd, &need_drain, 0, &counts);
+    } else {
       const auto lock = LockShard(shard);
       result = ApplyKeyedLocked(shard, cmd, &need_drain, 0, &counts);
     }
@@ -372,11 +403,13 @@ namespace {
 // One grouped single-key command: its shard, its index in the batch, and
 // its pre-reserved engine stamp. During collection `stamp` is a flag (1 =
 // the command needs an engine-assigned timestamp); the flush rewrites it
-// with the reserved stamp.
+// with the reserved stamp. `is_read` propagates the shared-lock
+// eligibility so an all-reads shard group can take the shared lock.
 struct RunEntry {
   uint32_t shard = 0;
   uint32_t index = 0;
   TimeMicros stamp = 0;
+  bool is_read = false;
 };
 
 }  // namespace
@@ -414,10 +447,24 @@ std::vector<api::Result> ShardedTtkv::ApplyBatch(std::span<const api::Command> c
     for (size_t j = 0; j < run.size();) {
       const uint32_t sid = run[j].shard;
       Shard& shard = *shards_[sid];
-      const auto lock = LockShard(shard);
-      for (; j < run.size() && run[j].shard == sid; ++j) {
-        results[run[j].index] =
-            ApplyKeyedLocked(shard, cmds[run[j].index], &need_drain, run[j].stamp, &counts);
+      // A shard group whose commands are ALL reads takes the shared lock,
+      // so read-heavy batches from different connections overlap on the
+      // same shard; one write in the group forces exclusive.
+      size_t end = j;
+      bool all_reads = true;
+      for (; end < run.size() && run[end].shard == sid; ++end) all_reads &= run[end].is_read;
+      const auto apply_group = [&] {
+        for (; j < end; ++j) {
+          results[run[j].index] =
+              ApplyKeyedLocked(shard, cmds[run[j].index], &need_drain, run[j].stamp, &counts);
+        }
+      };
+      if (all_reads) {
+        const auto lock = LockShardShared(shard);
+        apply_group();
+      } else {
+        const auto lock = LockShard(shard);
+        apply_group();
       }
     }
     // Counters flush per run so a barrier command (e.g. STATS) observes
@@ -431,7 +478,8 @@ std::vector<api::Result> ShardedTtkv::ApplyBatch(std::span<const api::Command> c
     if (info.key != nullptr) {
       run.push_back(RunEntry{.shard = static_cast<uint32_t>(shard_of(*info.key)),
                              .index = static_cast<uint32_t>(i),
-                             .stamp = info.needs_stamp ? 1 : 0});
+                             .stamp = info.needs_stamp ? 1 : 0,
+                             .is_read = info.is_read});
       stamps_needed += info.needs_stamp ? 1 : 0;
       continue;
     }

@@ -3,9 +3,16 @@
 // The paper's TTKV runs inside one Redis server and serves many recorders
 // at once; the in-process TTKV is single-threaded. This engine bridges the
 // two: N independent TTKV shards (keys hashed with FNV-1a), each guarded by
-// its own mutex, so writers to different shards never contend. A separate
-// mutex-striped OnlineClusterTracker observes every write/delete so the
-// daemon can answer CLUSTER_NOW queries without replaying history.
+// its own std::shared_mutex, so writers to different shards never contend
+// AND readers of the same shard don't either: GET/GET_AT/HISTORY (and
+// read-only batch groups) take shared locks, writes take exclusive ones.
+// GET's read accounting happens under the shared lock with relaxed atomic
+// increments (TTKV::read_latest_shared); everything that reads those
+// counters non-atomically (STATS, SNAPSHOT, serialization) takes the
+// exclusive lock. EngineStats reports read and write lock acquisitions
+// separately. A separate mutex-striped OnlineClusterTracker observes every
+// write/delete so the daemon can answer CLUSTER_NOW queries without
+// replaying history.
 //
 // ShardedTtkv implements api::Engine natively. Single-key commands lock
 // their shard once; ApplyBatch is the batched fast path: consecutive
@@ -36,6 +43,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -60,9 +68,17 @@ class ShardedTtkv final : public api::Engine {
   size_t num_shards() const { return shards_.size(); }
   size_t shard_of(const std::string& key) const;
 
-  // Shard-mutex acquisitions since construction (batching telemetry).
+  // Shard-lock acquisitions since construction (batching telemetry);
+  // total = shared + exclusive.
   uint64_t shard_lock_acquisitions() const {
-    return lock_acquisitions_.load(std::memory_order_relaxed);
+    return read_lock_acquisitions_.load(std::memory_order_relaxed) +
+           write_lock_acquisitions_.load(std::memory_order_relaxed);
+  }
+  uint64_t read_lock_acquisitions() const {
+    return read_lock_acquisitions_.load(std::memory_order_relaxed);
+  }
+  uint64_t write_lock_acquisitions() const {
+    return write_lock_acquisitions_.load(std::memory_order_relaxed);
   }
 
   // --- Writes (t == 0 → engine-assigned monotonic wall-clock stamp) --------
@@ -120,14 +136,17 @@ class ShardedTtkv final : public api::Engine {
   };
 
   struct Shard {
-    mutable std::mutex mu;
+    mutable std::shared_mutex mu;
     TTKV ttkv;                                  // Guarded by mu.
     mutable std::vector<PendingEvent> pending;  // Guarded by mu.
   };
 
-  // Locks a shard and counts the acquisition. Every shard-mutex lock in
-  // this engine goes through here so lock_acquisitions stays honest.
-  std::unique_lock<std::mutex> LockShard(const Shard& shard) const;
+  // Lock a shard and count the acquisition. Every shard lock in this
+  // engine goes through these two so the lock telemetry stays honest.
+  // Shared locks are legal only for operations whose TTKV access is
+  // read-only or atomic-counter-only (see read_latest_shared).
+  std::unique_lock<std::shared_mutex> LockShard(const Shard& shard) const;
+  std::shared_lock<std::shared_mutex> LockShardShared(const Shard& shard) const;
 
   TimeMicros StampNow();
 
@@ -177,7 +196,8 @@ class ShardedTtkv final : public api::Engine {
   std::atomic<uint64_t> puts_{0};
   std::atomic<uint64_t> gets_{0};
   std::atomic<uint64_t> deletes_{0};
-  mutable std::atomic<uint64_t> lock_acquisitions_{0};
+  mutable std::atomic<uint64_t> read_lock_acquisitions_{0};
+  mutable std::atomic<uint64_t> write_lock_acquisitions_{0};
 
   mutable std::mutex tracker_mu_;
   mutable OnlineClusterTracker tracker_;   // Guarded by tracker_mu_.

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -47,28 +48,67 @@ size_t ReadUpTo(int fd, char* data, size_t len) {
 
 void SendFrame(int fd, std::string_view payload) {
   if (payload.size() > kMaxFrameBytes) throw WireError("frame exceeds kMaxFrameBytes");
-  char header[4];
-  const auto len = static_cast<uint32_t>(payload.size());
-  for (int i = 0; i < 4; ++i) header[i] = static_cast<char>((len >> (8 * i)) & 0xff);
   // One send for the common small-frame case keeps the op off Nagle's radar.
   std::string frame;
-  frame.reserve(4 + payload.size());
-  frame.append(header, 4);
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  AppendFrameHeader(frame, static_cast<uint32_t>(payload.size()));
   frame.append(payload);
   WriteAll(fd, frame.data(), frame.size());
 }
 
 std::optional<std::string> RecvFrame(int fd) {
-  char header[4];
-  const size_t got = ReadUpTo(fd, header, 4);
+  char header[kFrameHeaderBytes];
+  const size_t got = ReadUpTo(fd, header, kFrameHeaderBytes);
   if (got == 0) return std::nullopt;  // Clean EOF between frames.
-  if (got < 4) throw WireError("connection closed mid-frame");
-  uint32_t len = 0;
-  for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(static_cast<uint8_t>(header[i])) << (8 * i);
+  if (got < kFrameHeaderBytes) throw WireError("connection closed mid-frame");
+  const uint32_t len = ReadFrameHeader(header);
   if (len > kMaxFrameBytes) throw WireError("frame length exceeds kMaxFrameBytes");
   std::string payload(len, '\0');
   if (ReadUpTo(fd, payload.data(), len) < len) throw WireError("connection closed mid-frame");
   return payload;
+}
+
+std::optional<std::string> FrameBuffer::Recv(int fd) {
+  char scratch[16 << 10];
+  for (;;) {
+    const size_t avail = buf_.size() - pos_;
+    if (avail >= kFrameHeaderBytes) {
+      const uint32_t len = ReadFrameHeader(buf_.data() + pos_);
+      if (len > kMaxFrameBytes) throw WireError("frame length exceeds kMaxFrameBytes");
+      if (avail - kFrameHeaderBytes >= len) {
+        std::string payload = buf_.substr(pos_ + kFrameHeaderBytes, len);
+        pos_ += kFrameHeaderBytes + static_cast<size_t>(len);
+        if (pos_ == buf_.size()) {
+          buf_.clear();
+          pos_ = 0;
+          if (buf_.capacity() > (1u << 20)) buf_.shrink_to_fit();
+        }
+        return payload;
+      }
+      buf_.reserve(pos_ + kFrameHeaderBytes + len);
+    }
+    ssize_t n;
+    do {
+      n = ::recv(fd, scratch, sizeof(scratch), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) throw WireError(Errno("recv"));
+    if (n == 0) {
+      if (avail == 0) return std::nullopt;  // Clean EOF between frames.
+      throw WireError("connection closed mid-frame");
+    }
+    // Compact lazily: only when the consumed prefix is what stops the
+    // buffer from being cleared outright.
+    if (pos_ > 0 && pos_ == buf_.size()) {
+      buf_.clear();
+      pos_ = 0;
+    }
+    buf_.append(scratch, static_cast<size_t>(n));
+  }
+}
+
+void FrameBuffer::Reset() {
+  buf_.clear();
+  pos_ = 0;
 }
 
 int ListenLoopback(uint16_t port, int backlog) {
@@ -113,9 +153,31 @@ int ConnectTcp(const std::string& host, uint16_t port) {
     throw WireError("invalid host address: " + host);
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const std::string msg = Errno("connect to " + host + ":" + std::to_string(port));
-    ::close(fd);
-    throw WireError(msg);
+    // A signal can interrupt connect() after the SYN is in flight; the
+    // attempt continues in the kernel. Retrying connect() would return
+    // EALREADY/EISCONN, so the portable recovery is to wait for
+    // writability and read SO_ERROR (POSIX: connect, EINTR).
+    bool connected = false;
+    if (errno == EINTR) {
+      pollfd pfd{fd, POLLOUT, 0};
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, /*timeout_ms=*/10000);
+      } while (rc < 0 && errno == EINTR);
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (rc > 0 &&
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) == 0 && so_error == 0) {
+        connected = true;
+      } else if (so_error != 0) {
+        errno = so_error;
+      }
+    }
+    if (!connected) {
+      const std::string msg = Errno("connect to " + host + ":" + std::to_string(port));
+      ::close(fd);
+      throw WireError(msg);
+    }
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

@@ -21,6 +21,26 @@ namespace ocasta {
 // immediately instead of allocating gigabytes.
 inline constexpr uint32_t kMaxFrameBytes = 256u << 20;
 
+// The 4-byte little-endian length prefix, encoded/decoded in exactly one
+// place: every framing site (blocking helpers, FrameBuffer, the server
+// event loop, the bench driver) goes through these two.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+inline void AppendFrameHeader(std::string& out, uint32_t payload_len) {
+  for (size_t i = 0; i < kFrameHeaderBytes; ++i) {
+    out.push_back(static_cast<char>((payload_len >> (8 * i)) & 0xff));
+  }
+}
+
+// `data` must point at kFrameHeaderBytes readable bytes.
+inline uint32_t ReadFrameHeader(const char* data) {
+  uint32_t len = 0;
+  for (size_t i = 0; i < kFrameHeaderBytes; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(data[i])) << (8 * i);
+  }
+  return len;
+}
+
 // Raised for transport-level failures (peer gone, short read, oversized
 // frame). Server-reported errors surface as StoreError instead.
 class WireError : public Error {
@@ -34,6 +54,24 @@ void SendFrame(int fd, std::string_view payload);
 // Reads one frame. nullopt on clean EOF at a frame boundary; throws
 // WireError on mid-frame EOF, I/O failure, or an oversized length prefix.
 std::optional<std::string> RecvFrame(int fd);
+
+// Buffered frame reader for a blocking socket. Each kernel recv() lands in
+// an internal buffer, so the common case costs ONE syscall per frame
+// (header + payload arrive together) instead of RecvFrame's two — and a
+// pipelined burst of replies can surface many frames from a single recv.
+// Same contract as RecvFrame: nullopt on clean EOF at a frame boundary,
+// WireError on mid-frame EOF / I/O failure / oversized prefix.
+class FrameBuffer {
+ public:
+  std::optional<std::string> Recv(int fd);
+
+  // Drops buffered bytes — required when the fd is replaced (reconnect).
+  void Reset();
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;
+};
 
 // Binds and listens on 127.0.0.1:port (0 = ephemeral); returns the fd.
 int ListenLoopback(uint16_t port, int backlog = 128);

@@ -1,6 +1,7 @@
 #include "ttkv/ttkv.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/error.h"
 #include "ttkv/serialize.h"
@@ -101,6 +102,15 @@ std::optional<Value> TTKV::read_latest(const std::string& key) {
   VersionedRecord& rec = records_[it->second];
   ++rec.read_count;
   ++total_reads_;
+  return rec.latest();
+}
+
+std::optional<Value> TTKV::read_latest_shared(const std::string& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  VersionedRecord& rec = records_[it->second];
+  std::atomic_ref<uint64_t>(rec.read_count).fetch_add(1, std::memory_order_relaxed);
+  std::atomic_ref<uint64_t>(total_reads_).fetch_add(1, std::memory_order_relaxed);
   return rec.latest();
 }
 

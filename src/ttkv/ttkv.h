@@ -95,6 +95,14 @@ class TTKV {
   // keys return nullopt without creating a record.
   std::optional<Value> read_latest(const std::string& key);
 
+  // read_latest for callers holding only a SHARED (reader) lock: the value
+  // lookup is read-only and the read counters are bumped with relaxed
+  // atomic increments (std::atomic_ref), so concurrent shared-lock readers
+  // never race each other. Anything that reads those counters non-atomically
+  // (stats(), Serialize(), record copies) must hold the exclusive lock —
+  // see ShardedTtkv's locking discipline.
+  std::optional<Value> read_latest_shared(const std::string& key);
+
   // Counts a read. Reads do not contribute versions; they only feed the
   // Table I statistics and the "key was accessed" inventory.
   void record_read(const std::string& key, TimeMicros t);

@@ -80,6 +80,8 @@ std::vector<Result> SampleResults() {
   stats.gets = 8;
   stats.deletes = 9;
   stats.lock_acquisitions = 10;
+  stats.read_lock_acquisitions = 4;
+  stats.write_lock_acquisitions = 6;
   results.push_back(StatsResult{stats});
   results.push_back(SnapshotResult{SampleTtkv()});
   results.push_back(CompactResult{11});

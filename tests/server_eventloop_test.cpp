@@ -1,0 +1,358 @@
+// Torture tests for the epoll event-loop server: slow clients that dribble
+// bytes, pipelined bursts against a non-reading client (write-buffer
+// backpressure), half-close draining, connection churn, the --max-conns
+// overload reply, idle timeouts, multi-worker operation, and SIGPIPE
+// safety on the wire helpers.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/codec.h"
+#include "client/ttkv_client.h"
+#include "server/server.h"
+#include "server/wire.h"
+
+namespace ocasta {
+namespace {
+
+std::string Frame(const std::string& payload) {
+  std::string frame;
+  AppendFrameHeader(frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+  return frame;
+}
+
+// Connects and completes the HELLO handshake, returning the raw fd.
+int RawConnect(uint16_t port) {
+  const int fd = ConnectTcp("127.0.0.1", port);
+  SendFrame(fd, api::EncodeHello(api::kProtocolVersion));
+  const auto reply = RecvFrame(fd);
+  EXPECT_TRUE(reply.has_value());
+  if (reply.has_value()) {
+    EXPECT_EQ(api::DecodeHelloReply(*reply), api::kProtocolVersion);
+  }
+  return fd;
+}
+
+TEST(EventLoopServer, DribbledFrameOneByteAtATime) {
+  TtkvServer server(ServerOptions{.port = 0, .num_shards = 2});
+  server.Start();
+  const int fd = RawConnect(server.port());
+
+  // A request trickling in one byte per write must still dispatch exactly
+  // once, when its last byte lands.
+  const std::string request = Frame(api::EncodeCommand(api::PutCmd{"slow/key", Value(7), 0}));
+  for (const char byte : request) {
+    ASSERT_EQ(::send(fd, &byte, 1, MSG_NOSIGNAL), 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto reply = RecvFrame(fd);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(std::holds_alternative<api::OkResult>(api::DecodeResult(*reply).op));
+
+  // The connection remains fully usable at normal speed.
+  SendFrame(fd, api::EncodeCommand(api::GetCmd{"slow/key"}));
+  const auto get_reply = RecvFrame(fd);
+  ASSERT_TRUE(get_reply.has_value());
+  EXPECT_EQ(std::get<api::ValueResult>(api::DecodeResult(*get_reply).op).value, Value(7));
+
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(EventLoopServer, ManyPipelinedFramesInOneSend) {
+  TtkvServer server(ServerOptions{.port = 0, .num_shards = 2});
+  server.Start();
+  const int fd = RawConnect(server.port());
+
+  // 200 requests in ONE send: the loop must dispatch every frame the read
+  // delivers and reply in request order.
+  constexpr int kFrames = 200;
+  std::string burst;
+  for (int i = 0; i < kFrames; ++i) {
+    burst += Frame(api::EncodeCommand(api::PutCmd{"pipe/key" + std::to_string(i), Value(i), 0}));
+  }
+  size_t sent = 0;
+  while (sent < burst.size()) {
+    const ssize_t n = ::send(fd, burst.data() + sent, burst.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<size_t>(n);
+  }
+  for (int i = 0; i < kFrames; ++i) {
+    const auto reply = RecvFrame(fd);
+    ASSERT_TRUE(reply.has_value()) << "reply " << i;
+    EXPECT_TRUE(std::holds_alternative<api::OkResult>(api::DecodeResult(*reply).op));
+  }
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(EventLoopServer, BurstThenHalfCloseStillGetsEveryReply) {
+  TtkvServer server(ServerOptions{.port = 0, .num_shards = 2});
+  server.Start();
+  const int fd = RawConnect(server.port());
+
+  constexpr int kFrames = 300;
+  std::string burst;
+  for (int i = 0; i < kFrames; ++i) {
+    burst += Frame(api::EncodeCommand(api::PutCmd{"half/key", Value(i), 0}));
+  }
+  size_t sent = 0;
+  while (sent < burst.size()) {
+    const ssize_t n = ::send(fd, burst.data() + sent, burst.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<size_t>(n);
+  }
+  // Half-close: "no more requests". Buffered frames must still execute and
+  // every reply must arrive before the server closes the connection.
+  ::shutdown(fd, SHUT_WR);
+  int replies = 0;
+  while (true) {
+    const auto reply = RecvFrame(fd);
+    if (!reply.has_value()) break;
+    EXPECT_TRUE(std::holds_alternative<api::OkResult>(api::DecodeResult(*reply).op));
+    ++replies;
+  }
+  EXPECT_EQ(replies, kFrames);
+  ::close(fd);
+  server.Stop();
+}
+
+// A client that pipelines a huge burst of large-reply requests but reads
+// nothing: the server must bound its write queue (backpressure), keep
+// serving OTHER clients meanwhile, and deliver every reply once the slow
+// client finally drains.
+TEST(EventLoopServer, WriteBackpressureBoundsSlowReader) {
+  TtkvServer server(ServerOptions{.port = 0, .num_shards = 2});
+  server.Start();
+
+  // Seed a ~64 KiB value; each HISTORY/GET reply is then large enough that
+  // a few hundred pipelined requests overflow socket buffers and reach the
+  // server's high watermark.
+  TtkvClient seeder("127.0.0.1", server.port());
+  const std::string big(64 << 10, 'v');
+  seeder.Put("big/key", Value(big), Seconds(1));
+
+  const int fd = RawConnect(server.port());
+  constexpr int kRequests = 400;  // ~25 MiB of replies > 8 MiB high water.
+  std::string burst;
+  for (int i = 0; i < kRequests; ++i) {
+    burst += Frame(api::EncodeCommand(api::GetCmd{"big/key"}));
+  }
+  size_t sent = 0;
+  while (sent < burst.size()) {
+    const ssize_t n = ::send(fd, burst.data() + sent, burst.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<size_t>(n);
+  }
+
+  // While the slow reader is parked, other clients stay responsive.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  seeder.Put("live/key", Value(1), Seconds(2));
+  EXPECT_EQ(seeder.Get("live/key"), Value(1));
+
+  // Now drain everything; each reply must carry the full value.
+  for (int i = 0; i < kRequests; ++i) {
+    const auto reply = RecvFrame(fd);
+    ASSERT_TRUE(reply.has_value()) << "reply " << i;
+    const auto value = std::get<api::ValueResult>(api::DecodeResult(*reply).op).value;
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(value->as_string().size(), big.size());
+  }
+  ::close(fd);
+  server.Stop();
+}
+
+// Regression: a burst whose replies cross the write high watermark while
+// the client reads EAGERLY. The reply queue can then drain without ever
+// hitting EAGAIN, so no EPOLLOUT recovery fires — the server must still
+// come back for the request frames it left unparsed in its input buffer
+// (they live in userspace; no epoll event will ever re-deliver them).
+TEST(EventLoopServer, LargeReplyBurstWithEagerReaderGetsEveryReply) {
+  TtkvServer server(ServerOptions{.port = 0, .num_shards = 2});
+  server.Start();
+  TtkvClient seeder("127.0.0.1", server.port());
+  const std::string big(1 << 20, 'v');  // 1 MiB value.
+  seeder.Put("eager/key", Value(big), Seconds(1));
+
+  const int fd = RawConnect(server.port());
+  constexpr int kRequests = 16;  // ~16 MiB of replies, 2x the high watermark.
+  std::string burst;
+  for (int i = 0; i < kRequests; ++i) {
+    burst += Frame(api::EncodeCommand(api::GetCmd{"eager/key"}));
+  }
+  // Reader drains concurrently, so the server's flushes rarely block.
+  std::thread reader([&] {
+    for (int i = 0; i < kRequests; ++i) {
+      const auto reply = RecvFrame(fd);
+      ASSERT_TRUE(reply.has_value()) << "reply " << i;
+      const auto value = std::get<api::ValueResult>(api::DecodeResult(*reply).op).value;
+      ASSERT_TRUE(value.has_value());
+      EXPECT_EQ(value->as_string().size(), big.size());
+    }
+  });
+  size_t sent = 0;
+  while (sent < burst.size()) {
+    const ssize_t n = ::send(fd, burst.data() + sent, burst.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<size_t>(n);
+  }
+  reader.join();  // Hangs (until the gtest timeout) if any frame is stranded.
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(EventLoopServer, ConnectionChurn256) {
+  TtkvServer server(ServerOptions{.port = 0, .num_shards = 4});
+  server.Start();
+  // 256 connect → op → disconnect cycles; the daemon must neither leak
+  // connections nor lose a single op.
+  for (int i = 0; i < 256; ++i) {
+    TtkvClient client("127.0.0.1", server.port());
+    client.Put("churn/key" + std::to_string(i % 16), Value(i), 0);
+  }
+  TtkvClient checker("127.0.0.1", server.port());
+  EXPECT_EQ(checker.Stats().puts, 256u);
+  EXPECT_GE(server.connections_served(), 256u);
+  server.Stop();
+  EXPECT_EQ(server.open_connections(), 0);
+}
+
+TEST(EventLoopServer, Holds256SimultaneousConnections) {
+  TtkvServer server(ServerOptions{.port = 0, .num_shards = 4, .max_conns = 512});
+  server.Start();
+  std::vector<int> fds;
+  for (int i = 0; i < 256; ++i) fds.push_back(RawConnect(server.port()));
+  // Every one of the 256 open connections must answer an op.
+  for (size_t i = 0; i < fds.size(); ++i) {
+    SendFrame(fds[i], api::EncodeCommand(api::PutCmd{"open/key", Value(static_cast<int>(i)), 0}));
+    const auto reply = RecvFrame(fds[i]);
+    ASSERT_TRUE(reply.has_value()) << "conn " << i;
+    EXPECT_TRUE(std::holds_alternative<api::OkResult>(api::DecodeResult(*reply).op));
+  }
+  EXPECT_EQ(server.open_connections(), 256);
+  for (int fd : fds) ::close(fd);
+  server.Stop();
+}
+
+TEST(EventLoopServer, MaxConnsOverloadReply) {
+  TtkvServer server(ServerOptions{.port = 0, .num_shards = 2, .max_conns = 2});
+  server.Start();
+  // Fill the two slots (HELLO round trip proves each was admitted).
+  const int fd1 = RawConnect(server.port());
+  const int fd2 = RawConnect(server.port());
+
+  // The third connection gets a graceful error reply, then EOF — even
+  // though it behaves like a real client and fires HELLO before reading
+  // (unread bytes at close() would otherwise turn the reply into an RST).
+  const int fd3 = ConnectTcp("127.0.0.1", server.port());
+  SendFrame(fd3, api::EncodeHello(api::kProtocolVersion));
+  const auto reply = RecvFrame(fd3);
+  ASSERT_TRUE(reply.has_value());
+  const auto result = api::DecodeResult(*reply);
+  const auto* err = std::get_if<api::ErrorResult>(&result.op);
+  ASSERT_NE(err, nullptr);
+  EXPECT_NE(err->message.find("max-conns"), std::string::npos);
+  EXPECT_EQ(RecvFrame(fd3), std::nullopt);
+  ::close(fd3);
+  EXPECT_EQ(server.overload_rejections(), 1u);
+
+  // Freeing a slot re-opens admission.
+  ::close(fd1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));  // Loop notices the close.
+  const int fd4 = RawConnect(server.port());
+  ::close(fd4);
+  ::close(fd2);
+  server.Stop();
+}
+
+TEST(EventLoopServer, IdleConnectionsAreSweptActiveOnesAreNot) {
+  TtkvServer server(
+      ServerOptions{.port = 0, .num_shards = 2, .idle_timeout_seconds = 0.7});
+  server.Start();
+  const int idle_fd = RawConnect(server.port());
+  const int busy_fd = RawConnect(server.port());
+
+  // Keep one connection chatty past the idle horizon.
+  for (int i = 0; i < 6; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    SendFrame(busy_fd, api::EncodeCommand(api::PingCmd{}));
+    const auto reply = RecvFrame(busy_fd);
+    ASSERT_TRUE(reply.has_value());
+  }
+  // The idle one was closed by the sweep (EOF); the busy one survived.
+  EXPECT_EQ(RecvFrame(idle_fd), std::nullopt);
+  EXPECT_GE(server.idle_closed(), 1u);
+  SendFrame(busy_fd, api::EncodeCommand(api::PingCmd{}));
+  EXPECT_TRUE(RecvFrame(busy_fd).has_value());
+
+  ::close(idle_fd);
+  ::close(busy_fd);
+  server.Stop();
+}
+
+TEST(EventLoopServer, MultipleIoThreadsShareTheLoad) {
+  TtkvServer server(ServerOptions{.port = 0, .num_shards = 4, .io_threads = 3});
+  server.Start();
+  EXPECT_EQ(server.io_threads(), 3u);
+  constexpr int kClients = 9;  // Round-robin: 3 conns per loop.
+  std::vector<std::thread> threads;
+  for (int id = 0; id < kClients; ++id) {
+    threads.emplace_back([&, id] {
+      TtkvClient client("127.0.0.1", server.port());
+      for (int i = 0; i < 50; ++i) {
+        client.Put("multi/key" + std::to_string(id), Value(i), 0);
+        client.Get("multi/key" + std::to_string(id));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  TtkvClient checker("127.0.0.1", server.port());
+  EXPECT_EQ(checker.Stats().puts, static_cast<uint64_t>(kClients) * 50);
+  server.Stop();
+}
+
+// Oversized length prefixes drop the connection (same contract as the old
+// blocking server) without disturbing anyone else.
+TEST(EventLoopServer, GarbageLengthPrefixDropsOnlyThatConnection) {
+  TtkvServer server(ServerOptions{.port = 0, .num_shards = 2});
+  server.Start();
+  const int bad = RawConnect(server.port());
+  const char bogus[4] = {'\xff', '\xff', '\xff', '\xff'};
+  ASSERT_EQ(::send(bad, bogus, 4, MSG_NOSIGNAL), 4);
+  EXPECT_EQ(RecvFrame(bad), std::nullopt);  // Dropped.
+  ::close(bad);
+
+  TtkvClient healthy("127.0.0.1", server.port());
+  healthy.Ping();
+  server.Stop();
+}
+
+// SIGPIPE regression: sending on a peer-closed socket must surface as
+// WireError, not kill the process (MSG_NOSIGNAL on every send path).
+TEST(WireSigpipe, SendToClosedPeerThrowsInsteadOfSigpipe) {
+  const int listen_fd = ListenLoopback(0);
+  const uint16_t port = BoundPort(listen_fd);
+  const int sender = ConnectTcp("127.0.0.1", port);
+  const int receiver = ::accept(listen_fd, nullptr, nullptr);
+  ASSERT_GE(receiver, 0);
+  ::close(receiver);  // Peer gone; further sends will see EPIPE after the RST.
+
+  const std::string payload(1 << 20, 'x');
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 16; ++i) SendFrame(sender, payload);
+      },
+      WireError);
+  ::close(sender);
+  ::close(listen_fd);
+}
+
+}  // namespace
+}  // namespace ocasta

@@ -21,6 +21,10 @@
 //                       restart replays them (acked writes survive kill -9)
 //       --fsync <p>     off | batch (default, group commit) | always
 //       --checkpoint-interval <s>  periodic snapshot+log-truncation (0 = off)
+//       --io-threads <n>  epoll worker event loops (default 1, 0 = per-core)
+//       --max-conns <n>   open-connection cap; excess connections get a
+//                         graceful error reply (default 1024, 0 = unlimited)
+//       --idle-timeout <s>  close idle connections (default 300, 0 = never)
 //   remote <op> [args] [--backend --host --port --shards --window
 //                       --data-dir --fsync]
 //       drive any api::Engine backend (default: remote, a running ocastad);
@@ -35,6 +39,7 @@
 //            | delete <key> [force] | history <key> | list [prefix]
 //            | stats | compact <seconds> | cluster <threshold> [linkage]
 //   list                                  machines, applications, scenarios
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -210,6 +215,10 @@ int CmdRepair(const Args& args) {
 }
 
 int CmdServe(const Args& args) {
+  // A client that vanishes mid-reply must surface as a failed send on its
+  // own connection, never as a process-killing SIGPIPE (the event loop also
+  // sends with MSG_NOSIGNAL; this covers any future plain write).
+  ::signal(SIGPIPE, SIG_IGN);
   ServerOptions options;
   options.port = static_cast<uint16_t>(args.GetInt("port", kDefaultPort));
   options.num_shards = static_cast<size_t>(args.GetInt("shards", 8));
@@ -217,15 +226,21 @@ int CmdServe(const Args& args) {
   options.data_dir = args.Get("data-dir", "");
   options.fsync = args.Get("fsync", "batch");
   options.checkpoint_interval_seconds = args.GetDouble("checkpoint-interval", 0.0);
+  options.io_threads = static_cast<size_t>(args.GetInt("io-threads", 1));
+  options.max_conns = static_cast<size_t>(args.GetInt("max-conns", 1024));
+  options.idle_timeout_seconds = args.GetDouble("idle-timeout", 300.0);
   TtkvServer server(options);
   server.Start();
   if (options.data_dir.empty()) {
-    std::printf("ocastad listening on 127.0.0.1:%u (%zu shards, in-memory)\n",
-                static_cast<unsigned>(server.port()), options.num_shards);
-  } else {
-    std::printf("ocastad listening on 127.0.0.1:%u (%zu shards, durable in %s, fsync=%s)\n",
+    std::printf("ocastad listening on 127.0.0.1:%u (%zu shards, %zu io threads, in-memory)\n",
                 static_cast<unsigned>(server.port()), options.num_shards,
-                options.data_dir.c_str(), options.fsync.c_str());
+                server.io_threads());
+  } else {
+    std::printf(
+        "ocastad listening on 127.0.0.1:%u (%zu shards, %zu io threads, durable in %s, "
+        "fsync=%s)\n",
+        static_cast<unsigned>(server.port()), options.num_shards, server.io_threads(),
+        options.data_dir.c_str(), options.fsync.c_str());
   }
   std::fflush(stdout);
   if (args.Has("port-file")) {
