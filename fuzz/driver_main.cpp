@@ -1,0 +1,170 @@
+// Standalone driver for the fuzz targets, used when the compiler has no
+// libFuzzer (gcc builds). Link order: each fuzz_*.cpp defines
+// LLVMFuzzerTestOneInput; under clang -fsanitize=fuzzer this file is left
+// out and libFuzzer's own main drives coverage-guided mutation instead.
+//
+// Modes (libFuzzer-corpus-compatible):
+//   fuzz_x file1 [file2 ...]        replay each file once (regression mode)
+//   fuzz_x --smoke SECONDS DIR      load every seed in DIR, then run a
+//                                   deterministic random-mutation loop
+//                                   until the deadline; any crash/sanitizer
+//                                   abort fails the run
+//
+// The smoke mutator is deliberately simple — bit flips, byte stomps,
+// truncations, duplications, splices of two seeds — seeded with a fixed
+// constant so CI failures reproduce locally. It is NOT a replacement for a
+// coverage-guided run with clang; it is the portable floor that keeps the
+// parser targets exercised on every toolchain.
+#include <dirent.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+std::string ReadWhole(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// The input currently inside LLVMFuzzerTestOneInput, dumped to ./crash-last
+// by the fatal-signal handler so a smoke-mode mutant that trips a trap /
+// sanitizer abort is preserved for replay (libFuzzer's crash-<sha> file,
+// minus the sha). Async-signal-safety: the handler only touches these
+// pointers and write(2).
+const char* g_current_data = nullptr;
+size_t g_current_size = 0;
+
+extern "C" void CrashDump(int sig) {
+  if (g_current_data != nullptr) {
+    const int fd = ::open("crash-last", O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      [[maybe_unused]] ssize_t n = ::write(fd, g_current_data, g_current_size);
+      ::close(fd);
+      static const char kMsg[] = "\nfuzz driver: crashing input saved to ./crash-last\n";
+      n = ::write(STDERR_FILENO, kMsg, sizeof(kMsg) - 1);
+    }
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void InstallCrashDump() {
+  for (const int sig : {SIGABRT, SIGSEGV, SIGILL, SIGBUS, SIGFPE}) {
+    ::signal(sig, CrashDump);
+  }
+}
+
+void RunOne(const std::string& bytes) {
+  g_current_data = bytes.data();
+  g_current_size = bytes.size();
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  g_current_data = nullptr;
+  g_current_size = 0;
+}
+
+std::vector<std::string> LoadSeeds(const std::string& dir) {
+  std::vector<std::string> seeds;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    std::fprintf(stderr, "fuzz driver: cannot open corpus dir %s\n", dir.c_str());
+    return seeds;
+  }
+  while (dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    seeds.push_back(ReadWhole(dir + "/" + name));
+  }
+  ::closedir(d);
+  return seeds;
+}
+
+std::string Mutate(const std::vector<std::string>& seeds, std::mt19937& rng) {
+  std::string bytes = seeds[rng() % seeds.size()];
+  const int mutations = 1 + static_cast<int>(rng() % 8);
+  for (int m = 0; m < mutations; ++m) {
+    switch (rng() % 6) {
+      case 0:  // Bit flip.
+        if (!bytes.empty()) bytes[rng() % bytes.size()] ^= static_cast<char>(1u << (rng() % 8));
+        break;
+      case 1:  // Byte stomp (favor framing-relevant values).
+        if (!bytes.empty()) {
+          static constexpr uint8_t kMagic[] = {0x00, 0x01, 0x7f, 0x80, 0xff, 0xfe};
+          bytes[rng() % bytes.size()] =
+              static_cast<char>(rng() % 2 ? kMagic[rng() % 6] : rng() % 256);
+        }
+        break;
+      case 2:  // Truncate.
+        if (!bytes.empty()) bytes.resize(rng() % bytes.size());
+        break;
+      case 3: {  // Duplicate a chunk.
+        if (bytes.empty()) break;
+        const size_t start = rng() % bytes.size();
+        const size_t len = 1 + rng() % (bytes.size() - start);
+        bytes.insert(rng() % (bytes.size() + 1), bytes.substr(start, len));
+        break;
+      }
+      case 4: {  // Insert random bytes.
+        const size_t len = 1 + rng() % 8;
+        std::string junk(len, '\0');
+        for (char& c : junk) c = static_cast<char>(rng() % 256);
+        bytes.insert(rng() % (bytes.size() + 1), junk);
+        break;
+      }
+      case 5: {  // Splice the head of another seed onto this one's tail.
+        const std::string& other = seeds[rng() % seeds.size()];
+        if (other.empty() || bytes.empty()) break;
+        bytes = other.substr(0, rng() % other.size()) + bytes.substr(rng() % bytes.size());
+        break;
+      }
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InstallCrashDump();
+  if (argc >= 4 && std::strcmp(argv[1], "--smoke") == 0) {
+    const int seconds = std::atoi(argv[2]);
+    std::vector<std::string> seeds = LoadSeeds(argv[3]);
+    if (seeds.empty()) {
+      std::fprintf(stderr, "fuzz driver: empty corpus %s — nothing to mutate\n", argv[3]);
+      return 1;
+    }
+    for (const std::string& seed : seeds) RunOne(seed);  // Seeds themselves must pass.
+    std::mt19937 rng(0x0ca57a);                          // Fixed: CI failures reproduce locally.
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+    uint64_t execs = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      // Check the clock once per batch, not per exec.
+      for (int i = 0; i < 512; ++i, ++execs) RunOne(Mutate(seeds, rng));
+    }
+    std::printf("fuzz driver: %llu execs over %zu seeds, no crashes\n",
+                static_cast<unsigned long long>(execs), seeds.size());
+    return 0;
+  }
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') continue;  // Tolerate stray libFuzzer-style flags.
+    RunOne(ReadWhole(argv[i]));
+    ++replayed;
+  }
+  std::printf("fuzz driver: replayed %d file(s), no crashes\n", replayed);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Fuzz target: api::DecodeCommand over arbitrary request payloads — the
+// exact bytes a hostile client can put after a frame header. DecodeCommand
+// must either return a Command or throw ParseError; any other escape
+// (crash, UB, std::bad_alloc from a hostile length, uncaught logic_error)
+// is a finding. Successfully decoded commands must re-encode canonically:
+// encode(decode(encode(decode(x)))) == encode(decode(x)).
+#include <cstdint>
+#include <string_view>
+
+#include "api/codec.h"
+#include "common/error.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view payload(reinterpret_cast<const char*>(data), size);
+  try {
+    const ocasta::api::Command cmd = ocasta::api::DecodeCommand(payload);
+    // Canonical re-encode invariant. A violation means decode and encode
+    // disagree about the format — the WAL replays and the wire protocol
+    // both depend on them agreeing.
+    const std::string once = ocasta::api::EncodeCommand(cmd);
+    const ocasta::api::Command again = ocasta::api::DecodeCommand(once);
+    if (ocasta::api::EncodeCommand(again) != once) __builtin_trap();
+  } catch (const ocasta::ParseError&) {
+    // Expected: malformed payloads are rejected, not crashed on.
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Fuzz target: the HELLO negotiation parsers — the FIRST bytes a server
+// reads from an unauthenticated connection, and the first reply a client
+// trusts. IsHelloRequest must never throw; DecodeHello / DecodeHelloReply
+// may throw ParseError (malformed) or StoreError (version rejected by the
+// peer), nothing else.
+#include <cstdint>
+#include <string_view>
+
+#include "api/codec.h"
+#include "common/error.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view payload(reinterpret_cast<const char*>(data), size);
+  (void)ocasta::api::IsHelloRequest(payload);  // Total: must not throw.
+  try {
+    const uint32_t version = ocasta::api::DecodeHello(payload);
+    // Round-trip: a decoded HELLO re-encodes to a decodable HELLO.
+    if (ocasta::api::DecodeHello(ocasta::api::EncodeHello(version)) != version) {
+      __builtin_trap();
+    }
+  } catch (const ocasta::ParseError&) {
+  }
+  try {
+    (void)ocasta::api::DecodeHelloReply(payload);
+  } catch (const ocasta::StoreError&) {  // Version-rejected ErrorResult replies.
+  } catch (const ocasta::ParseError&) {
+  }
+  return 0;
+}

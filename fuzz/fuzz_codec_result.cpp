@@ -1,0 +1,21 @@
+// Fuzz target: api::DecodeResult over arbitrary reply payloads — what a
+// hostile or corrupted server can feed TtkvClient. Same contract as the
+// command target: ParseError or a valid Result, and decoded results must
+// re-encode canonically.
+#include <cstdint>
+#include <string_view>
+
+#include "api/codec.h"
+#include "common/error.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view payload(reinterpret_cast<const char*>(data), size);
+  try {
+    const ocasta::api::Result result = ocasta::api::DecodeResult(payload);
+    const std::string once = ocasta::api::EncodeResult(result);
+    const ocasta::api::Result again = ocasta::api::DecodeResult(once);
+    if (ocasta::api::EncodeResult(again) != once) __builtin_trap();
+  } catch (const ocasta::ParseError&) {
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fuzz target: wire::FrameBuffer against an arbitrary byte stream — the
+// TCP receive path. The input is written into a pipe and the buffer drains
+// it like a socket: every complete frame must surface exactly once, a
+// garbage length prefix must throw WireError (never allocate the claimed
+// gigabytes), and EOF mid-frame must throw rather than return a short
+// frame. Invariant checked: total bytes consumed as frames + headers never
+// exceeds what was written.
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+#include "server/wire.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // Stay under the kernel pipe capacity so the single blocking write below
+  // cannot deadlock against our own reader.
+  if (size > 60000) size = 60000;
+
+  int fds[2];
+  if (::pipe(fds) != 0) return 0;
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fds[1], data + written, size - written);
+    if (n <= 0) break;
+    written += static_cast<size_t>(n);
+  }
+  ::close(fds[1]);  // EOF after the payload: mid-frame tails must throw.
+
+  ocasta::FrameBuffer buffer;
+  size_t consumed = 0;
+  try {
+    while (auto frame = buffer.Recv(fds[0])) {
+      consumed += ocasta::kFrameHeaderBytes + frame->size();
+      if (consumed > written) __builtin_trap();  // Frames invented from nothing.
+    }
+    // Clean EOF is only legal at a frame boundary.
+    if (consumed != written) __builtin_trap();
+  } catch (const ocasta::WireError&) {
+    // Expected for torn tails and oversized prefixes.
+  }
+  ::close(fds[0]);
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Fuzz target: TTKV::Deserialize over arbitrary snapshot bytes — the file
+// a recovering DurableEngine trusts enough to anchor its log on. Must
+// either produce a store or throw ParseError/Error (torn, bit-flipped, or
+// hostile snapshots are an expected recovery input, see the corrupt-newest
+// -snapshot fallback); anything else is a finding. Stores that DO load
+// must round-trip: Serialize -> Deserialize -> Serialize is a fixed point.
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+#include "ttkv/ttkv.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  try {
+    const ocasta::TTKV store = ocasta::TTKV::Deserialize(bytes);
+    const std::string once = store.Serialize();
+    if (ocasta::TTKV::Deserialize(once).Serialize() != once) __builtin_trap();
+  } catch (const ocasta::Error&) {
+    // ParseError for truncation/garbage; Error subtypes for semantic
+    // violations (oversized counts, bad tags). All expected.
+  }
+  return 0;
+}

@@ -1,0 +1,219 @@
+// Seed-corpus generator: writes one subdirectory per fuzz target under
+// argv[1], each holding structurally valid inputs produced by the REAL
+// encoders (codec, framing, Wal, TTKV::Serialize, format codecs). Fuzzers
+// mutate from here, so seeds reaching deep into the decoders matter far
+// more than seed count. Regenerate with `fuzz_gen_corpus fuzz/corpus` after
+// a protocol or format change; the outputs are deterministic and committed.
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/codec.h"
+#include "api/command.h"
+#include "parsers/codec.h"
+#include "persist/wal.h"
+#include "server/wire.h"
+#include "ttkv/ttkv.h"
+
+namespace {
+
+std::string g_root;
+
+void WriteSeed(const std::string& target, const std::string& name, const std::string& bytes) {
+  const std::string dir = g_root + "/" + target;
+  ::mkdir(dir.c_str(), 0755);
+  std::ofstream out(dir + "/" + name, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "gen_corpus: cannot write %s/%s\n", dir.c_str(), name.c_str());
+    std::exit(1);
+  }
+}
+
+std::string Frame(const std::string& payload) {
+  std::string out;
+  ocasta::AppendFrameHeader(out, static_cast<uint32_t>(payload.size()));
+  out += payload;
+  return out;
+}
+
+void GenCommands() {
+  using namespace ocasta::api;
+  WriteSeed("codec_command", "ping", EncodeCommand(PingCmd{}));
+  WriteSeed("codec_command", "put_int", EncodeCommand(PutCmd{"net/port", int64_t{8080}, 1700000000000001}));
+  WriteSeed("codec_command", "put_str", EncodeCommand(PutCmd{"app/name", std::string("ocasta"), 0}));
+  WriteSeed("codec_command", "put_list",
+            EncodeCommand(PutCmd{"app/plugins", std::vector<std::string>{"auth", "cache"}, 7}));
+  WriteSeed("codec_command", "delete_force", EncodeCommand(DeleteCmd{"app/name", 42, true}));
+  WriteSeed("codec_command", "get", EncodeCommand(GetCmd{"net/port"}));
+  WriteSeed("codec_command", "get_at", EncodeCommand(GetAtCmd{"net/port", 1700000000000000}));
+  WriteSeed("codec_command", "history", EncodeCommand(HistoryCmd{"net/port"}));
+  WriteSeed("codec_command", "list_keys", EncodeCommand(ListKeysCmd{"net/"}));
+  WriteSeed("codec_command", "stats", EncodeCommand(StatsCmd{}));
+  WriteSeed("codec_command", "snapshot", EncodeCommand(SnapshotCmd{}));
+  WriteSeed("codec_command", "compact", EncodeCommand(CompactCmd{1700000000000000}));
+  WriteSeed("codec_command", "cluster_now", EncodeCommand(ClusterNowCmd{}));
+  WriteSeed("codec_command", "shutdown", EncodeCommand(ShutdownCmd{}));
+  // Nested batch (depth 2) — the recursion the depth cap guards.
+  BatchCmd inner{{Command(PutCmd{"a", int64_t{1}, 1}), Command(GetCmd{"a"})}};
+  BatchCmd outer{{Command(PingCmd{}), Command(inner), Command(DeleteCmd{"a", 2, false})}};
+  WriteSeed("codec_command", "batch_nested", EncodeCommand(outer));
+}
+
+ocasta::TTKV SampleStore() {
+  ocasta::TTKV store;
+  store.record_write("net/port", int64_t{8080}, 10);
+  store.record_write("net/port", int64_t{9090}, 20);
+  store.record_write("app/debug", true, 15);
+  store.record_delete("app/debug", 30);
+  store.record_write("app/ratio", 0.75, 25);
+  store.record_reads("net/port", 3);
+  return store;
+}
+
+void GenResults() {
+  using namespace ocasta::api;
+  WriteSeed("codec_result", "ok", EncodeResult(OkResult{}));
+  WriteSeed("codec_result", "error", EncodeResult(ErrorResult{"key must not be empty"}));
+  WriteSeed("codec_result", "existed", EncodeResult(ExistedResult{true}));
+  WriteSeed("codec_result", "value_int", EncodeResult(ValueResult{ocasta::Value(int64_t{8080})}));
+  WriteSeed("codec_result", "value_absent", EncodeResult(ValueResult{std::nullopt}));
+  ocasta::VersionedRecord rec;
+  rec.key = "net/port";
+  rec.versions = {{10, ocasta::Value(int64_t{8080}), false}, {20, ocasta::Value(), true}};
+  rec.write_count = 1;
+  rec.delete_count = 1;
+  rec.read_count = 2;
+  WriteSeed("codec_result", "history", EncodeResult(HistoryResult{rec}));
+  WriteSeed("codec_result", "history_absent", EncodeResult(HistoryResult{std::nullopt}));
+  WriteSeed("codec_result", "keys", EncodeResult(KeysResult{{"app/debug", "net/port"}}));
+  WriteSeed("codec_result", "stats", EncodeResult(StatsResult{}));
+  WriteSeed("codec_result", "snapshot", EncodeResult(SnapshotResult{SampleStore()}));
+  WriteSeed("codec_result", "compact", EncodeResult(CompactResult{7}));
+  WriteSeed("codec_result", "clusters", EncodeResult(ClustersResult{}));
+  BatchResult batch{{Result(OkResult{}), Result(ErrorResult{"nope"}), Result(ExistedResult{false})}};
+  WriteSeed("codec_result", "batch", EncodeResult(batch));
+}
+
+void GenHello() {
+  using namespace ocasta::api;
+  WriteSeed("codec_hello", "hello_v3", EncodeHello(kProtocolVersion));
+  WriteSeed("codec_hello", "hello_v1", EncodeHello(1));
+  WriteSeed("codec_hello", "hello_max", EncodeHello(0xffffffffu));
+  WriteSeed("codec_hello", "reply_v3", EncodeHelloReply(kProtocolVersion));
+  WriteSeed("codec_hello", "reply_error",
+            EncodeResult(ErrorResult{"protocol version 1 is older than minimum 3"}));
+}
+
+void GenFrames() {
+  using namespace ocasta::api;
+  WriteSeed("frame_buffer", "one_frame", Frame(EncodeCommand(GetCmd{"net/port"})));
+  WriteSeed("frame_buffer", "pipelined",
+            Frame(EncodeCommand(PingCmd{})) + Frame(EncodeCommand(StatsCmd{})) +
+                Frame(EncodeResult(OkResult{})));
+  WriteSeed("frame_buffer", "zero_len", Frame("") + Frame("") + Frame(EncodeCommand(PingCmd{})));
+  // Torn tail: header promises more bytes than follow (mid-frame EOF path).
+  std::string torn;
+  ocasta::AppendFrameHeader(torn, 64);
+  torn += "short";
+  WriteSeed("frame_buffer", "torn_tail", torn);
+  // Oversized prefix: must throw, never allocate.
+  std::string huge;
+  ocasta::AppendFrameHeader(huge, ocasta::kMaxFrameBytes + 1);
+  WriteSeed("frame_buffer", "oversized_prefix", huge);
+}
+
+std::string ReadWhole(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void GenWal(const std::string& scratch) {
+  using ocasta::persist::FsyncPolicy;
+  using ocasta::persist::Wal;
+  using ocasta::persist::WalOptions;
+  ::mkdir(scratch.c_str(), 0755);
+  const std::string dir = scratch + "/walgen";
+  ::mkdir(dir.c_str(), 0755);
+  {
+    Wal wal(dir, WalOptions{.segment_bytes = 64u << 20, .fsync = FsyncPolicy::kOff});
+    wal.Append(ocasta::api::EncodeCommand(ocasta::api::PutCmd{"net/port", int64_t{8080}, 10}));
+    wal.Append(ocasta::api::EncodeCommand(ocasta::api::DeleteCmd{"net/port", 20, false}));
+    wal.Append(ocasta::api::EncodeCommand(ocasta::api::PutCmd{"app/name", std::string("x"), 30}));
+  }
+  const std::string segment = ReadWhole(dir + "/wal-00000000000000000001.log");
+  if (segment.empty()) {
+    std::fprintf(stderr, "gen_corpus: WAL segment generation failed\n");
+    std::exit(1);
+  }
+  // Selector byte 0x00 = single segment, 0x01 = split across two files.
+  WriteSeed("wal_scan", "clean_segment", std::string(1, '\0') + segment);
+  WriteSeed("wal_scan", "split_segments", std::string(1, '\x01') + segment);
+  WriteSeed("wal_scan", "torn_tail",
+            std::string(1, '\0') + segment.substr(0, segment.size() - 5));
+  std::string flipped = std::string(1, '\0') + segment;
+  flipped[flipped.size() / 2] ^= 0x01;  // CRC-mismatch mid-log.
+  WriteSeed("wal_scan", "bitflip", flipped);
+}
+
+void GenTtkv() {
+  WriteSeed("ttkv_deserialize", "sample_store", SampleStore().Serialize());
+  WriteSeed("ttkv_deserialize", "empty_store", ocasta::TTKV().Serialize());
+  const std::string bytes = SampleStore().Serialize();
+  WriteSeed("ttkv_deserialize", "truncated", bytes.substr(0, bytes.size() / 2));
+}
+
+void GenParsers() {
+  // Selector byte = index into the target's format table (ini, plain, json,
+  // xml, pskv). Seeds are each codec's own Serialize output, so they parse.
+  // '/'-separated paths under ONE top-level segment: XML requires a single
+  // root element, and every other codec tolerates the shared prefix.
+  ocasta::ConfigMap map;
+  map["config/general/enabled"] = true;
+  map["config/general/retries"] = int64_t{3};
+  map["config/net/host"] = std::string("localhost");
+  map["config/net/ratio"] = 1.5;
+  const ocasta::ConfigFormat formats[] = {
+      ocasta::ConfigFormat::kIni, ocasta::ConfigFormat::kPlainText,
+      ocasta::ConfigFormat::kJson, ocasta::ConfigFormat::kXml,
+      ocasta::ConfigFormat::kPskv,
+  };
+  for (int i = 0; i < 5; ++i) {
+    const std::string text = ocasta::CodecFor(formats[i]).Serialize(map);
+    WriteSeed("parsers", std::string(ocasta::FormatName(formats[i])) + "_roundtrip",
+              std::string(1, static_cast<char>(i)) + text);
+  }
+  // Hand-authored texts exercising syntax the serializers never emit.
+  WriteSeed("parsers", "ini_comments",
+            std::string(1, '\0') + "; comment\n[general]\nenabled = true\n\n[net]\nhost=h\n");
+  WriteSeed("parsers", "json_nested",
+            std::string(1, '\x02') + R"({"a": {"b": [1, 2.5, "x"], "c": null}, "d": false})");
+  WriteSeed("parsers", "xml_attrs",
+            std::string(1, '\x03') + "<config><net host=\"h\"><port>8080</port></net></config>");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root> [scratch-dir]\n", argv[0]);
+    return 2;
+  }
+  g_root = argv[1];
+  ::mkdir(g_root.c_str(), 0755);
+  const std::string scratch = argc > 2 ? argv[2] : g_root + "/.scratch";
+  GenCommands();
+  GenResults();
+  GenHello();
+  GenFrames();
+  GenWal(scratch);
+  GenTtkv();
+  GenParsers();
+  std::printf("gen_corpus: seeds written under %s\n", g_root.c_str());
+  return 0;
+}

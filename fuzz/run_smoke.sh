@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Runs one fuzz target against its seed corpus for a bounded wall-clock
+# smoke. Two modes, matching how the target was built:
+#
+#   run_smoke.sh driver    <binary> <corpus-dir>   gcc build: standalone
+#                                                  driver's --smoke loop
+#   run_smoke.sh libfuzzer <binary> <corpus-dir>   clang build: real
+#                                                  coverage-guided libFuzzer
+#
+# FUZZ_SMOKE_SECONDS bounds the run (default 5 locally; CI exports 60).
+# Any crash, sanitizer report, or invariant trap fails the script.
+set -eu
+
+mode="$1"
+binary="$2"
+corpus="$3"
+seconds="${FUZZ_SMOKE_SECONDS:-5}"
+
+if [ ! -d "$corpus" ]; then
+    echo "run_smoke.sh: corpus dir $corpus missing" >&2
+    exit 1
+fi
+
+case "$mode" in
+driver)
+    exec "$binary" --smoke "$seconds" "$corpus"
+    ;;
+libfuzzer)
+    # -runs unlimited within the time budget; corpus dir doubles as the
+    # seed set and the output dir for interesting mutants (discarded in CI,
+    # kept when run locally so finds can be committed as new seeds).
+    exec "$binary" -max_total_time="$seconds" -timeout=10 -rss_limit_mb=2048 "$corpus"
+    ;;
+*)
+    echo "run_smoke.sh: unknown mode '$mode' (want driver|libfuzzer)" >&2
+    exit 2
+    ;;
+esac

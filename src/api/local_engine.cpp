@@ -23,13 +23,13 @@ TimeMicros LocalEngine::StampNowLocked() {
 }
 
 Result LocalEngine::Apply(const Command& cmd) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<lockdep::ordered_mutex> lock(mu_);
   ++lock_acquisitions_;
   return ApplyLocked(cmd);
 }
 
 std::vector<Result> LocalEngine::ApplyBatch(std::span<const Command> cmds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<lockdep::ordered_mutex> lock(mu_);
   ++lock_acquisitions_;
   std::vector<Result> results;
   results.reserve(cmds.size());

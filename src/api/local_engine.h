@@ -12,6 +12,7 @@
 #include <mutex>
 
 #include "api/engine.h"
+#include "common/lockdep.h"
 #include "ttkv/ttkv.h"
 
 namespace ocasta::api {
@@ -41,7 +42,7 @@ class LocalEngine final : public Engine {
   // Monotonicized wall-clock stamp for timestamp == 0 ops; mu_ held.
   TimeMicros StampNowLocked();
 
-  mutable std::mutex mu_;
+  mutable lockdep::ordered_mutex mu_{lockdep::kLocalEngineClass};
   TTKV ttkv_;
   Options options_;
   int64_t clock_ = 0;

@@ -1,0 +1,28 @@
+#include "common/error.h"
+
+#include <string.h>  // strerror_r (both GNU and XSI signatures live here).
+
+#include <cstdio>
+
+namespace ocasta {
+
+std::string ErrnoString(int err) {
+  char buf[128];
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  // GNU strerror_r: returns the message (possibly a static immutable
+  // string, possibly buf) and never fails.
+  return strerror_r(err, buf, sizeof(buf));
+#else
+  // XSI strerror_r: fills buf, returns 0 on success.
+  if (strerror_r(err, buf, sizeof(buf)) != 0) {
+    std::snprintf(buf, sizeof(buf), "errno %d", err);
+  }
+  return buf;
+#endif
+}
+
+std::string ErrnoMessage(const std::string& what, int err) {
+  return what + ": " + ErrnoString(err);
+}
+
+}  // namespace ocasta

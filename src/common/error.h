@@ -39,4 +39,11 @@ class StoreError : public Error {
   using Error::Error;
 };
 
+// Thread-safe strerror: every error path in the codebase may run on a
+// worker/engine thread, and strerror(3) shares one static buffer.
+std::string ErrnoString(int err);
+
+// "what: <strerror(errno)>" — the common shape of syscall error messages.
+std::string ErrnoMessage(const std::string& what, int err);
+
 }  // namespace ocasta

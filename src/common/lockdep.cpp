@@ -1,0 +1,137 @@
+// Lockdep runtime: per-thread held-lock stacks, the global acquired-held
+// edge graph, and the abort-with-both-stacks reporter. Compiled to nothing
+// unless OCASTA_LOCKDEP is defined (see lockdep.h).
+#include "common/lockdep.h"
+
+#ifdef OCASTA_LOCKDEP
+
+#include <execinfo.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace ocasta::lockdep::detail {
+
+namespace {
+
+constexpr int kMaxFrames = 24;
+
+struct Capture {
+  void* frames[kMaxFrames];
+  int depth = 0;
+};
+
+Capture CaptureStack() {
+  Capture c;
+  c.depth = ::backtrace(c.frames, kMaxFrames);
+  return c;
+}
+
+void PrintStack(const char* label, const Capture& c) {
+  std::fprintf(stderr, "lockdep:   %s:\n", label);
+  std::fflush(stderr);
+  ::backtrace_symbols_fd(c.frames, c.depth, STDERR_FILENO);
+}
+
+struct HeldLock {
+  const LockClass* cls = nullptr;
+  const void* addr = nullptr;
+  bool shared = false;
+  Capture acquired_at;
+};
+
+// The acquiring thread's currently-held ordered locks, oldest first.
+thread_local std::vector<HeldLock> t_held;
+
+// First observation of each (held-class -> acquired-class) edge, with the
+// stacks that witnessed it. Guarded by g_graph_mu — a plain std::mutex,
+// deliberately outside lockdep's own instrumentation, and a leaf: no user
+// lock is ever taken while it is held.
+struct EdgeWitness {
+  Capture held_at;     // Where the held (earlier) lock was acquired.
+  Capture acquired_at; // Where the later lock was acquired under it.
+};
+std::mutex g_graph_mu;
+std::map<std::pair<const LockClass*, const LockClass*>, EdgeWitness>& Edges() {
+  static std::map<std::pair<const LockClass*, const LockClass*>, EdgeWitness> edges;
+  return edges;
+}
+
+[[noreturn]] void Abort() {
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void OnAcquire(const LockClass* cls, const void* addr, bool shared) {
+  const Capture here = CaptureStack();
+  for (const HeldLock& held : t_held) {
+    if (held.addr == addr) {
+      std::fprintf(stderr,
+                   "lockdep: RECURSIVE ACQUISITION: thread re-locks \"%s\" (%s after %s) — "
+                   "self-deadlock\n",
+                   cls->name, shared ? "shared" : "exclusive",
+                   held.shared ? "shared" : "exclusive");
+      PrintStack("first acquisition", held.acquired_at);
+      PrintStack("re-acquisition (current stack)", here);
+      Abort();
+    }
+    if (cls->rank != kUnranked && held.cls->rank != kUnranked && cls->rank <= held.cls->rank) {
+      std::fprintf(stderr,
+                   "lockdep: RANK VIOLATION: acquiring \"%s\" (rank %d) while holding \"%s\" "
+                   "(rank %d) — ranks must strictly increase\n",
+                   cls->name, cls->rank, held.cls->name, held.cls->rank);
+      PrintStack("held lock acquired here", held.acquired_at);
+      PrintStack("violating acquisition (current stack)", here);
+      Abort();
+    }
+  }
+  // Record held->acquired edges and abort on any observed cycle. With every
+  // class ranked this is redundant (the rank rule fires first); it is the
+  // safety net for kUnranked classes and for rank-table mistakes.
+  if (!t_held.empty()) {
+    std::lock_guard<std::mutex> graph_lock(g_graph_mu);
+    auto& edges = Edges();
+    for (const HeldLock& held : t_held) {
+      if (held.cls == cls) continue;
+      const auto reverse = edges.find({cls, held.cls});
+      if (reverse != edges.end()) {
+        std::fprintf(stderr,
+                     "lockdep: LOCK-ORDER INVERSION: this thread holds \"%s\" and acquires "
+                     "\"%s\", but the opposite order \"%s\" -> \"%s\" was observed earlier — "
+                     "deadlock cycle\n",
+                     held.cls->name, cls->name, cls->name, held.cls->name);
+        PrintStack("this thread: held lock acquired here", held.acquired_at);
+        PrintStack("this thread: conflicting acquisition (current stack)", here);
+        PrintStack("earlier order: first lock acquired here", reverse->second.held_at);
+        PrintStack("earlier order: second lock acquired here", reverse->second.acquired_at);
+        Abort();
+      }
+      edges.try_emplace({held.cls, cls},
+                        EdgeWitness{.held_at = held.acquired_at, .acquired_at = here});
+    }
+  }
+  t_held.push_back(HeldLock{.cls = cls, .addr = addr, .shared = shared, .acquired_at = here});
+}
+
+void OnRelease(const void* addr) {
+  // Search newest-first: releases are almost always LIFO, but scoped locks
+  // may legally unwind out of order.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->addr == addr) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  std::fprintf(stderr, "lockdep: RELEASE OF UNHELD LOCK (%p) — unbalanced lock/unlock\n", addr);
+  Abort();
+}
+
+}  // namespace ocasta::lockdep::detail
+
+#endif  // OCASTA_LOCKDEP

@@ -1,0 +1,197 @@
+// Lockdep — a debug-build lock-order checker for the concurrency surface.
+//
+// The engine/WAL/event-loop stack has ordering invariants that used to live
+// only in comments ("writers never hold a shard mutex while taking
+// tracker_mu_", "append_mu_ before sync_mu_, never the reverse"). This
+// layer makes them machine-checked: every mutex with ordering constraints
+// is an ordered_mutex / ordered_shared_mutex carrying a LockClass — a name
+// plus a RANK — and, when lockdep is compiled in, every acquisition is
+// validated against the locks the acquiring thread already holds:
+//
+//   * rank rule — ranks must STRICTLY INCREASE along an acquisition chain.
+//     Taking a lock whose rank is <= any held lock's rank aborts with the
+//     acquisition stack of the held lock AND the current stack.
+//   * acquired-held graph — every (held-class -> acquired-class) edge is
+//     recorded globally with both stack traces; observing the reverse edge
+//     (a cycle, i.e. a lock-order inversion between threads) aborts with
+//     all four stacks. This also covers kUnranked classes, which skip the
+//     rank rule (none exist today; the hook is for locks whose order is
+//     genuinely dynamic).
+//   * recursion rule — re-acquiring a lock the thread already holds (even
+//     shared-after-shared) aborts; nothing in this codebase relocks.
+//
+// Violations abort() immediately — a lock-order bug is a deadlock that
+// merely hasn't scheduled yet, and aborting on the FIRST inconsistent
+// acquisition catches it on every run instead of the one run where two
+// threads interleave badly (this is how the deliberate-inversion test in
+// tests/lockdep_test.cpp can prove the tracker-vs-shard invariant without
+// actually deadlocking).
+//
+// The global rank table (see docs/TOOLING.md for the rationale of each
+// edge) is defined at the bottom of this header. Gaps between ranks leave
+// room for future locks (replication, io_uring completion queues).
+//
+// Build gating: compiled in only when the OCASTA_LOCKDEP macro is defined
+// (cmake -DOCASTA_LOCKDEP=ON). Without it, ordered_mutex/ordered_shared_
+// mutex are zero-overhead inline pass-throughs to std::mutex /
+// std::shared_mutex — no extra state, no extra branches — so release
+// builds pay nothing. The sanitizer CI jobs (TSan and ASan+UBSan) build
+// with lockdep ON, so every ordering invariant is enforced on every test
+// run that exercises concurrency.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+namespace ocasta::lockdep {
+
+#ifdef OCASTA_LOCKDEP
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+// One lock CLASS (not instance): all 64 shard mutexes of a ShardedTtkv
+// share one LockClass. Instances must be static-storage so identity is
+// pointer identity.
+struct LockClass {
+  const char* name;
+  int rank;  // kUnranked = graph-checked only; otherwise strictly ordered.
+};
+
+inline constexpr int kUnranked = 0;
+
+namespace detail {
+// Implemented in lockdep.cpp; only referenced when OCASTA_LOCKDEP is set,
+// so release builds never pull the runtime in.
+void OnAcquire(const LockClass* cls, const void* addr, bool shared);
+void OnRelease(const void* addr);
+}  // namespace detail
+
+// Drop-in std::mutex with a lock class. Satisfies Lockable, so
+// std::unique_lock / std::lock_guard / std::scoped_lock work unchanged.
+class ordered_mutex {
+ public:
+#ifdef OCASTA_LOCKDEP
+  explicit ordered_mutex(const LockClass& cls) : cls_(&cls) {}
+  // OnAcquire runs BEFORE blocking on the underlying mutex: recursion and
+  // ordering are properties of the acquisition ATTEMPT, and a recursive
+  // lock would self-deadlock inside std::mutex before a post-lock check
+  // could ever run. try_lock checks after success instead — it cannot
+  // block, and a failed probe must leave no trace.
+  void lock() {
+    detail::OnAcquire(cls_, this, /*shared=*/false);
+    mu_.lock();
+  }
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    detail::OnAcquire(cls_, this, /*shared=*/false);
+    return true;
+  }
+  void unlock() {
+    detail::OnRelease(this);
+    mu_.unlock();
+  }
+#else
+  explicit ordered_mutex(const LockClass&) {}
+  void lock() { mu_.lock(); }
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+#endif
+
+  ordered_mutex(const ordered_mutex&) = delete;
+  ordered_mutex& operator=(const ordered_mutex&) = delete;
+
+ private:
+  std::mutex mu_;
+#ifdef OCASTA_LOCKDEP
+  const LockClass* cls_;
+#endif
+};
+
+// Drop-in std::shared_mutex with a lock class; shared acquisitions obey
+// the same rank/graph rules as exclusive ones (a reader that takes locks
+// out of order deadlocks writers just as well).
+class ordered_shared_mutex {
+ public:
+#ifdef OCASTA_LOCKDEP
+  explicit ordered_shared_mutex(const LockClass& cls) : cls_(&cls) {}
+  // Same check-before-block rationale as ordered_mutex::lock above.
+  void lock() {
+    detail::OnAcquire(cls_, this, /*shared=*/false);
+    mu_.lock();
+  }
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    detail::OnAcquire(cls_, this, /*shared=*/false);
+    return true;
+  }
+  void unlock() {
+    detail::OnRelease(this);
+    mu_.unlock();
+  }
+  void lock_shared() {
+    detail::OnAcquire(cls_, this, /*shared=*/true);
+    mu_.lock_shared();
+  }
+  bool try_lock_shared() {
+    if (!mu_.try_lock_shared()) return false;
+    detail::OnAcquire(cls_, this, /*shared=*/true);
+    return true;
+  }
+  void unlock_shared() {
+    detail::OnRelease(this);
+    mu_.unlock_shared();
+  }
+#else
+  explicit ordered_shared_mutex(const LockClass&) {}
+  void lock() { mu_.lock(); }
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+  void lock_shared() { mu_.lock_shared(); }
+  bool try_lock_shared() { return mu_.try_lock_shared(); }
+  void unlock_shared() { mu_.unlock_shared(); }
+#endif
+
+  ordered_shared_mutex(const ordered_shared_mutex&) = delete;
+  ordered_shared_mutex& operator=(const ordered_shared_mutex&) = delete;
+
+ private:
+  std::shared_mutex mu_;
+#ifdef OCASTA_LOCKDEP
+  const LockClass* cls_;
+#endif
+};
+
+// Condition variable usable with ordered_mutex. condition_variable_any's
+// wait() releases/reacquires through the instrumented lock()/unlock(), so
+// held-lock state stays correct across waits. (The _any variant costs one
+// extra internal mutex per cv; every cv in this codebase sits on a flush /
+// checkpoint path where that is noise.)
+using condvar = std::condition_variable_any;
+
+// --- The global lock-order table --------------------------------------------
+// Ranks strictly increase along every legal acquisition chain. Lower rank
+// = acquired FIRST (outermost). The full rationale table lives in
+// docs/TOOLING.md; the load-bearing edges:
+//
+//   checkpoint_mu_ < mu_          Checkpoint() stalls mutations for the cut
+//   mu_ < {engine locks}          DurableEngine applies while serialized
+//   mu_ < append_mu_ < sync_mu_   log-order == apply-order; group commit
+//   tracker_mu_ < Shard::mu       DrainTracker holds the tracker while it
+//                                 sweeps shards; writers must NEVER take
+//                                 tracker_mu_ under a shard lock
+//   join/pending/wake             leaves — nothing is acquired under them
+inline constexpr LockClass kDurableCheckpointClass{"DurableEngine::checkpoint_mu_", 10};
+inline constexpr LockClass kDurableMutateClass{"DurableEngine::mu_", 20};
+inline constexpr LockClass kLocalEngineClass{"LocalEngine::mu_", 30};
+inline constexpr LockClass kTrackerClass{"ShardedTtkv::tracker_mu_", 40};
+inline constexpr LockClass kShardClass{"ShardedTtkv::Shard::mu", 50};
+inline constexpr LockClass kWalAppendClass{"Wal::append_mu_", 60};
+inline constexpr LockClass kWalSyncClass{"Wal::sync_mu_", 70};
+inline constexpr LockClass kServerJoinClass{"TtkvServer::join_mu_", 80};
+inline constexpr LockClass kEventLoopPendingClass{"EventLoop::pending_mu_", 90};
+inline constexpr LockClass kDurableWakeClass{"DurableEngine::wake_mu_", 95};
+
+}  // namespace ocasta::lockdep

@@ -95,6 +95,14 @@ std::string EscapeField(std::string_view s, char sep) {
   return out;
 }
 
+std::string EscapeTrimmedField(std::string_view s, char sep) {
+  std::string out = EscapeField(s, sep);
+  if (!out.empty() && std::isspace(static_cast<unsigned char>(out.front()))) {
+    out.insert(out.begin(), '\\');
+  }
+  return out;
+}
+
 std::string UnescapeField(std::string_view s, char sep) {
   std::string out;
   out.reserve(s.size());

@@ -32,4 +32,13 @@ std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2))
 std::string EscapeField(std::string_view s, char sep);
 std::string UnescapeField(std::string_view s, char sep);
 
+// EscapeField for a value that the reader will Trim BEFORE unescaping (the
+// INI/plain-text "key = value" grammars): if the escaped form still starts
+// with whitespace (a leading space/CR/FF/VT the standard escapes don't
+// cover), a backslash is prefixed so the trim cannot eat it —
+// UnescapeField maps the unknown escape "\<ws>" back to the bare char.
+// Trailing whitespace needs no guard: Trim-then-unescape can never produce
+// it on the read side, so Parse never yields such a value.
+std::string EscapeTrimmedField(std::string_view s, char sep);
+
 }  // namespace ocasta

@@ -1,6 +1,7 @@
 #include "parsers/config_map.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 
 namespace ocasta {
@@ -55,7 +56,13 @@ Value InferScalar(const std::string& text) {
   if (text == "true") return Value(true);
   if (text == "false") return Value(false);
   if (LooksLikeInt(text)) return Value(static_cast<int64_t>(std::strtoll(text.c_str(), nullptr, 10)));
-  if (LooksLikeReal(text)) return Value(std::strtod(text.c_str(), nullptr));
+  if (LooksLikeReal(text)) {
+    // Overflowing literals ("1e999") and nan tokens stay strings: inf has
+    // no re-parseable display form and NaN breaks Value equality, so
+    // neither belongs in a config scalar.
+    const double real = std::strtod(text.c_str(), nullptr);
+    if (std::isfinite(real)) return Value(real);
+  }
   return Value(text);
 }
 

@@ -1,5 +1,8 @@
 #include "parsers/ini.h"
 
+#include <cctype>
+#include <string_view>
+
 #include "common/error.h"
 #include "common/strings.h"
 
@@ -34,23 +37,56 @@ ConfigMap IniCodec::Parse(const std::string& text) const {
 }
 
 std::string IniCodec::Serialize(const ConfigMap& map) const {
-  // ConfigMap is ordered by key, so paths sharing a section are contiguous.
-  std::string out;
-  std::string current_section;
-  bool wrote_top_level = false;
-  for (const auto& [path, value] : map) {
-    const size_t slash = path.find('/');
-    const std::string section = slash == std::string::npos ? "" : path.substr(0, slash);
-    const std::string key = slash == std::string::npos ? path : path.substr(slash + 1);
-    if (section != current_section || (!wrote_top_level && section.empty())) {
-      if (!section.empty()) {
-        if (!out.empty()) out += '\n';
-        out += "[" + section + "]\n";
+  // Sectionless (top-level) keys must ALL be written before the first
+  // section header: INI has no syntax to return to the top-level scope, so
+  // a bare key emitted after "[s]" would re-parse into section s. They are
+  // not necessarily contiguous in the sorted map ("host" sorts between
+  // sections "general" and "net"), hence the separate first pass; paths
+  // sharing a section ARE contiguous, so the second pass emits each section
+  // header exactly once.
+  // Split section/key at the LAST '/' where both sides survive a re-parse:
+  // non-empty, trim-stable (Parse trims header contents and keys, so a side
+  // with edge whitespace would come back different), and an '='-free key
+  // (an '=' in key position re-parses as the key/value boundary; section
+  // names are safe inside "[...]" where '=' and '/' are literal — and Parse
+  // accepts them there, so paths like "a=b/c/key" do occur). Scanning from
+  // the last '/' backwards always reaches the join point Parse built the
+  // path from, if any; paths with no valid split ("/foo", "abc/") are
+  // emitted as bare keys, which Parse returns verbatim.
+  const auto trim_stable = [](std::string_view side) {
+    return !side.empty() && !std::isspace(static_cast<unsigned char>(side.front())) &&
+           !std::isspace(static_cast<unsigned char>(side.back()));
+  };
+  const auto section_split = [&](const std::string& path) {
+    size_t slash = path.rfind('/');
+    while (slash != std::string::npos) {
+      const std::string_view section = std::string_view(path).substr(0, slash);
+      const std::string_view key = std::string_view(path).substr(slash + 1);
+      if (trim_stable(section) && trim_stable(key) && key.find('=') == std::string_view::npos &&
+          key[0] != '#' && key[0] != ';' && key[0] != '[') {
+        break;  // A key starting like a comment/header would not re-parse as a key.
       }
-      current_section = section;
-      wrote_top_level = section.empty();
+      slash = slash == 0 ? std::string::npos : path.rfind('/', slash - 1);
     }
-    out += key + " = " + EscapeField(value.ToDisplay(), '=') + "\n";
+    return slash;
+  };
+  std::string out;
+  for (const auto& [path, value] : map) {
+    if (section_split(path) != std::string::npos) continue;
+    out += path + " = " + EscapeTrimmedField(value.ToDisplay(), '=') + "\n";
+  }
+  std::string current_section;
+  for (const auto& [path, value] : map) {
+    const size_t slash = section_split(path);
+    if (slash == std::string::npos) continue;
+    const std::string section = path.substr(0, slash);
+    const std::string key = path.substr(slash + 1);
+    if (section != current_section) {
+      if (!out.empty()) out += '\n';
+      out += "[" + section + "]\n";
+      current_section = section;
+    }
+    out += key + " = " + EscapeTrimmedField(value.ToDisplay(), '=') + "\n";
   }
   return out;
 }

@@ -1,9 +1,12 @@
 #include "parsers/json.h"
 
 #include <cctype>
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <set>
 #include <variant>
 
 #include "common/error.h"
@@ -216,7 +219,12 @@ class JsonParser {
     if (token.find_first_of(".eE") == std::string::npos) {
       return Value(static_cast<int64_t>(std::strtoll(token.c_str(), nullptr, 10)));
     }
-    return Value(std::strtod(token.c_str(), nullptr));
+    const double real = std::strtod(token.c_str(), nullptr);
+    // JSON has no spelling for infinities, so an overflowing literal
+    // ("1e999") cannot survive a serialize round-trip; reject it here
+    // rather than emit a token no parser accepts.
+    if (!std::isfinite(real)) Fail("number overflows double");
+    return Value(real);
   }
 
   const std::string& text_;
@@ -243,6 +251,9 @@ void Flatten(const JsonNode& node, const std::string& path, ConfigMap& out) {
       if (name.find('/') != std::string::npos) {
         throw ParseError("JSON member name contains '/': " + name);
       }
+      // An empty name is just as unrepresentable in the flat encoding as a
+      // '/': "a//b" and "/0" cannot be split back unambiguously.
+      if (name.empty()) throw ParseError("JSON member name is empty");
       Flatten(*child, path.empty() ? name : path + "/" + name, out);
     }
     return;
@@ -256,7 +267,10 @@ void Flatten(const JsonNode& node, const std::string& path, ConfigMap& out) {
     return;
   }
   for (size_t i = 0; i < items.size(); ++i) {
-    Flatten(*items[i], path + "/" + std::to_string(i), out);
+    // Same empty-path join as objects: a root-level array must flatten to
+    // "0", "1", ... — "/0" would carry an empty leading segment.
+    const std::string index = std::to_string(i);
+    Flatten(*items[i], path.empty() ? index : path + "/" + index, out);
   }
 }
 
@@ -264,14 +278,22 @@ void Flatten(const JsonNode& node, const std::string& path, ConfigMap& out) {
 
 bool IsIndexSegment(const std::string& s) {
   if (s.empty()) return false;
+  // Leading zeros disqualify: Flatten spells indices via std::to_string, so
+  // "01" can only be an object member name — treating it as index 1 would
+  // collapse distinct members ("01", "1") into one array slot.
+  if (s.size() > 1 && s[0] == '0') return false;
   for (char c : s) {
     if (!std::isdigit(static_cast<unsigned char>(c))) return false;
   }
   return true;
 }
 
-JsonNode* Descend(JsonNode& node, const std::string& segment) {
-  if (IsIndexSegment(segment)) {
+// force_object: an index-LOOKING segment is still an object member name
+// when any sibling segment is non-numeric — {"1": ..., "c": ...} flattens
+// to "1" and "c" under one parent, and rebuilding "1" as an array index
+// would wipe the object (or vice versa), silently dropping keys.
+JsonNode* Descend(JsonNode& node, const std::string& segment, bool force_object) {
+  if (IsIndexSegment(segment) && !force_object) {
     if (!std::holds_alternative<JsonArray>(node.data)) node.data = JsonArray{};
     auto& arr = std::get<JsonArray>(node.data);
     const size_t index = static_cast<size_t>(std::strtoull(segment.c_str(), nullptr, 10));
@@ -315,7 +337,17 @@ void SerializeNode(const JsonNode& node, std::string& out, int indent) {
       case ValueType::kNone: out += "null"; break;
       case ValueType::kBool: out += leaf->as_bool() ? "true" : "false"; break;
       case ValueType::kInt: out += std::to_string(leaf->as_int()); break;
-      case ValueType::kReal: out += StrFormat("%.17g", leaf->as_real()); break;
+      case ValueType::kReal: {
+        // Keep the token recognizably real: a bare "1" would re-parse as an
+        // integer and change the value's type (kInt has its own case above).
+        std::string real = StrFormat("%.17g", leaf->as_real());
+        if (real.find_first_of(".eE") == std::string::npos &&
+            real.find_first_of("0123456789") != std::string::npos) {
+          real += ".0";
+        }
+        out += real;
+        break;
+      }
       case ValueType::kString: AppendEscaped(leaf->as_string(), out); break;
       case ValueType::kStringList: {
         out += "[";
@@ -374,12 +406,51 @@ ConfigMap JsonCodec::Parse(const std::string& text) const {
 }
 
 std::string JsonCodec::Serialize(const ConfigMap& map) const {
-  JsonNode root;
-  root.data = JsonObject{};
+  // The empty path means the document root IS the value (a top-level
+  // scalar or string list, e.g. the file "42"). It can never coexist with
+  // other keys: Parse emits it only when the root is not a container.
+  if (map.count("") != 0) {
+    if (map.size() != 1) {
+      throw ParseError("path \"\" (scalar document root) cannot have sibling keys");
+    }
+    JsonNode scalar_root{map.begin()->second};
+    std::string out;
+    SerializeNode(scalar_root, out, 0);
+    out += "\n";
+    return out;
+  }
+  // Direct-initialize the variant alternative: gcc 12's -Wmaybe-uninitialized
+  // misfires on the default-construct-then-move-assign form at -O1.
+  JsonNode root{JsonObject{}};
+  // A parent rebuilds as an ARRAY only when its child segments are exactly
+  // the dense canonical indices 0..n-1 — precisely what Flatten emits for a
+  // real array. Any non-numeric sibling, or a gap ({"1": x} as an object
+  // member name), means the numeric segments are member names and the
+  // parent must stay an OBJECT: rebuilding "1" as an index would wipe
+  // siblings or invent a null at the hole. Collected up front because
+  // Descend sees one path at a time and siblings arrive across iterations.
+  std::set<std::string> object_parents;
+  std::map<std::string, std::set<uint64_t>> numeric_children;
+  for (const auto& [path, value] : map) {
+    std::string parent;
+    for (const std::string& segment : Split(path, '/')) {
+      if (!IsIndexSegment(segment)) {
+        object_parents.insert(parent);
+      } else {
+        numeric_children[parent].insert(std::strtoull(segment.c_str(), nullptr, 10));
+      }
+      parent = parent.empty() ? segment : parent + "/" + segment;
+    }
+  }
+  for (const auto& [parent, indices] : numeric_children) {
+    if (*indices.rbegin() != indices.size() - 1) object_parents.insert(parent);
+  }
   for (const auto& [path, value] : map) {
     JsonNode* node = &root;
+    std::string parent;
     for (const std::string& segment : Split(path, '/')) {
-      node = Descend(*node, segment);
+      node = Descend(*node, segment, object_parents.count(parent) != 0);
+      parent = parent.empty() ? segment : parent + "/" + segment;
     }
     node->data = value;
   }

@@ -26,7 +26,7 @@ ConfigMap PlainTextCodec::Parse(const std::string& text) const {
 std::string PlainTextCodec::Serialize(const ConfigMap& map) const {
   std::string out;
   for (const auto& [key, value] : map) {
-    out += key + "= " + EscapeField(value.ToDisplay(), '=') + "\n";
+    out += key + "= " + EscapeTrimmedField(value.ToDisplay(), '=') + "\n";
   }
   return out;
 }

@@ -290,6 +290,11 @@ std::string XmlCodec::Serialize(const ConfigMap& map) const {
       node->has_text = true;
     }
   }
+  if (root_holder.children.empty()) {
+    // An empty map still needs a document: emit a conventional empty root,
+    // which parses back to the empty map (empty elements carry no value).
+    return "<?xml version=\"1.0\"?>\n<config/>\n";
+  }
   if (root_holder.children.size() != 1) {
     throw ParseError(StrFormat("XML documents need exactly one root element, map has %zu",
                                root_holder.children.size()));

@@ -164,7 +164,7 @@ DurableEngine::~DurableEngine() {
   // same replay path as a crash, or recovery bugs hide behind tidy exits.
   if (checkpoint_thread_.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(wake_mu_);
+      std::lock_guard<lockdep::ordered_mutex> lock(wake_mu_);
       stopping_ = true;
     }
     wake_cv_.notify_all();
@@ -206,7 +206,7 @@ void DurableEngine::MaybeWakeCheckpointer() {
     // checkpoint thread's predicate evaluation and its wait(), and the
     // last mutation before an idle period would leave the byte-triggered
     // checkpoint unscheduled forever.
-    { std::lock_guard<std::mutex> lock(wake_mu_); }
+    { std::lock_guard<lockdep::ordered_mutex> lock(wake_mu_); }
     wake_cv_.notify_all();
   }
 }
@@ -221,7 +221,7 @@ api::Result DurableEngine::Apply(const api::Command& cmd) {
   uint64_t lsn = 0;
   api::Result result;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<lockdep::ordered_mutex> lock(mu_);
     lsn = wal_.Append(payload);
     result = inner_->Apply(stamped);
   }
@@ -250,7 +250,7 @@ std::vector<api::Result> DurableEngine::ApplyBatch(std::span<const api::Command>
   uint64_t lsn = 0;
   std::vector<api::Result> results;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<lockdep::ordered_mutex> lock(mu_);
     if (options_.wal.fsync == FsyncPolicy::kAlways) {
       // One flush per record: the worst-case policy the bench quantifies
       // against group commit.
@@ -269,7 +269,7 @@ void DurableEngine::WriteSnapshotFile(uint64_t lsn, const std::string& bytes) {
   const std::string path = dir_ + "/" + SnapshotName(lsn);
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-  if (fd < 0) throw Error("cannot create snapshot: " + tmp + ": " + std::strerror(errno));
+  if (fd < 0) throw Error("cannot create snapshot: " + tmp + ": " + ErrnoString(errno));
   const char* data = bytes.data();
   size_t remaining = bytes.size();
   while (remaining > 0) {
@@ -278,7 +278,7 @@ void DurableEngine::WriteSnapshotFile(uint64_t lsn, const std::string& bytes) {
       if (errno == EINTR) continue;
       ::close(fd);
       ::unlink(tmp.c_str());
-      throw Error("snapshot write failed: " + tmp + ": " + std::strerror(errno));
+      throw Error("snapshot write failed: " + tmp + ": " + ErrnoString(errno));
     }
     data += n;
     remaining -= static_cast<size_t>(n);
@@ -290,24 +290,24 @@ void DurableEngine::WriteSnapshotFile(uint64_t lsn, const std::string& bytes) {
   if (::fsync(fd) != 0) {
     ::close(fd);
     ::unlink(tmp.c_str());
-    throw Error("snapshot fsync failed: " + tmp + ": " + std::strerror(errno));
+    throw Error("snapshot fsync failed: " + tmp + ": " + ErrnoString(errno));
   }
   ::close(fd);
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
     ::unlink(tmp.c_str());
-    throw Error("snapshot rename failed: " + path + ": " + std::strerror(errno));
+    throw Error("snapshot rename failed: " + path + ": " + ErrnoString(errno));
   }
   FsyncDir(dir_);
 }
 
 void DurableEngine::Checkpoint() {
-  std::lock_guard<std::mutex> checkpoint_lock(checkpoint_mu_);
+  std::lock_guard<lockdep::ordered_mutex> checkpoint_lock(checkpoint_mu_);
   uint64_t lsn = 0;
   TTKV snapshot;
   {
     // Stall mutations for the capture so the snapshot is an exact LSN cut;
     // serialization and file IO happen after release.
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<lockdep::ordered_mutex> lock(mu_);
     lsn = wal_.last_lsn();
     if (lsn == 0 || lsn == checkpointed_lsn_) return;
     snapshot = api::Snapshot(*inner_);
@@ -338,7 +338,7 @@ void DurableEngine::CheckpointThread() {
   };
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(wake_mu_);
+      std::unique_lock<lockdep::ordered_mutex> lock(wake_mu_);
       if (options_.checkpoint_interval_seconds > 0) {
         wake_cv_.wait_for(
             lock, std::chrono::duration<double>(options_.checkpoint_interval_seconds),

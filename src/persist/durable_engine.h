@@ -39,7 +39,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -48,6 +47,7 @@
 #include <thread>
 
 #include "api/engine.h"
+#include "common/lockdep.h"
 #include "persist/wal.h"
 
 namespace ocasta::persist {
@@ -120,21 +120,24 @@ class DurableEngine final : public api::Engine {
   const DurableOptions options_;
 
   // Serializes mutations across {append, apply} so replay order is apply
-  // order. Reads and read-only batches bypass it entirely.
-  std::mutex mu_;
+  // order. Reads and read-only batches bypass it entirely. Lockdep rank:
+  // below every engine/WAL lock (mutations hold it while appending and
+  // applying); only checkpoint_mu_ may be held when taking it.
+  lockdep::ordered_mutex mu_{lockdep::kDurableMutateClass};
   Wal wal_;
   std::unique_ptr<api::Engine> inner_;
   std::atomic<int64_t> clock_{0};  // Monotonicized wall clock (stamps).
   RecoveryInfo recovery_;
 
-  std::mutex checkpoint_mu_;       // Serializes Checkpoint() bodies.
+  // Serializes Checkpoint() bodies; taken BEFORE mu_ (lowest rank).
+  lockdep::ordered_mutex checkpoint_mu_{lockdep::kDurableCheckpointClass};
   uint64_t checkpointed_lsn_ = 0;  // Guarded by checkpoint_mu_.
   // Read racily by writers to decide whether to wake the checkpointer.
   std::atomic<uint64_t> checkpointed_wal_bytes_{0};
 
   std::thread checkpoint_thread_;
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
+  lockdep::ordered_mutex wake_mu_{lockdep::kDurableWakeClass};  // Leaf.
+  lockdep::condvar wake_cv_;
   bool stopping_ = false;  // Guarded by wake_mu_.
 };
 

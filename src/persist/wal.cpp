@@ -180,7 +180,7 @@ WalScan Wal::Scan(const std::string& dir) { return ScanDir(dir).result; }
 
 Wal::Wal(std::string dir, WalOptions options) : dir_(std::move(dir)), options_(options) {
   if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
-    throw Error("cannot create WAL directory: " + dir_ + ": " + std::strerror(errno));
+    throw Error("cannot create WAL directory: " + dir_ + ": " + ErrnoString(errno));
   }
   DirScan scan = ScanDir(dir_);
   recovered_ = std::move(scan.result.records);
@@ -206,13 +206,13 @@ Wal::Wal(std::string dir, WalOptions options) : dir_(std::move(dir)), options_(o
   // sorted after it (they are unreachable past the corruption point).
   const std::string live_path = dir_ + "/" + scan.live_segment;
   if (::truncate(live_path.c_str(), static_cast<off_t>(scan.live_valid_bytes)) != 0) {
-    throw Error("cannot truncate torn WAL tail: " + live_path + ": " + std::strerror(errno));
+    throw Error("cannot truncate torn WAL tail: " + live_path + ": " + ErrnoString(errno));
   }
   for (const std::string& name : ListSegments(dir_)) {
     if (name > scan.live_segment) ::unlink((dir_ + "/" + name).c_str());
   }
   fd_ = ::open(live_path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
-  if (fd_ < 0) throw Error("cannot open WAL segment: " + live_path + ": " + std::strerror(errno));
+  if (fd_ < 0) throw Error("cannot open WAL segment: " + live_path + ": " + ErrnoString(errno));
   segment_first_lsn_ = scan.live_first_lsn;
   segment_size_ = scan.live_valid_bytes;
   SyncDir();
@@ -229,7 +229,7 @@ void Wal::SyncDir() const { FsyncDir(dir_); }
 void Wal::OpenNewSegmentLocked(uint64_t first_lsn) {
   const std::string path = dir_ + "/" + SegmentName(first_lsn);
   const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND | O_CLOEXEC, 0644);
-  if (fd < 0) throw Error("cannot create WAL segment: " + path + ": " + std::strerror(errno));
+  if (fd < 0) throw Error("cannot create WAL segment: " + path + ": " + ErrnoString(errno));
   BinaryWriter header;
   header.u32(kSegmentMagic);
   header.u8(kSegmentVersion);
@@ -237,7 +237,7 @@ void Wal::OpenNewSegmentLocked(uint64_t first_lsn) {
   const std::string& bytes = header.buffer();
   if (::write(fd, bytes.data(), bytes.size()) != static_cast<ssize_t>(bytes.size())) {
     ::close(fd);
-    throw Error("cannot write WAL segment header: " + path + ": " + std::strerror(errno));
+    throw Error("cannot write WAL segment header: " + path + ": " + ErrnoString(errno));
   }
   fd_ = fd;
   segment_first_lsn_ = first_lsn;
@@ -253,12 +253,12 @@ void Wal::RotateLocked() {
   // wait it out before closing (its leader re-acquires sync_mu_ to finish,
   // which our cv wait releases).
   {
-    std::unique_lock<std::mutex> sync_lock(sync_mu_);
+    std::unique_lock<lockdep::ordered_mutex> sync_lock(sync_mu_);
     sync_cv_.wait(sync_lock, [&] { return !flush_in_progress_; });
     if (::fsync(fd_) != 0) {
       poisoned_.store(true, std::memory_order_relaxed);
       sync_cv_.notify_all();
-      throw Error("WAL fsync failed during rotation: " + std::string(std::strerror(errno)));
+      throw Error(ErrnoMessage("WAL fsync failed during rotation", errno));
     }
     synced_lsn_.store(written_lsn_.load(std::memory_order_relaxed), std::memory_order_relaxed);
     sync_cv_.notify_all();
@@ -274,7 +274,7 @@ uint64_t Wal::Append(const std::string& payload) {
 
 uint64_t Wal::Append(std::span<const std::string> payloads) {
   if (payloads.empty()) return last_lsn();
-  std::lock_guard<std::mutex> lock(append_mu_);
+  std::lock_guard<lockdep::ordered_mutex> lock(append_mu_);
   if (poisoned_.load(std::memory_order_relaxed)) {
     throw Error("WAL poisoned by an earlier disk failure: " + dir_);
   }
@@ -293,7 +293,7 @@ uint64_t Wal::Append(std::span<const std::string> payloads) {
       // discarded despite a successful ack. Poison the log: nothing more
       // gets appended or acknowledged.
       poisoned_.store(true, std::memory_order_relaxed);
-      throw Error("WAL write failed in " + dir_ + ": " + std::strerror(errno));
+      throw Error("WAL write failed in " + dir_ + ": " + ErrnoString(errno));
     }
     data += n;
     remaining -= static_cast<size_t>(n);
@@ -307,7 +307,7 @@ uint64_t Wal::Append(std::span<const std::string> payloads) {
 
 void Wal::Sync(uint64_t lsn) {
   if (options_.fsync == FsyncPolicy::kOff) return;
-  std::unique_lock<std::mutex> lock(sync_mu_);
+  std::unique_lock<lockdep::ordered_mutex> lock(sync_mu_);
   for (;;) {
     if (poisoned_.load(std::memory_order_relaxed)) {
       throw Error("WAL poisoned by an earlier disk failure: " + dir_);
@@ -342,7 +342,7 @@ void Wal::Sync(uint64_t lsn) {
       // waiters wake into the poisoned check above and refuse their acks.
       poisoned_.store(true, std::memory_order_relaxed);
       sync_cv_.notify_all();
-      throw Error("WAL fdatasync failed: " + std::string(std::strerror(errno)));
+      throw Error(ErrnoMessage("WAL fdatasync failed", errno));
     }
     sync_count_.fetch_add(1, std::memory_order_relaxed);
     if (covered > synced_lsn_.load(std::memory_order_relaxed)) {
@@ -353,7 +353,7 @@ void Wal::Sync(uint64_t lsn) {
 }
 
 size_t Wal::TruncateThrough(uint64_t lsn) {
-  std::lock_guard<std::mutex> lock(append_mu_);
+  std::lock_guard<lockdep::ordered_mutex> lock(append_mu_);
   // A segment is removable when the NEXT segment starts at or below
   // lsn + 1 — then every record it holds is <= lsn. The live segment
   // always survives.
@@ -375,12 +375,12 @@ size_t Wal::TruncateThrough(uint64_t lsn) {
 }
 
 void Wal::ResetTo(uint64_t first_lsn) {
-  std::lock_guard<std::mutex> lock(append_mu_);
+  std::lock_guard<lockdep::ordered_mutex> lock(append_mu_);
   if (first_lsn <= written_lsn_.load(std::memory_order_relaxed)) {
     throw Error("Wal::ResetTo would renumber live records");
   }
   {
-    std::unique_lock<std::mutex> sync_lock(sync_mu_);
+    std::unique_lock<lockdep::ordered_mutex> sync_lock(sync_mu_);
     sync_cv_.wait(sync_lock, [&] { return !flush_in_progress_; });
     if (fd_ >= 0) ::close(fd_);
     fd_ = -1;

@@ -32,7 +32,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <span>
@@ -40,6 +39,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/lockdep.h"
 
 namespace ocasta::persist {
 
@@ -162,8 +162,9 @@ class Wal {
 
   // append_mu_ serializes writers (LSN assignment + write syscall);
   // sync_mu_ serializes fsyncs and owns fd lifetime for flushing. Lock
-  // order: append_mu_ before sync_mu_, never the reverse.
-  mutable std::mutex append_mu_;
+  // order: append_mu_ before sync_mu_, never the reverse — enforced by
+  // lockdep (kWalAppendClass ranks below kWalSyncClass).
+  mutable lockdep::ordered_mutex append_mu_{lockdep::kWalAppendClass};
   int fd_ = -1;                  // Live segment, O_APPEND. Guarded by append_mu_
                                  // for writes, sync_mu_ for fsync/close.
   uint64_t segment_first_lsn_ = 1;  // Guarded by append_mu_.
@@ -175,8 +176,8 @@ class Wal {
   // Group-commit state. flush_in_progress_ is guarded by sync_mu_; the
   // leader releases sync_mu_ for the fdatasync itself, and sync_cv_ wakes
   // covered waiters (and rotation, which must not close an fd mid-flush).
-  std::mutex sync_mu_;
-  std::condition_variable sync_cv_;
+  lockdep::ordered_mutex sync_mu_{lockdep::kWalSyncClass};
+  lockdep::condvar sync_cv_;
   bool flush_in_progress_ = false;
   std::atomic<uint64_t> synced_lsn_{0};
   std::atomic<uint64_t> sync_count_{0};

@@ -34,17 +34,17 @@ EventLoop::EventLoop(EventLoopOptions options, Handler handler, ShutdownFn reque
       request_shutdown_(std::move(request_shutdown)),
       open_conns_(open_conns) {
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  if (epoll_fd_ < 0) throw Error(std::string("epoll_create1: ") + std::strerror(errno));
+  if (epoll_fd_ < 0) throw Error(ErrnoMessage("epoll_create1", errno));
   wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
   if (wake_fd_ < 0) {
     ::close(epoll_fd_);
-    throw Error(std::string("eventfd: ") + std::strerror(errno));
+    throw Error(ErrnoMessage("eventfd", errno));
   }
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = wake_fd_;
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
-    const std::string msg = std::string("epoll_ctl(wake): ") + std::strerror(errno);
+    const std::string msg = ErrnoMessage("epoll_ctl(wake)", errno);
     ::close(wake_fd_);
     ::close(epoll_fd_);
     throw Error(msg);
@@ -77,7 +77,7 @@ void EventLoop::Join() {
 
 void EventLoop::AddConnection(int fd) {
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    std::lock_guard<lockdep::ordered_mutex> lock(pending_mu_);
     if (!drained_) {
       pending_fds_.push_back(fd);
       const uint64_t one = 1;
@@ -94,7 +94,7 @@ void EventLoop::AddConnection(int fd) {
 void EventLoop::RegisterPending() {
   std::vector<int> fds;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    std::lock_guard<lockdep::ordered_mutex> lock(pending_mu_);
     fds.swap(pending_fds_);
   }
   for (int fd : fds) {
@@ -162,7 +162,7 @@ void EventLoop::Run() {
   // AddConnection that lost the race closes its fd itself instead of
   // queueing onto a loop that will never run again.
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    std::lock_guard<lockdep::ordered_mutex> lock(pending_mu_);
     drained_ = true;
   }
   RegisterPending();

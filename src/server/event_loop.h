@@ -40,6 +40,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lockdep.h"
+
 namespace ocasta {
 
 struct EventLoopOptions {
@@ -132,7 +134,7 @@ class EventLoop {
   std::thread thread_;
   std::atomic<bool> stop_{false};
 
-  std::mutex pending_mu_;
+  lockdep::ordered_mutex pending_mu_{lockdep::kEventLoopPendingClass};  // Leaf.
   std::vector<int> pending_fds_;  // Guarded by pending_mu_.
   bool drained_ = false;          // Guarded by pending_mu_; set by the loop's
                                   // final drain so late handoffs self-close.

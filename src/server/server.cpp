@@ -87,7 +87,7 @@ void TtkvServer::Stop() {
 }
 
 void TtkvServer::Wait() {
-  std::lock_guard<std::mutex> lock(join_mu_);
+  std::lock_guard<lockdep::ordered_mutex> lock(join_mu_);
   if (accept_thread_.joinable()) accept_thread_.join();
   for (const auto& loop : loops_) loop->Join();
   if (listen_fd_ >= 0) {

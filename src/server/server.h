@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "api/engine.h"
+#include "common/lockdep.h"
 #include "server/event_loop.h"
 
 namespace ocasta {
@@ -114,7 +115,9 @@ class TtkvServer {
   std::vector<std::unique_ptr<EventLoop>> loops_;
   size_t next_loop_ = 0;  // Round-robin cursor; accept thread only.
 
-  std::mutex join_mu_;  // Serializes Wait()/Stop() joiners.
+  // Serializes Wait()/Stop() joiners (lockdep leaf-ish: worker joins
+  // happen under it, but no other lock is ever acquired by the joiner).
+  lockdep::ordered_mutex join_mu_{lockdep::kServerJoinClass};
 };
 
 }  // namespace ocasta

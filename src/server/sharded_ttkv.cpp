@@ -21,14 +21,16 @@ size_t ShardedTtkv::shard_of(const std::string& key) const {
   return Fnv1a(key) % shards_.size();
 }
 
-std::unique_lock<std::shared_mutex> ShardedTtkv::LockShard(const Shard& shard) const {
+std::unique_lock<lockdep::ordered_shared_mutex> ShardedTtkv::LockShard(
+    const Shard& shard) const {
   write_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
-  return std::unique_lock<std::shared_mutex>(shard.mu);
+  return std::unique_lock<lockdep::ordered_shared_mutex>(shard.mu);
 }
 
-std::shared_lock<std::shared_mutex> ShardedTtkv::LockShardShared(const Shard& shard) const {
+std::shared_lock<lockdep::ordered_shared_mutex> ShardedTtkv::LockShardShared(
+    const Shard& shard) const {
   read_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
-  return std::shared_lock<std::shared_mutex>(shard.mu);
+  return std::shared_lock<lockdep::ordered_shared_mutex>(shard.mu);
 }
 
 TimeMicros ShardedTtkv::StampNow() { return StampBlock(1); }
@@ -103,7 +105,7 @@ VersionedRecord CopyRecordShared(const VersionedRecord& rec) {
 }  // namespace
 
 void ShardedTtkv::DrainTracker() const {
-  std::lock_guard<std::mutex> tracker_lock(tracker_mu_);
+  std::lock_guard<lockdep::ordered_mutex> tracker_lock(tracker_mu_);
   std::vector<PendingEvent> events;
   for (const auto& shard : shards_) {
     const auto lock = LockShard(*shard);
@@ -290,7 +292,7 @@ size_t ShardedTtkv::CompactBefore(TimeMicros horizon) {
 std::vector<NamedCluster> ShardedTtkv::ClusterNow(double threshold_correlation,
                                                   Linkage linkage) const {
   DrainTracker();
-  std::lock_guard<std::mutex> lock(tracker_mu_);
+  std::lock_guard<lockdep::ordered_mutex> lock(tracker_mu_);
   const ClusterSet set = tracker_.ClusterNow(threshold_correlation, linkage);
   std::vector<NamedCluster> out;
   out.reserve(set.size());

@@ -50,6 +50,7 @@
 #include "api/engine.h"
 #include "api/types.h"
 #include "clustering/online.h"
+#include "common/lockdep.h"
 #include "common/time.h"
 #include "ttkv/ttkv.h"
 #include "ttkv/value.h"
@@ -136,7 +137,10 @@ class ShardedTtkv final : public api::Engine {
   };
 
   struct Shard {
-    mutable std::shared_mutex mu;
+    // Lock order (enforced by lockdep): tracker_mu_ may be held while
+    // taking a shard mutex (DrainTracker's sweep); the reverse — taking
+    // tracker_mu_ under a shard mutex — is a rank violation.
+    mutable lockdep::ordered_shared_mutex mu{lockdep::kShardClass};
     TTKV ttkv;                                  // Guarded by mu.
     mutable std::vector<PendingEvent> pending;  // Guarded by mu.
   };
@@ -145,8 +149,8 @@ class ShardedTtkv final : public api::Engine {
   // engine goes through these two so the lock telemetry stays honest.
   // Shared locks are legal only for operations whose TTKV access is
   // read-only or atomic-counter-only (see read_latest_shared).
-  std::unique_lock<std::shared_mutex> LockShard(const Shard& shard) const;
-  std::shared_lock<std::shared_mutex> LockShardShared(const Shard& shard) const;
+  std::unique_lock<lockdep::ordered_shared_mutex> LockShard(const Shard& shard) const;
+  std::shared_lock<lockdep::ordered_shared_mutex> LockShardShared(const Shard& shard) const;
 
   TimeMicros StampNow();
 
@@ -185,7 +189,10 @@ class ShardedTtkv final : public api::Engine {
 
   // Moves every shard's pending events into the tracker, merged in
   // timestamp order. Takes tracker_mu_ then each shard mutex in turn;
-  // writers never hold a shard mutex while taking tracker_mu_.
+  // writers never hold a shard mutex while taking tracker_mu_. This
+  // ordering is machine-checked: lockdep ranks kTrackerClass below
+  // kShardClass, so the inverted acquisition aborts in debug builds
+  // (tests/lockdep_test.cpp proves it does).
   void DrainTracker() const;
 
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -199,7 +206,7 @@ class ShardedTtkv final : public api::Engine {
   mutable std::atomic<uint64_t> read_lock_acquisitions_{0};
   mutable std::atomic<uint64_t> write_lock_acquisitions_{0};
 
-  mutable std::mutex tracker_mu_;
+  mutable lockdep::ordered_mutex tracker_mu_{lockdep::kTrackerClass};
   mutable OnlineClusterTracker tracker_;   // Guarded by tracker_mu_.
   mutable TimeMicros tracker_last_ = 0;    // Guarded by tracker_mu_.
 };

@@ -14,7 +14,7 @@ namespace ocasta {
 namespace {
 
 std::string Errno(const std::string& what) {
-  return what + ": " + std::strerror(errno);
+  return ErrnoMessage(what, errno);
 }
 
 void WriteAll(int fd, const char* data, size_t len) {

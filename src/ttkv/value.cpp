@@ -57,11 +57,16 @@ std::string Value::ToDisplay() const {
     case ValueType::kBool: return as_bool() ? "true" : "false";
     case ValueType::kInt: return std::to_string(as_int());
     case ValueType::kReal: {
-      const double d = as_real();
-      if (d == static_cast<double>(static_cast<int64_t>(d))) {
-        return std::to_string(static_cast<int64_t>(d));
+      // The token must stay recognizably REAL: the text codecs feed this
+      // through InferScalar on re-parse, and a bare "1" would come back as
+      // an integer. %.17g round-trips the mantissa; integral values get a
+      // ".0" suffix (skipped for inf/nan, where it would corrupt the token).
+      std::string out = StrFormat("%.17g", as_real());
+      if (out.find_first_of(".eE") == std::string::npos &&
+          out.find_first_of("0123456789") != std::string::npos) {
+        out += ".0";
       }
-      return StrFormat("%.17g", d);
+      return out;
     }
     case ValueType::kString: return as_string();
     case ValueType::kStringList: {

@@ -1,0 +1,182 @@
+// FrameBuffer under pathological inputs: torn headers, torn payloads,
+// oversized prefixes, zero-length bursts, and EOF at every interesting
+// boundary. RecvFrame's contract (wire.h) must hold even when the kernel
+// delivers the stream one byte at a time.
+#include "server/wire.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace ocasta {
+namespace {
+
+// A connected stream socket pair; [0] is the writer, [1] the reader.
+class FrameBufferTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0); }
+
+  void TearDown() override {
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    ::close(fds_[1]);
+  }
+
+  void SendRaw(const std::string& bytes) {
+    ASSERT_EQ(::send(fds_[0], bytes.data(), bytes.size(), 0),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  void CloseWriter() {
+    ::close(fds_[0]);
+    fds_[0] = -1;
+  }
+
+  static std::string Frame(const std::string& payload) {
+    std::string out;
+    AppendFrameHeader(out, static_cast<uint32_t>(payload.size()));
+    out += payload;
+    return out;
+  }
+
+  int fds_[2] = {-1, -1};
+  FrameBuffer buffer_;
+};
+
+TEST_F(FrameBufferTest, ZeroLengthFramesBackToBackThenCleanEof) {
+  SendRaw(Frame("") + Frame("") + Frame(""));
+  CloseWriter();
+  for (int i = 0; i < 3; ++i) {
+    const auto frame = buffer_.Recv(fds_[1]);
+    ASSERT_TRUE(frame.has_value()) << "frame " << i;
+    EXPECT_EQ(*frame, "");
+  }
+  EXPECT_EQ(buffer_.Recv(fds_[1]), std::nullopt);
+}
+
+TEST_F(FrameBufferTest, OversizedLengthPrefixThrows) {
+  std::string header;
+  AppendFrameHeader(header, kMaxFrameBytes + 1);
+  SendRaw(header);
+  EXPECT_THROW(buffer_.Recv(fds_[1]), WireError);
+}
+
+TEST_F(FrameBufferTest, EofAfterHeaderIsMidFrameError) {
+  // A header promising kMaxFrameBytes, then the peer vanishes: the length
+  // itself is legal, so the failure must be the mid-frame EOF, not the size.
+  std::string header;
+  AppendFrameHeader(header, kMaxFrameBytes);
+  SendRaw(header);
+  CloseWriter();
+  EXPECT_THROW(buffer_.Recv(fds_[1]), WireError);
+}
+
+TEST_F(FrameBufferTest, EofInsidePayloadIsMidFrameError) {
+  const std::string bytes = Frame("truncated payload");
+  SendRaw(bytes.substr(0, bytes.size() - 3));
+  CloseWriter();
+  EXPECT_THROW(buffer_.Recv(fds_[1]), WireError);
+}
+
+TEST_F(FrameBufferTest, EofInsideHeaderIsMidFrameError) {
+  SendRaw(Frame("whole").substr(0, 2));  // Two of the four header bytes.
+  CloseWriter();
+  EXPECT_THROW(buffer_.Recv(fds_[1]), WireError);
+}
+
+TEST_F(FrameBufferTest, HeaderSplitAcrossFourSends) {
+  const std::string bytes = Frame("split header");
+  std::thread writer([&] {
+    // Each header byte in its own send(); Recv blocks on the reader side
+    // until the full frame has dribbled in.
+    for (size_t i = 0; i < kFrameHeaderBytes; ++i) {
+      ASSERT_EQ(::send(fds_[0], bytes.data() + i, 1, 0), 1);
+    }
+    const char* rest = bytes.data() + kFrameHeaderBytes;
+    const size_t rest_len = bytes.size() - kFrameHeaderBytes;
+    ASSERT_EQ(::send(fds_[0], rest, rest_len, 0), static_cast<ssize_t>(rest_len));
+  });
+  const auto frame = buffer_.Recv(fds_[1]);
+  writer.join();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(*frame, "split header");
+}
+
+TEST_F(FrameBufferTest, PayloadSplitAcrossSends) {
+  const std::string bytes = Frame("first half|second half");
+  std::thread writer([&] {
+    const size_t cut = kFrameHeaderBytes + 10;  // Mid-payload.
+    ASSERT_EQ(::send(fds_[0], bytes.data(), cut, 0), static_cast<ssize_t>(cut));
+    ASSERT_EQ(::send(fds_[0], bytes.data() + cut, bytes.size() - cut, 0),
+              static_cast<ssize_t>(bytes.size() - cut));
+  });
+  const auto frame = buffer_.Recv(fds_[1]);
+  writer.join();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(*frame, "first half|second half");
+}
+
+TEST_F(FrameBufferTest, PipelinedBurstSurfacesEveryFrame) {
+  SendRaw(Frame("a") + Frame("") + Frame(std::string(4096, 'x')) + Frame("tail"));
+  CloseWriter();
+  const char* expected[] = {"a", ""};
+  for (const char* want : expected) {
+    const auto frame = buffer_.Recv(fds_[1]);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(*frame, want);
+  }
+  auto frame = buffer_.Recv(fds_[1]);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(*frame, std::string(4096, 'x'));
+  frame = buffer_.Recv(fds_[1]);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(*frame, "tail");
+  EXPECT_EQ(buffer_.Recv(fds_[1]), std::nullopt);
+}
+
+TEST_F(FrameBufferTest, ResetDropsBufferedBytes) {
+  // Buffer a complete frame plus a partial one, consume the first, Reset,
+  // then verify the partial leftovers are gone: a fresh full frame parses
+  // cleanly where stale buffered bytes would have corrupted the stream.
+  SendRaw(Frame("kept") + Frame("to be dropped").substr(0, 7));
+  auto frame = buffer_.Recv(fds_[1]);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(*frame, "kept");
+  buffer_.Reset();
+
+  int fresh[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fresh), 0);
+  const std::string bytes = Frame("after reset");
+  ASSERT_EQ(::send(fresh[0], bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+  frame = buffer_.Recv(fresh[1]);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(*frame, "after reset");
+  ::close(fresh[0]);
+  ::close(fresh[1]);
+}
+
+TEST_F(FrameBufferTest, MaxSizedLengthPrefixIsAcceptedUpToEof) {
+  // Exactly kMaxFrameBytes must NOT be rejected as oversized. Sending the
+  // full 256 MB is wasteful; instead verify the header passes the size
+  // check by observing a mid-frame EOF (not an immediate size error) —
+  // and that one byte more IS rejected before any payload is read.
+  std::string header;
+  AppendFrameHeader(header, kMaxFrameBytes);
+  SendRaw(header + "partial");
+  CloseWriter();
+  try {
+    buffer_.Recv(fds_[1]);
+    FAIL() << "expected WireError";
+  } catch (const WireError& e) {
+    EXPECT_EQ(std::string(e.what()).find("frame length"), std::string::npos)
+        << "kMaxFrameBytes exactly must pass the size check, got: " << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace ocasta
