@@ -1,0 +1,203 @@
+// Fuzz target: the Prometheus writer is total. Arbitrary input bytes are
+// deterministically carved into a MetricsSnapshot — names, label keys and
+// label values take raw bytes (including NULs, quotes, backslashes and
+// newlines), stats doubles are bit-cast from the input so NaN, ±Inf and
+// subnormals all occur — and every line WritePrometheusText() produces is
+// checked against the exposition grammar documented in obs/prometheus.h:
+//   * `# TYPE <name> counter|gauge|summary`, at most once per family, or
+//   * `<name>[{label="escaped",...}] <value>` where <name> matches
+//     [a-zA-Z_:][a-zA-Z0-9_:]*, label names match [a-zA-Z_][a-zA-Z0-9_]*
+//     and are unique within the sample, label values contain only valid
+//     escapes (\\, \", \n) and no raw quote/backslash, and <value> is an
+//     integer, a finite %.17g double, NaN, +Inf or -Inf.
+// Any violation traps. A trap here means the writer — not the fuzzer —
+// needs fixing: the HTTP exporter serves this text verbatim to scrapers.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+
+namespace {
+
+using ocasta::obs::HistogramStats;
+using ocasta::obs::Labels;
+using ocasta::obs::MetricsSnapshot;
+
+// Wrap-around byte reader: any input, including empty, yields a full
+// snapshot, so coverage does not depend on the input being long enough.
+struct Reader {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+
+  uint8_t U8() {
+    if (size == 0) return 0;
+    const uint8_t b = data[pos];
+    pos = (pos + 1) % size;
+    return b;
+  }
+
+  uint64_t U64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | U8();
+    return v;
+  }
+
+  double F64() {
+    const uint64_t bits = U64();
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+  }
+
+  std::string Str() {
+    std::string s;
+    const size_t len = U8() % 24;
+    s.reserve(len);
+    for (size_t i = 0; i < len; ++i) s += static_cast<char>(U8());
+    return s;
+  }
+
+  Labels MakeLabels() {
+    Labels labels;
+    const size_t n = U8() % 4;
+    for (size_t i = 0; i < n; ++i) labels.emplace_back(Str(), Str());
+    return labels;
+  }
+};
+
+MetricsSnapshot Synthesize(const uint8_t* data, size_t size) {
+  Reader r{data, size};
+  MetricsSnapshot snap;
+  const size_t nc = r.U8() % 4;
+  for (size_t i = 0; i < nc; ++i)
+    snap.counters.push_back({r.Str(), r.MakeLabels(), r.U64()});
+  const size_t ng = r.U8() % 4;
+  for (size_t i = 0; i < ng; ++i)
+    snap.gauges.push_back({r.Str(), r.MakeLabels(), static_cast<int64_t>(r.U64())});
+  const size_t nh = r.U8() % 3;
+  for (size_t i = 0; i < nh; ++i) {
+    HistogramStats stats;
+    stats.count = r.U64();
+    stats.sum = r.F64();
+    stats.p50 = r.F64();
+    stats.p90 = r.F64();
+    stats.p99 = r.F64();
+    stats.p999 = r.F64();
+    stats.max = r.F64();
+    snap.histograms.push_back({r.Str(), r.MakeLabels(), stats});
+  }
+  return snap;
+}
+
+bool NameOk(std::string_view s, bool label) {
+  if (s.empty()) return false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = c >= '0' && c <= '9';
+    const bool ok = alpha || c == '_' || (!label && c == ':') || (digit && i > 0);
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool ValueOk(std::string_view v) {
+  if (v == "NaN" || v == "+Inf" || v == "-Inf") return true;
+  if (v.empty()) return false;
+  const std::string copy(v);
+  char* end = nullptr;
+  std::strtod(copy.c_str(), &end);
+  return end == copy.c_str() + copy.size();
+}
+
+// `line` excludes the trailing newline. Returns false on any grammar
+// violation.
+bool LineOk(std::string_view line, std::vector<std::string>* typed_families) {
+  constexpr std::string_view kType = "# TYPE ";
+  if (line.substr(0, kType.size()) == kType) {
+    const std::string_view rest = line.substr(kType.size());
+    const size_t sp = rest.find(' ');
+    if (sp == std::string_view::npos) return false;
+    const std::string_view family = rest.substr(0, sp);
+    const std::string_view kind = rest.substr(sp + 1);
+    if (!NameOk(family, /*label=*/false)) return false;
+    if (kind != "counter" && kind != "gauge" && kind != "summary") return false;
+    for (const std::string& seen : *typed_families)
+      if (seen == family) return false;  // Duplicate TYPE line for a family.
+    typed_families->emplace_back(family);
+    return true;
+  }
+
+  size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+  if (!NameOk(line.substr(0, i), /*label=*/false)) return false;
+
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    std::vector<std::string_view> label_names;
+    while (true) {
+      const size_t name_start = i;
+      while (i < line.size() && line[i] != '=') ++i;
+      if (i >= line.size()) return false;
+      const std::string_view name = line.substr(name_start, i - name_start);
+      if (!NameOk(name, /*label=*/true)) return false;
+      for (const std::string_view seen : label_names)
+        if (seen == name) return false;  // Duplicate label in one sample.
+      label_names.push_back(name);
+      ++i;  // '='
+      if (i >= line.size() || line[i] != '"') return false;
+      ++i;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\') {
+          if (i + 1 >= line.size()) return false;
+          const char esc = line[i + 1];
+          if (esc != '\\' && esc != '"' && esc != 'n') return false;
+          i += 2;
+        } else {
+          ++i;
+        }
+      }
+      if (i >= line.size()) return false;  // Unterminated value.
+      ++i;                                 // Closing quote.
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < line.size() && line[i] == '}') {
+        ++i;
+        break;
+      }
+      return false;
+    }
+  }
+
+  if (i >= line.size() || line[i] != ' ') return false;
+  return ValueOk(line.substr(i + 1));
+}
+
+void Validate(const std::string& text) {
+  if (!text.empty() && text.back() != '\n') __builtin_trap();
+  std::vector<std::string> typed_families;
+  size_t start = 0;
+  while (start < text.size()) {
+    const size_t nl = text.find('\n', start);
+    const std::string_view line(text.data() + start, nl - start);
+    if (line.empty()) __builtin_trap();  // Blank lines are not emitted.
+    if (!LineOk(line, &typed_families)) __builtin_trap();
+    start = nl + 1;
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const MetricsSnapshot snap = Synthesize(data, size);
+  Validate(ocasta::obs::WritePrometheusText(snap));
+  return 0;
+}

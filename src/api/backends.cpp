@@ -17,12 +17,13 @@ persist::DurableEngine::InnerFactory InnerFactoryFor(const BackendOptions& optio
     return [options](TTKV recovered) -> std::unique_ptr<Engine> {
       return std::make_unique<LocalEngine>(
           std::move(recovered),
-          LocalEngine::Options{.cluster_window_seconds = options.cluster_window_seconds});
+          LocalEngine::Options{.cluster_window_seconds = options.cluster_window_seconds,
+                               .metrics = options.metrics});
     };
   }
   return [options](TTKV recovered) -> std::unique_ptr<Engine> {
-    auto engine =
-        std::make_unique<ShardedTtkv>(options.num_shards, options.cluster_window_seconds);
+    auto engine = std::make_unique<ShardedTtkv>(options.num_shards,
+                                                options.cluster_window_seconds, options.metrics);
     engine->ImportSnapshot(recovered);
     return engine;
   };
@@ -43,6 +44,7 @@ std::unique_ptr<Engine> MakeEngine(const BackendOptions& options) {
     persist::DurableOptions durable;
     durable.wal.fsync = persist::FsyncPolicyByName(options.fsync);
     durable.wal.segment_bytes = options.wal_segment_bytes;
+    durable.wal.metrics = options.metrics;
     durable.checkpoint_wal_bytes = options.checkpoint_wal_bytes;
     durable.checkpoint_interval_seconds = options.checkpoint_interval_seconds;
     return std::make_unique<persist::DurableEngine>(options.data_dir,
@@ -50,10 +52,12 @@ std::unique_ptr<Engine> MakeEngine(const BackendOptions& options) {
   }
   if (options.backend == "local") {
     return std::make_unique<LocalEngine>(
-        LocalEngine::Options{.cluster_window_seconds = options.cluster_window_seconds});
+        LocalEngine::Options{.cluster_window_seconds = options.cluster_window_seconds,
+                             .metrics = options.metrics});
   }
   if (options.backend == "sharded") {
-    return std::make_unique<ShardedTtkv>(options.num_shards, options.cluster_window_seconds);
+    return std::make_unique<ShardedTtkv>(options.num_shards, options.cluster_window_seconds,
+                                         options.metrics);
   }
   return std::make_unique<RemoteEngine>(options.host, options.port);
 }

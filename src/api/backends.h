@@ -9,6 +9,7 @@
 #include <string>
 
 #include "api/engine.h"
+#include "obs/metrics.h"
 
 namespace ocasta::api {
 
@@ -34,6 +35,11 @@ struct BackendOptions {
   size_t wal_segment_bytes = 64u << 20;
   uint64_t checkpoint_wal_bytes = 64u << 20;
   double checkpoint_interval_seconds = 0.0;
+
+  // Optional instrumentation for the local/sharded engine AND (when
+  // durable) the WAL; must outlive the engine. Null = metrics off. The
+  // remote backend ignores it — the daemon owns its own registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Throws Error on an unknown backend name, an unknown fsync policy, or

@@ -39,6 +39,28 @@ Command DecodeCommandFrom(BinaryReader& r, size_t depth);
 void EncodeResultTo(BinaryWriter& w, const Result& result, size_t depth);
 Result DecodeResultFrom(BinaryReader& r, size_t depth);
 
+// MetricsSnapshot label lists share one layout on the wire: u32 count,
+// then key/value string pairs.
+void EncodeLabels(BinaryWriter& w, const obs::Labels& labels) {
+  w.u32(static_cast<uint32_t>(labels.size()));
+  for (const auto& [key, value] : labels) {
+    w.str(key);
+    w.str(value);
+  }
+}
+
+obs::Labels DecodeLabels(BinaryReader& r) {
+  const uint32_t n = r.u32();
+  obs::Labels labels;
+  labels.reserve(SafeReserve(n, r));
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string key = r.str();
+    std::string value = r.str();
+    labels.emplace_back(std::move(key), std::move(value));
+  }
+  return labels;
+}
+
 struct CommandEncoder {
   BinaryWriter& w;
   size_t depth;
@@ -85,6 +107,7 @@ struct CommandEncoder {
     w.u8(LinkageToWire(cmd.linkage));
   }
   void operator()(const ShutdownCmd&) { w.u8(static_cast<uint8_t>(OpTag::kShutdown)); }
+  void operator()(const MetricsCmd&) { w.u8(static_cast<uint8_t>(OpTag::kMetrics)); }
   void operator()(const BatchCmd& cmd) {
     if (depth >= kMaxBatchDepth) throw Error("batch nesting exceeds kMaxBatchDepth");
     w.u8(static_cast<uint8_t>(OpTag::kBatch));
@@ -134,6 +157,7 @@ Command DecodeCommandFrom(BinaryReader& r, size_t depth) {
       return cmd;
     }
     case OpTag::kShutdown: return ShutdownCmd{};
+    case OpTag::kMetrics: return MetricsCmd{};
     case OpTag::kBatch: {
       if (depth >= kMaxBatchDepth) throw ParseError("batch nesting exceeds kMaxBatchDepth");
       const uint32_t count = r.u32();
@@ -231,6 +255,34 @@ struct ResultEncoder {
     w.u32(static_cast<uint32_t>(res.results.size()));
     for (const Result& sub : res.results) EncodeResultTo(w, sub, depth + 1);
   }
+  void operator()(const MetricsResult& res) {
+    w.u8(static_cast<uint8_t>(ResultTag::kMetrics));
+    const obs::MetricsSnapshot& s = res.snapshot;
+    w.u32(static_cast<uint32_t>(s.counters.size()));
+    for (const auto& c : s.counters) {
+      w.str(c.name);
+      EncodeLabels(w, c.labels);
+      w.u64(c.value);
+    }
+    w.u32(static_cast<uint32_t>(s.gauges.size()));
+    for (const auto& g : s.gauges) {
+      w.str(g.name);
+      EncodeLabels(w, g.labels);
+      w.i64(g.value);
+    }
+    w.u32(static_cast<uint32_t>(s.histograms.size()));
+    for (const auto& h : s.histograms) {
+      w.str(h.name);
+      EncodeLabels(w, h.labels);
+      w.u64(h.stats.count);
+      w.f64(h.stats.sum);
+      w.f64(h.stats.p50);
+      w.f64(h.stats.p90);
+      w.f64(h.stats.p99);
+      w.f64(h.stats.p999);
+      w.f64(h.stats.max);
+    }
+  }
 };
 
 void EncodeResultTo(BinaryWriter& w, const Result& result, size_t depth) {
@@ -315,6 +367,44 @@ Result DecodeResultFrom(BinaryReader& r, size_t depth) {
       BatchResult res;
       res.results.reserve(SafeReserve(n, r));
       for (uint32_t i = 0; i < n; ++i) res.results.push_back(DecodeResultFrom(r, depth + 1));
+      return res;
+    }
+    case ResultTag::kMetrics: {
+      MetricsResult res;
+      obs::MetricsSnapshot& s = res.snapshot;
+      const uint32_t nc = r.u32();
+      s.counters.reserve(SafeReserve(nc, r));
+      for (uint32_t i = 0; i < nc; ++i) {
+        obs::MetricsSnapshot::CounterEntry c;
+        c.name = r.str();
+        c.labels = DecodeLabels(r);
+        c.value = r.u64();
+        s.counters.push_back(std::move(c));
+      }
+      const uint32_t ng = r.u32();
+      s.gauges.reserve(SafeReserve(ng, r));
+      for (uint32_t i = 0; i < ng; ++i) {
+        obs::MetricsSnapshot::GaugeEntry g;
+        g.name = r.str();
+        g.labels = DecodeLabels(r);
+        g.value = r.i64();
+        s.gauges.push_back(std::move(g));
+      }
+      const uint32_t nh = r.u32();
+      s.histograms.reserve(SafeReserve(nh, r));
+      for (uint32_t i = 0; i < nh; ++i) {
+        obs::MetricsSnapshot::HistogramEntry h;
+        h.name = r.str();
+        h.labels = DecodeLabels(r);
+        h.stats.count = r.u64();
+        h.stats.sum = r.f64();
+        h.stats.p50 = r.f64();
+        h.stats.p90 = r.f64();
+        h.stats.p99 = r.f64();
+        h.stats.p999 = r.f64();
+        h.stats.max = r.f64();
+        s.histograms.push_back(std::move(h));
+      }
       return res;
     }
     case ResultTag::kHello:

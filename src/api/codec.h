@@ -1,4 +1,4 @@
-// Protocol v3 codec: the single place Commands and Results are encoded to
+// Protocol v4 codec: the single place Commands and Results are encoded to
 // and decoded from wire payloads. The server decodes requests and encodes
 // replies through these functions; TtkvClient does the reverse — neither
 // side carries per-op byte layouts of its own. docs/PROTOCOL.md is the
@@ -23,9 +23,11 @@ namespace ocasta::api {
 // Protocol generation spoken by this build. v1 was the hand-rolled 12-op
 // protocol without HELLO/BATCH/force-delete; v2 was the first codec-
 // generated version; v3 extends the STATS reply with the read/write
-// shard-lock split (an incompatible layout change, so v3 is also the
-// oldest version this codec accepts).
-inline constexpr uint32_t kProtocolVersion = 3;
+// shard-lock split (an incompatible layout change, so v3 is the oldest
+// version this codec accepts); v4 adds the METRICS op + reply (purely
+// additive — a v3 peer that never sends METRICS interoperates unchanged,
+// so kMinProtocolVersion stays 3).
+inline constexpr uint32_t kProtocolVersion = 4;
 inline constexpr uint32_t kMinProtocolVersion = 3;
 
 // Nested-batch depth cap: deeper batches are refused on encode (Error) and
@@ -49,6 +51,7 @@ enum class OpTag : uint8_t {
   kShutdown = 12,
   kHello = 13,
   kBatch = 14,
+  kMetrics = 15,  // v4.
 };
 
 // Reply result tags. kOk/kError keep v1's 0/1 status-byte values.
@@ -65,6 +68,7 @@ enum class ResultTag : uint8_t {
   kClusters = 9,
   kBatch = 10,
   kHello = 11,  // HELLO replies only; never produced by EncodeResult.
+  kMetrics = 12,  // v4.
 };
 
 // --- Commands and Results ---------------------------------------------------

@@ -26,6 +26,7 @@
 #include "api/types.h"
 #include "clustering/hac.h"
 #include "common/time.h"
+#include "obs/metrics.h"
 #include "ttkv/ttkv.h"
 #include "ttkv/value.h"
 
@@ -111,9 +112,16 @@ struct BatchCmd {
   std::vector<Command> commands;
 };
 
+// Process-wide metrics snapshot (docs/OBSERVABILITY.md): every counter /
+// gauge / latency histogram registered in the serving process's
+// obs::MetricsRegistry. Engines running without a registry reply with an
+// empty snapshot rather than an error, so probes are always safe.
+struct MetricsCmd {};
+
 using CommandOp =
     std::variant<PingCmd, PutCmd, DeleteCmd, GetCmd, GetAtCmd, HistoryCmd, ListKeysCmd,
-                 StatsCmd, SnapshotCmd, CompactCmd, ClusterNowCmd, ShutdownCmd, BatchCmd>;
+                 StatsCmd, SnapshotCmd, CompactCmd, ClusterNowCmd, ShutdownCmd, BatchCmd,
+                 MetricsCmd>;
 
 // Wrapper (rather than a bare variant alias) so BatchCmd can hold
 // std::vector<Command> recursively. Implicitly constructible from any
@@ -130,6 +138,11 @@ struct Command {
 
 // Short display name of a command's op ("PUT", "BATCH", ...).
 const char* CommandName(const Command& cmd);
+
+// The key a single-key command addresses, or nullptr for keyless /
+// cross-shard ops. Used by the slow-op trace to attribute a request to a
+// key hash + shard without re-decoding the frame.
+const std::string* CommandKey(const Command& cmd);
 
 // --- Results ----------------------------------------------------------------
 
@@ -181,9 +194,14 @@ struct BatchResult {  // Batch: one Result per command, same order.
   std::vector<Result> results;
 };
 
+struct MetricsResult {  // Metrics. Empty snapshot = metrics not enabled.
+  obs::MetricsSnapshot snapshot;
+};
+
 using ResultOp =
     std::variant<OkResult, ErrorResult, ExistedResult, ValueResult, HistoryResult, KeysResult,
-                 StatsResult, SnapshotResult, CompactResult, ClustersResult, BatchResult>;
+                 StatsResult, SnapshotResult, CompactResult, ClustersResult, BatchResult,
+                 MetricsResult>;
 
 struct Result {
   ResultOp op;

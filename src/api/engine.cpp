@@ -26,8 +26,24 @@ const char* CommandName(const Command& cmd) {
     const char* operator()(const ClusterNowCmd&) const { return "CLUSTER_NOW"; }
     const char* operator()(const ShutdownCmd&) const { return "SHUTDOWN"; }
     const char* operator()(const BatchCmd&) const { return "BATCH"; }
+    const char* operator()(const MetricsCmd&) const { return "METRICS"; }
   };
   return std::visit(Namer{}, cmd.op);
+}
+
+const std::string* CommandKey(const Command& cmd) {
+  return std::visit(
+      [](const auto& c) -> const std::string* {
+        using T = std::decay_t<decltype(c)>;
+        if constexpr (std::is_same_v<T, PutCmd> || std::is_same_v<T, DeleteCmd> ||
+                      std::is_same_v<T, GetCmd> || std::is_same_v<T, GetAtCmd> ||
+                      std::is_same_v<T, HistoryCmd>) {
+          return &c.key;
+        } else {
+          return nullptr;
+        }
+      },
+      cmd.op);
 }
 
 void Ping(Engine& engine) { Expect<OkResult>(engine.Apply(PingCmd{}), "PING"); }
@@ -76,5 +92,9 @@ std::vector<NamedCluster> ClusterNow(Engine& engine, double threshold_correlatio
 }
 
 void Shutdown(Engine& engine) { Expect<OkResult>(engine.Apply(ShutdownCmd{}), "SHUTDOWN"); }
+
+obs::MetricsSnapshot Metrics(Engine& engine) {
+  return Expect<MetricsResult>(engine.Apply(MetricsCmd{}), "METRICS").snapshot;
+}
 
 }  // namespace ocasta::api

@@ -56,6 +56,7 @@ uint64_t Compact(Engine& engine, TimeMicros horizon);
 std::vector<NamedCluster> ClusterNow(Engine& engine, double threshold_correlation,
                                      Linkage linkage = Linkage::kComplete);
 void Shutdown(Engine& engine);
+obs::MetricsSnapshot Metrics(Engine& engine);
 
 // Unwraps Result as T. ErrorResult → StoreError; wrong alternative → Error.
 template <typename T>

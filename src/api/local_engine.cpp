@@ -9,10 +9,29 @@
 
 namespace ocasta::api {
 
-LocalEngine::LocalEngine(Options options) : options_(options) {}
+LocalEngine::LocalEngine(Options options) : options_(options) {
+  // Same metric names + labels as ShardedTtkv, so dashboards are
+  // backend-agnostic (docs/OBSERVABILITY.md).
+  if (obs::MetricsRegistry* m = options_.metrics) {
+    ctr_puts_ = &m->GetCounter("ocasta_engine_ops_total", {{"op", "put"}});
+    ctr_gets_ = &m->GetCounter("ocasta_engine_ops_total", {{"op", "get"}});
+    ctr_deletes_ = &m->GetCounter("ocasta_engine_ops_total", {{"op", "delete"}});
+    auto hist = [m](const char* op) {
+      return &m->GetHistogram("ocasta_engine_apply_ns", {{"op", op}});
+    };
+    op_hist_[CommandOp(PutCmd{}).index()] = hist("put");
+    op_hist_[CommandOp(GetCmd{}).index()] = hist("get");
+    op_hist_[CommandOp(DeleteCmd{}).index()] = hist("delete");
+    op_hist_[CommandOp(GetAtCmd{}).index()] = hist("get_at");
+    op_hist_[CommandOp(HistoryCmd{}).index()] = hist("history");
+    batch_hist_ = &m->GetHistogram("ocasta_engine_batch_commands");
+  }
+}
 
 LocalEngine::LocalEngine(TTKV initial, Options options)
-    : ttkv_(std::move(initial)), options_(options) {}
+    : LocalEngine(options) {
+  ttkv_ = std::move(initial);
+}
 
 TimeMicros LocalEngine::StampNowLocked() {
   const int64_t wall = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -25,16 +44,33 @@ TimeMicros LocalEngine::StampNowLocked() {
 Result LocalEngine::Apply(const Command& cmd) {
   std::lock_guard<lockdep::ordered_mutex> lock(mu_);
   ++lock_acquisitions_;
-  return ApplyLocked(cmd);
+  return ApplyTimedLocked(cmd);
 }
 
 std::vector<Result> LocalEngine::ApplyBatch(std::span<const Command> cmds) {
   std::lock_guard<lockdep::ordered_mutex> lock(mu_);
   ++lock_acquisitions_;
+  if (batch_hist_ != nullptr) batch_hist_->Record(cmds.size());
   std::vector<Result> results;
   results.reserve(cmds.size());
-  for (const Command& cmd : cmds) results.push_back(ApplyLocked(cmd));
+  for (const Command& cmd : cmds) results.push_back(ApplyTimedLocked(cmd));
   return results;
+}
+
+Result LocalEngine::ApplyTimedLocked(const Command& cmd) {
+  obs::LatencyHistogram* h = op_hist_[cmd.op.index()];
+  // Clock reads dominate the cost of timing a sub-microsecond apply, so
+  // latency is sampled (1-in-N); the op counters inside ApplyLocked stay
+  // exact.
+  thread_local obs::HotPathSampler sample;
+  if (h == nullptr || !sample()) return ApplyLocked(cmd);
+  const auto t0 = std::chrono::steady_clock::now();
+  Result res = ApplyLocked(cmd);
+  h->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
+  return res;
 }
 
 Result LocalEngine::ApplyLocked(const Command& cmd) {
@@ -48,6 +84,7 @@ Result LocalEngine::ApplyLocked(const Command& cmd) {
       const TimeMicros t = cmd.timestamp == 0 ? self.StampNowLocked() : cmd.timestamp;
       self.ttkv_.record_write_clamped(cmd.key, cmd.value, t);
       ++self.puts_;
+      if (self.ctr_puts_ != nullptr) self.ctr_puts_->Inc();
       return OkResult{};
     }
 
@@ -59,11 +96,13 @@ Result LocalEngine::ApplyLocked(const Command& cmd) {
       const TimeMicros t = cmd.timestamp == 0 ? self.StampNowLocked() : cmd.timestamp;
       self.ttkv_.record_delete_clamped(cmd.key, t);
       ++self.deletes_;
+      if (self.ctr_deletes_ != nullptr) self.ctr_deletes_->Inc();
       return ExistedResult{existed};
     }
 
     Result operator()(const GetCmd& cmd) {
       ++self.gets_;
+      if (self.ctr_gets_ != nullptr) self.ctr_gets_->Inc();
       return ValueResult{self.ttkv_.read_latest(cmd.key)};
     }
 
@@ -133,9 +172,18 @@ Result LocalEngine::ApplyLocked(const Command& cmd) {
     Result operator()(const ShutdownCmd&) { return OkResult{}; }
 
     Result operator()(const BatchCmd& cmd) {
+      if (self.batch_hist_ != nullptr) self.batch_hist_->Record(cmd.commands.size());
       BatchResult res;
       res.results.reserve(cmd.commands.size());
-      for (const Command& sub : cmd.commands) res.results.push_back(self.ApplyLocked(sub));
+      for (const Command& sub : cmd.commands) res.results.push_back(self.ApplyTimedLocked(sub));
+      return res;
+    }
+
+    // Runs under mu_ (rank 30); the registry mutex ranks above it, so the
+    // snapshot here is lock-order clean.
+    Result operator()(const MetricsCmd&) {
+      MetricsResult res;
+      if (self.options_.metrics != nullptr) res.snapshot = self.options_.metrics->Snapshot();
       return res;
     }
   };

@@ -8,11 +8,14 @@
 // batch, the single-shard analog of ShardedTtkv's grouped locking.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <mutex>
+#include <variant>
 
 #include "api/engine.h"
 #include "common/lockdep.h"
+#include "obs/metrics.h"
 #include "ttkv/ttkv.h"
 
 namespace ocasta::api {
@@ -22,6 +25,10 @@ class LocalEngine final : public Engine {
   struct Options {
     // Co-modification window for ClusterNowCmd (see ClusteringParams).
     double cluster_window_seconds = 1.0;
+    // Optional instrumentation (docs/OBSERVABILITY.md). Null = metrics
+    // off: no clock reads, no atomics on the apply path. The registry
+    // must outlive the engine.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   LocalEngine() : LocalEngine(Options{}) {}
@@ -39,6 +46,10 @@ class LocalEngine final : public Engine {
   // failures come back as ErrorResult.
   Result ApplyLocked(const Command& cmd);
 
+  // ApplyLocked wrapped in a latency measurement when a histogram is
+  // registered for this op kind (null otherwise — one array load + branch).
+  Result ApplyTimedLocked(const Command& cmd);
+
   // Monotonicized wall-clock stamp for timestamp == 0 ops; mu_ held.
   TimeMicros StampNowLocked();
 
@@ -50,6 +61,15 @@ class LocalEngine final : public Engine {
   uint64_t gets_ = 0;
   uint64_t deletes_ = 0;
   uint64_t lock_acquisitions_ = 0;
+
+  // Pre-resolved instrument handles; all null when Options::metrics is
+  // null. The histogram array is indexed by CommandOp variant index so
+  // the timed path is branch + fetch_add, no lookup.
+  obs::Counter* ctr_puts_ = nullptr;
+  obs::Counter* ctr_gets_ = nullptr;
+  obs::Counter* ctr_deletes_ = nullptr;
+  std::array<obs::LatencyHistogram*, std::variant_size_v<CommandOp>> op_hist_{};
+  obs::LatencyHistogram* batch_hist_ = nullptr;
 };
 
 }  // namespace ocasta::api

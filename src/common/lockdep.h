@@ -193,5 +193,10 @@ inline constexpr LockClass kWalSyncClass{"Wal::sync_mu_", 70};
 inline constexpr LockClass kServerJoinClass{"TtkvServer::join_mu_", 80};
 inline constexpr LockClass kEventLoopPendingClass{"EventLoop::pending_mu_", 90};
 inline constexpr LockClass kDurableWakeClass{"DurableEngine::wake_mu_", 95};
+// Metrics registry registration/snapshot path (src/obs/metrics.h). A leaf
+// with a high rank because Snapshot() may run while an engine lock is held
+// (LocalEngine answers METRICS under mu_); nothing is ever acquired under
+// it — the record hot path is pure relaxed atomics and never sees it.
+inline constexpr LockClass kObsRegistryClass{"obs::MetricsRegistry::mu_", 97};
 
 }  // namespace ocasta::lockdep

@@ -1,0 +1,79 @@
+#include "obs/histogram.h"
+
+#include <bit>
+#include <vector>
+
+namespace ocasta::obs {
+
+size_t LatencyHistogram::BucketIndex(uint64_t value) {
+  if (value < kSub) return static_cast<size_t>(value);
+  // e = position of the top set bit (>= kSubBits here). The octave
+  // [2^e, 2^(e+1)) maps to group e - kSubBits + 1; the next kSubBits bits
+  // below the top bit select the sub-bucket.
+  const int e = 63 - std::countl_zero(value);
+  const int shift = e - static_cast<int>(kSubBits);
+  const size_t sub = static_cast<size_t>(value >> shift) & (kSub - 1);
+  return (static_cast<size_t>(e) - kSubBits + 1) * kSub + sub;
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(size_t index) {
+  const size_t group = index / kSub;
+  const size_t sub = index % kSub;
+  if (group == 0) return sub;  // Exact buckets: value == index.
+  const int shift = static_cast<int>(group) - 1;
+  const uint64_t lower = (static_cast<uint64_t>(kSub) + sub) << shift;
+  return lower + ((uint64_t{1} << shift) - 1);
+}
+
+size_t LatencyHistogram::ShardIndex() {
+  static std::atomic<uint32_t> next_thread{0};
+  thread_local const uint32_t id =
+      next_thread.fetch_add(1, std::memory_order_relaxed);
+  return id & (kShards - 1);
+}
+
+HistogramStats LatencyHistogram::Snapshot() const {
+  std::vector<uint64_t> merged(kBuckets, 0);
+  HistogramStats stats;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  for (const Shard& s : shards_) {
+    for (size_t i = 0; i < kBuckets; ++i) {
+      merged[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+    sum += s.sum.load(std::memory_order_relaxed);
+    const uint64_t m = s.max.load(std::memory_order_relaxed);
+    if (m > max) max = m;
+  }
+  for (uint64_t c : merged) stats.count += c;
+  stats.sum = static_cast<double>(sum);
+  if (stats.count == 0) return stats;
+  stats.max = static_cast<double>(max);
+
+  // One cumulative walk finds all quantiles: the q-quantile is the value
+  // at rank ceil(q * count) (1-based), reported as its bucket's upper
+  // bound.
+  struct Target {
+    double q;
+    double* out;
+  };
+  const Target targets[] = {{0.50, &stats.p50},
+                            {0.90, &stats.p90},
+                            {0.99, &stats.p99},
+                            {0.999, &stats.p999}};
+  size_t t = 0;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets && t < 4; ++i) {
+    cumulative += merged[i];
+    while (t < 4) {
+      const auto rank = static_cast<uint64_t>(
+          targets[t].q * static_cast<double>(stats.count) + 0.999999);
+      if (cumulative < (rank == 0 ? 1 : rank)) break;
+      *targets[t].out = static_cast<double>(BucketUpperBound(i));
+      ++t;
+    }
+  }
+  return stats;
+}
+
+}  // namespace ocasta::obs

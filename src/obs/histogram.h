@@ -1,0 +1,119 @@
+// Lock-free log-bucketed latency histogram (HDR-style).
+//
+// Design targets, in order:
+//   1. Record() is safe from any number of threads with NO locks and NO
+//      stronger-than-relaxed atomics — it must be cheap enough to sit on
+//      the engine apply path and the event-loop frame path.
+//   2. ~2 significant digits of value resolution across the full uint64
+//      range. Buckets are logarithmic with kSub sub-buckets per octave,
+//      so the relative width of any bucket is at most 1/kSub (3.125%).
+//   3. Snapshot() never blocks recorders, and recorders never contend on
+//      a single cache line: counts are striped across kShards per-thread
+//      shards (thread id hashed to a shard) merged at read time.
+//
+// The bucket layout (kSubBits = 5, kSub = 32):
+//   * values < 32 get one exact bucket each (indices 0..31);
+//   * every octave [2^e, 2^(e+1)) for e >= 5 is split into 32 equal
+//     sub-buckets of width 2^(e-5) (indices 32..1919).
+// Total: (64 - 5 + 1) * 32 = 1920 buckets, 15 KiB of counters per shard.
+//
+// Percentiles are reported as the UPPER bound of the bucket holding the
+// target rank, so the estimate is always >= the true order statistic and
+// at most 3.125% above it. Values are unit-agnostic uint64s; by
+// convention the instrumentation in this codebase records NANOSECONDS
+// for latencies (metric names end in _ns) and plain counts for widths.
+//
+// Snapshot() is not a consistent cut: recorders may land between shard
+// reads, so count/sum/max can each be "as of" slightly different
+// instants. For monitoring this is the standard trade and is documented
+// in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace ocasta::obs {
+
+// The merged view a histogram reports. Quantiles and max are in the same
+// unit the recorder used; sum is the exact sum of recorded values (mod
+// 2^64, which at nanosecond scale wraps after ~584 years of recorded
+// time).
+struct HistogramStats {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  double max = 0.0;
+
+  bool operator==(const HistogramStats&) const = default;
+};
+
+// Deterministic 1-in-kHotPathSamplePeriod gate for hot-path latency
+// timing. On sub-microsecond paths (engine apply, event-loop frame) the
+// two clock reads around the operation cost more than the operation's
+// bucket add, so those call sites time only every Nth call and skip the
+// clock entirely otherwise. Only the latency measurement is sampled —
+// counters stay exact. Systematic sampling keeps quantile estimates
+// unbiased for these op streams, and the FIRST call is always sampled so
+// a single operation already yields a histogram point. One sampler per
+// thread (or per single-threaded owner); it is not thread-safe.
+inline constexpr uint32_t kHotPathSamplePeriod = 16;
+
+class HotPathSampler {
+ public:
+  bool operator()() { return (tick_++ % kHotPathSamplePeriod) == 0; }
+
+ private:
+  uint32_t tick_ = 0;
+};
+
+class LatencyHistogram {
+ public:
+  static constexpr size_t kSubBits = 5;
+  static constexpr size_t kSub = size_t{1} << kSubBits;          // 32
+  static constexpr size_t kBuckets = (64 - kSubBits + 1) * kSub; // 1920
+  static constexpr size_t kShards = 4;  // Power of two (shard index masks).
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  // Lock-free, wait-free except the (rare, bounded-retry) max CAS.
+  void Record(uint64_t value) {
+    Shard& s = shards_[ShardIndex()];
+    s.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+    uint64_t prev = s.max.load(std::memory_order_relaxed);
+    while (value > prev &&
+           !s.max.compare_exchange_weak(prev, value,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  // Merges all shards and computes the stats. Safe concurrently with
+  // Record(); see the header comment for the consistency caveat.
+  HistogramStats Snapshot() const;
+
+  // Bucket math, exposed for the boundary unit tests.
+  static size_t BucketIndex(uint64_t value);
+  static uint64_t BucketUpperBound(size_t index);
+
+ private:
+  // Each shard on its own cache lines so recorders hashed to different
+  // shards never false-share.
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kBuckets> buckets{};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> max{0};
+  };
+
+  static size_t ShardIndex();
+
+  std::array<Shard, kShards> shards_{};
+};
+
+}  // namespace ocasta::obs

@@ -1,0 +1,159 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.h"
+
+namespace ocasta::obs {
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8192;
+
+// The scrape response never merits partial-write handling subtleties:
+// write until done or error.
+bool SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string HttpResponse(int status, const char* reason,
+                         const std::string& body, bool include_body) {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += reason;
+  out +=
+      "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8"
+      "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  if (include_body) out += body;
+  return out;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(uint16_t port, RenderFn render)
+    : render_(std::move(render)), requested_port_(port) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+void MetricsHttpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw Error(ErrnoMessage("metrics socket", errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(requested_port_);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error(ErrnoMessage("metrics bind 127.0.0.1:" +
+                                 std::to_string(requested_port_),
+                             err));
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error(ErrnoMessage("metrics listen", err));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  thread_ = std::thread([this] { Serve(); });
+}
+
+void MetricsHttpServer::Stop() {
+  if (stopping_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    // Unblocks the accept(); the serving thread sees stopping_ and exits.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsHttpServer::Serve() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      // EMFILE and friends: back off rather than spin.
+      struct timespec ts = {0, 50 * 1000 * 1000};
+      ::nanosleep(&ts, nullptr);
+      continue;
+    }
+    HandleConn(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsHttpServer::HandleConn(int fd) {
+  // Bound how long a dribbling client can hold the (single) serving slot.
+  struct timeval tv = {2, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  std::string request;
+  char buf[2048];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // Timeout, reset, or EOF before a full request: drop it.
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  const size_t line_end = request.find("\r\n");
+  const std::string line =
+      request.substr(0, line_end == std::string::npos ? 0 : line_end);
+  const bool is_get = line.rfind("GET ", 0) == 0;
+  const bool is_head = line.rfind("HEAD ", 0) == 0;
+  if (!is_get && !is_head) {
+    SendAll(fd, HttpResponse(405, "Method Not Allowed", "method not allowed\n",
+                             true));
+  } else {
+    scrapes_.fetch_add(1, std::memory_order_relaxed);
+    SendAll(fd, HttpResponse(200, "OK", render_(), /*include_body=*/is_get));
+  }
+  ::shutdown(fd, SHUT_WR);
+  // Drain briefly so the peer sees the full response before RST.
+  while (::recv(fd, buf, sizeof(buf), 0) > 0) {
+  }
+}
+
+}  // namespace ocasta::obs

@@ -1,0 +1,71 @@
+// MetricsHttpServer — a deliberately tiny HTTP/1.0-style listener whose
+// only job is answering GET /metrics with Prometheus text.
+//
+// Why not on the main event loop: the event loop speaks the
+// length-prefixed binary protocol and its framing/backpressure machinery
+// is protocol-agnostic only above the frame layer; teaching it HTTP line
+// framing for one endpoint would complicate the hot path that
+// observability exists to measure. A scrape every 15s is one accept +
+// one read + one write — a dedicated blocking thread is the simpler,
+// strictly-isolated design (it shares nothing with the loop but the
+// registry pointer, and the registry read path is lock-free for
+// recorders).
+//
+// Scope (intentional):
+//   * binds 127.0.0.1 only (like the daemon itself — exposing metrics
+//     beyond the host is a reverse proxy's job);
+//   * serial: one connection at a time, close after each response;
+//   * bounded reads with a receive timeout so a stuck client cannot
+//     wedge the thread past a few seconds;
+//   * GET/HEAD on any path returns the metrics page (Prometheus itself
+//     always scrapes /metrics); anything else gets 400/405.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace ocasta::obs {
+
+class MetricsHttpServer {
+ public:
+  using RenderFn = std::function<std::string()>;
+
+  // `render` produces the response body per scrape (typically
+  // WritePrometheusText(registry->Snapshot())). port 0 = ephemeral.
+  MetricsHttpServer(uint16_t port, RenderFn render);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  // Binds + listens + starts the serving thread. Throws common Error on
+  // bind failure (port taken).
+  void Start();
+
+  // Idempotent; joins the serving thread.
+  void Stop();
+
+  // Port actually bound; valid after Start().
+  uint16_t port() const { return port_; }
+
+  uint64_t scrapes() const {
+    return scrapes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Serve();
+  void HandleConn(int fd);
+
+  RenderFn render_;
+  uint16_t requested_port_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> scrapes_{0};
+};
+
+}  // namespace ocasta::obs

@@ -1,0 +1,97 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace ocasta::obs {
+namespace {
+
+Labels Canonical(const Labels& labels) {
+  Labels out = labels;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// '\x1f' (unit separator) cannot collide with printable metric names, so
+// the flat key is injective over (name, canonical labels).
+std::string InstrumentKey(std::string_view name, const Labels& canonical) {
+  std::string key(name);
+  for (const auto& [k, v] : canonical) {
+    key += '\x1f';
+    key += k;
+    key += '\x1f';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+MetricsRegistry::Instrument& MetricsRegistry::GetOrCreate(
+    std::string_view name, const Labels& labels, Kind kind) {
+  Labels canonical = Canonical(labels);
+  std::string key = InstrumentKey(name, canonical);
+  std::lock_guard<lockdep::ordered_mutex> lock(mu_);
+  auto it = instruments_.find(key);
+  if (it == instruments_.end()) {
+    auto inst = std::make_unique<Instrument>();
+    inst->name = std::string(name);
+    inst->labels = std::move(canonical);
+    inst->kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        inst->counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        inst->gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        inst->histogram = std::make_unique<LatencyHistogram>();
+        break;
+    }
+    it = instruments_.emplace(std::move(key), std::move(inst)).first;
+  } else if (it->second->kind != kind) {
+    throw Error("metric '" + std::string(name) +
+                "' already registered as a different instrument kind");
+  }
+  return *it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     const Labels& labels) {
+  return *GetOrCreate(name, labels, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name, const Labels& labels) {
+  return *GetOrCreate(name, labels, Kind::kGauge).gauge;
+}
+
+LatencyHistogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                                const Labels& labels) {
+  return *GetOrCreate(name, labels, Kind::kHistogram).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<lockdep::ordered_mutex> lock(mu_);
+  for (const auto& [key, inst] : instruments_) {
+    switch (inst->kind) {
+      case Kind::kCounter:
+        snap.counters.push_back(
+            {inst->name, inst->labels, inst->counter->value()});
+        break;
+      case Kind::kGauge:
+        snap.gauges.push_back({inst->name, inst->labels, inst->gauge->value()});
+        break;
+      case Kind::kHistogram:
+        snap.histograms.push_back(
+            {inst->name, inst->labels, inst->histogram->Snapshot()});
+        break;
+    }
+  }
+  return snap;
+}
+
+}  // namespace ocasta::obs

@@ -1,0 +1,193 @@
+#include "obs/prometheus.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+
+namespace ocasta::obs {
+namespace {
+
+bool NameStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool NameChar(char c) { return NameStartChar(c) || (c >= '0' && c <= '9'); }
+
+bool LabelStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool LabelChar(char c) { return LabelStartChar(c) || (c >= '0' && c <= '9'); }
+
+// Appends `{k="v",...}` (or nothing when empty) with sanitized/deduped
+// label names and escaped values. `reserved` names (e.g. "quantile" on a
+// summary sample) are dropped from the user labels; `extra_key`, when
+// non-empty, is appended last and is assumed already valid.
+void AppendLabels(std::string* out, const Labels& labels,
+                  std::string_view reserved, std::string_view extra_key,
+                  std::string_view extra_value) {
+  std::set<std::string> seen;
+  std::string body;
+  for (const auto& [k, v] : labels) {
+    std::string name = SanitizeLabelName(k);
+    if (name == reserved || !seen.insert(name).second) continue;
+    if (!body.empty()) body += ',';
+    body += name;
+    body += "=\"";
+    body += EscapeLabelValue(v);
+    body += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!body.empty()) body += ',';
+    body += extra_key;
+    body += "=\"";
+    body += extra_value;
+    body += '"';
+  }
+  if (body.empty()) return;
+  *out += '{';
+  *out += body;
+  *out += '}';
+}
+
+void AppendTypeLine(std::string* out, std::set<std::string>* typed,
+                    const std::string& family, std::string_view type) {
+  if (!typed->insert(family).second) return;
+  *out += "# TYPE ";
+  *out += family;
+  *out += ' ';
+  *out += type;
+  *out += '\n';
+}
+
+std::string FormatU64(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string FormatI64(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) out += NameChar(c) ? c : '_';
+  if (out.empty() || !NameStartChar(out[0])) out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string SanitizeLabelName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) out += LabelChar(c) ? c : '_';
+  if (out.empty() || !LabelStartChar(out[0])) out.insert(out.begin(), '_');
+  // "__"-prefixed label names are reserved for Prometheus internals.
+  if (out.size() >= 2 && out[0] == '_' && out[1] == '_') out[0] = 'x';
+  return out;
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatPrometheusValue(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string WritePrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::set<std::string> typed;
+
+  for (const auto& c : snapshot.counters) {
+    const std::string family = SanitizeMetricName(c.name);
+    AppendTypeLine(&out, &typed, family, "counter");
+    out += family;
+    AppendLabels(&out, c.labels, /*reserved=*/"", "", "");
+    out += ' ';
+    out += FormatU64(c.value);
+    out += '\n';
+  }
+
+  for (const auto& g : snapshot.gauges) {
+    const std::string family = SanitizeMetricName(g.name);
+    AppendTypeLine(&out, &typed, family, "gauge");
+    out += family;
+    AppendLabels(&out, g.labels, /*reserved=*/"", "", "");
+    out += ' ';
+    out += FormatI64(g.value);
+    out += '\n';
+  }
+
+  for (const auto& h : snapshot.histograms) {
+    const std::string family = SanitizeMetricName(h.name);
+    AppendTypeLine(&out, &typed, family, "summary");
+    const struct {
+      const char* q;
+      double v;
+    } quantiles[] = {{"0.5", h.stats.p50},
+                     {"0.9", h.stats.p90},
+                     {"0.99", h.stats.p99},
+                     {"0.999", h.stats.p999}};
+    for (const auto& [q, v] : quantiles) {
+      out += family;
+      AppendLabels(&out, h.labels, /*reserved=*/"quantile", "quantile", q);
+      out += ' ';
+      out += FormatPrometheusValue(v);
+      out += '\n';
+    }
+    out += family;
+    out += "_sum";
+    AppendLabels(&out, h.labels, /*reserved=*/"", "", "");
+    out += ' ';
+    out += FormatPrometheusValue(h.stats.sum);
+    out += '\n';
+    out += family;
+    out += "_count";
+    AppendLabels(&out, h.labels, /*reserved=*/"", "", "");
+    out += ' ';
+    out += FormatU64(h.stats.count);
+    out += '\n';
+
+    const std::string max_family = family + "_max";
+    AppendTypeLine(&out, &typed, max_family, "gauge");
+    out += max_family;
+    AppendLabels(&out, h.labels, /*reserved=*/"", "", "");
+    out += ' ';
+    out += FormatPrometheusValue(h.stats.max);
+    out += '\n';
+  }
+
+  return out;
+}
+
+}  // namespace ocasta::obs

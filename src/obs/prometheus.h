@@ -1,0 +1,39 @@
+// Prometheus text exposition (format version 0.0.4) for MetricsSnapshot.
+//
+// Counters and gauges map directly. Histograms are exported as the
+// `summary` type — pre-computed quantiles plus `_sum`/`_count` — rather
+// than native `histogram` buckets: the internal layout is 1920 log
+// buckets per instrument, which would bloat every scrape for no gain
+// since quantiles are already exact to ~3% server-side. The bucket max
+// rides along as a separate `<name>_max` gauge family.
+//
+// The writer is total: ANY snapshot — arbitrary bytes in names, label
+// keys and values, NaN/Inf stats — produces output every line of which
+// satisfies the exposition grammar. This is fuzz-enforced
+// (fuzz/fuzz_metrics_expo.cpp):
+//   * metric names are sanitized to [a-zA-Z_:][a-zA-Z0-9_:]*,
+//   * label names to [a-zA-Z_][a-zA-Z0-9_]* (and deduplicated, keeping
+//     the first occurrence, since duplicate label names in one sample
+//     are rejected by real scrapers; `quantile` is reserved on summary
+//     samples),
+//   * label values are escaped (\ -> \\, " -> \", newline -> \n),
+//   * non-finite doubles render as NaN / +Inf / -Inf.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace ocasta::obs {
+
+// Renders the whole snapshot, one `# TYPE` line per (sanitized) family.
+std::string WritePrometheusText(const MetricsSnapshot& snapshot);
+
+// Exposed for tests/fuzzing.
+std::string SanitizeMetricName(std::string_view name);
+std::string SanitizeLabelName(std::string_view name);
+std::string EscapeLabelValue(std::string_view value);
+std::string FormatPrometheusValue(double value);
+
+}  // namespace ocasta::obs

@@ -1,0 +1,88 @@
+#include "obs/slow_log.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace ocasta::obs {
+
+OpTrace& OpTrace::Current() {
+  thread_local OpTrace trace;
+  return trace;
+}
+
+namespace {
+
+int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void StderrSink(const std::string& line) {
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+}  // namespace
+
+SlowOpLog::SlowOpLog(double threshold_micros, double max_lines_per_sec,
+                     Sink sink, NowFn now)
+    : threshold_micros_(threshold_micros),
+      emission_interval_ns_(
+          max_lines_per_sec > 0
+              ? static_cast<int64_t>(1e9 / max_lines_per_sec)
+              : 0),
+      burst_ns_(int64_t{1000000000}),
+      sink_(sink ? std::move(sink) : Sink(StderrSink)),
+      now_(now ? std::move(now) : NowFn(MonotonicNowNs)) {}
+
+bool SlowOpLog::Admit(int64_t now_ns) {
+  if (emission_interval_ns_ <= 0) return true;
+  int64_t tat = tat_.load(std::memory_order_relaxed);
+  for (;;) {
+    const int64_t base = std::max(tat, now_ns);
+    const int64_t new_tat = base + emission_interval_ns_;
+    if (new_tat - now_ns > burst_ns_) return false;
+    if (tat_.compare_exchange_weak(tat, new_tat, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+bool SlowOpLog::Log(const SlowOpRecord& rec) {
+  if (!Admit(now_())) {
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  logged_.fetch_add(1, std::memory_order_relaxed);
+  sink_(Format(rec));
+  return true;
+}
+
+std::string SlowOpLog::Format(const SlowOpRecord& rec) {
+  char key[24];
+  if (rec.has_key) {
+    std::snprintf(key, sizeof(key), "%016" PRIx64, rec.key_hash);
+  } else {
+    key[0] = '-';
+    key[1] = '\0';
+  }
+  char shard[16];
+  if (rec.has_key) {
+    std::snprintf(shard, sizeof(shard), "%" PRIu32, rec.shard);
+  } else {
+    shard[0] = '-';
+    shard[1] = '\0';
+  }
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "slow_op op=%s key=%s shard=%s bytes=%zu conn=%d "
+                "total_us=%.1f queue_us=%.1f apply_us=%.1f wal_us=%.1f",
+                rec.op != nullptr ? rec.op : "?", key, shard, rec.bytes,
+                rec.conn_fd, rec.total_us, rec.queue_us, rec.apply_us,
+                rec.wal_us);
+  return buf;
+}
+
+}  // namespace ocasta::obs

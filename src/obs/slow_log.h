@@ -1,0 +1,105 @@
+// Structured slow-op trace log.
+//
+// When the daemon runs with --slow-op-micros N, any request whose
+// server-side latency (read-return to reply-queued) exceeds N emits ONE
+// structured line through a rate-limited sink — per-request tracing for
+// the tail without a collector:
+//
+//   slow_op op=PUT key=9c35d0a1e2b44f77 shard=3 bytes=153 conn=21
+//       total_us=1834.2 queue_us=210.4 apply_us=96.0 wal_us=1502.1
+//   (one line on the wire; wrapped here for width)
+//
+// (key is the FNV-1a hash of the key, not the key itself — slow-op lines
+// may end up in shared logs and must not leak payloads; "-" for
+// cross-shard ops. queue_us counts time the frame waited behind earlier
+// frames of the same read batch; apply_us is engine time excluding WAL;
+// wal_us is append + fsync wait.)
+//
+// Rate limiting is GCRA on a single atomic theoretical-arrival-time: at
+// most `max_per_sec` lines per second with a one-second burst, lock-free
+// on the emission path. Suppressed lines are counted (exported as the
+// ocasta_slow_ops_suppressed gauge) so a flood is still visible.
+//
+// The timing breakdown crosses layers (event loop -> server -> engine ->
+// WAL) without changing any interface: OpTrace is a thread_local the
+// event loop arms before dispatching a frame; the server and the durable
+// engine fill in their pieces iff it is armed. Off (no --slow-op-micros)
+// every participating site is one thread_local bool load.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ocasta::obs {
+
+// Per-thread scratch for one in-flight request's trace fields. Armed
+// (active=true) by the event loop only when a SlowOpLog is configured.
+struct OpTrace {
+  bool active = false;
+  const char* op = "?";
+  bool has_key = false;
+  uint64_t key_hash = 0;
+  uint32_t shard = 0;
+  double apply_us = 0.0;
+  double wal_us = 0.0;
+
+  void Reset() { *this = OpTrace{}; }
+
+  static OpTrace& Current();
+};
+
+struct SlowOpRecord {
+  const char* op = "?";
+  bool has_key = false;
+  uint64_t key_hash = 0;
+  uint32_t shard = 0;
+  size_t bytes = 0;  // Request frame payload size.
+  int conn_fd = -1;
+  double total_us = 0.0;
+  double queue_us = 0.0;
+  double apply_us = 0.0;
+  double wal_us = 0.0;
+};
+
+class SlowOpLog {
+ public:
+  using Sink = std::function<void(const std::string& line)>;
+  using NowFn = std::function<int64_t()>;  // Monotonic nanoseconds.
+
+  // threshold_micros <= 0 disables the log (enabled() == false; callers
+  // skip all tracing). Default sink writes one line to stderr; the now
+  // function is injectable so the rate limiter is unit-testable.
+  explicit SlowOpLog(double threshold_micros, double max_lines_per_sec = 10.0,
+                     Sink sink = {}, NowFn now = {});
+
+  bool enabled() const { return threshold_micros_ > 0; }
+  double threshold_micros() const { return threshold_micros_; }
+
+  // Formats and emits unless rate-limited; returns true when emitted.
+  // Lock-free (one CAS loop on the limiter state).
+  bool Log(const SlowOpRecord& rec);
+
+  uint64_t logged() const { return logged_.load(std::memory_order_relaxed); }
+  uint64_t suppressed() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+  static std::string Format(const SlowOpRecord& rec);
+
+ private:
+  bool Admit(int64_t now_ns);
+
+  double threshold_micros_;
+  int64_t emission_interval_ns_;  // 1e9 / max_lines_per_sec; 0 = unlimited.
+  int64_t burst_ns_;              // One second's worth of tokens.
+  Sink sink_;
+  NowFn now_;
+  std::atomic<int64_t> tat_{0};  // GCRA theoretical arrival time.
+  std::atomic<uint64_t> logged_{0};
+  std::atomic<uint64_t> suppressed_{0};
+};
+
+}  // namespace ocasta::obs

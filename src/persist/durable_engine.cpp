@@ -14,10 +14,17 @@
 
 #include "api/codec.h"
 #include "common/io.h"
+#include "obs/slow_log.h"
 
 namespace ocasta::persist {
 
 namespace {
+
+// Microseconds since `t0`, for the slow-op trace's WAL-time attribution.
+double MicrosSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 std::string SnapshotName(uint64_t lsn) {
   char buf[40];
@@ -218,16 +225,32 @@ api::Result DurableEngine::Apply(const api::Command& cmd) {
   api::Command stamped = cmd;
   Stamp(&stamped);
   const std::string payload = api::EncodeCommand(stamped);
+  // When a slow-op trace is armed for this request (the server did it),
+  // attribute the WAL's share of the latency: append under mu_ plus the
+  // group-commit wait in Sync.
+  obs::OpTrace& trace = obs::OpTrace::Current();
   uint64_t lsn = 0;
   api::Result result;
   {
     std::lock_guard<lockdep::ordered_mutex> lock(mu_);
-    lsn = wal_.Append(payload);
+    if (trace.active) {
+      const auto t0 = std::chrono::steady_clock::now();
+      lsn = wal_.Append(payload);
+      trace.wal_us += MicrosSince(t0);
+    } else {
+      lsn = wal_.Append(payload);
+    }
     result = inner_->Apply(stamped);
   }
   // The flush happens outside mu_ so queued writers group-commit: one
   // fdatasync acknowledges every record written before it started.
-  wal_.Sync(lsn);
+  if (trace.active) {
+    const auto t0 = std::chrono::steady_clock::now();
+    wal_.Sync(lsn);
+    trace.wal_us += MicrosSince(t0);
+  } else {
+    wal_.Sync(lsn);
+  }
   MaybeWakeCheckpointer();
   return result;
 }
@@ -247,10 +270,13 @@ std::vector<api::Result> DurableEngine::ApplyBatch(std::span<const api::Command>
     Stamp(&cmd);
     payloads.push_back(api::EncodeCommand(cmd));
   }
+  obs::OpTrace& trace = obs::OpTrace::Current();
   uint64_t lsn = 0;
   std::vector<api::Result> results;
   {
     std::lock_guard<lockdep::ordered_mutex> lock(mu_);
+    const auto t0 = trace.active ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
     if (options_.wal.fsync == FsyncPolicy::kAlways) {
       // One flush per record: the worst-case policy the bench quantifies
       // against group commit.
@@ -258,9 +284,18 @@ std::vector<api::Result> DurableEngine::ApplyBatch(std::span<const api::Command>
     } else {
       lsn = wal_.Append(std::span<const std::string>(payloads));
     }
+    if (trace.active) trace.wal_us += MicrosSince(t0);
     results = inner_->ApplyBatch(std::span<const api::Command>(stamped));
   }
-  if (lsn != 0) wal_.Sync(lsn);
+  if (lsn != 0) {
+    if (trace.active) {
+      const auto t0 = std::chrono::steady_clock::now();
+      wal_.Sync(lsn);
+      trace.wal_us += MicrosSince(t0);
+    } else {
+      wal_.Sync(lsn);
+    }
+  }
   MaybeWakeCheckpointer();
   return results;
 }

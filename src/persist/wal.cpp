@@ -179,6 +179,14 @@ void FsyncDir(const std::string& dir) {
 WalScan Wal::Scan(const std::string& dir) { return ScanDir(dir).result; }
 
 Wal::Wal(std::string dir, WalOptions options) : dir_(std::move(dir)), options_(options) {
+  if (obs::MetricsRegistry* m = options_.metrics) {
+    const obs::Labels policy = {{"fsync", FsyncPolicyName(options_.fsync)}};
+    append_hist_ = &m->GetHistogram("ocasta_wal_append_ns", policy);
+    fsync_hist_ = &m->GetHistogram("ocasta_wal_fsync_ns", policy);
+    commit_width_ = &m->GetHistogram("ocasta_wal_commit_width", policy);
+    records_ctr_ = &m->GetCounter("ocasta_wal_records_total");
+    flushes_ctr_ = &m->GetCounter("ocasta_wal_flushes_total");
+  }
   if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
     throw Error("cannot create WAL directory: " + dir_ + ": " + ErrnoString(errno));
   }
@@ -282,6 +290,8 @@ uint64_t Wal::Append(std::span<const std::string> payloads) {
   std::string buffer;
   uint64_t lsn = next_lsn_;
   for (const std::string& payload : payloads) AppendRecordFrame(&buffer, lsn++, payload);
+  const auto t0 = append_hist_ != nullptr ? std::chrono::steady_clock::now()
+                                          : std::chrono::steady_clock::time_point{};
   const char* data = buffer.data();
   size_t remaining = buffer.size();
   while (remaining > 0) {
@@ -297,6 +307,13 @@ uint64_t Wal::Append(std::span<const std::string> payloads) {
     }
     data += n;
     remaining -= static_cast<size_t>(n);
+  }
+  if (append_hist_ != nullptr) {
+    append_hist_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+    records_ctr_->Inc(payloads.size());
   }
   segment_size_ += buffer.size();
   appended_bytes_.fetch_add(buffer.size(), std::memory_order_relaxed);
@@ -332,7 +349,15 @@ void Wal::Sync(uint64_t lsn) {
     flush_in_progress_ = true;
     const uint64_t covered = written_lsn_.load(std::memory_order_acquire);
     lock.unlock();
+    const auto t0 = fsync_hist_ != nullptr ? std::chrono::steady_clock::now()
+                                           : std::chrono::steady_clock::time_point{};
     const int rc = ::fdatasync(fd_);
+    if (fsync_hist_ != nullptr && rc == 0) {
+      fsync_hist_->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    }
     lock.lock();
     flush_in_progress_ = false;
     if (rc != 0) {
@@ -345,8 +370,15 @@ void Wal::Sync(uint64_t lsn) {
       throw Error(ErrnoMessage("WAL fdatasync failed", errno));
     }
     sync_count_.fetch_add(1, std::memory_order_relaxed);
-    if (covered > synced_lsn_.load(std::memory_order_relaxed)) {
+    const uint64_t prev_synced = synced_lsn_.load(std::memory_order_relaxed);
+    if (covered > prev_synced) {
       synced_lsn_.store(covered, std::memory_order_release);
+    }
+    if (flushes_ctr_ != nullptr) {
+      flushes_ctr_->Inc();
+      // Group-commit merge width: how many records this one disk flush
+      // acknowledged (0 when a concurrent flush already covered them).
+      commit_width_->Record(covered > prev_synced ? covered - prev_synced : 0);
     }
     sync_cv_.notify_all();
   }

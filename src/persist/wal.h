@@ -40,6 +40,7 @@
 
 #include "common/error.h"
 #include "common/lockdep.h"
+#include "obs/metrics.h"
 
 namespace ocasta::persist {
 
@@ -68,6 +69,11 @@ struct WalOptions {
   // tiny values to force rotation.
   size_t segment_bytes = 64u << 20;
   FsyncPolicy fsync = FsyncPolicy::kBatch;
+  // Optional instrumentation (docs/OBSERVABILITY.md): append/fdatasync
+  // latency histograms, group-commit merge width, record/flush counters,
+  // all labeled fsync=<policy>. Null = off (no clock reads). Must outlive
+  // the Wal.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // One recovered record: its sequence number and its raw payload (a
@@ -184,6 +190,13 @@ class Wal {
 
   // Set on any write(2)/fdatasync failure; never cleared (see Append).
   std::atomic<bool> poisoned_{false};
+
+  // Pre-resolved instrument handles; null when WalOptions::metrics is null.
+  obs::LatencyHistogram* append_hist_ = nullptr;   // ocasta_wal_append_ns
+  obs::LatencyHistogram* fsync_hist_ = nullptr;    // ocasta_wal_fsync_ns
+  obs::LatencyHistogram* commit_width_ = nullptr;  // ocasta_wal_commit_width
+  obs::Counter* records_ctr_ = nullptr;            // ocasta_wal_records_total
+  obs::Counter* flushes_ctr_ = nullptr;            // ocasta_wal_flushes_total
 };
 
 }  // namespace ocasta::persist

@@ -88,7 +88,12 @@ void EventLoop::AddConnection(int fd) {
   // The loop already ran its final drain (shutdown raced the handoff):
   // nobody will ever pick this fd up, so close it here or leak it.
   ::close(fd);
+  DecOpenConns();
+}
+
+void EventLoop::DecOpenConns() {
   open_conns_->fetch_sub(1, std::memory_order_relaxed);
+  if (options_.metrics.conns_live != nullptr) options_.metrics.conns_live->Add(-1);
 }
 
 void EventLoop::RegisterPending() {
@@ -100,7 +105,7 @@ void EventLoop::RegisterPending() {
   for (int fd : fds) {
     if (stop_.load(std::memory_order_relaxed)) {
       ::close(fd);
-      open_conns_->fetch_sub(1, std::memory_order_relaxed);
+      DecOpenConns();
       continue;
     }
     auto conn = std::make_unique<Conn>();
@@ -111,7 +116,7 @@ void EventLoop::RegisterPending() {
     ev.data.fd = fd;
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
       ::close(fd);
-      open_conns_->fetch_sub(1, std::memory_order_relaxed);
+      DecOpenConns();
       continue;
     }
     conns_.emplace(fd, std::move(conn));
@@ -129,6 +134,7 @@ void EventLoop::Run() {
       break;  // epoll fd gone: nothing sane left to do.
     }
     wakeups_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t frames_before = frames_dispatched_.load(std::memory_order_relaxed);
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       if (fd == wake_fd_) {
@@ -147,6 +153,13 @@ void EventLoop::Run() {
         continue;
       }
       if (!ProcessConn(conn)) continue;  // Connection closed.
+    }
+    // Frames served per readiness wakeup — the syscall-amortization factor
+    // the event-loop design exists for. Timer-only wakeups (n == 0) are
+    // excluded so the idle sweep cadence doesn't drown the distribution.
+    if (options_.metrics.dispatch_width != nullptr && n > 0) {
+      options_.metrics.dispatch_width->Record(
+          frames_dispatched_.load(std::memory_order_relaxed) - frames_before);
     }
     if (stop_.load(std::memory_order_acquire)) break;
     const auto now = std::chrono::steady_clock::now();
@@ -172,13 +185,14 @@ void EventLoop::Run() {
   for (auto& [fd, conn] : conns_) {
     FlushBlocking(conn.get(), drain_deadline);
     ::close(conn->fd);
-    open_conns_->fetch_sub(1, std::memory_order_relaxed);
+    DecOpenConns();
   }
   conns_.clear();
 }
 
 bool EventLoop::ProcessConn(Conn* conn) {
   conn->last_active = std::chrono::steady_clock::now();
+  batch_start_ = conn->last_active;
 
   // Flush first: an EPOLLOUT wakeup (or a readable socket whose replies
   // were parked) wants queue space before new frames are parsed.
@@ -214,6 +228,9 @@ bool EventLoop::ProcessConn(Conn* conn) {
         UpdateInterest(conn);
       } else {
         conn->in.append(read_scratch_.data(), static_cast<size_t>(n));
+        if (options_.metrics.bytes_in != nullptr) {
+          options_.metrics.bytes_in->Inc(static_cast<uint64_t>(n));
+        }
         // Only come back for more when the read filled the whole chunk —
         // a short read means the kernel buffer is drained, and retrying
         // would just burn a syscall on EAGAIN (level-triggered epoll
@@ -235,6 +252,9 @@ bool EventLoop::ProcessConn(Conn* conn) {
     // buffered while paused are dispatched without waiting for new input.
     if (!conn->paused && conn->out_bytes >= options_.write_high_watermark) {
       conn->paused = true;
+      if (options_.metrics.backpressure_pauses != nullptr) {
+        options_.metrics.backpressure_pauses->Inc();
+      }
       UpdateInterest(conn);
     } else if (conn->paused && conn->out_bytes <= options_.write_low_watermark) {
       conn->paused = false;
@@ -269,6 +289,9 @@ bool EventLoop::HasCompleteFrame(const Conn& conn) {
 }
 
 bool EventLoop::ParseFrames(Conn* conn) {
+  obs::SlowOpLog* slog = options_.slow_log;
+  const bool tracing = slog != nullptr && slog->enabled();
+  const bool have_frame_ns = options_.metrics.frame_ns != nullptr;
   while (conn->out_bytes < options_.write_high_watermark) {
     const size_t avail = conn->in.size() - conn->pos;
     if (avail < kFrameHeaderBytes) break;
@@ -284,7 +307,53 @@ bool EventLoop::ParseFrames(Conn* conn) {
     conn->pos += kFrameHeaderBytes + static_cast<size_t>(len);
 
     std::string reply;
+    obs::OpTrace& trace = obs::OpTrace::Current();
+    if (tracing) {
+      trace.Reset();
+      trace.active = true;  // Server + engine + WAL fill their pieces.
+    }
+    // Frame latency is sampled (1-in-N, obs::HotPathSampler): a pipelined
+    // frame is sub-microsecond, so always-on clock reads would tax the
+    // loop more than dispatch does. Slow-op tracing must see EVERY frame
+    // (a sampled trace would miss the outliers it exists to catch), so
+    // enabling it forces full timing — acceptable for an opt-in
+    // diagnostic.
+    const bool sampled = have_frame_ns && frame_sampler_();
+    const bool timing = tracing || sampled;
+    const auto t0 = timing ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
     const bool shutdown_requested = handler_(request, &reply);
+    if (timing) {
+      const auto t1 = std::chrono::steady_clock::now();
+      if (sampled) {
+        options_.metrics.frame_ns->Record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+      }
+      if (tracing) {
+        // total_us starts at batch_start_, not t0: a frame that sat behind
+        // earlier frames of the same read batch was already "slow" from the
+        // client's point of view, and queue_us says how much of that was
+        // the wait.
+        const double total_us =
+            std::chrono::duration<double, std::micro>(t1 - batch_start_).count();
+        if (total_us >= slog->threshold_micros()) {
+          obs::SlowOpRecord rec;
+          rec.op = trace.op;
+          rec.has_key = trace.has_key;
+          rec.key_hash = trace.key_hash;
+          rec.shard = trace.shard;
+          rec.bytes = request.size();
+          rec.conn_fd = conn->fd;
+          rec.total_us = total_us;
+          rec.queue_us =
+              std::chrono::duration<double, std::micro>(t0 - batch_start_).count();
+          rec.apply_us = trace.apply_us;
+          rec.wal_us = trace.wal_us;
+          slog->Log(rec);
+        }
+        trace.active = false;
+      }
+    }
     frames_dispatched_.fetch_add(1, std::memory_order_relaxed);
 
     // Frame the reply (length prefix + payload). Small replies coalesce
@@ -350,6 +419,7 @@ bool EventLoop::FlushOut(Conn* conn) {
       return false;  // EPIPE / ECONNRESET: client is gone.
     }
     size_t sent = static_cast<size_t>(n);
+    if (options_.metrics.bytes_out != nullptr) options_.metrics.bytes_out->Inc(sent);
     conn->out_bytes -= sent;
     while (sent > 0) {
       const size_t head_left = conn->out.front().size() - conn->out_head_sent;
@@ -396,7 +466,7 @@ void EventLoop::CloseConn(Conn* conn) {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
   conns_.erase(fd);
-  open_conns_->fetch_sub(1, std::memory_order_relaxed);
+  DecOpenConns();
 }
 
 void EventLoop::SweepIdle() {

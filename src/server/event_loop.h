@@ -41,8 +41,24 @@
 #include <vector>
 
 #include "common/lockdep.h"
+#include "obs/metrics.h"
+#include "obs/slow_log.h"
 
 namespace ocasta {
+
+// Pre-resolved instrument handles for the event loop's internals, shared by
+// every worker (the instruments are thread-safe; per-worker labels would
+// multiply cardinality without aiding dashboards). All-null = metrics off:
+// the loop performs no clock reads or metric atomics beyond its existing
+// telemetry counters.
+struct LoopMetrics {
+  obs::LatencyHistogram* frame_ns = nullptr;        // ocasta_loop_frame_ns
+  obs::LatencyHistogram* dispatch_width = nullptr;  // ocasta_loop_dispatch_width
+  obs::Counter* bytes_in = nullptr;                 // ocasta_loop_bytes_in_total
+  obs::Counter* bytes_out = nullptr;                // ocasta_loop_bytes_out_total
+  obs::Counter* backpressure_pauses = nullptr;      // ocasta_loop_backpressure_pauses_total
+  obs::Gauge* conns_live = nullptr;                 // ocasta_loop_connections_live
+};
 
 struct EventLoopOptions {
   double idle_timeout_seconds = 300.0;  // 0 = connections never idle out.
@@ -50,6 +66,10 @@ struct EventLoopOptions {
   size_t write_high_watermark = 8u << 20;
   size_t write_low_watermark = 1u << 20;
   size_t read_chunk_bytes = 64u << 10;  // recv() size per readiness event.
+  LoopMetrics metrics;
+  // Non-null + enabled() arms per-frame OpTrace tracing and emits slow-op
+  // lines for frames whose decode-to-reply latency exceeds its threshold.
+  obs::SlowOpLog* slow_log = nullptr;
 };
 
 class EventLoop {
@@ -123,6 +143,9 @@ class EventLoop {
   void UpdateInterest(Conn* conn);
   void CloseConn(Conn* conn);
   void SweepIdle();
+  // Every open_conns_ decrement goes through here so the obs gauge mirror
+  // can never drift from the acceptor's admission counter.
+  void DecOpenConns();
 
   EventLoopOptions options_;
   Handler handler_;
@@ -143,6 +166,13 @@ class EventLoop {
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;
   std::vector<char> read_scratch_;  // Shared recv landing zone (loop thread only).
   std::chrono::steady_clock::time_point last_sweep_;
+  // When ProcessConn started on the current connection (loop thread only).
+  // A slow-op line's queue_us is measured from here: how long the frame
+  // waited behind earlier frames of the same read batch.
+  std::chrono::steady_clock::time_point batch_start_;
+
+  // 1-in-N gate for frame_ns timing (loop thread only; see ParseFrames).
+  obs::HotPathSampler frame_sampler_;
 
   std::atomic<uint64_t> frames_dispatched_{0};
   std::atomic<uint64_t> wakeups_{0};

@@ -14,11 +14,23 @@
 
 #include "api/backends.h"
 #include "api/codec.h"
+#include "common/hash.h"
+#include "obs/prometheus.h"
 #include "server/wire.h"
 
 namespace ocasta {
 
 namespace {
+
+// Runs before the engine is constructed: requesting a Prometheus listener
+// without supplying a registry implies one (the listener would have nothing
+// to serve otherwise, and the engine needs the registry at construction).
+ServerOptions NormalizeOptions(ServerOptions options) {
+  if (options.metrics == nullptr && options.metrics_port != 0) {
+    options.metrics = std::make_shared<obs::MetricsRegistry>();
+  }
+  return options;
+}
 
 // The daemon always runs the sharded engine; a data_dir wraps it in the
 // durable decorator via the same factory the CLI uses.
@@ -30,6 +42,7 @@ std::unique_ptr<api::Engine> MakeServerEngine(const ServerOptions& options) {
   backend.data_dir = options.data_dir;
   backend.fsync = options.fsync;
   backend.checkpoint_interval_seconds = options.checkpoint_interval_seconds;
+  backend.metrics = options.metrics.get();
   return api::MakeEngine(backend);
 }
 
@@ -44,7 +57,29 @@ size_t ResolveIoThreads(size_t requested) {
 }  // namespace
 
 TtkvServer::TtkvServer(ServerOptions options)
-    : options_(std::move(options)), engine_(MakeServerEngine(options_)) {}
+    : options_(NormalizeOptions(std::move(options))), engine_(MakeServerEngine(options_)) {
+  if (options_.slow_op_micros > 0) {
+    slow_log_ = std::make_unique<obs::SlowOpLog>(options_.slow_op_micros,
+                                                 options_.slow_op_log_per_sec);
+  }
+  if (obs::MetricsRegistry* m = options_.metrics.get()) {
+    loop_metrics_.frame_ns = &m->GetHistogram("ocasta_loop_frame_ns");
+    loop_metrics_.dispatch_width = &m->GetHistogram("ocasta_loop_dispatch_width");
+    loop_metrics_.bytes_in = &m->GetCounter("ocasta_loop_bytes_in_total");
+    loop_metrics_.bytes_out = &m->GetCounter("ocasta_loop_bytes_out_total");
+    loop_metrics_.backpressure_pauses =
+        &m->GetCounter("ocasta_loop_backpressure_pauses_total");
+    loop_metrics_.conns_live = &m->GetGauge("ocasta_loop_connections_live");
+    ctr_connections_ = &m->GetCounter("ocasta_server_connections_total");
+    ctr_overload_ = &m->GetCounter("ocasta_server_overload_rejections_total");
+    conns_live_ = loop_metrics_.conns_live;
+    conns_peak_ = &m->GetGauge("ocasta_loop_connections_peak");
+    if (slow_log_ != nullptr) {
+      slow_logged_ = &m->GetGauge("ocasta_slow_ops_logged");
+      slow_suppressed_ = &m->GetGauge("ocasta_slow_ops_suppressed");
+    }
+  }
+}
 
 TtkvServer::~TtkvServer() { Stop(); }
 
@@ -60,6 +95,8 @@ void TtkvServer::Start() {
 
   EventLoopOptions loop_options;
   loop_options.idle_timeout_seconds = options_.idle_timeout_seconds;
+  loop_options.metrics = loop_metrics_;
+  loop_options.slow_log = slow_log_.get();
   const size_t io_threads = ResolveIoThreads(options_.io_threads);
   loops_.reserve(io_threads);
   for (size_t i = 0; i < io_threads; ++i) {
@@ -71,7 +108,25 @@ void TtkvServer::Start() {
         [this] { RequestStop(); }, &open_conns_));
   }
   for (const auto& loop : loops_) loop->Start();
+  if (options_.metrics_port != 0) {
+    metrics_http_ = std::make_unique<obs::MetricsHttpServer>(
+        options_.metrics_port, [this] {
+          RefreshExportGauges();
+          return obs::WritePrometheusText(options_.metrics->Snapshot());
+        });
+    metrics_http_->Start();
+  }
   accept_thread_ = std::thread(&TtkvServer::AcceptLoop, this);
+}
+
+uint16_t TtkvServer::metrics_port() const {
+  return metrics_http_ != nullptr ? metrics_http_->port() : 0;
+}
+
+void TtkvServer::RefreshExportGauges() {
+  if (slow_log_ == nullptr || slow_logged_ == nullptr) return;
+  slow_logged_->Set(static_cast<int64_t>(slow_log_->logged()));
+  slow_suppressed_->Set(static_cast<int64_t>(slow_log_->suppressed()));
 }
 
 void TtkvServer::RequestStop() {
@@ -90,6 +145,7 @@ void TtkvServer::Wait() {
   std::lock_guard<lockdep::ordered_mutex> lock(join_mu_);
   if (accept_thread_.joinable()) accept_thread_.join();
   for (const auto& loop : loops_) loop->Join();
+  if (metrics_http_ != nullptr) metrics_http_->Stop();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -126,6 +182,7 @@ void TtkvServer::AcceptLoop() {
       // silent RST. The socket is fresh (empty send buffer), so this small
       // blocking send cannot stall the acceptor.
       overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+      if (ctr_overload_ != nullptr) ctr_overload_->Inc();
       try {
         SendFrame(fd, api::EncodeResult(api::ErrorResult{
                           "server over --max-conns connection limit; retry later"}));
@@ -153,7 +210,12 @@ void TtkvServer::AcceptLoop() {
       continue;
     }
     connections_.fetch_add(1);
-    open_conns_.fetch_add(1, std::memory_order_relaxed);
+    const int64_t now_open = open_conns_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (ctr_connections_ != nullptr) {
+      ctr_connections_->Inc();
+      conns_live_->Add(1);
+      conns_peak_->SetMax(now_open);
+    }
     loops_[next_loop_]->AddConnection(fd);
     next_loop_ = (next_loop_ + 1) % loops_.size();
   }
@@ -184,6 +246,7 @@ bool TtkvServer::HandleRequest(std::string_view request, std::string* reply) {
   bool shutdown_requested = false;
   try {
     if (api::IsHelloRequest(request)) {
+      if (obs::OpTrace::Current().active) obs::OpTrace::Current().op = "HELLO";
       const uint32_t client_version = api::DecodeHello(request);
       if (client_version < api::kMinProtocolVersion) {
         *reply = api::EncodeResult(api::ErrorResult{
@@ -197,7 +260,28 @@ bool TtkvServer::HandleRequest(std::string_view request, std::string* reply) {
     }
     const api::Command cmd = api::DecodeCommand(request);
     shutdown_requested = std::holds_alternative<api::ShutdownCmd>(cmd.op);
-    *reply = api::EncodeResult(engine_->Apply(cmd));
+    if (std::holds_alternative<api::MetricsCmd>(cmd.op)) RefreshExportGauges();
+    obs::OpTrace& trace = obs::OpTrace::Current();
+    if (trace.active) {
+      // Identify the op for the slow-op line before dispatch; the engine
+      // and WAL fill in their timing pieces underneath.
+      trace.op = api::CommandName(cmd);
+      if (const std::string* key = api::CommandKey(cmd)) {
+        trace.has_key = true;
+        trace.key_hash = Fnv1a(*key);
+        trace.shard = static_cast<uint32_t>(trace.key_hash % options_.num_shards);
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      *reply = api::EncodeResult(engine_->Apply(cmd));
+      const double engine_us = std::chrono::duration<double, std::micro>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count();
+      // apply_us is engine time excluding the WAL's share (append + group-
+      // commit wait), which DurableEngine accumulated into wal_us.
+      trace.apply_us = std::max(0.0, engine_us - trace.wal_us);
+    } else {
+      *reply = api::EncodeResult(engine_->Apply(cmd));
+    }
   } catch (const Error& e) {
     shutdown_requested = false;
     *reply = api::EncodeResult(api::ErrorResult{e.what()});

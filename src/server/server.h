@@ -28,6 +28,9 @@
 
 #include "api/engine.h"
 #include "common/lockdep.h"
+#include "obs/http_exporter.h"
+#include "obs/metrics.h"
+#include "obs/slow_log.h"
 #include "server/event_loop.h"
 
 namespace ocasta {
@@ -50,6 +53,18 @@ struct ServerOptions {
   size_t max_conns = 1024; // Open-connection cap; 0 = unlimited. Excess
                            // connections get an error reply, then close.
   double idle_timeout_seconds = 300.0;  // 0 = connections never idle out.
+
+  // Observability (docs/OBSERVABILITY.md). A registry turns on engine, WAL,
+  // and event-loop instrumentation plus the METRICS wire op; metrics_port
+  // additionally serves Prometheus text on 127.0.0.1:<metrics_port> (0 = no
+  // HTTP listener). Setting only metrics_port auto-creates a registry.
+  std::shared_ptr<obs::MetricsRegistry> metrics = nullptr;
+  uint16_t metrics_port = 0;
+  // Slow-op trace log (obs/slow_log.h): a request slower than this many
+  // microseconds server-side emits one structured line (0 = off), at most
+  // slow_op_log_per_sec lines per second.
+  double slow_op_micros = 0.0;
+  double slow_op_log_per_sec = 10.0;
 };
 
 class TtkvServer {
@@ -90,6 +105,13 @@ class TtkvServer {
   uint64_t loop_wakeups() const;
   uint64_t idle_closed() const;
 
+  // Observability accessors; null/0 when not configured.
+  obs::MetricsRegistry* metrics() { return options_.metrics.get(); }
+  // Port the Prometheus listener actually bound (ephemeral resolution);
+  // valid after Start(), 0 when no listener was requested.
+  uint16_t metrics_port() const;
+  obs::SlowOpLog* slow_log() { return slow_log_.get(); }
+
  private:
   void AcceptLoop();
 
@@ -114,6 +136,21 @@ class TtkvServer {
 
   std::vector<std::unique_ptr<EventLoop>> loops_;
   size_t next_loop_ = 0;  // Round-robin cursor; accept thread only.
+
+  // Observability plumbing (all empty/null when metrics are off). The
+  // loop-metric handles are resolved once in the constructor and shared by
+  // every worker; the slow-op mirrors are gauges refreshed lazily at export
+  // time (both export paths go through RefreshExportGauges).
+  std::unique_ptr<obs::SlowOpLog> slow_log_;
+  std::unique_ptr<obs::MetricsHttpServer> metrics_http_;
+  LoopMetrics loop_metrics_;
+  obs::Counter* ctr_connections_ = nullptr;  // ocasta_server_connections_total
+  obs::Counter* ctr_overload_ = nullptr;     // ocasta_server_overload_rejections_total
+  obs::Gauge* conns_live_ = nullptr;         // ocasta_loop_connections_live (accept side)
+  obs::Gauge* conns_peak_ = nullptr;         // ocasta_loop_connections_peak
+  obs::Gauge* slow_logged_ = nullptr;        // ocasta_slow_ops_logged
+  obs::Gauge* slow_suppressed_ = nullptr;    // ocasta_slow_ops_suppressed
+  void RefreshExportGauges();
 
   // Serializes Wait()/Stop() joiners (lockdep leaf-ish: worker joins
   // happen under it, but no other lock is ever acquired by the joiner).

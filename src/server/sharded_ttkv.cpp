@@ -10,11 +10,27 @@
 
 namespace ocasta {
 
-ShardedTtkv::ShardedTtkv(size_t num_shards, double cluster_window_seconds)
-    : tracker_(cluster_window_seconds, /*quantize_to_seconds=*/false) {
+ShardedTtkv::ShardedTtkv(size_t num_shards, double cluster_window_seconds,
+                         obs::MetricsRegistry* metrics)
+    : metrics_(metrics), tracker_(cluster_window_seconds, /*quantize_to_seconds=*/false) {
   if (num_shards == 0) throw Error("ShardedTtkv needs at least one shard");
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) shards_.push_back(std::make_unique<Shard>());
+  // Same metric names + labels as LocalEngine (docs/OBSERVABILITY.md).
+  if (metrics_ != nullptr) {
+    ctr_puts_ = &metrics_->GetCounter("ocasta_engine_ops_total", {{"op", "put"}});
+    ctr_gets_ = &metrics_->GetCounter("ocasta_engine_ops_total", {{"op", "get"}});
+    ctr_deletes_ = &metrics_->GetCounter("ocasta_engine_ops_total", {{"op", "delete"}});
+    auto hist = [this](const char* op) {
+      return &metrics_->GetHistogram("ocasta_engine_apply_ns", {{"op", op}});
+    };
+    op_hist_[api::CommandOp(api::PutCmd{}).index()] = hist("put");
+    op_hist_[api::CommandOp(api::GetCmd{}).index()] = hist("get");
+    op_hist_[api::CommandOp(api::DeleteCmd{}).index()] = hist("delete");
+    op_hist_[api::CommandOp(api::GetAtCmd{}).index()] = hist("get_at");
+    op_hist_[api::CommandOp(api::HistoryCmd{}).index()] = hist("history");
+    batch_hist_ = &metrics_->GetHistogram("ocasta_engine_batch_commands");
+  }
 }
 
 size_t ShardedTtkv::shard_of(const std::string& key) const {
@@ -49,9 +65,18 @@ TimeMicros ShardedTtkv::StampBlock(size_t count) {
 }
 
 void ShardedTtkv::FlushCounts(const OpCounts& counts) {
-  if (counts.puts != 0) puts_.fetch_add(counts.puts, std::memory_order_relaxed);
-  if (counts.gets != 0) gets_.fetch_add(counts.gets, std::memory_order_relaxed);
-  if (counts.deletes != 0) deletes_.fetch_add(counts.deletes, std::memory_order_relaxed);
+  if (counts.puts != 0) {
+    puts_.fetch_add(counts.puts, std::memory_order_relaxed);
+    if (ctr_puts_ != nullptr) ctr_puts_->Inc(counts.puts);
+  }
+  if (counts.gets != 0) {
+    gets_.fetch_add(counts.gets, std::memory_order_relaxed);
+    if (ctr_gets_ != nullptr) ctr_gets_->Inc(counts.gets);
+  }
+  if (counts.deletes != 0) {
+    deletes_.fetch_add(counts.deletes, std::memory_order_relaxed);
+    if (ctr_deletes_ != nullptr) ctr_deletes_->Inc(counts.deletes);
+  }
 }
 
 namespace {
@@ -169,6 +194,7 @@ void ShardedTtkv::Put(const std::string& key, Value value, TimeMicros t) {
     need_drain = PutLocked(shard, key, std::move(value), t);
   }
   puts_.fetch_add(1, std::memory_order_relaxed);
+  if (ctr_puts_ != nullptr) ctr_puts_->Inc();
   if (need_drain) DrainTracker();
 }
 
@@ -181,7 +207,10 @@ bool ShardedTtkv::Delete(const std::string& key, TimeMicros t, bool force) {
     const auto lock = LockShard(shard);
     out = DeleteLocked(shard, key, t, force);
   }
-  if (out.recorded) deletes_.fetch_add(1, std::memory_order_relaxed);
+  if (out.recorded) {
+    deletes_.fetch_add(1, std::memory_order_relaxed);
+    if (ctr_deletes_ != nullptr) ctr_deletes_->Inc();
+  }
   if (out.need_drain) DrainTracker();
   return out.existed;
 }
@@ -190,6 +219,7 @@ std::optional<Value> ShardedTtkv::Get(const std::string& key) {
   Shard& shard = *shards_[shard_of(key)];
   const auto lock = LockShardShared(shard);
   gets_.fetch_add(1, std::memory_order_relaxed);
+  if (ctr_gets_ != nullptr) ctr_gets_->Inc();
   return shard.ttkv.read_latest_shared(key);
 }
 
@@ -361,12 +391,27 @@ api::Result ShardedTtkv::Apply(const api::Command& cmd) {
     bool need_drain = false;
     OpCounts counts;
     api::Result result;
+    // Apply latency includes the shard-lock wait — that is the latency a
+    // client actually observes under contention. Latency is sampled
+    // (1-in-N, see obs::HotPathSampler): the clock reads cost more than
+    // the apply itself; the op counters stay exact.
+    obs::LatencyHistogram* h = op_hist_[cmd.op.index()];
+    thread_local obs::HotPathSampler sample;
+    const bool timed = h != nullptr && sample();
+    const auto t0 = timed ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
     if (info.is_read) {
       const auto lock = LockShardShared(shard);
       result = ApplyKeyedLocked(shard, cmd, &need_drain, 0, &counts);
     } else {
       const auto lock = LockShard(shard);
       result = ApplyKeyedLocked(shard, cmd, &need_drain, 0, &counts);
+    }
+    if (timed) {
+      h->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
     }
     FlushCounts(counts);
     if (need_drain) DrainTracker();
@@ -391,6 +436,11 @@ api::Result ShardedTtkv::Apply(const api::Command& cmd) {
     // The engine has no connections to drain; the server recognizes
     // top-level SHUTDOWN itself.
     if (std::holds_alternative<api::ShutdownCmd>(cmd.op)) return api::OkResult{};
+    if (std::holds_alternative<api::MetricsCmd>(cmd.op)) {
+      api::MetricsResult res;
+      if (metrics_ != nullptr) res.snapshot = metrics_->Snapshot();
+      return res;
+    }
     if (const auto* batch = std::get_if<api::BatchCmd>(&cmd.op)) {
       return api::BatchResult{ApplyBatch(std::span(batch->commands))};
     }
@@ -417,6 +467,7 @@ struct RunEntry {
 }  // namespace
 
 std::vector<api::Result> ShardedTtkv::ApplyBatch(std::span<const api::Command> cmds) {
+  if (batch_hist_ != nullptr) batch_hist_->Record(cmds.size());
   std::vector<api::Result> results(cmds.size());
   // The run of consecutive single-key commands currently being grouped.
   // All grouping work — hashing, stamp reservation, sorting — happens out
@@ -457,8 +508,24 @@ std::vector<api::Result> ShardedTtkv::ApplyBatch(std::span<const api::Command> c
       for (; end < run.size() && run[end].shard == sid; ++end) all_reads &= run[end].is_read;
       const auto apply_group = [&] {
         for (; j < end; ++j) {
+          const api::Command& sub = cmds[run[j].index];
+          obs::LatencyHistogram* h = op_hist_[sub.op.index()];
+          thread_local obs::HotPathSampler sample;
+          if (h == nullptr || !sample()) {
+            results[run[j].index] =
+                ApplyKeyedLocked(shard, sub, &need_drain, run[j].stamp, &counts);
+            continue;
+          }
+          // Per-op time inside the group: the grouped lock is already
+          // held, so this is pure apply cost (lock amortization is the
+          // batch's win and is visible in ocasta_engine_batch_commands).
+          const auto t0 = std::chrono::steady_clock::now();
           results[run[j].index] =
-              ApplyKeyedLocked(shard, cmds[run[j].index], &need_drain, run[j].stamp, &counts);
+              ApplyKeyedLocked(shard, sub, &need_drain, run[j].stamp, &counts);
+          h->Record(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count()));
         }
       };
       if (all_reads) {

@@ -38,6 +38,7 @@
 // events in timestamp order under the tracker lock.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -52,6 +53,7 @@
 #include "clustering/online.h"
 #include "common/lockdep.h"
 #include "common/time.h"
+#include "obs/metrics.h"
 #include "ttkv/ttkv.h"
 #include "ttkv/value.h"
 
@@ -59,7 +61,12 @@ namespace ocasta {
 
 class ShardedTtkv final : public api::Engine {
  public:
-  explicit ShardedTtkv(size_t num_shards = 8, double cluster_window_seconds = 1.0);
+  // `metrics` (optional, must outlive the engine) turns on per-op apply
+  // latency histograms, batch-size histograms, and op counters
+  // (docs/OBSERVABILITY.md). Null = off: the apply path performs no clock
+  // reads or metric atomics.
+  explicit ShardedTtkv(size_t num_shards = 8, double cluster_window_seconds = 1.0,
+                       obs::MetricsRegistry* metrics = nullptr);
 
   // --- api::Engine ----------------------------------------------------------
   api::Result Apply(const api::Command& cmd) override;
@@ -205,6 +212,19 @@ class ShardedTtkv final : public api::Engine {
   std::atomic<uint64_t> deletes_{0};
   mutable std::atomic<uint64_t> read_lock_acquisitions_{0};
   mutable std::atomic<uint64_t> write_lock_acquisitions_{0};
+
+  // Optional instrumentation; all pointers null when metrics are off. The
+  // obs op counters are incremented at exactly the sites that bump
+  // puts_/gets_/deletes_, so in a quiesced engine
+  // ocasta_engine_ops_total{op=...} equals the EngineStats counters (this
+  // equality is tested). The histogram array is indexed by CommandOp
+  // variant index.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* ctr_puts_ = nullptr;
+  obs::Counter* ctr_gets_ = nullptr;
+  obs::Counter* ctr_deletes_ = nullptr;
+  std::array<obs::LatencyHistogram*, std::variant_size_v<api::CommandOp>> op_hist_{};
+  obs::LatencyHistogram* batch_hist_ = nullptr;
 
   mutable lockdep::ordered_mutex tracker_mu_{lockdep::kTrackerClass};
   mutable OnlineClusterTracker tracker_;   // Guarded by tracker_mu_.

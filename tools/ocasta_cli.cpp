@@ -25,6 +25,15 @@
 //       --max-conns <n>   open-connection cap; excess connections get a
 //                         graceful error reply (default 1024, 0 = unlimited)
 //       --idle-timeout <s>  close idle connections (default 300, 0 = never)
+//       --metrics-port <n>  serve Prometheus text on 127.0.0.1:<n>/metrics
+//                           (also enables the METRICS wire op; 0 = off)
+//       --metrics           enable metrics without the HTTP listener
+//       --slow-op-micros <n>  log requests slower than n µs (0 = off)
+//       --slow-op-log-per-sec <n>  slow-op line rate cap (default 10)
+//   metrics [--host --port] [--prom] [--watch]
+//       fetch the daemon's metrics snapshot over the wire (METRICS op);
+//       default renders a table (latencies in µs), --prom renders
+//       Prometheus text, --watch refreshes every 2 seconds
 //   remote <op> [args] [--backend --host --port --shards --window
 //                       --data-dir --fsync]
 //       drive any api::Engine backend (default: remote, a running ocastad);
@@ -39,6 +48,7 @@
 //            | delete <key> [force] | history <key> | list [prefix]
 //            | stats | compact <seconds> | cluster <threshold> [linkage]
 //   list                                  machines, applications, scenarios
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +56,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/ground_truth.h"
@@ -59,6 +70,8 @@
 #include "common/strings.h"
 #include "common/table.h"
 #include "logger/recorder.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "parsers/config_map.h"
 #include "scenarios/harness.h"
 #include "server/server.h"
@@ -74,7 +87,8 @@ constexpr uint16_t kDefaultPort = 7341;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: ocasta_cli <record|stats|cluster|snapshot|history|repair|serve|remote|batch|list> ...\n"
+      "usage: ocasta_cli "
+      "<record|stats|cluster|snapshot|history|repair|serve|remote|batch|metrics|list> ...\n"
       "run 'ocasta_cli list' to see machines, applications and scenarios\n");
   return 2;
 }
@@ -229,6 +243,12 @@ int CmdServe(const Args& args) {
   options.io_threads = static_cast<size_t>(args.GetInt("io-threads", 1));
   options.max_conns = static_cast<size_t>(args.GetInt("max-conns", 1024));
   options.idle_timeout_seconds = args.GetDouble("idle-timeout", 300.0);
+  options.metrics_port = static_cast<uint16_t>(args.GetInt("metrics-port", 0));
+  if (args.Has("metrics") && options.metrics == nullptr) {
+    options.metrics = std::make_shared<obs::MetricsRegistry>();
+  }
+  options.slow_op_micros = args.GetDouble("slow-op-micros", 0.0);
+  options.slow_op_log_per_sec = args.GetDouble("slow-op-log-per-sec", 10.0);
   TtkvServer server(options);
   server.Start();
   if (options.data_dir.empty()) {
@@ -241,6 +261,10 @@ int CmdServe(const Args& args) {
         "fsync=%s)\n",
         static_cast<unsigned>(server.port()), options.num_shards, server.io_threads(),
         options.data_dir.c_str(), options.fsync.c_str());
+  }
+  if (server.metrics_port() != 0) {
+    std::printf("metrics on http://127.0.0.1:%u/metrics\n",
+                static_cast<unsigned>(server.metrics_port()));
   }
   std::fflush(stdout);
   if (args.Has("port-file")) {
@@ -490,6 +514,72 @@ int CmdBatch(const Args& args) {
   return 0;
 }
 
+// --- metrics: fetch + render the daemon's metrics snapshot -----------------
+
+std::string RenderLabels(const obs::Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=" + labels[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+// Latency histograms are recorded in nanoseconds (the *_ns suffix is the
+// contract); humans read microseconds.
+std::string RenderQuantile(const std::string& name, double v) {
+  if (name.ends_with("_ns")) return StrFormat("%.1fus", v / 1000.0);
+  return StrFormat("%.0f", v);
+}
+
+void PrintSnapshotTables(const obs::MetricsSnapshot& snap) {
+  if (!snap.counters.empty() || !snap.gauges.empty()) {
+    TextTable table({"Metric", "Value"});
+    for (const auto& c : snap.counters) {
+      table.add_row({c.name + RenderLabels(c.labels), std::to_string(c.value)});
+    }
+    for (const auto& g : snap.gauges) {
+      table.add_row({g.name + RenderLabels(g.labels), std::to_string(g.value)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  if (!snap.histograms.empty()) {
+    TextTable table({"Histogram", "Count", "p50", "p90", "p99", "p99.9", "Max"});
+    for (const auto& h : snap.histograms) {
+      table.add_row({h.name + RenderLabels(h.labels), std::to_string(h.stats.count),
+                     RenderQuantile(h.name, h.stats.p50), RenderQuantile(h.name, h.stats.p90),
+                     RenderQuantile(h.name, h.stats.p99), RenderQuantile(h.name, h.stats.p999),
+                     RenderQuantile(h.name, h.stats.max)});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+  if (snap.empty()) {
+    std::printf("(empty snapshot — is the daemon running with --metrics-port/--metrics?)\n");
+  }
+}
+
+int CmdMetrics(const Args& args) {
+  api::BackendOptions backend = BackendFromArgs(args, "remote");
+  const std::unique_ptr<api::Engine> engine = api::MakeEngine(backend);
+  const bool prom = args.Has("prom");
+  const bool watch = args.Has("watch");
+  for (;;) {
+    const obs::MetricsSnapshot snap = api::Metrics(*engine);
+    if (watch) std::printf("\033[2J\033[H");
+    if (prom) {
+      std::printf("%s", obs::WritePrometheusText(snap).c_str());
+    } else {
+      PrintSnapshotTables(snap);
+    }
+    if (!watch) break;
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(2));
+  }
+  return 0;
+}
+
 int CmdList() {
   std::printf("machines (Table I):\n");
   for (const MachineProfile& profile : Table1Profiles()) {
@@ -526,6 +616,7 @@ int main(int argc, char** argv) {
     if (command == "serve") return CmdServe(args);
     if (command == "remote") return CmdRemote(args);
     if (command == "batch") return CmdBatch(args);
+    if (command == "metrics") return CmdMetrics(args);
     if (command == "list") return CmdList();
   } catch (const std::exception& e) {
     // Error and all its subclasses, plus stray std::stod/stoll failures:
