@@ -42,13 +42,13 @@ TimeMicros LocalEngine::StampNowLocked() {
 }
 
 Result LocalEngine::Apply(const Command& cmd) {
-  std::lock_guard<lockdep::ordered_mutex> lock(mu_);
+  const lockdep::guard lock(mu_);
   ++lock_acquisitions_;
   return ApplyTimedLocked(cmd);
 }
 
 std::vector<Result> LocalEngine::ApplyBatch(std::span<const Command> cmds) {
-  std::lock_guard<lockdep::ordered_mutex> lock(mu_);
+  const lockdep::guard lock(mu_);
   ++lock_acquisitions_;
   if (batch_hist_ != nullptr) batch_hist_->Record(cmds.size());
   std::vector<Result> results;
@@ -77,9 +77,9 @@ Result LocalEngine::ApplyLocked(const Command& cmd) {
   struct Dispatcher {
     LocalEngine& self;
 
-    Result operator()(const PingCmd&) { return OkResult{}; }
+    Result operator()(const PingCmd&) OCASTA_REQUIRES(self.mu_) { return OkResult{}; }
 
-    Result operator()(const PutCmd& cmd) {
+    Result operator()(const PutCmd& cmd) OCASTA_REQUIRES(self.mu_) {
       if (cmd.key.empty()) throw StoreError("empty key");
       const TimeMicros t = cmd.timestamp == 0 ? self.StampNowLocked() : cmd.timestamp;
       self.ttkv_.record_write_clamped(cmd.key, cmd.value, t);
@@ -88,7 +88,7 @@ Result LocalEngine::ApplyLocked(const Command& cmd) {
       return OkResult{};
     }
 
-    Result operator()(const DeleteCmd& cmd) {
+    Result operator()(const DeleteCmd& cmd) OCASTA_REQUIRES(self.mu_) {
       if (cmd.key.empty()) throw StoreError("empty key");
       const VersionedRecord* rec = self.ttkv_.find(cmd.key);
       const bool existed = rec != nullptr && rec->latest().has_value();
@@ -100,26 +100,26 @@ Result LocalEngine::ApplyLocked(const Command& cmd) {
       return ExistedResult{existed};
     }
 
-    Result operator()(const GetCmd& cmd) {
+    Result operator()(const GetCmd& cmd) OCASTA_REQUIRES(self.mu_) {
       ++self.gets_;
       if (self.ctr_gets_ != nullptr) self.ctr_gets_->Inc();
       return ValueResult{self.ttkv_.read_latest(cmd.key)};
     }
 
-    Result operator()(const GetAtCmd& cmd) {
+    Result operator()(const GetAtCmd& cmd) OCASTA_REQUIRES(self.mu_) {
       const VersionedRecord* rec = self.ttkv_.find(cmd.key);
       ValueResult res;
       if (rec != nullptr) res.value = rec->value_at(cmd.timestamp);
       return res;
     }
 
-    Result operator()(const HistoryCmd& cmd) {
+    Result operator()(const HistoryCmd& cmd) OCASTA_REQUIRES(self.mu_) {
       const VersionedRecord* rec = self.ttkv_.find(cmd.key);
       if (rec == nullptr) return HistoryResult{};
       return HistoryResult{*rec};
     }
 
-    Result operator()(const ListKeysCmd& cmd) {
+    Result operator()(const ListKeysCmd& cmd) OCASTA_REQUIRES(self.mu_) {
       KeysResult res;
       for (uint32_t id = 0; id < self.ttkv_.num_keys(); ++id) {
         const VersionedRecord& rec = self.ttkv_.record(id);
@@ -131,7 +131,7 @@ Result LocalEngine::ApplyLocked(const Command& cmd) {
       return res;
     }
 
-    Result operator()(const StatsCmd&) {
+    Result operator()(const StatsCmd&) OCASTA_REQUIRES(self.mu_) {
       StatsResult res;
       res.stats.ttkv = self.ttkv_.stats();
       res.stats.num_shards = 1;
@@ -144,13 +144,13 @@ Result LocalEngine::ApplyLocked(const Command& cmd) {
       return res;
     }
 
-    Result operator()(const SnapshotCmd&) { return SnapshotResult{self.ttkv_}; }
+    Result operator()(const SnapshotCmd&) OCASTA_REQUIRES(self.mu_) { return SnapshotResult{self.ttkv_}; }
 
-    Result operator()(const CompactCmd& cmd) {
+    Result operator()(const CompactCmd& cmd) OCASTA_REQUIRES(self.mu_) {
       return CompactResult{self.ttkv_.CompactBefore(cmd.horizon)};
     }
 
-    Result operator()(const ClusterNowCmd& cmd) {
+    Result operator()(const ClusterNowCmd& cmd) OCASTA_REQUIRES(self.mu_) {
       ClusteringParams params;
       params.window_seconds = self.options_.cluster_window_seconds;
       params.threshold_correlation = cmd.threshold_correlation;
@@ -169,9 +169,9 @@ Result LocalEngine::ApplyLocked(const Command& cmd) {
       return res;
     }
 
-    Result operator()(const ShutdownCmd&) { return OkResult{}; }
+    Result operator()(const ShutdownCmd&) OCASTA_REQUIRES(self.mu_) { return OkResult{}; }
 
-    Result operator()(const BatchCmd& cmd) {
+    Result operator()(const BatchCmd& cmd) OCASTA_REQUIRES(self.mu_) {
       if (self.batch_hist_ != nullptr) self.batch_hist_->Record(cmd.commands.size());
       BatchResult res;
       res.results.reserve(cmd.commands.size());
@@ -181,7 +181,7 @@ Result LocalEngine::ApplyLocked(const Command& cmd) {
 
     // Runs under mu_ (rank 30); the registry mutex ranks above it, so the
     // snapshot here is lock-order clean.
-    Result operator()(const MetricsCmd&) {
+    Result operator()(const MetricsCmd&) OCASTA_REQUIRES(self.mu_) {
       MetricsResult res;
       if (self.options_.metrics != nullptr) res.snapshot = self.options_.metrics->Snapshot();
       return res;

@@ -37,30 +37,31 @@ class LocalEngine final : public Engine {
   explicit LocalEngine(TTKV initial) : LocalEngine(std::move(initial), Options{}) {}
   LocalEngine(TTKV initial, Options options);
 
-  Result Apply(const Command& cmd) override;
-  std::vector<Result> ApplyBatch(std::span<const Command> cmds) override;
+  Result Apply(const Command& cmd) override OCASTA_EXCLUDES(mu_);
+  std::vector<Result> ApplyBatch(std::span<const Command> cmds) override
+      OCASTA_EXCLUDES(mu_);
   const char* backend_name() const override { return "local"; }
 
  private:
   // Dispatches one command with mu_ held. Never throws: command-level
   // failures come back as ErrorResult.
-  Result ApplyLocked(const Command& cmd);
+  Result ApplyLocked(const Command& cmd) OCASTA_REQUIRES(mu_);
 
   // ApplyLocked wrapped in a latency measurement when a histogram is
   // registered for this op kind (null otherwise — one array load + branch).
-  Result ApplyTimedLocked(const Command& cmd);
+  Result ApplyTimedLocked(const Command& cmd) OCASTA_REQUIRES(mu_);
 
   // Monotonicized wall-clock stamp for timestamp == 0 ops; mu_ held.
-  TimeMicros StampNowLocked();
+  TimeMicros StampNowLocked() OCASTA_REQUIRES(mu_);
 
   mutable lockdep::ordered_mutex mu_{lockdep::kLocalEngineClass};
-  TTKV ttkv_;
+  TTKV ttkv_ OCASTA_GUARDED_BY(mu_);
   Options options_;
-  int64_t clock_ = 0;
-  uint64_t puts_ = 0;
-  uint64_t gets_ = 0;
-  uint64_t deletes_ = 0;
-  uint64_t lock_acquisitions_ = 0;
+  int64_t clock_ OCASTA_GUARDED_BY(mu_) = 0;
+  uint64_t puts_ OCASTA_GUARDED_BY(mu_) = 0;
+  uint64_t gets_ OCASTA_GUARDED_BY(mu_) = 0;
+  uint64_t deletes_ OCASTA_GUARDED_BY(mu_) = 0;
+  uint64_t lock_acquisitions_ OCASTA_GUARDED_BY(mu_) = 0;
 
   // Pre-resolved instrument handles; all null when Options::metrics is
   // null. The histogram array is indexed by CommandOp variant index so

@@ -38,11 +38,21 @@
 // builds pay nothing. The sanitizer CI jobs (TSan and ASan+UBSan) build
 // with lockdep ON, so every ordering invariant is enforced on every test
 // run that exercises concurrency.
+//
+// Static companion: both mutexes are clang thread-safety CAPABILITIES
+// (common/thread_safety.h), and the guard types below are the annotated
+// RAII wrappers the analysis understands — std::lock_guard/unique_lock/
+// shared_lock acquire inside unannotated system headers, so a std guard
+// leaves the analysis's held-lock set unchanged and every GUARDED_BY
+// access under one would (wrongly) warn. Use lockdep::guard /
+// relock_guard / writer_guard / reader_guard on the annotated surface.
 #pragma once
 
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
+
+#include "common/thread_safety.h"
 
 namespace ocasta::lockdep {
 
@@ -70,8 +80,9 @@ void OnRelease(const void* addr);
 }  // namespace detail
 
 // Drop-in std::mutex with a lock class. Satisfies Lockable, so
-// std::unique_lock / std::lock_guard / std::scoped_lock work unchanged.
-class ordered_mutex {
+// std::unique_lock / std::lock_guard / std::scoped_lock work unchanged
+// (but see the guard types below for the annotated surface).
+class OCASTA_CAPABILITY("mutex") ordered_mutex {
  public:
 #ifdef OCASTA_LOCKDEP
   explicit ordered_mutex(const LockClass& cls) : cls_(&cls) {}
@@ -80,24 +91,24 @@ class ordered_mutex {
   // lock would self-deadlock inside std::mutex before a post-lock check
   // could ever run. try_lock checks after success instead — it cannot
   // block, and a failed probe must leave no trace.
-  void lock() {
+  void lock() OCASTA_ACQUIRE() {
     detail::OnAcquire(cls_, this, /*shared=*/false);
     mu_.lock();
   }
-  bool try_lock() {
+  bool try_lock() OCASTA_TRY_ACQUIRE(true) {
     if (!mu_.try_lock()) return false;
     detail::OnAcquire(cls_, this, /*shared=*/false);
     return true;
   }
-  void unlock() {
+  void unlock() OCASTA_RELEASE() {
     detail::OnRelease(this);
     mu_.unlock();
   }
 #else
   explicit ordered_mutex(const LockClass&) {}
-  void lock() { mu_.lock(); }
-  bool try_lock() { return mu_.try_lock(); }
-  void unlock() { mu_.unlock(); }
+  void lock() OCASTA_ACQUIRE() { mu_.lock(); }
+  bool try_lock() OCASTA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void unlock() OCASTA_RELEASE() { mu_.unlock(); }
 #endif
 
   ordered_mutex(const ordered_mutex&) = delete;
@@ -113,45 +124,45 @@ class ordered_mutex {
 // Drop-in std::shared_mutex with a lock class; shared acquisitions obey
 // the same rank/graph rules as exclusive ones (a reader that takes locks
 // out of order deadlocks writers just as well).
-class ordered_shared_mutex {
+class OCASTA_CAPABILITY("shared_mutex") ordered_shared_mutex {
  public:
 #ifdef OCASTA_LOCKDEP
   explicit ordered_shared_mutex(const LockClass& cls) : cls_(&cls) {}
   // Same check-before-block rationale as ordered_mutex::lock above.
-  void lock() {
+  void lock() OCASTA_ACQUIRE() {
     detail::OnAcquire(cls_, this, /*shared=*/false);
     mu_.lock();
   }
-  bool try_lock() {
+  bool try_lock() OCASTA_TRY_ACQUIRE(true) {
     if (!mu_.try_lock()) return false;
     detail::OnAcquire(cls_, this, /*shared=*/false);
     return true;
   }
-  void unlock() {
+  void unlock() OCASTA_RELEASE() {
     detail::OnRelease(this);
     mu_.unlock();
   }
-  void lock_shared() {
+  void lock_shared() OCASTA_ACQUIRE_SHARED() {
     detail::OnAcquire(cls_, this, /*shared=*/true);
     mu_.lock_shared();
   }
-  bool try_lock_shared() {
+  bool try_lock_shared() OCASTA_TRY_ACQUIRE_SHARED(true) {
     if (!mu_.try_lock_shared()) return false;
     detail::OnAcquire(cls_, this, /*shared=*/true);
     return true;
   }
-  void unlock_shared() {
+  void unlock_shared() OCASTA_RELEASE_SHARED() {
     detail::OnRelease(this);
     mu_.unlock_shared();
   }
 #else
   explicit ordered_shared_mutex(const LockClass&) {}
-  void lock() { mu_.lock(); }
-  bool try_lock() { return mu_.try_lock(); }
-  void unlock() { mu_.unlock(); }
-  void lock_shared() { mu_.lock_shared(); }
-  bool try_lock_shared() { return mu_.try_lock_shared(); }
-  void unlock_shared() { mu_.unlock_shared(); }
+  void lock() OCASTA_ACQUIRE() { mu_.lock(); }
+  bool try_lock() OCASTA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void unlock() OCASTA_RELEASE() { mu_.unlock(); }
+  void lock_shared() OCASTA_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  bool try_lock_shared() OCASTA_TRY_ACQUIRE_SHARED(true) { return mu_.try_lock_shared(); }
+  void unlock_shared() OCASTA_RELEASE_SHARED() { mu_.unlock_shared(); }
 #endif
 
   ordered_shared_mutex(const ordered_shared_mutex&) = delete;
@@ -164,11 +175,103 @@ class ordered_shared_mutex {
 #endif
 };
 
+// --- Annotated RAII guards --------------------------------------------------
+// The thread-safety analysis tracks acquisitions only through annotated
+// functions, and std::lock_guard / std::unique_lock / std::shared_lock
+// live in unannotated system headers — constructing one never updates the
+// caller's held-lock set, so every GUARDED_BY access under a std guard
+// would warn. These four concrete guards (mirroring the scoped-capability
+// shape from the clang docs) cover every locking idiom in the codebase.
+// They deliberately do NOT try to be std::unique_lock: no deferred locks,
+// no adoption, no try-forms — shapes this codebase does not use stay
+// inexpressible.
+
+// lock_guard for ordered_mutex: exclusive, held for the full scope.
+class OCASTA_SCOPED_CAPABILITY guard {
+ public:
+  explicit guard(ordered_mutex& mu) OCASTA_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~guard() OCASTA_RELEASE() { mu_.unlock(); }
+
+  guard(const guard&) = delete;
+  guard& operator=(const guard&) = delete;
+
+ private:
+  ordered_mutex& mu_;
+};
+
+// unique_lock-shaped guard for ordered_mutex: starts locked, supports
+// explicit unlock()/lock() windows (condvar waits, group commit's
+// release-around-fsync). Must be locked again by scope exit on every path
+// that unlocked it — condvar waits guarantee reacquisition themselves —
+// and the analysis checks exactly that through the ACQUIRE/RELEASE
+// annotations; owned_ keeps the destructor correct if an exception exits
+// an unlocked window.
+class OCASTA_SCOPED_CAPABILITY relock_guard {
+ public:
+  explicit relock_guard(ordered_mutex& mu) OCASTA_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~relock_guard() OCASTA_RELEASE() {
+    if (owned_) mu_.unlock();
+  }
+
+  void unlock() OCASTA_RELEASE() {
+    owned_ = false;
+    mu_.unlock();
+  }
+  void lock() OCASTA_ACQUIRE() {
+    mu_.lock();
+    owned_ = true;
+  }
+
+  relock_guard(const relock_guard&) = delete;
+  relock_guard& operator=(const relock_guard&) = delete;
+
+ private:
+  ordered_mutex& mu_;
+  bool owned_ = true;
+};
+
+// lock_guard for ordered_shared_mutex, exclusive (writer side).
+class OCASTA_SCOPED_CAPABILITY writer_guard {
+ public:
+  explicit writer_guard(ordered_shared_mutex& mu) OCASTA_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~writer_guard() OCASTA_RELEASE() { mu_.unlock(); }
+
+  writer_guard(const writer_guard&) = delete;
+  writer_guard& operator=(const writer_guard&) = delete;
+
+ private:
+  ordered_shared_mutex& mu_;
+};
+
+// shared_lock for ordered_shared_mutex (reader side).
+class OCASTA_SCOPED_CAPABILITY reader_guard {
+ public:
+  explicit reader_guard(ordered_shared_mutex& mu) OCASTA_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~reader_guard() OCASTA_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  reader_guard(const reader_guard&) = delete;
+  reader_guard& operator=(const reader_guard&) = delete;
+
+ private:
+  ordered_shared_mutex& mu_;
+};
+
 // Condition variable usable with ordered_mutex. condition_variable_any's
-// wait() releases/reacquires through the instrumented lock()/unlock(), so
-// held-lock state stays correct across waits. (The _any variant costs one
-// extra internal mutex per cv; every cv in this codebase sits on a flush /
-// checkpoint path where that is noise.)
+// wait() releases/reacquires through the instrumented lock()/unlock() of
+// relock_guard, so held-lock state stays correct across waits. (The _any
+// variant costs one extra internal mutex per cv; every cv in this codebase
+// sits on a flush / checkpoint path where that is noise.)
+//
+// Thread-safety caveat: wait(guard) unlocks and relocks inside a system
+// header the analysis cannot see, so to the analysis the lock appears held
+// straight through a wait — which is also the truth at every sequence
+// point the waiting code can observe. Wait PREDICATES are different:
+// a predicate lambda is analyzed as its own lock-free function, so waits
+// whose predicate reads guarded state are written as explicit
+// `while (!cond) cv.wait(lock);` loops instead (see Wal::Sync,
+// DurableEngine::CheckpointThread).
 using condvar = std::condition_variable_any;
 
 // --- The global lock-order table --------------------------------------------

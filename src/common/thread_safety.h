@@ -1,0 +1,179 @@
+// Clang thread-safety (capability) annotation macros — the compile-time
+// companion to the runtime lockdep layer (common/lockdep.h).
+//
+// Lockdep catches lock-ORDER bugs on paths a test happens to execute;
+// these annotations make lock OWNERSHIP — "which mutex guards which
+// field", "which private method assumes which lock is held" — a contract
+// the compiler proves on EVERY path, executed or not. The vocabulary is
+// clang's -Wthread-safety capability analysis (the one Abseil/Chromium
+// production stacks build on):
+//
+//   OCASTA_CAPABILITY("mutex")   on a mutex class: its instances are
+//                                capabilities the analysis tracks.
+//   OCASTA_SCOPED_CAPABILITY     on an RAII guard: ctor acquires, dtor
+//                                releases (see lockdep's guard types).
+//   OCASTA_GUARDED_BY(mu)        on a field: reads need mu held (shared
+//                                suffices), writes need it exclusively.
+//   OCASTA_PT_GUARDED_BY(mu)     same, for the pointee of a pointer field.
+//   OCASTA_REQUIRES(mu)          on a function: callers must hold mu
+//                                exclusively (the FooLocked() convention,
+//                                machine-checked).
+//   OCASTA_REQUIRES_SHARED(mu)   callers must hold mu at least shared.
+//   OCASTA_ACQUIRE / OCASTA_RELEASE / OCASTA_ACQUIRE_SHARED /
+//   OCASTA_RELEASE_SHARED / OCASTA_TRY_ACQUIRE / OCASTA_TRY_ACQUIRE_SHARED
+//                                on lock/unlock members: how a call edits
+//                                the caller's held-lock set.
+//   OCASTA_RELEASE_GENERIC       release that may be shared or exclusive.
+//   OCASTA_EXCLUDES(mu)          callers must NOT hold mu (deadlock
+//                                documentation for self-locking entry
+//                                points).
+//   OCASTA_RETURN_CAPABILITY(mu) on a getter returning a mutex (or a
+//                                reference to one): teaches the analysis
+//                                the returned object IS mu, so guards
+//                                built on the return value count as
+//                                holding mu.
+//   OCASTA_ASSERT_CAPABILITY(mu) runtime-checked assertion that mu is
+//                                held (adds it to the held set).
+//   OCASTA_NO_THREAD_SAFETY_ANALYSIS
+//                                per-function opt-out. Policy (see
+//                                docs/TOOLING.md): every use carries a
+//                                one-line justification comment; blanket
+//                                suppressions are not accepted.
+//
+// Off-clang (the default gcc tier-1 build) every macro expands to
+// NOTHING, so annotated code is byte-identical to unannotated code —
+// tests/thread_safety_smoke_test.cpp pins that. The analysis itself runs
+// in the clang-threadsafety CI job with -Werror=thread-safety
+// -Wthread-safety-beta.
+//
+// Known holes the annotations do NOT cover (why lockdep and TSan stay):
+// std guards (std::lock_guard & friends) acquire inside system headers
+// the analysis does not look into, so lockdep's guard types are used on
+// the annotated surface; constructors/destructors are not analyzed; and
+// a capability released and reacquired around a blocking region (group
+// commit) is only as correct as its annotations.
+#pragma once
+
+// __has_attribute guards each attribute individually: the macro set
+// degrades gracefully on older clangs instead of breaking the build.
+#if defined(__clang__) && defined(__has_attribute)
+#define OCASTA_TS_ATTR__(x) __has_attribute(x)
+#else
+#define OCASTA_TS_ATTR__(x) 0
+#endif
+
+#if OCASTA_TS_ATTR__(capability)
+#define OCASTA_CAPABILITY(x) __attribute__((capability(x)))
+#else
+#define OCASTA_CAPABILITY(x)
+#endif
+
+#if OCASTA_TS_ATTR__(scoped_lockable)
+#define OCASTA_SCOPED_CAPABILITY __attribute__((scoped_lockable))
+#else
+#define OCASTA_SCOPED_CAPABILITY
+#endif
+
+#if OCASTA_TS_ATTR__(guarded_by)
+#define OCASTA_GUARDED_BY(x) __attribute__((guarded_by(x)))
+#else
+#define OCASTA_GUARDED_BY(x)
+#endif
+
+#if OCASTA_TS_ATTR__(pt_guarded_by)
+#define OCASTA_PT_GUARDED_BY(x) __attribute__((pt_guarded_by(x)))
+#else
+#define OCASTA_PT_GUARDED_BY(x)
+#endif
+
+#if OCASTA_TS_ATTR__(requires_capability)
+#define OCASTA_REQUIRES(...) __attribute__((requires_capability(__VA_ARGS__)))
+#else
+#define OCASTA_REQUIRES(...)
+#endif
+
+#if OCASTA_TS_ATTR__(requires_shared_capability)
+#define OCASTA_REQUIRES_SHARED(...) \
+  __attribute__((requires_shared_capability(__VA_ARGS__)))
+#else
+#define OCASTA_REQUIRES_SHARED(...)
+#endif
+
+#if OCASTA_TS_ATTR__(acquire_capability)
+#define OCASTA_ACQUIRE(...) __attribute__((acquire_capability(__VA_ARGS__)))
+#else
+#define OCASTA_ACQUIRE(...)
+#endif
+
+#if OCASTA_TS_ATTR__(acquire_shared_capability)
+#define OCASTA_ACQUIRE_SHARED(...) \
+  __attribute__((acquire_shared_capability(__VA_ARGS__)))
+#else
+#define OCASTA_ACQUIRE_SHARED(...)
+#endif
+
+#if OCASTA_TS_ATTR__(release_capability)
+#define OCASTA_RELEASE(...) __attribute__((release_capability(__VA_ARGS__)))
+#else
+#define OCASTA_RELEASE(...)
+#endif
+
+#if OCASTA_TS_ATTR__(release_shared_capability)
+#define OCASTA_RELEASE_SHARED(...) \
+  __attribute__((release_shared_capability(__VA_ARGS__)))
+#else
+#define OCASTA_RELEASE_SHARED(...)
+#endif
+
+#if OCASTA_TS_ATTR__(release_generic_capability)
+#define OCASTA_RELEASE_GENERIC(...) \
+  __attribute__((release_generic_capability(__VA_ARGS__)))
+#else
+#define OCASTA_RELEASE_GENERIC(...)
+#endif
+
+#if OCASTA_TS_ATTR__(try_acquire_capability)
+#define OCASTA_TRY_ACQUIRE(...) \
+  __attribute__((try_acquire_capability(__VA_ARGS__)))
+#else
+#define OCASTA_TRY_ACQUIRE(...)
+#endif
+
+#if OCASTA_TS_ATTR__(try_acquire_shared_capability)
+#define OCASTA_TRY_ACQUIRE_SHARED(...) \
+  __attribute__((try_acquire_shared_capability(__VA_ARGS__)))
+#else
+#define OCASTA_TRY_ACQUIRE_SHARED(...)
+#endif
+
+#if OCASTA_TS_ATTR__(locks_excluded)
+#define OCASTA_EXCLUDES(...) __attribute__((locks_excluded(__VA_ARGS__)))
+#else
+#define OCASTA_EXCLUDES(...)
+#endif
+
+#if OCASTA_TS_ATTR__(assert_capability)
+#define OCASTA_ASSERT_CAPABILITY(x) __attribute__((assert_capability(x)))
+#else
+#define OCASTA_ASSERT_CAPABILITY(x)
+#endif
+
+#if OCASTA_TS_ATTR__(assert_shared_capability)
+#define OCASTA_ASSERT_SHARED_CAPABILITY(x) \
+  __attribute__((assert_shared_capability(x)))
+#else
+#define OCASTA_ASSERT_SHARED_CAPABILITY(x)
+#endif
+
+#if OCASTA_TS_ATTR__(lock_returned)
+#define OCASTA_RETURN_CAPABILITY(x) __attribute__((lock_returned(x)))
+#else
+#define OCASTA_RETURN_CAPABILITY(x)
+#endif
+
+#if OCASTA_TS_ATTR__(no_thread_safety_analysis)
+#define OCASTA_NO_THREAD_SAFETY_ANALYSIS \
+  __attribute__((no_thread_safety_analysis))
+#else
+#define OCASTA_NO_THREAD_SAFETY_ANALYSIS
+#endif

@@ -33,7 +33,7 @@ MetricsRegistry::Instrument& MetricsRegistry::GetOrCreate(
     std::string_view name, const Labels& labels, Kind kind) {
   Labels canonical = Canonical(labels);
   std::string key = InstrumentKey(name, canonical);
-  std::lock_guard<lockdep::ordered_mutex> lock(mu_);
+  const lockdep::guard lock(mu_);
   auto it = instruments_.find(key);
   if (it == instruments_.end()) {
     auto inst = std::make_unique<Instrument>();
@@ -75,7 +75,7 @@ LatencyHistogram& MetricsRegistry::GetHistogram(std::string_view name,
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<lockdep::ordered_mutex> lock(mu_);
+  const lockdep::guard lock(mu_);
   for (const auto& [key, inst] : instruments_) {
     switch (inst->kind) {
       case Kind::kCounter:

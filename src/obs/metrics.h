@@ -119,12 +119,15 @@ class MetricsRegistry {
   // Find-or-create; returned references stay valid for the registry's
   // lifetime. Throws common::Error (via api error machinery) when the
   // name already exists as a different instrument kind.
-  Counter& GetCounter(std::string_view name, const Labels& labels = {});
-  Gauge& GetGauge(std::string_view name, const Labels& labels = {});
+  Counter& GetCounter(std::string_view name, const Labels& labels = {})
+      OCASTA_EXCLUDES(mu_);
+  Gauge& GetGauge(std::string_view name, const Labels& labels = {})
+      OCASTA_EXCLUDES(mu_);
   LatencyHistogram& GetHistogram(std::string_view name,
-                                 const Labels& labels = {});
+                                 const Labels& labels = {})
+      OCASTA_EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const OCASTA_EXCLUDES(mu_);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
@@ -139,12 +142,13 @@ class MetricsRegistry {
   };
 
   Instrument& GetOrCreate(std::string_view name, const Labels& labels,
-                          Kind kind);
+                          Kind kind) OCASTA_EXCLUDES(mu_);
 
   mutable lockdep::ordered_mutex mu_{lockdep::kObsRegistryClass};
   // Keyed by name + '\x1f' + canonical labels; std::map keeps snapshots
   // sorted and never invalidates the unique_ptr targets.
-  std::map<std::string, std::unique_ptr<Instrument>> instruments_;
+  std::map<std::string, std::unique_ptr<Instrument>> instruments_
+      OCASTA_GUARDED_BY(mu_);
 };
 
 }  // namespace ocasta::obs

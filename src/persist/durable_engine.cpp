@@ -171,7 +171,7 @@ DurableEngine::~DurableEngine() {
   // same replay path as a crash, or recovery bugs hide behind tidy exits.
   if (checkpoint_thread_.joinable()) {
     {
-      std::lock_guard<lockdep::ordered_mutex> lock(wake_mu_);
+      const lockdep::guard lock(wake_mu_);
       stopping_ = true;
     }
     wake_cv_.notify_all();
@@ -213,7 +213,7 @@ void DurableEngine::MaybeWakeCheckpointer() {
     // checkpoint thread's predicate evaluation and its wait(), and the
     // last mutation before an idle period would leave the byte-triggered
     // checkpoint unscheduled forever.
-    { std::lock_guard<lockdep::ordered_mutex> lock(wake_mu_); }
+    { const lockdep::guard lock(wake_mu_); }
     wake_cv_.notify_all();
   }
 }
@@ -232,7 +232,7 @@ api::Result DurableEngine::Apply(const api::Command& cmd) {
   uint64_t lsn = 0;
   api::Result result;
   {
-    std::lock_guard<lockdep::ordered_mutex> lock(mu_);
+    const lockdep::guard lock(mu_);
     if (trace.active) {
       const auto t0 = std::chrono::steady_clock::now();
       lsn = wal_.Append(payload);
@@ -274,7 +274,7 @@ std::vector<api::Result> DurableEngine::ApplyBatch(std::span<const api::Command>
   uint64_t lsn = 0;
   std::vector<api::Result> results;
   {
-    std::lock_guard<lockdep::ordered_mutex> lock(mu_);
+    const lockdep::guard lock(mu_);
     const auto t0 = trace.active ? std::chrono::steady_clock::now()
                                  : std::chrono::steady_clock::time_point{};
     if (options_.wal.fsync == FsyncPolicy::kAlways) {
@@ -336,13 +336,13 @@ void DurableEngine::WriteSnapshotFile(uint64_t lsn, const std::string& bytes) {
 }
 
 void DurableEngine::Checkpoint() {
-  std::lock_guard<lockdep::ordered_mutex> checkpoint_lock(checkpoint_mu_);
+  const lockdep::guard checkpoint_lock(checkpoint_mu_);
   uint64_t lsn = 0;
   TTKV snapshot;
   {
     // Stall mutations for the capture so the snapshot is an exact LSN cut;
     // serialization and file IO happen after release.
-    std::lock_guard<lockdep::ordered_mutex> lock(mu_);
+    const lockdep::guard lock(mu_);
     lsn = wal_.last_lsn();
     if (lsn == 0 || lsn == checkpointed_lsn_) return;
     snapshot = api::Snapshot(*inner_);
@@ -373,13 +373,20 @@ void DurableEngine::CheckpointThread() {
   };
   for (;;) {
     {
-      std::unique_lock<lockdep::ordered_mutex> lock(wake_mu_);
+      // Explicit wait loops instead of predicate waits: the predicate
+      // lambda would read stopping_ (guarded by wake_mu_) from a scope the
+      // thread-safety analysis treats as lock-free.
+      lockdep::relock_guard lock(wake_mu_);
       if (options_.checkpoint_interval_seconds > 0) {
-        wake_cv_.wait_for(
-            lock, std::chrono::duration<double>(options_.checkpoint_interval_seconds),
-            [&] { return stopping_ || bytes_due(); });
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration<double>(options_.checkpoint_interval_seconds);
+        // Timeout falls through to Checkpoint(), same as the old wait_for.
+        while (!stopping_ && !bytes_due() &&
+               wake_cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+        }
       } else {
-        wake_cv_.wait(lock, [&] { return stopping_ || bytes_due(); });
+        while (!stopping_ && !bytes_due()) wake_cv_.wait(lock);
       }
       if (stopping_) return;
     }

@@ -84,15 +84,16 @@ class DurableEngine final : public api::Engine {
   DurableEngine(std::string data_dir, InnerFactory factory, DurableOptions options = {});
   ~DurableEngine() override;
 
-  api::Result Apply(const api::Command& cmd) override;
-  std::vector<api::Result> ApplyBatch(std::span<const api::Command> cmds) override;
+  api::Result Apply(const api::Command& cmd) override OCASTA_EXCLUDES(mu_);
+  std::vector<api::Result> ApplyBatch(std::span<const api::Command> cmds) override
+      OCASTA_EXCLUDES(mu_);
   const char* backend_name() const override { return "durable"; }
 
   // Snapshot-anchors the log right now: writes snap-<last_lsn>.ttkv (tmp +
   // fsync + rename), prunes snapshots beyond retained_snapshots, truncates
   // covered WAL segments. Safe to call concurrently with traffic; mutation
   // writers stall while the state is captured (not while it is written).
-  void Checkpoint();
+  void Checkpoint() OCASTA_EXCLUDES(checkpoint_mu_, mu_);
 
   // Recovery telemetry from construction time.
   struct RecoveryInfo {
@@ -111,7 +112,7 @@ class DurableEngine final : public api::Engine {
   // from the monotonic clock. Lock-free; called before mu_.
   void Stamp(api::Command* cmd);
   TimeMicros StampNow();
-  void MaybeWakeCheckpointer();
+  void MaybeWakeCheckpointer() OCASTA_EXCLUDES(wake_mu_);
 
   void CheckpointThread();
   void WriteSnapshotFile(uint64_t lsn, const std::string& bytes);
@@ -131,14 +132,14 @@ class DurableEngine final : public api::Engine {
 
   // Serializes Checkpoint() bodies; taken BEFORE mu_ (lowest rank).
   lockdep::ordered_mutex checkpoint_mu_{lockdep::kDurableCheckpointClass};
-  uint64_t checkpointed_lsn_ = 0;  // Guarded by checkpoint_mu_.
+  uint64_t checkpointed_lsn_ OCASTA_GUARDED_BY(checkpoint_mu_) = 0;
   // Read racily by writers to decide whether to wake the checkpointer.
   std::atomic<uint64_t> checkpointed_wal_bytes_{0};
 
   std::thread checkpoint_thread_;
   lockdep::ordered_mutex wake_mu_{lockdep::kDurableWakeClass};  // Leaf.
   lockdep::condvar wake_cv_;
-  bool stopping_ = false;  // Guarded by wake_mu_.
+  bool stopping_ OCASTA_GUARDED_BY(wake_mu_) = false;
 };
 
 }  // namespace ocasta::persist

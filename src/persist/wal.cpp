@@ -261,8 +261,8 @@ void Wal::RotateLocked() {
   // wait it out before closing (its leader re-acquires sync_mu_ to finish,
   // which our cv wait releases).
   {
-    std::unique_lock<lockdep::ordered_mutex> sync_lock(sync_mu_);
-    sync_cv_.wait(sync_lock, [&] { return !flush_in_progress_; });
+    lockdep::relock_guard sync_lock(sync_mu_);
+    while (flush_in_progress_) sync_cv_.wait(sync_lock);
     if (::fsync(fd_) != 0) {
       poisoned_.store(true, std::memory_order_relaxed);
       sync_cv_.notify_all();
@@ -282,7 +282,7 @@ uint64_t Wal::Append(const std::string& payload) {
 
 uint64_t Wal::Append(std::span<const std::string> payloads) {
   if (payloads.empty()) return last_lsn();
-  std::lock_guard<lockdep::ordered_mutex> lock(append_mu_);
+  const lockdep::guard lock(append_mu_);
   if (poisoned_.load(std::memory_order_relaxed)) {
     throw Error("WAL poisoned by an earlier disk failure: " + dir_);
   }
@@ -324,7 +324,7 @@ uint64_t Wal::Append(std::span<const std::string> payloads) {
 
 void Wal::Sync(uint64_t lsn) {
   if (options_.fsync == FsyncPolicy::kOff) return;
-  std::unique_lock<lockdep::ordered_mutex> lock(sync_mu_);
+  lockdep::relock_guard lock(sync_mu_);
   for (;;) {
     if (poisoned_.load(std::memory_order_relaxed)) {
       throw Error("WAL poisoned by an earlier disk failure: " + dir_);
@@ -334,9 +334,10 @@ void Wal::Sync(uint64_t lsn) {
       // A flush is in flight; it may cover us. Wait for it to land and
       // re-check — a covered waiter returns HERE, never queueing behind
       // the next leader's disk time.
-      sync_cv_.wait(lock, [&] {
-        return !flush_in_progress_ || synced_lsn_.load(std::memory_order_relaxed) >= lsn;
-      });
+      while (flush_in_progress_ &&
+             synced_lsn_.load(std::memory_order_relaxed) < lsn) {
+        sync_cv_.wait(lock);
+      }
       continue;
     }
     // Become the leader. Everything written before the flush starts is
@@ -351,7 +352,7 @@ void Wal::Sync(uint64_t lsn) {
     lock.unlock();
     const auto t0 = fsync_hist_ != nullptr ? std::chrono::steady_clock::now()
                                            : std::chrono::steady_clock::time_point{};
-    const int rc = ::fdatasync(fd_);
+    const int rc = ::fdatasync(flush_fd());
     if (fsync_hist_ != nullptr && rc == 0) {
       fsync_hist_->Record(static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -385,7 +386,7 @@ void Wal::Sync(uint64_t lsn) {
 }
 
 size_t Wal::TruncateThrough(uint64_t lsn) {
-  std::lock_guard<lockdep::ordered_mutex> lock(append_mu_);
+  const lockdep::guard lock(append_mu_);
   // A segment is removable when the NEXT segment starts at or below
   // lsn + 1 — then every record it holds is <= lsn. The live segment
   // always survives.
@@ -407,13 +408,13 @@ size_t Wal::TruncateThrough(uint64_t lsn) {
 }
 
 void Wal::ResetTo(uint64_t first_lsn) {
-  std::lock_guard<lockdep::ordered_mutex> lock(append_mu_);
+  const lockdep::guard lock(append_mu_);
   if (first_lsn <= written_lsn_.load(std::memory_order_relaxed)) {
     throw Error("Wal::ResetTo would renumber live records");
   }
   {
-    std::unique_lock<lockdep::ordered_mutex> sync_lock(sync_mu_);
-    sync_cv_.wait(sync_lock, [&] { return !flush_in_progress_; });
+    lockdep::relock_guard sync_lock(sync_mu_);
+    while (flush_in_progress_) sync_cv_.wait(sync_lock);
     if (fd_ >= 0) ::close(fd_);
     fd_ = -1;
     synced_lsn_.store(first_lsn - 1, std::memory_order_relaxed);

@@ -123,8 +123,10 @@ class Wal {
   // fdatasync may have dropped dirty pages the kernel will never admit to
   // again (the PostgreSQL fsyncgate lesson) — once durability is in doubt,
   // refusing every subsequent ack is the only honest answer.
-  uint64_t Append(std::span<const std::string> payloads);
-  uint64_t Append(const std::string& payload);
+  uint64_t Append(std::span<const std::string> payloads)
+      OCASTA_EXCLUDES(append_mu_, sync_mu_);
+  uint64_t Append(const std::string& payload)
+      OCASTA_EXCLUDES(append_mu_, sync_mu_);
 
   // Blocks until every record with sequence <= lsn is flushed (no-op under
   // kOff). Group commit, condvar-shaped: at most one fdatasync is in
@@ -132,19 +134,19 @@ class Wal {
   // never queue behind the NEXT flush), and the first uncovered caller
   // becomes the next leader. One disk flush acknowledges every record
   // written before it started.
-  void Sync(uint64_t lsn);
+  void Sync(uint64_t lsn) OCASTA_EXCLUDES(sync_mu_);
 
   // Deletes whole segments whose every record has lsn <= `lsn` (checkpoint
   // truncation). The live segment is never deleted. Returns segments
   // removed.
-  size_t TruncateThrough(uint64_t lsn);
+  size_t TruncateThrough(uint64_t lsn) OCASTA_EXCLUDES(append_mu_);
 
   // Restarts the log at `first_lsn`, deleting every segment. Recovery uses
   // this when a snapshot is NEWER than every surviving record (possible
   // after a kernel crash under fsync=off): the stale records are all
   // covered by the snapshot, and fresh appends must number past it so the
   // snapshot seam stays monotone. Requires first_lsn > last_lsn().
-  void ResetTo(uint64_t first_lsn);
+  void ResetTo(uint64_t first_lsn) OCASTA_EXCLUDES(append_mu_, sync_mu_);
 
   uint64_t last_lsn() const;
   uint64_t synced_lsn() const;
@@ -156,9 +158,15 @@ class Wal {
   const std::string& dir() const { return dir_; }
 
  private:
-  void OpenNewSegmentLocked(uint64_t first_lsn);
-  void RotateLocked();
+  void OpenNewSegmentLocked(uint64_t first_lsn) OCASTA_REQUIRES(append_mu_);
+  void RotateLocked() OCASTA_REQUIRES(append_mu_) OCASTA_EXCLUDES(sync_mu_);
   void SyncDir() const;
+
+  // Reads fd_ WITHOUT append_mu_ for the group-commit leader's fdatasync.
+  // Exemption justified: the fd is stable while flush_in_progress_ is true
+  // (rotation and reset both wait it out under sync_mu_ before closing),
+  // but that two-mutex handoff protocol is not expressible statically.
+  int flush_fd() const OCASTA_NO_THREAD_SAFETY_ANALYSIS { return fd_; }
 
   const std::string dir_;
   const WalOptions options_;
@@ -171,11 +179,12 @@ class Wal {
   // order: append_mu_ before sync_mu_, never the reverse — enforced by
   // lockdep (kWalAppendClass ranks below kWalSyncClass).
   mutable lockdep::ordered_mutex append_mu_{lockdep::kWalAppendClass};
-  int fd_ = -1;                  // Live segment, O_APPEND. Guarded by append_mu_
-                                 // for writes, sync_mu_ for fsync/close.
-  uint64_t segment_first_lsn_ = 1;  // Guarded by append_mu_.
-  size_t segment_size_ = 0;         // Guarded by append_mu_.
-  uint64_t next_lsn_ = 1;           // Guarded by append_mu_.
+  // Live segment, O_APPEND. Writes and open/close run under append_mu_;
+  // the lone unlocked read is the flush leader's fdatasync (flush_fd()).
+  int fd_ OCASTA_GUARDED_BY(append_mu_) = -1;
+  uint64_t segment_first_lsn_ OCASTA_GUARDED_BY(append_mu_) = 1;
+  size_t segment_size_ OCASTA_GUARDED_BY(append_mu_) = 0;
+  uint64_t next_lsn_ OCASTA_GUARDED_BY(append_mu_) = 1;
   std::atomic<uint64_t> written_lsn_{0};
   std::atomic<uint64_t> appended_bytes_{0};
 
@@ -184,7 +193,7 @@ class Wal {
   // covered waiters (and rotation, which must not close an fd mid-flush).
   lockdep::ordered_mutex sync_mu_{lockdep::kWalSyncClass};
   lockdep::condvar sync_cv_;
-  bool flush_in_progress_ = false;
+  bool flush_in_progress_ OCASTA_GUARDED_BY(sync_mu_) = false;
   std::atomic<uint64_t> synced_lsn_{0};
   std::atomic<uint64_t> sync_count_{0};
 

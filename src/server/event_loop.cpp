@@ -77,7 +77,7 @@ void EventLoop::Join() {
 
 void EventLoop::AddConnection(int fd) {
   {
-    std::lock_guard<lockdep::ordered_mutex> lock(pending_mu_);
+    const lockdep::guard lock(pending_mu_);
     if (!drained_) {
       pending_fds_.push_back(fd);
       const uint64_t one = 1;
@@ -99,7 +99,7 @@ void EventLoop::DecOpenConns() {
 void EventLoop::RegisterPending() {
   std::vector<int> fds;
   {
-    std::lock_guard<lockdep::ordered_mutex> lock(pending_mu_);
+    const lockdep::guard lock(pending_mu_);
     fds.swap(pending_fds_);
   }
   for (int fd : fds) {
@@ -175,7 +175,7 @@ void EventLoop::Run() {
   // AddConnection that lost the race closes its fd itself instead of
   // queueing onto a loop that will never run again.
   {
-    std::lock_guard<lockdep::ordered_mutex> lock(pending_mu_);
+    const lockdep::guard lock(pending_mu_);
     drained_ = true;
   }
   RegisterPending();

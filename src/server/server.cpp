@@ -142,7 +142,7 @@ void TtkvServer::Stop() {
 }
 
 void TtkvServer::Wait() {
-  std::lock_guard<lockdep::ordered_mutex> lock(join_mu_);
+  const lockdep::guard lock(join_mu_);
   if (accept_thread_.joinable()) accept_thread_.join();
   for (const auto& loop : loops_) loop->Join();
   if (metrics_http_ != nullptr) metrics_http_->Stop();

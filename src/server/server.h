@@ -83,7 +83,7 @@ class TtkvServer {
   void Stop();
 
   // Blocks until the server stops (Stop() or a client SHUTDOWN op).
-  void Wait();
+  void Wait() OCASTA_EXCLUDES(join_mu_);
 
   // Port actually bound; valid after Start().
   uint16_t port() const { return port_; }
@@ -154,6 +154,9 @@ class TtkvServer {
 
   // Serializes Wait()/Stop() joiners (lockdep leaf-ish: worker joins
   // happen under it, but no other lock is ever acquired by the joiner).
+  // A capability with no guarded fields: it exists to make concurrent
+  // Wait() calls block instead of double-joining, not to guard data —
+  // listen_fd_ teardown is ordered by the join itself.
   lockdep::ordered_mutex join_mu_{lockdep::kServerJoinClass};
 };
 

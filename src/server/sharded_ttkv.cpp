@@ -37,16 +37,14 @@ size_t ShardedTtkv::shard_of(const std::string& key) const {
   return Fnv1a(key) % shards_.size();
 }
 
-std::unique_lock<lockdep::ordered_shared_mutex> ShardedTtkv::LockShard(
-    const Shard& shard) const {
+lockdep::ordered_shared_mutex& ShardedTtkv::WriteLock(const Shard& shard) const {
   write_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
-  return std::unique_lock<lockdep::ordered_shared_mutex>(shard.mu);
+  return shard.mu;
 }
 
-std::shared_lock<lockdep::ordered_shared_mutex> ShardedTtkv::LockShardShared(
-    const Shard& shard) const {
+lockdep::ordered_shared_mutex& ShardedTtkv::ReadLock(const Shard& shard) const {
   read_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
-  return std::shared_lock<lockdep::ordered_shared_mutex>(shard.mu);
+  return shard.mu;
 }
 
 TimeMicros ShardedTtkv::StampNow() { return StampBlock(1); }
@@ -130,10 +128,10 @@ VersionedRecord CopyRecordShared(const VersionedRecord& rec) {
 }  // namespace
 
 void ShardedTtkv::DrainTracker() const {
-  std::lock_guard<lockdep::ordered_mutex> tracker_lock(tracker_mu_);
+  const lockdep::guard tracker_lock(tracker_mu_);
   std::vector<PendingEvent> events;
   for (const auto& shard : shards_) {
-    const auto lock = LockShard(*shard);
+    const lockdep::writer_guard lock(WriteLock(*shard));
     if (events.empty()) {
       events = std::move(shard->pending);
     } else {
@@ -190,7 +188,7 @@ void ShardedTtkv::Put(const std::string& key, Value value, TimeMicros t) {
   Shard& shard = *shards_[shard_of(key)];
   bool need_drain;
   {
-    const auto lock = LockShard(shard);
+    const lockdep::writer_guard lock(WriteLock(shard));
     need_drain = PutLocked(shard, key, std::move(value), t);
   }
   puts_.fetch_add(1, std::memory_order_relaxed);
@@ -204,7 +202,7 @@ bool ShardedTtkv::Delete(const std::string& key, TimeMicros t, bool force) {
   Shard& shard = *shards_[shard_of(key)];
   DeleteOutcome out;
   {
-    const auto lock = LockShard(shard);
+    const lockdep::writer_guard lock(WriteLock(shard));
     out = DeleteLocked(shard, key, t, force);
   }
   if (out.recorded) {
@@ -217,7 +215,7 @@ bool ShardedTtkv::Delete(const std::string& key, TimeMicros t, bool force) {
 
 std::optional<Value> ShardedTtkv::Get(const std::string& key) {
   Shard& shard = *shards_[shard_of(key)];
-  const auto lock = LockShardShared(shard);
+  const lockdep::reader_guard lock(ReadLock(shard));
   gets_.fetch_add(1, std::memory_order_relaxed);
   if (ctr_gets_ != nullptr) ctr_gets_->Inc();
   return shard.ttkv.read_latest_shared(key);
@@ -225,7 +223,7 @@ std::optional<Value> ShardedTtkv::Get(const std::string& key) {
 
 std::optional<Value> ShardedTtkv::GetAt(const std::string& key, TimeMicros t) const {
   const Shard& shard = *shards_[shard_of(key)];
-  const auto lock = LockShardShared(shard);
+  const lockdep::reader_guard lock(ReadLock(shard));
   const VersionedRecord* rec = shard.ttkv.find(key);
   if (rec == nullptr) return std::nullopt;
   return rec->value_at(t);
@@ -233,7 +231,7 @@ std::optional<Value> ShardedTtkv::GetAt(const std::string& key, TimeMicros t) co
 
 std::optional<VersionedRecord> ShardedTtkv::History(const std::string& key) const {
   const Shard& shard = *shards_[shard_of(key)];
-  const auto lock = LockShardShared(shard);
+  const lockdep::reader_guard lock(ReadLock(shard));
   const VersionedRecord* rec = shard.ttkv.find(key);
   if (rec == nullptr) return std::nullopt;
   return CopyRecordShared(*rec);
@@ -242,7 +240,7 @@ std::optional<VersionedRecord> ShardedTtkv::History(const std::string& key) cons
 std::vector<std::string> ShardedTtkv::ListKeys(const std::string& prefix) const {
   std::vector<std::string> keys;
   for (const auto& shard : shards_) {
-    const auto lock = LockShard(*shard);
+    const lockdep::writer_guard lock(WriteLock(*shard));
     for (uint32_t id = 0; id < shard->ttkv.num_keys(); ++id) {
       const VersionedRecord& rec = shard->ttkv.record(id);
       if (StartsWith(rec.key, prefix) && rec.latest().has_value()) keys.push_back(rec.key);
@@ -262,7 +260,7 @@ EngineStats ShardedTtkv::Stats() const {
   out.write_lock_acquisitions = write_lock_acquisitions();
   out.lock_acquisitions = out.read_lock_acquisitions + out.write_lock_acquisitions;
   for (const auto& shard : shards_) {
-    const auto lock = LockShard(*shard);
+    const lockdep::writer_guard lock(WriteLock(*shard));
     const TtkvStats s = shard->ttkv.stats();
     out.ttkv.reads += s.reads;
     out.ttkv.writes += s.writes;
@@ -276,7 +274,7 @@ EngineStats ShardedTtkv::Stats() const {
 TTKV ShardedTtkv::Snapshot() const {
   std::vector<VersionedRecord> records;
   for (const auto& shard : shards_) {
-    const auto lock = LockShard(*shard);
+    const lockdep::writer_guard lock(WriteLock(*shard));
     for (uint32_t id = 0; id < shard->ttkv.num_keys(); ++id) {
       records.push_back(shard->ttkv.record(id));
     }
@@ -302,7 +300,7 @@ void ShardedTtkv::ImportSnapshot(const TTKV& snapshot) {
   for (size_t s = 0; s < by_shard.size(); ++s) {
     if (by_shard[s].empty()) continue;
     Shard& shard = *shards_[s];
-    const auto lock = LockShard(shard);
+    const lockdep::writer_guard lock(WriteLock(shard));
     for (uint32_t id : by_shard[s]) shard.ttkv.ImportRecord(snapshot.record(id));
   }
   int64_t prev = clock_.load(std::memory_order_relaxed);
@@ -313,7 +311,7 @@ void ShardedTtkv::ImportSnapshot(const TTKV& snapshot) {
 size_t ShardedTtkv::CompactBefore(TimeMicros horizon) {
   size_t dropped = 0;
   for (const auto& shard : shards_) {
-    const auto lock = LockShard(*shard);
+    const lockdep::writer_guard lock(WriteLock(*shard));
     dropped += shard->ttkv.CompactBefore(horizon);
   }
   return dropped;
@@ -322,7 +320,7 @@ size_t ShardedTtkv::CompactBefore(TimeMicros horizon) {
 std::vector<NamedCluster> ShardedTtkv::ClusterNow(double threshold_correlation,
                                                   Linkage linkage) const {
   DrainTracker();
-  std::lock_guard<lockdep::ordered_mutex> lock(tracker_mu_);
+  const lockdep::guard lock(tracker_mu_);
   const ClusterSet set = tracker_.ClusterNow(threshold_correlation, linkage);
   std::vector<NamedCluster> out;
   out.reserve(set.size());
@@ -339,7 +337,7 @@ std::vector<NamedCluster> ShardedTtkv::ClusterNow(double threshold_correlation,
 
 // --- api::Engine ------------------------------------------------------------
 
-api::Result ShardedTtkv::ApplyKeyedLocked(Shard& shard, const api::Command& cmd,
+api::Result ShardedTtkv::ApplyWriteLocked(Shard& shard, const api::Command& cmd,
                                           bool* need_drain, TimeMicros assigned_stamp,
                                           OpCounts* counts) {
   try {
@@ -362,6 +360,15 @@ api::Result ShardedTtkv::ApplyKeyedLocked(Shard& shard, const api::Command& cmd,
       if (out.recorded) ++counts->deletes;
       return api::ExistedResult{out.existed};
     }
+    throw Error("ApplyWriteLocked on a non-mutating command");
+  } catch (const Error& e) {
+    return api::ErrorResult{e.what()};
+  }
+}
+
+api::Result ShardedTtkv::ApplyReadLocked(Shard& shard, const api::Command& cmd,
+                                         OpCounts* counts) {
+  try {
     if (const auto* get = std::get_if<api::GetCmd>(&cmd.op)) {
       ++counts->gets;
       // Safe under shared OR exclusive locks (atomic read accounting).
@@ -378,7 +385,7 @@ api::Result ShardedTtkv::ApplyKeyedLocked(Shard& shard, const api::Command& cmd,
       if (rec == nullptr) return api::HistoryResult{};
       return api::HistoryResult{CopyRecordShared(*rec)};
     }
-    throw Error("ApplyKeyedLocked on a cross-shard command");
+    throw Error("ApplyReadLocked on a non-read command");
   } catch (const Error& e) {
     return api::ErrorResult{e.what()};
   }
@@ -401,11 +408,11 @@ api::Result ShardedTtkv::Apply(const api::Command& cmd) {
     const auto t0 = timed ? std::chrono::steady_clock::now()
                           : std::chrono::steady_clock::time_point{};
     if (info.is_read) {
-      const auto lock = LockShardShared(shard);
-      result = ApplyKeyedLocked(shard, cmd, &need_drain, 0, &counts);
+      const lockdep::reader_guard lock(ReadLock(shard));
+      result = ApplyReadLocked(shard, cmd, &counts);
     } else {
-      const auto lock = LockShard(shard);
-      result = ApplyKeyedLocked(shard, cmd, &need_drain, 0, &counts);
+      const lockdep::writer_guard lock(WriteLock(shard));
+      result = ApplyWriteLocked(shard, cmd, &need_drain, 0, &counts);
     }
     if (timed) {
       h->Record(static_cast<uint64_t>(
@@ -450,21 +457,53 @@ api::Result ShardedTtkv::Apply(const api::Command& cmd) {
   }
 }
 
-namespace {
+void ShardedTtkv::ApplyGroupExclusive(Shard& shard, std::span<const RunEntry> entries,
+                                      std::span<const api::Command> cmds,
+                                      std::vector<api::Result>* results, bool* need_drain,
+                                      OpCounts* counts) {
+  for (const RunEntry& entry : entries) {
+    const api::Command& sub = cmds[entry.index];
+    obs::LatencyHistogram* h = op_hist_[sub.op.index()];
+    thread_local obs::HotPathSampler sample;
+    const bool timed = h != nullptr && sample();
+    // Per-op time inside the group: the grouped lock is already held, so
+    // this is pure apply cost (lock amortization is the batch's win and is
+    // visible in ocasta_engine_batch_commands).
+    const auto t0 = timed ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
+    // An exclusive hold satisfies the read path's shared requirement, so a
+    // mixed group dispatches per entry.
+    (*results)[entry.index] =
+        entry.is_read ? ApplyReadLocked(shard, sub, counts)
+                      : ApplyWriteLocked(shard, sub, need_drain, entry.stamp, counts);
+    if (timed) {
+      h->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    }
+  }
+}
 
-// One grouped single-key command: its shard, its index in the batch, and
-// its pre-reserved engine stamp. During collection `stamp` is a flag (1 =
-// the command needs an engine-assigned timestamp); the flush rewrites it
-// with the reserved stamp. `is_read` propagates the shared-lock
-// eligibility so an all-reads shard group can take the shared lock.
-struct RunEntry {
-  uint32_t shard = 0;
-  uint32_t index = 0;
-  TimeMicros stamp = 0;
-  bool is_read = false;
-};
-
-}  // namespace
+void ShardedTtkv::ApplyGroupShared(Shard& shard, std::span<const RunEntry> entries,
+                                   std::span<const api::Command> cmds,
+                                   std::vector<api::Result>* results, OpCounts* counts) {
+  for (const RunEntry& entry : entries) {
+    const api::Command& sub = cmds[entry.index];
+    obs::LatencyHistogram* h = op_hist_[sub.op.index()];
+    thread_local obs::HotPathSampler sample;
+    const bool timed = h != nullptr && sample();
+    const auto t0 = timed ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
+    (*results)[entry.index] = ApplyReadLocked(shard, sub, counts);
+    if (timed) {
+      h->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    }
+  }
+}
 
 std::vector<api::Result> ShardedTtkv::ApplyBatch(std::span<const api::Command> cmds) {
   if (batch_hist_ != nullptr) batch_hist_->Record(cmds.size());
@@ -506,35 +545,15 @@ std::vector<api::Result> ShardedTtkv::ApplyBatch(std::span<const api::Command> c
       size_t end = j;
       bool all_reads = true;
       for (; end < run.size() && run[end].shard == sid; ++end) all_reads &= run[end].is_read;
-      const auto apply_group = [&] {
-        for (; j < end; ++j) {
-          const api::Command& sub = cmds[run[j].index];
-          obs::LatencyHistogram* h = op_hist_[sub.op.index()];
-          thread_local obs::HotPathSampler sample;
-          if (h == nullptr || !sample()) {
-            results[run[j].index] =
-                ApplyKeyedLocked(shard, sub, &need_drain, run[j].stamp, &counts);
-            continue;
-          }
-          // Per-op time inside the group: the grouped lock is already
-          // held, so this is pure apply cost (lock amortization is the
-          // batch's win and is visible in ocasta_engine_batch_commands).
-          const auto t0 = std::chrono::steady_clock::now();
-          results[run[j].index] =
-              ApplyKeyedLocked(shard, sub, &need_drain, run[j].stamp, &counts);
-          h->Record(static_cast<uint64_t>(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - t0)
-                  .count()));
-        }
-      };
+      const std::span<const RunEntry> group(run.data() + j, end - j);
       if (all_reads) {
-        const auto lock = LockShardShared(shard);
-        apply_group();
+        const lockdep::reader_guard lock(ReadLock(shard));
+        ApplyGroupShared(shard, group, cmds, &results, &counts);
       } else {
-        const auto lock = LockShard(shard);
-        apply_group();
+        const lockdep::writer_guard lock(WriteLock(shard));
+        ApplyGroupExclusive(shard, group, cmds, &results, &need_drain, &counts);
       }
+      j = end;
     }
     // Counters flush per run so a barrier command (e.g. STATS) observes
     // every grouped command before it.

@@ -45,6 +45,7 @@
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -148,16 +149,21 @@ class ShardedTtkv final : public api::Engine {
     // taking a shard mutex (DrainTracker's sweep); the reverse — taking
     // tracker_mu_ under a shard mutex — is a rank violation.
     mutable lockdep::ordered_shared_mutex mu{lockdep::kShardClass};
-    TTKV ttkv;                                  // Guarded by mu.
-    mutable std::vector<PendingEvent> pending;  // Guarded by mu.
+    TTKV ttkv OCASTA_GUARDED_BY(mu);
+    mutable std::vector<PendingEvent> pending OCASTA_GUARDED_BY(mu);
   };
 
-  // Lock a shard and count the acquisition. Every shard lock in this
-  // engine goes through these two so the lock telemetry stays honest.
-  // Shared locks are legal only for operations whose TTKV access is
-  // read-only or atomic-counter-only (see read_latest_shared).
-  std::unique_lock<lockdep::ordered_shared_mutex> LockShard(const Shard& shard) const;
-  std::shared_lock<lockdep::ordered_shared_mutex> LockShardShared(const Shard& shard) const;
+  // Count a shard-lock acquisition and hand back the shard's mutex for a
+  // lockdep guard to take. Every shard lock in this engine goes through
+  // these two so the lock telemetry stays honest; OCASTA_RETURN_CAPABILITY
+  // teaches the analysis the returned mutex IS shard.mu, so a guard built
+  // on the return value counts as holding shard.mu. Shared locks are legal
+  // only for operations whose TTKV access is read-only or
+  // atomic-counter-only (see read_latest_shared).
+  lockdep::ordered_shared_mutex& WriteLock(const Shard& shard) const
+      OCASTA_RETURN_CAPABILITY(shard.mu);
+  lockdep::ordered_shared_mutex& ReadLock(const Shard& shard) const
+      OCASTA_RETURN_CAPABILITY(shard.mu);
 
   TimeMicros StampNow();
 
@@ -178,21 +184,55 @@ class ShardedTtkv final : public api::Engine {
   // --- Cores that assume the shard mutex is held ---------------------------
   // Return true when the shard's pending buffer crossed the drain
   // threshold (the caller drains after releasing the lock).
-  bool PutLocked(Shard& shard, const std::string& key, Value value, TimeMicros t);
+  bool PutLocked(Shard& shard, const std::string& key, Value value, TimeMicros t)
+      OCASTA_REQUIRES(shard.mu);
   struct DeleteOutcome {
     bool existed = false;
     bool recorded = false;
     bool need_drain = false;
   };
-  DeleteOutcome DeleteLocked(Shard& shard, const std::string& key, TimeMicros t, bool force);
+  DeleteOutcome DeleteLocked(Shard& shard, const std::string& key, TimeMicros t, bool force)
+      OCASTA_REQUIRES(shard.mu);
 
-  // Applies one single-key command (Put/Delete/Get/GetAt/History) to its
-  // shard with the shard mutex held; never throws. `need_drain` is OR-ed
+  // Applies one mutating single-key command (Put/Delete) to its shard with
+  // the shard mutex held exclusively; never throws. `need_drain` is OR-ed
   // and op counters accumulate into `counts` (the caller flushes).
   // `assigned_stamp` is the pre-reserved stamp for a timestamp-0 write (0 =
   // reserve one now via StampNow).
-  api::Result ApplyKeyedLocked(Shard& shard, const api::Command& cmd, bool* need_drain,
-                               TimeMicros assigned_stamp, OpCounts* counts);
+  api::Result ApplyWriteLocked(Shard& shard, const api::Command& cmd, bool* need_drain,
+                               TimeMicros assigned_stamp, OpCounts* counts)
+      OCASTA_REQUIRES(shard.mu);
+
+  // Applies one read command (Get/GetAt/History) with the shard mutex held
+  // at least shared (an exclusive hold satisfies it too — mixed batch
+  // groups run reads under the exclusive lock); never throws.
+  api::Result ApplyReadLocked(Shard& shard, const api::Command& cmd, OpCounts* counts)
+      OCASTA_REQUIRES_SHARED(shard.mu);
+
+  // One grouped single-key command of a batch: its shard, its index in the
+  // batch, and its pre-reserved engine stamp. During collection `stamp` is
+  // a flag (1 = the command needs an engine-assigned timestamp); the flush
+  // rewrites it with the reserved stamp. `is_read` propagates shared-lock
+  // eligibility so an all-reads shard group can take the shared lock.
+  struct RunEntry {
+    uint32_t shard = 0;
+    uint32_t index = 0;
+    TimeMicros stamp = 0;
+    bool is_read = false;
+  };
+
+  // Apply one shard's group of a batch run with its mutex held (ApplyBatch
+  // takes the lock once per group — the batching win). The exclusive
+  // flavor dispatches each entry on is_read; the shared flavor is
+  // reads-only by construction.
+  void ApplyGroupExclusive(Shard& shard, std::span<const RunEntry> entries,
+                           std::span<const api::Command> cmds,
+                           std::vector<api::Result>* results, bool* need_drain,
+                           OpCounts* counts) OCASTA_REQUIRES(shard.mu);
+  void ApplyGroupShared(Shard& shard, std::span<const RunEntry> entries,
+                        std::span<const api::Command> cmds,
+                        std::vector<api::Result>* results, OpCounts* counts)
+      OCASTA_REQUIRES_SHARED(shard.mu);
 
   // Moves every shard's pending events into the tracker, merged in
   // timestamp order. Takes tracker_mu_ then each shard mutex in turn;
@@ -200,7 +240,7 @@ class ShardedTtkv final : public api::Engine {
   // ordering is machine-checked: lockdep ranks kTrackerClass below
   // kShardClass, so the inverted acquisition aborts in debug builds
   // (tests/lockdep_test.cpp proves it does).
-  void DrainTracker() const;
+  void DrainTracker() const OCASTA_EXCLUDES(tracker_mu_);
 
   std::vector<std::unique_ptr<Shard>> shards_;
 
@@ -227,8 +267,8 @@ class ShardedTtkv final : public api::Engine {
   obs::LatencyHistogram* batch_hist_ = nullptr;
 
   mutable lockdep::ordered_mutex tracker_mu_{lockdep::kTrackerClass};
-  mutable OnlineClusterTracker tracker_;   // Guarded by tracker_mu_.
-  mutable TimeMicros tracker_last_ = 0;    // Guarded by tracker_mu_.
+  mutable OnlineClusterTracker tracker_ OCASTA_GUARDED_BY(tracker_mu_);
+  mutable TimeMicros tracker_last_ OCASTA_GUARDED_BY(tracker_mu_) = 0;
 };
 
 }  // namespace ocasta

@@ -105,12 +105,16 @@ std::optional<Value> TTKV::read_latest(const std::string& key) {
   return rec.latest();
 }
 
-std::optional<Value> TTKV::read_latest_shared(const std::string& key) {
+std::optional<Value> TTKV::read_latest_shared(const std::string& key) const {
   const auto it = index_.find(key);
   if (it == index_.end()) return std::nullopt;
-  VersionedRecord& rec = records_[it->second];
-  std::atomic_ref<uint64_t>(rec.read_count).fetch_add(1, std::memory_order_relaxed);
-  std::atomic_ref<uint64_t>(total_reads_).fetch_add(1, std::memory_order_relaxed);
+  const VersionedRecord& rec = records_[it->second];
+  // const_cast feeds the atomic_refs only; same idiom as ShardedTtkv's
+  // CopyRecordShared (the counters are logically mutable statistics).
+  std::atomic_ref<uint64_t>(const_cast<VersionedRecord&>(rec).read_count)
+      .fetch_add(1, std::memory_order_relaxed);
+  std::atomic_ref<uint64_t>(const_cast<TTKV*>(this)->total_reads_)
+      .fetch_add(1, std::memory_order_relaxed);
   return rec.latest();
 }
 

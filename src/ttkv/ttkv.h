@@ -100,8 +100,10 @@ class TTKV {
   // atomic increments (std::atomic_ref), so concurrent shared-lock readers
   // never race each other. Anything that reads those counters non-atomically
   // (stats(), Serialize(), record copies) must hold the exclusive lock —
-  // see ShardedTtkv's locking discipline.
-  std::optional<Value> read_latest_shared(const std::string& key);
+  // see ShardedTtkv's locking discipline. const so shared-lock readers can
+  // call it through a const access path: the only mutation is the atomic
+  // counter bump, which goes through atomic_ref on a const_cast inside.
+  std::optional<Value> read_latest_shared(const std::string& key) const;
 
   // Counts a read. Reads do not contribute versions; they only feed the
   // Table I statistics and the "key was accessed" inventory.

@@ -61,25 +61,29 @@ TEST(LockdepDeath, ViolationReportNamesBothLockSites) {
       "held lock acquired here(.|\n)*violating acquisition \\(current stack\\)");
 }
 
+// Deliberate double-lock, exempted from the static analysis: clang's
+// -Wthread-safety correctly flags it at compile time, but this test needs
+// it to REACH the runtime checker and prove lockdep aborts too.
+void AcquireTwice() OCASTA_NO_THREAD_SAFETY_ANALYSIS {
+  ordered_mutex mu{lockdep::kTrackerClass};
+  mu.lock();
+  mu.lock();  // Self-deadlock; lockdep must fire before the hang.
+}
+
 TEST(LockdepDeath, RecursiveAcquisitionAborts) {
   SKIP_WITHOUT_LOCKDEP();
-  EXPECT_DEATH(
-      {
-        ordered_mutex mu{lockdep::kTrackerClass};
-        mu.lock();
-        mu.lock();  // Self-deadlock; lockdep must fire before the hang.
-      },
-      "lockdep: RECURSIVE ACQUISITION");
+  EXPECT_DEATH(AcquireTwice(), "lockdep: RECURSIVE ACQUISITION");
+}
+
+// Deliberate unmatched unlock, exempted for the same reason as above.
+void ReleaseUnheld() OCASTA_NO_THREAD_SAFETY_ANALYSIS {
+  ordered_mutex mu{lockdep::kTrackerClass};
+  mu.unlock();  // OnRelease aborts before the underlying unlock.
 }
 
 TEST(LockdepDeath, ReleaseOfUnheldLockAborts) {
   SKIP_WITHOUT_LOCKDEP();
-  EXPECT_DEATH(
-      {
-        ordered_mutex mu{lockdep::kTrackerClass};
-        mu.unlock();  // OnRelease aborts before the underlying unlock.
-      },
-      "lockdep: RELEASE OF UNHELD LOCK");
+  EXPECT_DEATH(ReleaseUnheld(), "lockdep: RELEASE OF UNHELD LOCK");
 }
 
 // Unranked classes skip the rank rule but stay covered by the edge graph:

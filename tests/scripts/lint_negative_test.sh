@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Negative tests for the project-invariant linters: each mutation below is
+# a real regression class, and the linter must FAIL (non-zero exit) with a
+# diagnostic that points at the broken symbol. A linter that cannot fail
+# is not a gate — this script is what keeps both linters honest.
+#
+# Usage: lint_negative_test.sh <repo_root>
+set -u
+
+ROOT="${1:?usage: lint_negative_test.sh <repo_root>}"
+WIRE_LINT="$ROOT/tools/lint/check_wire_abi.py"
+RANK_LINT="$ROOT/tools/lint/check_lock_ranks.py"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+failures=0
+
+# expect_fail <case name> <grep pattern> <cmd...>
+# Asserts the command exits non-zero AND its stderr matches the pattern.
+expect_fail() {
+  local name="$1" pattern="$2"
+  shift 2
+  local out rc
+  out="$("$@" 2>&1)"
+  rc=$?
+  if [ "$rc" -eq 0 ]; then
+    echo "FAIL [$name]: linter exited 0 on a mutated input" >&2
+    echo "$out" | sed 's/^/    /' >&2
+    failures=$((failures + 1))
+    return
+  fi
+  if ! echo "$out" | grep -q "$pattern"; then
+    echo "FAIL [$name]: exit $rc but diagnostic does not match /$pattern/:" >&2
+    echo "$out" | sed 's/^/    /' >&2
+    failures=$((failures + 1))
+    return
+  fi
+  echo "ok [$name]"
+}
+
+# expect_pass <case name> <cmd...>
+expect_pass() {
+  local name="$1"
+  shift
+  local out
+  if ! out="$("$@" 2>&1)"; then
+    echo "FAIL [$name]: linter failed on unmutated input:" >&2
+    echo "$out" | sed 's/^/    /' >&2
+    failures=$((failures + 1))
+    return
+  fi
+  echo "ok [$name]"
+}
+
+# --- wire-ABI linter --------------------------------------------------------
+
+cp "$ROOT/src/api/codec.h" "$TMP/codec.h"
+cp "$ROOT/src/server/wire.h" "$TMP/wire.h"
+cp "$ROOT/docs/wire_abi.golden" "$TMP/wire_abi.golden"
+
+wire() {
+  python3 "$WIRE_LINT" --codec "$TMP/codec.h" --wire "$TMP/wire.h" \
+    --golden "$TMP/wire_abi.golden"
+}
+
+expect_pass "wire: clean copies pass" wire
+
+# Renumbered op tag: kGet 4 -> 40.
+sed 's/kGet = 4,/kGet = 40,/' "$ROOT/src/api/codec.h" > "$TMP/codec.h"
+expect_fail "wire: renumbered OpTag::kGet" "CHANGED: OpTag::kGet" wire
+
+# Deleted op: remove kSnapshot entirely.
+sed '/kSnapshot = 9,/d' "$ROOT/src/api/codec.h" > "$TMP/codec.h"
+expect_fail "wire: deleted OpTag::kSnapshot" "REMOVED: OpTag::kSnapshot" wire
+
+# Widened compatibility window: kMinProtocolVersion 3 -> 2.
+sed 's/kMinProtocolVersion = 3;/kMinProtocolVersion = 2;/' \
+  "$ROOT/src/api/codec.h" > "$TMP/codec.h"
+expect_fail "wire: bumped kMinProtocolVersion" "CHANGED: kMinProtocolVersion" wire
+cp "$ROOT/src/api/codec.h" "$TMP/codec.h"
+
+# New unblessed tag: additions must be reviewed, then --update'd.
+sed 's/kMetrics = 15,/kMetrics = 15,\n  kReplicate = 16,/' \
+  "$ROOT/src/api/codec.h" > "$TMP/codec.h"
+expect_fail "wire: unblessed new OpTag" "ADDED: OpTag::kReplicate" wire
+cp "$ROOT/src/api/codec.h" "$TMP/codec.h"
+
+# Frame cap change in the other header.
+sed 's/kMaxFrameBytes = 256u << 20;/kMaxFrameBytes = 128u << 20;/' \
+  "$ROOT/src/server/wire.h" > "$TMP/wire.h"
+expect_fail "wire: changed kMaxFrameBytes" "CHANGED: kMaxFrameBytes" wire
+
+# --- lock-rank linter -------------------------------------------------------
+
+cp "$ROOT/src/common/lockdep.h" "$TMP/lockdep.h"
+cp "$ROOT/docs/TOOLING.md" "$TMP/TOOLING.md"
+
+ranks() {
+  python3 "$RANK_LINT" --lockdep "$TMP/lockdep.h" --doc "$TMP/TOOLING.md"
+}
+
+expect_pass "ranks: clean copies pass" ranks
+
+# Duplicate rank: kWalSyncClass 70 -> 60 collides with kWalAppendClass.
+sed 's/kWalSyncClass{"Wal::sync_mu_", 70}/kWalSyncClass{"Wal::sync_mu_", 60}/' \
+  "$ROOT/src/common/lockdep.h" > "$TMP/lockdep.h"
+expect_fail "ranks: duplicate rank 60" "DUPLICATE RANK 60" ranks
+cp "$ROOT/src/common/lockdep.h" "$TMP/lockdep.h"
+
+# New ranked class with no doc-table row.
+sed 's|inline constexpr LockClass kObsRegistryClass|inline constexpr LockClass kReplLogClass{"Repl::log_mu_", 85};\ninline constexpr LockClass kObsRegistryClass|' \
+  "$ROOT/src/common/lockdep.h" > "$TMP/lockdep.h"
+expect_fail "ranks: undocumented class" "UNDOCUMENTED: Repl::log_mu_" ranks
+cp "$ROOT/src/common/lockdep.h" "$TMP/lockdep.h"
+
+# Doc disagrees with source about a rank.
+sed 's/| 90 | `EventLoop::pending_mu_` |/| 91 | `EventLoop::pending_mu_` |/' \
+  "$ROOT/docs/TOOLING.md" > "$TMP/TOOLING.md"
+expect_fail "ranks: doc rank mismatch" "RANK MISMATCH: EventLoop::pending_mu_" ranks
+cp "$ROOT/docs/TOOLING.md" "$TMP/TOOLING.md"
+
+# Stale doc row for a class the source no longer declares.
+sed '/kServerJoinClass/d' "$ROOT/src/common/lockdep.h" > "$TMP/lockdep.h"
+expect_fail "ranks: stale doc row" \
+  "STALE DOC ROW: TOOLING.md documents TtkvServer::join_mu_" ranks
+
+if [ "$failures" -ne 0 ]; then
+  echo "lint_negative_test: $failures case(s) failed" >&2
+  exit 1
+fi
+echo "lint_negative_test: all cases passed"

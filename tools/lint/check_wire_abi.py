@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Wire-ABI compatibility linter for the ocasta binary protocol.
+
+The protocol's compatibility story (docs/PROTOCOL.md) rests on a few
+numbers never silently changing: OpTag / ResultTag enumerator values,
+the protocol-version window, the batch-depth cap, and the frame-size
+cap. A renumbered or removed tag breaks every deployed client; an
+accidentally widened version window un-gates framing changes. This
+linter parses those constants straight out of the headers and compares
+them against the committed golden file (docs/wire_abi.golden).
+
+ANY difference fails — removals and renumberings because they break the
+wire, additions because they must be reviewed and then explicitly
+blessed by regenerating the golden (run with --update). The diagnostic
+names the exact symbol and both values so the failure is actionable.
+
+Exit codes: 0 = golden matches, 1 = mismatch, 2 = parse/setup error
+(a header that stops parsing must fail loudly, not vacuously pass).
+
+Stdlib-only by design: it runs as a ctest entry and in CI with no
+dependencies beyond python3.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+DEFAULT_CODEC = REPO_ROOT / "src" / "api" / "codec.h"
+DEFAULT_WIRE = REPO_ROOT / "src" / "server" / "wire.h"
+DEFAULT_GOLDEN = REPO_ROOT / "docs" / "wire_abi.golden"
+
+# The scalar constants that are wire ABI. Maps golden key -> (file kind,
+# C++ identifier). Values are evaluated as C++-ish integer expressions
+# (only shifts and arithmetic appear in practice).
+SCALARS = [
+    ("kProtocolVersion", "codec", "kProtocolVersion"),
+    ("kMinProtocolVersion", "codec", "kMinProtocolVersion"),
+    ("kMaxBatchDepth", "codec", "kMaxBatchDepth"),
+    ("kMaxFrameBytes", "wire", "kMaxFrameBytes"),
+]
+
+ENUMS = [("OpTag", "codec"), ("ResultTag", "codec")]
+
+
+def fail_parse(msg):
+    print(f"check_wire_abi: PARSE ERROR: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def eval_cpp_int(expr):
+    """Evaluate a constant C++ integer expression (literals, <<, +, *)."""
+    # Strip suffixes like u/ul/ull from integer literals.
+    cleaned = re.sub(r"\b(0[xX][0-9a-fA-F]+|\d+)[uUlL]*", r"\1", expr)
+    if not re.fullmatch(r"[\s0-9a-fA-FxX<>+*()-]+", cleaned):
+        fail_parse(f"unsupported constant expression: {expr!r}")
+    try:
+        return int(eval(cleaned, {"__builtins__": {}}, {}))  # noqa: S307
+    except Exception:
+        fail_parse(f"cannot evaluate constant expression: {expr!r}")
+
+
+def parse_scalar(text, name, path):
+    m = re.search(
+        r"inline\s+constexpr\s+\w+\s+" + re.escape(name) + r"\s*=\s*([^;]+);",
+        text,
+    )
+    if m is None:
+        fail_parse(f"constant {name} not found in {path}")
+    return eval_cpp_int(m.group(1).strip())
+
+
+def parse_enum(text, name, path):
+    m = re.search(
+        r"enum\s+class\s+" + re.escape(name) + r"\s*:\s*\w+\s*\{(.*?)\};",
+        text,
+        re.DOTALL,
+    )
+    if m is None:
+        fail_parse(f"enum class {name} not found in {path}")
+    body = re.sub(r"//[^\n]*", "", m.group(1))  # strip comments
+    entries = {}
+    for part in body.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        em = re.fullmatch(r"(k\w+)\s*=\s*(\d+)", part)
+        if em is None:
+            fail_parse(f"{name} enumerator {part!r} in {path} must be 'kName = N'")
+        entries[em.group(1)] = int(em.group(2))
+    if not entries:
+        fail_parse(f"enum class {name} in {path} parsed to zero enumerators")
+    return entries
+
+
+def extract(codec_path, wire_path):
+    texts = {
+        "codec": Path(codec_path).read_text(),
+        "wire": Path(wire_path).read_text(),
+    }
+    paths = {"codec": codec_path, "wire": wire_path}
+    lines = []
+    for key, kind, ident in SCALARS:
+        lines.append(f"{key} = {parse_scalar(texts[kind], ident, paths[kind])}")
+    for enum_name, kind in ENUMS:
+        for entry, value in sorted(
+            parse_enum(texts[kind], enum_name, paths[kind]).items(),
+            key=lambda kv: kv[1],
+        ):
+            lines.append(f"{enum_name}::{entry} = {value}")
+    return lines
+
+
+def parse_golden_lines(lines):
+    out = {}
+    for line in lines:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.partition(" = ")
+        if not value:
+            fail_parse(f"malformed golden line: {line!r}")
+        out[key] = value.strip()
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--codec", default=str(DEFAULT_CODEC))
+    ap.add_argument("--wire", default=str(DEFAULT_WIRE))
+    ap.add_argument("--golden", default=str(DEFAULT_GOLDEN))
+    ap.add_argument(
+        "--update",
+        action="store_true",
+        help="regenerate the golden from the current headers and exit",
+    )
+    args = ap.parse_args()
+
+    current = extract(args.codec, args.wire)
+    golden_path = Path(args.golden)
+
+    if args.update:
+        header = (
+            "# Wire-ABI golden: the protocol constants deployed clients depend on.\n"
+            "# Regenerate ONLY for a reviewed protocol change:\n"
+            "#   python3 tools/lint/check_wire_abi.py --update\n"
+            "# (workflow: docs/PROTOCOL.md, 'Wire-ABI golden' section)\n"
+        )
+        golden_path.write_text(header + "\n".join(current) + "\n")
+        print(f"check_wire_abi: regenerated {golden_path}")
+        return 0
+
+    if not golden_path.exists():
+        fail_parse(f"golden file missing: {golden_path} (run --update to create it)")
+
+    want = parse_golden_lines(golden_path.read_text().splitlines())
+    have = parse_golden_lines(current)
+
+    problems = []
+    for key in want:
+        if key not in have:
+            problems.append(
+                f"REMOVED: {key} (golden says {key} = {want[key]}; removing or "
+                f"renaming a wire constant breaks deployed clients)"
+            )
+        elif have[key] != want[key]:
+            problems.append(
+                f"CHANGED: {key} = {have[key]} but golden says {key} = {want[key]} "
+                f"(renumbering breaks deployed clients)"
+            )
+    for key in have:
+        if key not in want:
+            problems.append(
+                f"ADDED: {key} = {have[key]} not in golden (new wire surface "
+                f"must be reviewed, then blessed with --update)"
+            )
+
+    if problems:
+        print(f"check_wire_abi: wire ABI drifted from {golden_path}:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        print(
+            "check_wire_abi: if this change is an intentional, reviewed protocol "
+            "change, regenerate with: python3 tools/lint/check_wire_abi.py --update",
+            file=sys.stderr,
+        )
+        return 1
+
+    print(f"check_wire_abi: OK ({len(have)} constants match {golden_path})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
