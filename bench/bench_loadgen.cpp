@@ -102,9 +102,13 @@ struct LoadGenConfig {
   uint64_t seed = 42;
   bool suite = false;
   std::string json_path = "BENCH_server.json";
-  // durable backend only.
+  // durable + replicated backends only.
   std::string fsync = "batch";
   std::string data_dir;  // Empty = a fresh temp dir, removed after the run.
+  // replicated backend only: leader-side ack level, "leader" (ack after the
+  // local WAL flush) or "quorum" (ack only after the attached follower has
+  // durably applied the mutation's LSN). See docs/REPLICATION.md.
+  std::string acks = "leader";
   // Connection-scaling driver (remote only): 0 = the classic per-thread
   // closed-loop clients; N = one epoll thread multiplexing N nonblocking
   // connections, each keeping `inflight` single-command frames pipelined
@@ -188,7 +192,8 @@ double Percentile(std::vector<double>& sorted_in_place, double p) {
 
 struct RunMetrics {
   std::string backend;
-  std::string fsync;          // Durable runs only; empty otherwise.
+  std::string fsync;          // Durable/replicated runs only; empty otherwise.
+  std::string acks;           // Replicated runs only; empty otherwise.
   uint64_t wal_records = 0;   // Durable runs: records logged.
   uint64_t wal_flushes = 0;   // Durable runs: disk flushes performed.
   uint64_t io_frames = 0;     // Remote runs: frames dispatched by the event loops.
@@ -232,7 +237,7 @@ RunMetrics RunOne(const LoadGenConfig& cfg) {
     ~ScratchDir() {
       if (!path.empty()) std::filesystem::remove_all(path);
     }
-  } scratch;
+  } scratch, follower_scratch;
   // One registry per run under --metrics: handed to the daemon for the
   // remote backend, wired into the engine directly otherwise. Declared
   // before the engines so the instrument handles never dangle.
@@ -241,6 +246,10 @@ RunMetrics RunOne(const LoadGenConfig& cfg) {
   // The engine under test plus, for the remote backend, the daemon that
   // owns it. Per-client engines (one connection each) are created below.
   std::unique_ptr<TtkvServer> server;
+  // Replicated backend only: a second daemon tailing the first's WAL.
+  // Declared after `server` so it is destroyed first (its pull loop stops
+  // before the leader it pulls from goes away).
+  std::unique_ptr<TtkvServer> follower;
   std::unique_ptr<api::Engine> shared_engine;
   std::vector<std::unique_ptr<api::Engine>> client_engines(cfg.clients);
 
@@ -276,17 +285,60 @@ RunMetrics RunOne(const LoadGenConfig& cfg) {
     durable.fsync = cfg.fsync;
     durable.metrics = registry.get();
     shared_engine = api::MakeEngine(durable);
+  } else if (cfg.backend == "replicated") {
+    // The replication topology the --acks knob is about: a durable leader
+    // daemon plus ONE live follower tailing its WAL over the wire.
+    // acks=leader prices WAL shipping with local-flush acks; acks=quorum
+    // additionally gates every mutation ack on the follower's durable
+    // cursor — a pull round-trip plus the follower's own WAL flush
+    // (docs/REPLICATION.md).
+    if (cfg.acks != "leader" && cfg.acks != "quorum") {
+      throw Error("--acks must be leader|quorum, got: " + cfg.acks);
+    }
+    char leader_tmpl[] = "/tmp/ocasta_loadgen_XXXXXX";
+    if (::mkdtemp(leader_tmpl) == nullptr) throw Error("mkdtemp failed for leader bench dir");
+    scratch.path = leader_tmpl;
+    char follower_tmpl[] = "/tmp/ocasta_loadgen_XXXXXX";
+    if (::mkdtemp(follower_tmpl) == nullptr) {
+      throw Error("mkdtemp failed for follower bench dir");
+    }
+    follower_scratch.path = follower_tmpl;
+    server = std::make_unique<TtkvServer>(ServerOptions{.port = 0,
+                                                        .num_shards = cfg.shards,
+                                                        .cluster_window_seconds = 1.0,
+                                                        .data_dir = scratch.path,
+                                                        .fsync = cfg.fsync,
+                                                        .acks = cfg.acks,
+                                                        .quorum_followers = 1,
+                                                        .io_threads = cfg.io_threads,
+                                                        .metrics = registry});
+    server->Start();
+    ServerOptions follower_options;
+    follower_options.port = 0;
+    follower_options.num_shards = cfg.shards;
+    follower_options.cluster_window_seconds = 1.0;
+    follower_options.data_dir = follower_scratch.path;
+    follower_options.fsync = cfg.fsync;
+    follower_options.follow_host = "127.0.0.1";
+    follower_options.follow_port = server->port();
+    follower = std::make_unique<TtkvServer>(follower_options);
+    follower->Start();
+    for (auto& engine : client_engines) {
+      engine = std::make_unique<api::RemoteEngine>("127.0.0.1", server->port());
+    }
   } else {
     throw Error("unknown backend: " + cfg.backend +
-                " (expected local|sharded|remote|durable)");
+                " (expected local|sharded|remote|durable|replicated)");
   }
 
   if (!bench::QuietFlag()) {
+    std::string detail;
+    if (cfg.backend == "durable") detail = " fsync=" + cfg.fsync;
+    if (cfg.backend == "replicated") detail = " fsync=" + cfg.fsync + " acks=" + cfg.acks;
     std::fprintf(stderr,
-                 "[loadgen] backend %s%s%s — %zu clients, %zu keys (%s), put-ratio %.2f, "
+                 "[loadgen] backend %s%s — %zu clients, %zu keys (%s), put-ratio %.2f, "
                  "batch %zu\n",
-                 cfg.backend.c_str(), cfg.backend == "durable" ? " fsync=" : "",
-                 cfg.backend == "durable" ? cfg.fsync.c_str() : "", cfg.clients, cfg.keys,
+                 cfg.backend.c_str(), detail.c_str(), cfg.clients, cfg.keys,
                  KeyDistName(cfg.dist), cfg.put_ratio, cfg.batch);
   }
 
@@ -318,7 +370,8 @@ RunMetrics RunOne(const LoadGenConfig& cfg) {
 
   RunMetrics m;
   m.backend = cfg.backend;
-  if (cfg.backend == "durable") m.fsync = cfg.fsync;
+  if (cfg.backend == "durable" || cfg.backend == "replicated") m.fsync = cfg.fsync;
+  if (cfg.backend == "replicated") m.acks = cfg.acks;
   m.batch = cfg.batch;
   // Engine-side truth (lock counts, op totals) comes from the engine that
   // actually executed the commands — the daemon's for the remote backend.
@@ -338,10 +391,14 @@ RunMetrics RunOne(const LoadGenConfig& cfg) {
     m.srv_get_p50 = get_ns.p50;
     m.srv_get_p99 = get_ns.p99;
   }
-  if (auto* durable = dynamic_cast<persist::DurableEngine*>(shared_engine.get())) {
+  // The WAL under test is the shared engine's for the durable backend and
+  // the leader daemon's for the replicated one.
+  api::Engine* wal_owner = server ? &server->engine() : shared_engine.get();
+  if (auto* durable = dynamic_cast<persist::DurableEngine*>(wal_owner)) {
     m.wal_records = durable->wal().last_lsn();
     m.wal_flushes = durable->wal().sync_count();
   }
+  if (follower) follower->Stop();
   if (server) {
     m.io_frames = server->frames_dispatched();
     m.io_wakeups = server->loop_wakeups();
@@ -393,6 +450,7 @@ void WriteRunJson(std::FILE* out, const RunMetrics& m, const char* indent) {
                  m.fsync.c_str(), static_cast<unsigned long long>(m.wal_records),
                  static_cast<unsigned long long>(m.wal_flushes));
   }
+  if (!m.acks.empty()) std::fprintf(out, "\"acks\": \"%s\", ", m.acks.c_str());
   std::fprintf(out,
                "\"batch\": %zu,\n"
                "%s \"measure_seconds\": %.3f, \"total_ops\": %llu, \"ops_per_sec\": %.1f,\n"
@@ -799,6 +857,20 @@ int RunSuite(const LoadGenConfig& cfg) {
     one.metrics = true;
     runs.push_back(RunOne(one));
   }
+  // Replication ack-level matrix: the durable leader plus one live
+  // follower at the batched depth, acked at the local flush vs at the
+  // follower's durable cursor. APPENDED after the durable rows — the
+  // summary lambdas above reference runs[] by fixed index, so new rows
+  // must never shift 0..6.
+  for (const char* acks : {"leader", "quorum"}) {
+    LoadGenConfig one = cfg;
+    one.backend = "replicated";
+    one.acks = acks;
+    one.batch = batched;
+    one.data_dir.clear();
+    one.metrics = true;
+    runs.push_back(RunOne(one));
+  }
   // Connection-scaling matrix: the same daemon under 1..256 pipelined
   // connections driven by the epoll client (single-command frames). This is
   // the event-loop rewrite's headline: thread-per-connection throughput was
@@ -859,6 +931,21 @@ int RunSuite(const LoadGenConfig& cfg) {
     return durable_off.ops_per_sec > 0 ? runs[index].ops_per_sec / durable_off.ops_per_sec
                                        : 0.0;
   };
+  // What replication costs, in two steps: shipping the WAL to a live
+  // follower while still acking at the local flush (runs[7] vs runs[5],
+  // the identical durable stack with no follower attached), and then
+  // gating every ack on the follower's durable cursor (runs[8] vs
+  // runs[7] — the quorum round-trip itself).
+  const RunMetrics& repl_leader_acks = runs[7];
+  const RunMetrics& repl_quorum_acks = runs[8];
+  const RunMetrics& durable_batch = runs[5];
+  const double leader_acks_vs_durable =
+      durable_batch.ops_per_sec > 0 ? repl_leader_acks.ops_per_sec / durable_batch.ops_per_sec
+                                    : 0.0;
+  const double quorum_vs_leader_acks =
+      repl_leader_acks.ops_per_sec > 0
+          ? repl_quorum_acks.ops_per_sec / repl_leader_acks.ops_per_sec
+          : 0.0;
 
   std::FILE* out = std::fopen(cfg.json_path.c_str(), "w");
   if (out == nullptr) {
@@ -890,6 +977,10 @@ int RunSuite(const LoadGenConfig& cfg) {
                "  \"durable_vs_sharded_batched\": "
                "{\"off\": %.2f, \"batch\": %.2f, \"always\": %.2f},\n"
                "  \"durable_vs_fsync_off\": {\"batch\": %.2f, \"always\": %.2f},\n"
+               "  \"replication_acks\": {\"leader_ops_per_sec\": %.1f, "
+               "\"quorum_ops_per_sec\": %.1f,\n"
+               "     \"leader_acks_vs_durable_batch\": %.2f, "
+               "\"quorum_vs_leader_acks\": %.2f},\n"
                "  \"metrics_overhead\": {\"connections\": %zu, \"inflight\": %zu,\n"
                "     \"ops_per_sec_disabled\": %.1f, \"ops_per_sec_enabled\": %.1f,\n"
                "     \"delta_pct\": %.2f}\n"
@@ -900,8 +991,9 @@ int RunSuite(const LoadGenConfig& cfg) {
                remote_single.ops_per_sec / kPr4RemoteBatch1Baseline, pipelined_peak,
                pipelined_peak / kPr4RemoteBatch1Baseline, durable_relative(4),
                durable_relative(5), durable_relative(6), flush_relative(5),
-               flush_relative(6), overhead_conns, cfg.inflight, ops_off, ops_on,
-               overhead_pct);
+               flush_relative(6), repl_leader_acks.ops_per_sec, repl_quorum_acks.ops_per_sec,
+               leader_acks_vs_durable, quorum_vs_leader_acks, overhead_conns, cfg.inflight,
+               ops_off, ops_on, overhead_pct);
   std::fclose(out);
   if (!bench::QuietFlag()) {
     std::fprintf(stderr,
@@ -913,6 +1005,11 @@ int RunSuite(const LoadGenConfig& cfg) {
                  LocksPerOp(sharded_batched), durable_relative(4), durable_relative(5),
                  durable_relative(6), flush_relative(5), flush_relative(6),
                  cfg.json_path.c_str());
+    std::fprintf(stderr,
+                 "[loadgen] replication acks: leader %.0f ops/sec (%.2fx of durable batch), "
+                 "quorum %.0f (%.2fx of leader acks)\n",
+                 repl_leader_acks.ops_per_sec, leader_acks_vs_durable,
+                 repl_quorum_acks.ops_per_sec, quorum_vs_leader_acks);
     std::fprintf(stderr,
                  "[loadgen] metrics overhead (%zu conns, inflight %zu): %.0f ops/sec off vs "
                  "%.0f on — %.2f%%\n",
@@ -947,6 +1044,7 @@ int main(int argc, char** argv) {
   cfg.json_path = args.Get("json", "BENCH_server.json");
   cfg.fsync = args.Get("fsync", "batch");
   cfg.data_dir = args.Get("data-dir", "");
+  cfg.acks = args.Get("acks", "leader");
   cfg.connections = static_cast<size_t>(args.GetInt("connections", 0));
   cfg.inflight = static_cast<size_t>(args.GetInt("inflight", 4));
   cfg.io_threads = static_cast<size_t>(args.GetInt("io-threads", 1));

@@ -47,6 +47,7 @@ std::unique_ptr<Engine> MakeEngine(const BackendOptions& options) {
     durable.wal.metrics = options.metrics;
     durable.checkpoint_wal_bytes = options.checkpoint_wal_bytes;
     durable.checkpoint_interval_seconds = options.checkpoint_interval_seconds;
+    durable.commit_gate = options.commit_gate;
     return std::make_unique<persist::DurableEngine>(options.data_dir,
                                                     InnerFactoryFor(options), durable);
   }

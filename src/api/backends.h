@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -35,6 +36,9 @@ struct BackendOptions {
   size_t wal_segment_bytes = 64u << 20;
   uint64_t checkpoint_wal_bytes = 64u << 20;
   double checkpoint_interval_seconds = 0.0;
+  // Passed through to DurableOptions::commit_gate (replication quorum
+  // acks); only meaningful with a data_dir.
+  std::function<void(uint64_t lsn)> commit_gate;
 
   // Optional instrumentation for the local/sharded engine AND (when
   // durable) the WAL; must outlive the engine. Null = metrics off. The

@@ -108,6 +108,13 @@ struct CommandEncoder {
   }
   void operator()(const ShutdownCmd&) { w.u8(static_cast<uint8_t>(OpTag::kShutdown)); }
   void operator()(const MetricsCmd&) { w.u8(static_cast<uint8_t>(OpTag::kMetrics)); }
+  void operator()(const ReplicateCmd& cmd) {
+    w.u8(static_cast<uint8_t>(OpTag::kReplicate));
+    w.str(cmd.follower_id);
+    w.u64(cmd.since_lsn);
+    w.u32(cmd.max_records);
+  }
+  void operator()(const PromoteCmd&) { w.u8(static_cast<uint8_t>(OpTag::kPromote)); }
   void operator()(const BatchCmd& cmd) {
     if (depth >= kMaxBatchDepth) throw Error("batch nesting exceeds kMaxBatchDepth");
     w.u8(static_cast<uint8_t>(OpTag::kBatch));
@@ -158,6 +165,14 @@ Command DecodeCommandFrom(BinaryReader& r, size_t depth) {
     }
     case OpTag::kShutdown: return ShutdownCmd{};
     case OpTag::kMetrics: return MetricsCmd{};
+    case OpTag::kReplicate: {
+      ReplicateCmd cmd;
+      cmd.follower_id = r.str();
+      cmd.since_lsn = r.u64();
+      cmd.max_records = r.u32();
+      return cmd;
+    }
+    case OpTag::kPromote: return PromoteCmd{};
     case OpTag::kBatch: {
       if (depth >= kMaxBatchDepth) throw ParseError("batch nesting exceeds kMaxBatchDepth");
       const uint32_t count = r.u32();
@@ -281,6 +296,28 @@ struct ResultEncoder {
       w.f64(h.stats.p99);
       w.f64(h.stats.p999);
       w.f64(h.stats.max);
+    }
+  }
+
+  void operator()(const NotLeaderResult& res) {
+    w.u8(static_cast<uint8_t>(ResultTag::kNotLeader));
+    w.str(res.leader_host);
+    w.u32(res.leader_port);
+  }
+  void operator()(const ReplicateResult& res) {
+    w.u8(static_cast<uint8_t>(ResultTag::kReplicate));
+    w.u64(res.leader_lsn);
+    w.u8(res.follower ? 1 : 0);
+    w.u8(res.snapshot_lsn != 0 ? 1 : 0);
+    if (res.snapshot_lsn != 0) {
+      w.u64(res.snapshot_lsn);
+      w.str(res.snapshot);
+      return;
+    }
+    w.u32(static_cast<uint32_t>(res.records.size()));
+    for (const ReplicateResult::Entry& entry : res.records) {
+      w.u64(entry.lsn);
+      w.str(entry.payload);
     }
   }
 };
@@ -407,6 +444,32 @@ Result DecodeResultFrom(BinaryReader& r, size_t depth) {
       }
       return res;
     }
+    case ResultTag::kNotLeader: {
+      NotLeaderResult res;
+      res.leader_host = r.str();
+      res.leader_port = r.u32();
+      return res;
+    }
+    case ResultTag::kReplicate: {
+      ReplicateResult res;
+      res.leader_lsn = r.u64();
+      res.follower = r.u8() != 0;
+      if (r.u8() != 0) {
+        res.snapshot_lsn = r.u64();
+        if (res.snapshot_lsn == 0) throw ParseError("REPLICATE snapshot with lsn 0");
+        res.snapshot = r.str();
+        return res;
+      }
+      const uint32_t n = r.u32();
+      res.records.reserve(SafeReserve(n, r));
+      for (uint32_t i = 0; i < n; ++i) {
+        ReplicateResult::Entry entry;
+        entry.lsn = r.u64();
+        entry.payload = r.str();
+        res.records.push_back(std::move(entry));
+      }
+      return res;
+    }
     case ResultTag::kHello:
       throw ParseError("HELLO reply outside version negotiation");
   }
@@ -449,6 +512,19 @@ Result DecodeResult(std::string_view payload) {
   Result result = DecodeResultFrom(r, 0);
   if (!r.at_end()) throw ParseError("trailing bytes after reply");
   return result;
+}
+
+bool MightMutate(std::string_view request_payload) {
+  if (request_payload.empty()) return false;
+  switch (static_cast<OpTag>(static_cast<uint8_t>(request_payload[0]))) {
+    case OpTag::kPut:
+    case OpTag::kDelete:
+    case OpTag::kCompact:
+    case OpTag::kBatch:
+      return true;
+    default:
+      return false;
+  }
 }
 
 bool IsHelloRequest(std::string_view payload) {

@@ -26,8 +26,10 @@ namespace ocasta::api {
 // shard-lock split (an incompatible layout change, so v3 is the oldest
 // version this codec accepts); v4 adds the METRICS op + reply (purely
 // additive — a v3 peer that never sends METRICS interoperates unchanged,
-// so kMinProtocolVersion stays 3).
-inline constexpr uint32_t kProtocolVersion = 4;
+// so kMinProtocolVersion stays 3); v5 adds replication: REPLICATE and
+// PROMOTE ops plus the NOT_LEADER and REPLICATE result tags (again purely
+// additive — kMinProtocolVersion stays 3).
+inline constexpr uint32_t kProtocolVersion = 5;
 inline constexpr uint32_t kMinProtocolVersion = 3;
 
 // Nested-batch depth cap: deeper batches are refused on encode (Error) and
@@ -52,6 +54,8 @@ enum class OpTag : uint8_t {
   kHello = 13,
   kBatch = 14,
   kMetrics = 15,  // v4.
+  kReplicate = 16,  // v5.
+  kPromote = 17,    // v5.
 };
 
 // Reply result tags. kOk/kError keep v1's 0/1 status-byte values.
@@ -69,6 +73,8 @@ enum class ResultTag : uint8_t {
   kBatch = 10,
   kHello = 11,  // HELLO replies only; never produced by EncodeResult.
   kMetrics = 12,  // v4.
+  kNotLeader = 13,  // v5.
+  kReplicate = 14,  // v5.
 };
 
 // --- Commands and Results ---------------------------------------------------
@@ -83,6 +89,16 @@ Command DecodeCommand(std::string_view payload);
 // BatchCmd (the zero-copy path for Engine::ApplyBatch over the wire).
 // Byte-identical to EncodeCommand(BatchCmd{commands}).
 std::string EncodeBatchRequest(std::span<const Command> commands);
+
+// Cheap single-byte peek: could this request payload be a mutation? Over-
+// approximates on purpose — any BATCH answers true without decoding it
+// (the batch MAY contain a Put/Delete/Compact), and garbage that merely
+// starts with a mutating tag answers true too. The event loop uses this to
+// route requests that might block on the replication commit gate off the
+// loop thread, where a false positive costs one thread hop and a false
+// negative would stall every connection sharing the loop; full decoding
+// here would double-parse every frame.
+bool MightMutate(std::string_view request_payload);
 
 std::string EncodeResult(const Result& result);
 

@@ -118,10 +118,29 @@ struct BatchCmd {
 // empty snapshot rather than an error, so probes are always safe.
 struct MetricsCmd {};
 
+// (v5) One replication pull: "send me WAL records after since_lsn". The
+// serving daemon replies with a ReplicateResult carrying either a run of
+// log records starting at since_lsn + 1, or — when its log no longer
+// reaches back that far — a full snapshot to bootstrap from. since_lsn is
+// also the follower's durability acknowledgement: everything at or below
+// it is appended AND fsynced on the follower, which is what quorum acks
+// count (docs/REPLICATION.md). Only the durable daemon serves this;
+// in-process engines reply ErrorResult.
+struct ReplicateCmd {
+  std::string follower_id;   // Stable identity for quorum tracking ("" = probe only).
+  uint64_t since_lsn = 0;    // Highest LSN durably applied by the follower.
+  uint32_t max_records = 0;  // Per-pull record cap; 0 = server default.
+};
+
+// (v5) Flips a follower daemon into the leader role: it stops pulling and
+// starts accepting mutations at the next LSN of the replicated stream.
+// Idempotent; a daemon that is already a leader replies OK.
+struct PromoteCmd {};
+
 using CommandOp =
     std::variant<PingCmd, PutCmd, DeleteCmd, GetCmd, GetAtCmd, HistoryCmd, ListKeysCmd,
                  StatsCmd, SnapshotCmd, CompactCmd, ClusterNowCmd, ShutdownCmd, BatchCmd,
-                 MetricsCmd>;
+                 MetricsCmd, ReplicateCmd, PromoteCmd>;
 
 // Wrapper (rather than a bare variant alias) so BatchCmd can hold
 // std::vector<Command> recursively. Implicitly constructible from any
@@ -143,6 +162,15 @@ const char* CommandName(const Command& cmd);
 // cross-shard ops. Used by the slow-op trace to attribute a request to a
 // key hash + shard without re-decoding the frame.
 const std::string* CommandKey(const Command& cmd);
+
+// True when applying the command can change engine state: Put, Delete,
+// Compact, or a Batch containing one (recursively). This is the shared
+// definition of "must be logged / must go to the leader / must not be
+// blindly retried": the durable engine WALs exactly these, a follower
+// rejects exactly these with NotLeaderResult, and TtkvClient refuses to
+// auto-resend exactly these once their request frame may have reached a
+// server.
+bool IsMutating(const Command& cmd);
 
 // --- Results ----------------------------------------------------------------
 
@@ -198,10 +226,42 @@ struct MetricsResult {  // Metrics. Empty snapshot = metrics not enabled.
   obs::MetricsSnapshot snapshot;
 };
 
+// (v5) A follower daemon's rejection of a mutating command, carrying the
+// leader's address so clients can fail over without configuration.
+// leader_host may be empty when the follower was started without knowing a
+// client-reachable leader address.
+struct NotLeaderResult {
+  std::string leader_host;
+  uint32_t leader_port = 0;
+};
+
+// (v5) One replication pull's worth of log, answered by a durable daemon.
+// Exactly one of the two payloads is meaningful:
+//   snapshot_lsn == 0 — `records` is a contiguous LSN run starting at the
+//     request's since_lsn + 1 (possibly empty when the follower is caught
+//     up). Each payload is the codec-encoded Command byte-identical to the
+//     leader's WAL record, so applying it is indistinguishable from WAL
+//     replay.
+//   snapshot_lsn != 0 — the leader's log no longer reaches back to
+//     since_lsn (checkpoint truncation); `snapshot` holds a durable
+//     snapshot image (persist::EncodeDurableSnapshot format) covering
+//     everything through snapshot_lsn. The follower must reseed from it.
+struct ReplicateResult {
+  struct Entry {
+    uint64_t lsn = 0;
+    std::string payload;  // Codec-encoded Command, exactly as logged.
+  };
+  uint64_t leader_lsn = 0;  // Serving daemon's last written LSN (lag = leader_lsn - applied).
+  bool follower = false;    // True when the serving daemon is itself tailing a leader.
+  uint64_t snapshot_lsn = 0;
+  std::string snapshot;
+  std::vector<Entry> records;
+};
+
 using ResultOp =
     std::variant<OkResult, ErrorResult, ExistedResult, ValueResult, HistoryResult, KeysResult,
                  StatsResult, SnapshotResult, CompactResult, ClustersResult, BatchResult,
-                 MetricsResult>;
+                 MetricsResult, NotLeaderResult, ReplicateResult>;
 
 struct Result {
   ResultOp op;

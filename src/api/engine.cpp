@@ -27,8 +27,23 @@ const char* CommandName(const Command& cmd) {
     const char* operator()(const ShutdownCmd&) const { return "SHUTDOWN"; }
     const char* operator()(const BatchCmd&) const { return "BATCH"; }
     const char* operator()(const MetricsCmd&) const { return "METRICS"; }
+    const char* operator()(const ReplicateCmd&) const { return "REPLICATE"; }
+    const char* operator()(const PromoteCmd&) const { return "PROMOTE"; }
   };
   return std::visit(Namer{}, cmd.op);
+}
+
+bool IsMutating(const Command& cmd) {
+  if (std::holds_alternative<PutCmd>(cmd.op) || std::holds_alternative<DeleteCmd>(cmd.op) ||
+      std::holds_alternative<CompactCmd>(cmd.op)) {
+    return true;
+  }
+  if (const auto* batch = std::get_if<BatchCmd>(&cmd.op)) {
+    for (const Command& sub : batch->commands) {
+      if (IsMutating(sub)) return true;
+    }
+  }
+  return false;
 }
 
 const std::string* CommandKey(const Command& cmd) {

@@ -186,6 +186,15 @@ Result LocalEngine::ApplyLocked(const Command& cmd) {
       if (self.options_.metrics != nullptr) res.snapshot = self.options_.metrics->Snapshot();
       return res;
     }
+
+    // Replication is a daemon-level protocol between durable nodes; the
+    // in-process engine has no WAL to serve or role to flip.
+    Result operator()(const ReplicateCmd&) OCASTA_REQUIRES(self.mu_) {
+      return ErrorResult{"REPLICATE requires a durable daemon (--data-dir)"};
+    }
+    Result operator()(const PromoteCmd&) OCASTA_REQUIRES(self.mu_) {
+      return ErrorResult{"PROMOTE requires a daemon started as a follower"};
+    }
   };
 
   try {

@@ -1,5 +1,6 @@
 #include "client/ttkv_client.h"
 
+#include <poll.h>
 #include <unistd.h>
 
 #include "api/codec.h"
@@ -9,14 +10,40 @@ namespace ocasta {
 
 namespace {
 
+// NOT_LEADER redirects followed per RPC before giving up (covers a
+// follower chain mid-reconfiguration without looping forever when two
+// daemons point at each other).
+constexpr int kMaxLeaderHops = 4;
+
 // Unwraps a typed reply; the daemon's ErrorResult becomes StoreError.
 template <typename T>
 T Take(api::Result result, const char* what) {
   if (auto* err = std::get_if<api::ErrorResult>(&result.op)) {
     throw StoreError("ocastad: " + err->message);
   }
+  if (auto* redirect = std::get_if<api::NotLeaderResult>(&result.op)) {
+    // Unresolved after kMaxLeaderHops (or a typed RPC the caller routed to
+    // a follower on purpose): a server-side rejection, not a wire fault.
+    throw StoreError("ocastad: not the leader; leader is " + redirect->leader_host + ":" +
+                     std::to_string(redirect->leader_port));
+  }
   if (auto* typed = std::get_if<T>(&result.op)) return std::move(*typed);
   throw WireError(std::string("unexpected reply type for ") + what);
+}
+
+// True when a REUSED connection still looks usable: no pending EOF, error,
+// or unsolicited bytes. A daemon that restarted since our last RPC has
+// FIN'd the old socket, which this 0-timeout poll sees — so staleness is
+// detected BEFORE a request frame is committed to the wire, which is what
+// lets mutations keep their never-hit-the-wire retry (see Rpc).
+bool ConnectionSeemsAlive(int fd) {
+  pollfd pfd{fd, POLLIN, 0};
+  const int r = ::poll(&pfd, 1, 0);
+  if (r < 0) return false;
+  if (r == 0) return true;  // Quiet socket: as alive as TCP can promise.
+  // Readable with no RPC outstanding means EOF or protocol garbage; either
+  // way the connection is done.
+  return false;
 }
 
 }  // namespace
@@ -55,7 +82,7 @@ void TtkvClient::Close() {
   protocol_version_ = 0;
 }
 
-std::string TtkvClient::Rpc(const std::string& request) {
+std::string TtkvClient::Rpc(const std::string& request, bool idempotent) {
   // A request the framing layer can never ship (e.g. a giant BATCH) is a
   // deterministic client-side failure: surface it without tearing down a
   // healthy connection or spending the reconnect-once budget on it.
@@ -63,29 +90,64 @@ std::string TtkvClient::Rpc(const std::string& request) {
     throw WireError("request exceeds kMaxFrameBytes; split the batch");
   }
   for (int attempt = 0;; ++attempt) {
+    // Exactly-once discipline for mutations: once the request frame has
+    // started onto the wire, the daemon may have applied it even though
+    // the reply never arrived — transparently re-sending would record the
+    // mutation twice. So non-idempotent requests only retry failures from
+    // BEFORE the send (refused connect, or the staleness probe above
+    // catching a restarted daemon); after that the ambiguity is surfaced
+    // as WireError and the caller decides. Reads retry unconditionally —
+    // re-asking is harmless.
+    bool reached_wire = false;
     try {
+      if (fd_ >= 0 && !ConnectionSeemsAlive(fd_)) Close();
       Connect();
+      reached_wire = true;
       SendFrame(fd_, request);
       auto reply = in_.Recv(fd_);
       if (!reply.has_value()) throw WireError("daemon closed the connection");
       return std::move(*reply);
     } catch (const WireError&) {
-      // Stale or broken connection: reconnect once and retry. (A retried
-      // PUT that already reached the daemon records a duplicate version —
-      // acceptable for a recorder, same as the paper's at-least-once
-      // logging.)
       Close();
       if (attempt >= 1) throw;
+      if (reached_wire && !idempotent) throw;
     }
   }
 }
 
+api::Result TtkvClient::ApplyRaw(const api::Command& cmd) {
+  return api::DecodeResult(Rpc(api::EncodeCommand(cmd), !api::IsMutating(cmd)));
+}
+
 api::Result TtkvClient::Apply(const api::Command& cmd) {
-  return api::DecodeResult(Rpc(api::EncodeCommand(cmd)));
+  const bool idempotent = !api::IsMutating(cmd);
+  api::Result result = api::DecodeResult(Rpc(api::EncodeCommand(cmd), idempotent));
+  for (int hops = 0; hops < kMaxLeaderHops; ++hops) {
+    const auto* redirect = std::get_if<api::NotLeaderResult>(&result.op);
+    if (redirect == nullptr) return result;
+    // Follower failover: re-send at the advertised leader. Safe even for
+    // mutations — the follower applied nothing before redirecting.
+    FollowLeader(*redirect);
+    result = api::DecodeResult(Rpc(api::EncodeCommand(cmd), idempotent));
+  }
+  return result;  // Still NOT_LEADER: Take()/the caller surfaces it.
 }
 
 std::vector<api::Result> TtkvClient::ApplyBatch(std::span<const api::Command> cmds) {
-  api::Result reply = api::DecodeResult(Rpc(api::EncodeBatchRequest(cmds)));
+  bool idempotent = true;
+  for (const api::Command& cmd : cmds) idempotent &= !api::IsMutating(cmd);
+  const std::string request = api::EncodeBatchRequest(cmds);
+  api::Result reply = api::DecodeResult(Rpc(request, idempotent));
+  for (int hops = 0;
+       hops < kMaxLeaderHops && std::holds_alternative<api::NotLeaderResult>(reply.op);
+       ++hops) {
+    FollowLeader(std::get<api::NotLeaderResult>(reply.op));
+    reply = api::DecodeResult(Rpc(request, idempotent));
+  }
+  if (auto* redirect = std::get_if<api::NotLeaderResult>(&reply.op)) {
+    throw StoreError("ocastad: not the leader; leader is " + redirect->leader_host + ":" +
+                     std::to_string(redirect->leader_port));
+  }
   if (auto* err = std::get_if<api::ErrorResult>(&reply.op)) {
     // The daemon rejected the batch wholesale (e.g. nesting too deep):
     // every command failed the same way.
@@ -96,6 +158,15 @@ std::vector<api::Result> TtkvClient::ApplyBatch(std::span<const api::Command> cm
     throw WireError("malformed BATCH reply");
   }
   return std::move(batch->results);
+}
+
+void TtkvClient::FollowLeader(const api::NotLeaderResult& redirect) {
+  if (redirect.leader_host.empty() || redirect.leader_port == 0) {
+    throw StoreError("ocastad: daemon is a follower but advertises no leader address");
+  }
+  Close();
+  host_ = redirect.leader_host;
+  port_ = static_cast<uint16_t>(redirect.leader_port);
 }
 
 void TtkvClient::Ping() { Take<api::OkResult>(Apply(api::PingCmd{}), "PING"); }
@@ -146,6 +217,14 @@ std::vector<NamedCluster> TtkvClient::ClusterNow(double threshold_correlation,
 void TtkvClient::Shutdown() {
   Take<api::OkResult>(Apply(api::ShutdownCmd{}), "SHUTDOWN");
   Close();
+}
+
+void TtkvClient::Promote() { Take<api::OkResult>(Apply(api::PromoteCmd{}), "PROMOTE"); }
+
+api::ReplicateResult TtkvClient::Replicate(const std::string& follower_id, uint64_t since_lsn,
+                                           uint32_t max_records) {
+  return Take<api::ReplicateResult>(
+      Apply(api::ReplicateCmd{follower_id, since_lsn, max_records}), "REPLICATE");
 }
 
 void TtkvClient::PutBatch(const std::vector<std::pair<std::string, Value>>& entries,

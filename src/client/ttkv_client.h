@@ -3,10 +3,15 @@
 // One client owns one TCP connection and is synchronous: every RPC sends a
 // request frame and blocks for the reply. Connecting performs HELLO version
 // negotiation (the daemon answers with the highest protocol version both
-// sides speak; see protocol_version()). A transport failure (daemon
-// restarted, connection reset) triggers one transparent reconnect + retry
-// before surfacing WireError; server-reported failures (bad key, malformed
-// request) surface as StoreError and are never retried.
+// sides speak; see protocol_version()). Transport-failure policy: reads
+// transparently reconnect + retry once; mutations retry only when the
+// failure provably predates the request frame reaching the wire (refused
+// connect, or the pre-send staleness probe detecting a restarted daemon) —
+// a mutation whose frame was sent but whose reply never came surfaces
+// WireError, because re-sending could apply it twice. Server-reported
+// failures (bad key, malformed request) surface as StoreError and are
+// never retried. A NOT_LEADER reply from a follower daemon transparently
+// re-routes the RPC to the advertised leader (bounded hops).
 //
 // All request/reply byte layouts live in api/codec.h — this class carries
 // no per-op encode/decode logic. Apply() is the generic entry point
@@ -57,6 +62,11 @@ class TtkvClient {
   // transparent reconnect.
   api::Result Apply(const api::Command& cmd);
 
+  // Apply without following NOT_LEADER redirects: the raw reply from the
+  // addressed daemon, NotLeaderResult included. For role introspection
+  // (ocasta_cli replstat) and failover tests.
+  api::Result ApplyRaw(const api::Command& cmd);
+
   // Ships `cmds` as one BATCH frame (encoded straight from the span, no
   // BatchCmd copy) and returns the per-command results in order. A reply
   // that is not a well-formed BATCH result of matching size throws
@@ -79,14 +89,30 @@ class TtkvClient {
                                        Linkage linkage = Linkage::kComplete);
   void Shutdown();  // Asks the daemon to stop; the connection dies with it.
 
+  // --- Replication (docs/REPLICATION.md) ------------------------------------
+  // Flips a follower daemon into a leader (stops its pull loop).
+  void Promote();
+  // One raw REPLICATE round trip: follower progress report + log tail (or
+  // snapshot). max_records == 0 is a status probe that returns only the
+  // daemon's last LSN (ocasta_cli replstat uses this to pick the most
+  // caught-up follower before promoting).
+  api::ReplicateResult Replicate(const std::string& follower_id, uint64_t since_lsn,
+                                 uint32_t max_records);
+
   // --- Single-frame batches -------------------------------------------------
   void PutBatch(const std::vector<std::pair<std::string, Value>>& entries, TimeMicros t = 0);
   std::vector<std::optional<Value>> GetBatch(const std::vector<std::string>& keys);
 
  private:
-  // Sends one request frame and reads the reply frame. Reconnects +
-  // retries once on transport failure.
-  std::string Rpc(const std::string& request);
+  // Sends one request frame and reads the reply frame. Transport-failure
+  // policy: idempotent requests reconnect + retry once; non-idempotent
+  // (mutating) requests retry only when the failure provably predates the
+  // send — once the frame reached the wire, ambiguity surfaces as
+  // WireError instead of risking a double-apply (exactly-once from the
+  // client's side; see the regression tests in client_retry_test.cpp).
+  std::string Rpc(const std::string& request, bool idempotent);
+  // Redirect target of a NOT_LEADER reply: reconnect there.
+  void FollowLeader(const api::NotLeaderResult& redirect);
 
   std::string host_;
   uint16_t port_;

@@ -287,6 +287,7 @@ using condvar = std::condition_variable_any;
 //                                 tracker_mu_ under a shard lock
 //   join/pending/wake             leaves — nothing is acquired under them
 inline constexpr LockClass kDurableCheckpointClass{"DurableEngine::checkpoint_mu_", 10};
+inline constexpr LockClass kReplicaFollowerClass{"replica::Follower::mu_", 15};
 inline constexpr LockClass kDurableMutateClass{"DurableEngine::mu_", 20};
 inline constexpr LockClass kLocalEngineClass{"LocalEngine::mu_", 30};
 inline constexpr LockClass kTrackerClass{"ShardedTtkv::tracker_mu_", 40};
@@ -295,7 +296,11 @@ inline constexpr LockClass kWalAppendClass{"Wal::append_mu_", 60};
 inline constexpr LockClass kWalSyncClass{"Wal::sync_mu_", 70};
 inline constexpr LockClass kServerJoinClass{"TtkvServer::join_mu_", 80};
 inline constexpr LockClass kEventLoopPendingClass{"EventLoop::pending_mu_", 90};
+// Leaf-ish: taken by offload workers after the handler has RELEASED every
+// engine/hub lock, and by the loop thread holding nothing.
+inline constexpr LockClass kEventLoopOffloadClass{"EventLoop::offload_mu_", 92};
 inline constexpr LockClass kDurableWakeClass{"DurableEngine::wake_mu_", 95};
+inline constexpr LockClass kReplicationHubClass{"replica::ReplicationHub::mu_", 96};
 // Metrics registry registration/snapshot path (src/obs/metrics.h). A leaf
 // with a high rank because Snapshot() may run while an engine lock is held
 // (LocalEngine answers METRICS under mu_); nothing is ever acquired under

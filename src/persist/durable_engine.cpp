@@ -15,6 +15,7 @@
 #include "api/codec.h"
 #include "common/io.h"
 #include "obs/slow_log.h"
+#include "ttkv/serialize.h"
 
 namespace ocasta::persist {
 
@@ -62,20 +63,44 @@ TimeMicros MaxTimestampOf(const api::Command& cmd) {
   return 0;
 }
 
+// Wrapper magic of the durable snapshot file format ("OCDS" header + op
+// counter totals + embedded TTKV image). Distinct from the TTKV image's
+// own magic, so a bare pre-v5 image is recognized by exclusion.
+constexpr uint32_t kDurableSnapMagic = 0x5344434f;
+constexpr uint8_t kDurableSnapVersion = 1;
+
 }  // namespace
 
-bool IsMutating(const api::Command& cmd) {
-  if (std::holds_alternative<api::PutCmd>(cmd.op) ||
-      std::holds_alternative<api::DeleteCmd>(cmd.op) ||
-      std::holds_alternative<api::CompactCmd>(cmd.op)) {
-    return true;
-  }
-  if (const auto* batch = std::get_if<api::BatchCmd>(&cmd.op)) {
-    for (const api::Command& sub : batch->commands) {
-      if (IsMutating(sub)) return true;
+bool IsMutating(const api::Command& cmd) { return api::IsMutating(cmd); }
+
+std::string EncodeDurableSnapshot(const DurableSnapshot& snap) {
+  BinaryWriter w;
+  w.u32(kDurableSnapMagic);
+  w.u8(kDurableSnapVersion);
+  w.u64(snap.puts);
+  w.u64(snap.gets);
+  w.u64(snap.deletes);
+  w.str(snap.ttkv.Serialize());
+  return w.take();
+}
+
+DurableSnapshot DecodeDurableSnapshot(const std::string& bytes) {
+  DurableSnapshot snap;
+  BinaryReader probe(bytes);
+  if (bytes.size() >= 5 && probe.u32() == kDurableSnapMagic) {
+    if (probe.u8() != kDurableSnapVersion) {
+      throw ParseError("unknown durable snapshot version");
     }
+    snap.puts = probe.u64();
+    snap.gets = probe.u64();
+    snap.deletes = probe.u64();
+    snap.ttkv = TTKV::Deserialize(probe.str());
+    if (!probe.at_end()) throw ParseError("trailing bytes after durable snapshot");
+    return snap;
   }
-  return false;
+  // Pre-wrapper file: the bytes are the TTKV image itself, totals unknown.
+  snap.ttkv = TTKV::Deserialize(bytes);
+  return snap;
 }
 
 DurableEngine::DurableEngine(std::string data_dir, InnerFactory factory, DurableOptions options)
@@ -93,15 +118,22 @@ DurableEngine::DurableEngine(std::string data_dir, InnerFactory factory, Durable
     ::closedir(d);
   }
 
-  // 1. Newest snapshot that deserializes cleanly anchors recovery; corrupt
-  //    ones fall back to the next-older (retained_snapshots keeps a spare).
+  // 1. Newest snapshot that deserializes cleanly anchors recovery. The
+  //    walk tries EVERY retained snapshot, newest first / oldest last —
+  //    with retained_snapshots == N, up to N corrupt generations fall
+  //    back before recovery resorts to a bare log replay (see
+  //    PersistTest.FallsBackThroughEveryRetainedSnapshot).
   TTKV snapshot;
   uint64_t snapshot_lsn = 0;
   const auto snaps = ListSnapshots(dir_);
   for (auto it = snaps.rbegin(); it != snaps.rend(); ++it) {
     try {
-      snapshot = TTKV::Deserialize(ReadFile(dir_ + "/" + it->second));
+      DurableSnapshot image = DecodeDurableSnapshot(ReadFile(dir_ + "/" + it->second));
+      snapshot = std::move(image.ttkv);
       snapshot_lsn = it->first;
+      baseline_puts_ = image.puts;
+      baseline_gets_ = image.gets;
+      baseline_deletes_ = image.deletes;
       break;
     } catch (const Error&) {
       // Torn or bit-flipped snapshot: keep walking back. With no valid
@@ -218,8 +250,24 @@ void DurableEngine::MaybeWakeCheckpointer() {
   }
 }
 
+void DurableEngine::AddStatsBaseline(api::Result* result) const {
+  if (auto* stats = std::get_if<api::StatsResult>(&result->op)) {
+    stats->stats.puts += baseline_puts_;
+    stats->stats.gets += baseline_gets_;
+    stats->stats.deletes += baseline_deletes_;
+    return;
+  }
+  if (auto* batch = std::get_if<api::BatchResult>(&result->op)) {
+    for (api::Result& sub : batch->results) AddStatsBaseline(&sub);
+  }
+}
+
 api::Result DurableEngine::Apply(const api::Command& cmd) {
-  if (!IsMutating(cmd)) return inner_->Apply(cmd);
+  if (!api::IsMutating(cmd)) {
+    api::Result result = inner_->Apply(cmd);
+    AddStatsBaseline(&result);
+    return result;
+  }
   // Stamp and encode before the mutation lock: the record's bytes are
   // fixed here, mu_ only decides its position in the log/apply order.
   api::Command stamped = cmd;
@@ -251,22 +299,31 @@ api::Result DurableEngine::Apply(const api::Command& cmd) {
   } else {
     wal_.Sync(lsn);
   }
+  // Quorum gate (when configured): the ack is withheld until enough
+  // followers cover this LSN; a gate timeout throws past us — the write
+  // is durable locally but reported failed, see docs/REPLICATION.md.
+  if (options_.commit_gate) options_.commit_gate(lsn);
   MaybeWakeCheckpointer();
+  AddStatsBaseline(&result);
   return result;
 }
 
 std::vector<api::Result> DurableEngine::ApplyBatch(std::span<const api::Command> cmds) {
   bool any_mutating = false;
-  for (const api::Command& cmd : cmds) any_mutating |= IsMutating(cmd);
+  for (const api::Command& cmd : cmds) any_mutating |= api::IsMutating(cmd);
   // Read-only batches never touch the log or the mutation lock.
-  if (!any_mutating) return inner_->ApplyBatch(cmds);
+  if (!any_mutating) {
+    std::vector<api::Result> results = inner_->ApplyBatch(cmds);
+    for (api::Result& result : results) AddStatsBaseline(&result);
+    return results;
+  }
 
   // Stamp + encode outside mu_ (see Apply).
   std::vector<api::Command> stamped(cmds.begin(), cmds.end());
   std::vector<std::string> payloads;
   payloads.reserve(stamped.size());
   for (api::Command& cmd : stamped) {
-    if (!IsMutating(cmd)) continue;
+    if (!api::IsMutating(cmd)) continue;
     Stamp(&cmd);
     payloads.push_back(api::EncodeCommand(cmd));
   }
@@ -279,8 +336,12 @@ std::vector<api::Result> DurableEngine::ApplyBatch(std::span<const api::Command>
                                  : std::chrono::steady_clock::time_point{};
     if (options_.wal.fsync == FsyncPolicy::kAlways) {
       // One flush per record: the worst-case policy the bench quantifies
-      // against group commit.
-      for (const std::string& payload : payloads) wal_.Sync(wal_.Append(payload));
+      // against group commit. `lsn` tracks the last record for the commit
+      // gate; the post-mu_ Sync it triggers is a no-op (already synced).
+      for (const std::string& payload : payloads) {
+        lsn = wal_.Append(payload);
+        wal_.Sync(lsn);
+      }
     } else {
       lsn = wal_.Append(std::span<const std::string>(payloads));
     }
@@ -295,9 +356,72 @@ std::vector<api::Result> DurableEngine::ApplyBatch(std::span<const api::Command>
     } else {
       wal_.Sync(lsn);
     }
+    if (options_.commit_gate) options_.commit_gate(lsn);
   }
   MaybeWakeCheckpointer();
+  for (api::Result& result : results) AddStatsBaseline(&result);
   return results;
+}
+
+DurableEngine::SnapshotImage DurableEngine::CaptureSnapshot() {
+  DurableSnapshot image;
+  SnapshotImage out;
+  {
+    // Same capture discipline as Checkpoint(): stall mutations so the
+    // image is an exact LSN cut; serialize after release.
+    const lockdep::guard lock(mu_);
+    out.lsn = wal_.last_lsn();
+    image.ttkv = api::Snapshot(*inner_);
+    const EngineStats stats = api::Stats(*inner_);
+    image.puts = baseline_puts_ + stats.puts;
+    image.gets = baseline_gets_ + stats.gets;
+    image.deletes = baseline_deletes_ + stats.deletes;
+  }
+  out.bytes = EncodeDurableSnapshot(image);
+  return out;
+}
+
+void DurableEngine::ApplyReplicated(std::span<const WalRecord> records) {
+  if (records.empty()) return;
+  // Decode outside mu_: a payload that fails its decode is format skew
+  // between leader and follower, and nothing may be appended.
+  std::vector<api::Command> cmds;
+  cmds.reserve(records.size());
+  TimeMicros max_t = 0;
+  for (const WalRecord& record : records) {
+    cmds.push_back(api::DecodeCommand(record.payload));
+    max_t = std::max(max_t, MaxTimestampOf(cmds.back()));
+  }
+  uint64_t last = 0;
+  {
+    const lockdep::guard lock(mu_);
+    const uint64_t next = wal_.last_lsn() + 1;
+    if (records.front().lsn != next) {
+      throw Error("replication stream gap: got lsn " + std::to_string(records.front().lsn) +
+                  ", local log expects " + std::to_string(next));
+    }
+    for (size_t i = 0; i < records.size(); ++i) {
+      if (records[i].lsn != next + i) {
+        throw Error("replication stream not contiguous at lsn " +
+                    std::to_string(records[i].lsn));
+      }
+      wal_.Append(records[i].payload);
+      // Same order as recovery replay: append, then apply. Inner results
+      // are discarded exactly as replay discards them — a command the
+      // leader logged-then-rejected rejects identically here.
+      inner_->Apply(cmds[i]);
+    }
+    last = wal_.last_lsn();
+  }
+  // Keep the stamp clock ahead of replicated history so post-promotion
+  // engine-assigned timestamps never collide with it.
+  int64_t prev = clock_.load(std::memory_order_relaxed);
+  while (max_t > prev && !clock_.compare_exchange_weak(prev, max_t, std::memory_order_relaxed)) {
+  }
+  // The follower's durability ack: its next pull carries since_lsn ==
+  // `last`, which must not outrun the local flush.
+  wal_.Sync(last);
+  MaybeWakeCheckpointer();
 }
 
 void DurableEngine::WriteSnapshotFile(uint64_t lsn, const std::string& bytes) {
@@ -338,16 +462,22 @@ void DurableEngine::WriteSnapshotFile(uint64_t lsn, const std::string& bytes) {
 void DurableEngine::Checkpoint() {
   const lockdep::guard checkpoint_lock(checkpoint_mu_);
   uint64_t lsn = 0;
-  TTKV snapshot;
+  DurableSnapshot image;
   {
     // Stall mutations for the capture so the snapshot is an exact LSN cut;
-    // serialization and file IO happen after release.
+    // serialization and file IO happen after release. The op-counter
+    // totals ride the same cut, so a restart resumes counting where this
+    // snapshot left off.
     const lockdep::guard lock(mu_);
     lsn = wal_.last_lsn();
     if (lsn == 0 || lsn == checkpointed_lsn_) return;
-    snapshot = api::Snapshot(*inner_);
+    image.ttkv = api::Snapshot(*inner_);
+    const EngineStats stats = api::Stats(*inner_);
+    image.puts = baseline_puts_ + stats.puts;
+    image.gets = baseline_gets_ + stats.gets;
+    image.deletes = baseline_deletes_ + stats.deletes;
   }
-  WriteSnapshotFile(lsn, snapshot.Serialize());
+  WriteSnapshotFile(lsn, EncodeDurableSnapshot(image));
   checkpointed_lsn_ = lsn;
   checkpointed_wal_bytes_.store(wal_.appended_bytes(), std::memory_order_relaxed);
 

@@ -29,10 +29,13 @@
 // covers. A background thread checkpoints on a byte threshold and/or
 // interval.
 //
-// What durability does NOT cover: read counters bumped by standalone GETs
-// (reads are never logged; counters survive only up to the last
-// checkpoint's snapshot), engine op counters (puts_/gets_ reset on
-// recovery), and the online clustering tracker's window state. A command
+// Engine op counters (STATS puts/gets/deletes) are presented as TOTALS
+// across restarts: each snapshot file carries the totals at its LSN cut
+// (DurableSnapshot below), recovery seeds baselines from them, and replay
+// re-derives the post-snapshot mutation counts. What durability does NOT
+// cover: read counters bumped by standalone GETs after the last checkpoint
+// (reads are never logged) and the online clustering tracker's window
+// state. A command
 // already applied in memory but not yet fsynced can be observed by a
 // concurrent read before its ack — readers see at worst a write that a
 // crash would un-ack, the usual WAL read-uncommitted window.
@@ -65,7 +68,31 @@ struct DurableOptions {
   // a recoverable older anchor (the WAL is only truncated past the OLDEST
   // retained snapshot).
   size_t retained_snapshots = 2;
+  // Commit gate: called after a mutation's WAL flush with its last LSN,
+  // BEFORE the result is returned (i.e. before the ack). The replication
+  // layer uses it for --acks quorum: the gate blocks until enough
+  // followers have durably acknowledged the LSN, and throws Error on
+  // timeout — the write is then durable locally but NOT acknowledged to
+  // the client. Must not call back into the engine. Null = no gate.
+  std::function<void(uint64_t lsn)> commit_gate;
 };
+
+// The durable snapshot FILE format (snap-<lsn>.ttkv): an "OCDS" header
+// carrying engine op-counter totals at the snapshot's LSN cut, wrapping
+// the plain TTKV image. Persisting the totals closes the documented
+// STATS gap where recovery silently reset puts/gets/deletes to zero
+// (docs/DURABILITY.md). A file without the wrapper magic is read as a
+// bare TTKV image with zero totals (pre-v5 data dirs stay loadable).
+struct DurableSnapshot {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+  TTKV ttkv;
+};
+
+std::string EncodeDurableSnapshot(const DurableSnapshot& snap);
+// Throws ParseError/Error on a corrupt image (either format).
+DurableSnapshot DecodeDurableSnapshot(const std::string& bytes);
 
 // True for commands the WAL must record: Put, Delete, Compact, or a Batch
 // containing any of them.
@@ -95,6 +122,27 @@ class DurableEngine final : public api::Engine {
   // writers stall while the state is captured (not while it is written).
   void Checkpoint() OCASTA_EXCLUDES(checkpoint_mu_, mu_);
 
+  // --- Replication hooks (src/replica/, docs/REPLICATION.md) ---------------
+
+  // An encoded DurableSnapshot at an exact LSN cut, for bootstrapping a
+  // follower whose cursor the log no longer reaches. Mutations stall for
+  // the capture only; encoding happens after release.
+  struct SnapshotImage {
+    uint64_t lsn = 0;
+    std::string bytes;  // EncodeDurableSnapshot output.
+  };
+  SnapshotImage CaptureSnapshot() OCASTA_EXCLUDES(mu_);
+
+  // Applies records shipped from a leader at their exact leader LSNs: each
+  // payload is appended verbatim to the local WAL and the decoded command
+  // applied to the inner engine — the live-tail twin of constructor
+  // replay, so a promoted follower's state and log are byte-equivalent to
+  // the leader's recovery. Records must be contiguous and start at
+  // last_lsn() + 1 (throws Error on a gap — the follower must resync).
+  // Returns after the local WAL flush, so the follower's next pull cursor
+  // doubles as a durability ack.
+  void ApplyReplicated(std::span<const WalRecord> records) OCASTA_EXCLUDES(mu_);
+
   // Recovery telemetry from construction time.
   struct RecoveryInfo {
     uint64_t snapshot_lsn = 0;   // 0 = booted from an empty store.
@@ -116,6 +164,9 @@ class DurableEngine final : public api::Engine {
 
   void CheckpointThread();
   void WriteSnapshotFile(uint64_t lsn, const std::string& bytes);
+  // Adds the persisted counter baselines (recursively, through batch
+  // results) so STATS reports totals across restarts.
+  void AddStatsBaseline(api::Result* result) const;
 
   const std::string dir_;
   const DurableOptions options_;
@@ -129,6 +180,16 @@ class DurableEngine final : public api::Engine {
   std::unique_ptr<api::Engine> inner_;
   std::atomic<int64_t> clock_{0};  // Monotonicized wall clock (stamps).
   RecoveryInfo recovery_;
+
+  // Op-counter totals from the recovered snapshot's wrapper header,
+  // written once during construction (the inner engine restarts its own
+  // counters at zero; STATS adds these back). Replay past the snapshot
+  // seam re-bumps the inner counters, so baseline + inner == true totals
+  // for logged ops; standalone GETs after the last checkpoint are the one
+  // documented loss (reads are never logged).
+  uint64_t baseline_puts_ = 0;
+  uint64_t baseline_gets_ = 0;
+  uint64_t baseline_deletes_ = 0;
 
   // Serializes Checkpoint() bodies; taken BEFORE mu_ (lowest rank).
   lockdep::ordered_mutex checkpoint_mu_{lockdep::kDurableCheckpointClass};

@@ -425,6 +425,78 @@ void Wal::ResetTo(uint64_t first_lsn) {
   OpenNewSegmentLocked(first_lsn);
 }
 
+WalTail Wal::ReadFrom(uint64_t from_lsn, size_t max_records, size_t max_bytes) const {
+  WalTail tail;
+  if (from_lsn == 0) from_lsn = 1;
+  if (max_records == 0) max_records = 1;
+
+  // Start at the LAST segment whose first LSN is <= from_lsn: everything
+  // before it holds only records the reader already has.
+  const std::vector<std::string> names = ListSegments(dir_);
+  size_t start = names.size();
+  for (size_t i = 0; i < names.size(); ++i) {
+    const uint64_t first = std::strtoull(names[i].c_str() + 4, nullptr, 10);
+    if (first == 0 || first > from_lsn) break;
+    start = i;
+  }
+  if (start == names.size()) return tail;  // Truncated past from_lsn.
+
+  // `expected` walks the LSN chain exactly like recovery's scan; any torn
+  // or corrupt frame (including a concurrent append's incomplete tail)
+  // ends the read there.
+  uint64_t expected = 0;
+  size_t bytes_out = 0;
+  for (size_t i = start; i < names.size(); ++i) {
+    std::string bytes;
+    try {
+      bytes = ReadFile(dir_ + "/" + names[i]);
+    } catch (const Error&) {
+      break;  // Racing truncation/reset unlinked it; serve what we have.
+    }
+    if (bytes.size() < kSegmentHeaderBytes) break;
+    BinaryReader header(std::string_view(bytes).substr(0, kSegmentHeaderBytes));
+    if (header.u32() != kSegmentMagic || header.u8() != kSegmentVersion) break;
+    const uint64_t first = header.u64();
+    if (first == 0 || (expected != 0 && first != expected)) break;
+    expected = first;
+    size_t pos = kSegmentHeaderBytes;
+    bool clean = true;
+    while (bytes.size() - pos >= kRecordHeaderBytes) {
+      BinaryReader r(std::string_view(bytes).substr(pos, kRecordHeaderBytes));
+      const uint32_t len = r.u32();
+      const uint32_t crc = r.u32();
+      const uint64_t lsn = r.u64();
+      if (len > kMaxRecordBytes || len > bytes.size() - pos - kRecordHeaderBytes) {
+        clean = false;
+        break;
+      }
+      const std::string_view payload(bytes.data() + pos + kRecordHeaderBytes, len);
+      if (lsn != expected || RecordCrc(lsn, payload) != crc) {
+        clean = false;
+        break;
+      }
+      pos += kRecordHeaderBytes + len;
+      ++expected;
+      if (lsn < from_lsn) continue;  // Pre-cursor record: validate and skip.
+      // The byte cap never blocks the FIRST record — a single oversized
+      // payload must still ship, one per pull.
+      if (tail.records.size() >= max_records ||
+          (!tail.records.empty() && bytes_out + payload.size() > max_bytes)) {
+        tail.reachable = true;
+        return tail;
+      }
+      tail.records.push_back(WalRecord{lsn, std::string(payload)});
+      bytes_out += payload.size();
+    }
+    if (!clean) break;
+  }
+  // The run reaches from_lsn when the validated chain got at least to its
+  // predecessor — otherwise corruption (or a divergent timeline) cut the
+  // log short of it and only a snapshot can help the reader.
+  tail.reachable = expected >= from_lsn;
+  return tail;
+}
+
 uint64_t Wal::last_lsn() const { return written_lsn_.load(std::memory_order_acquire); }
 uint64_t Wal::synced_lsn() const { return synced_lsn_.load(std::memory_order_acquire); }
 uint64_t Wal::appended_bytes() const {

@@ -91,6 +91,17 @@ struct WalScan {
   size_t segments = 0;             // Segment files seen.
 };
 
+// One bounded ReadFrom() result: a contiguous run of records starting at
+// the requested LSN. `reachable == false` means the log no longer goes
+// back that far (checkpoint truncation deleted the segment, or the
+// requested LSN is from a divergent timeline) — the caller must fall back
+// to a snapshot. `reachable == true` with no records means the reader is
+// caught up.
+struct WalTail {
+  std::vector<WalRecord> records;
+  bool reachable = false;
+};
+
 class Wal {
  public:
   // Opens `dir` (creating it if missing), scans and validates existing
@@ -147,6 +158,17 @@ class Wal {
   // covered by the snapshot, and fresh appends must number past it so the
   // snapshot seam stays monotone. Requires first_lsn > last_lsn().
   void ResetTo(uint64_t first_lsn) OCASTA_EXCLUDES(append_mu_, sync_mu_);
+
+  // Reads committed records with lsn >= from_lsn straight off the segment
+  // files — the replication streaming path. Bounded by max_records and
+  // (once at least one record is collected) max_bytes of payload; the
+  // leader calls it repeatedly as the follower's cursor advances. Takes NO
+  // internal locks: appends race it harmlessly (O_APPEND writes are a
+  // strict prefix extension, and the CRC/LSN chain stops the scan at any
+  // incomplete frame), and a concurrent TruncateThrough/ResetTo at worst
+  // yields reachable == false, which the caller treats as "send a
+  // snapshot instead".
+  WalTail ReadFrom(uint64_t from_lsn, size_t max_records, size_t max_bytes) const;
 
   uint64_t last_lsn() const;
   uint64_t synced_lsn() const;

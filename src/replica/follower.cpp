@@ -1,0 +1,244 @@
+#include "replica/follower.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "api/command.h"
+#include "client/ttkv_client.h"
+#include "common/error.h"
+#include "persist/wal.h"
+
+namespace ocasta::replica {
+
+namespace {
+
+// Mirrors DurableEngine's snapshot naming (snap-<lsn>.ttkv, zero-padded so
+// lexicographic order is LSN order).
+std::string SnapshotName(uint64_t lsn) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "snap-%020llu.ttkv", static_cast<unsigned long long>(lsn));
+  return buf;
+}
+
+// Highest LSN embedded in a snap-*.ttkv filename (0 = none). Bootstrap only
+// needs the anchor the engine's recovery would pick, and recovery prefers
+// the newest snapshot; a corrupt newest snapshot makes the anchor
+// optimistic, which at worst triggers a live resync halt and a second
+// bootstrap — never silent divergence, because ApplyReplicated rejects any
+// LSN gap.
+uint64_t NewestSnapshotLsn(const std::string& dir) {
+  uint64_t newest = 0;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  while (dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.starts_with("snap-") && name.ends_with(".ttkv")) {
+      newest = std::max<uint64_t>(newest, std::strtoull(name.c_str() + 5, nullptr, 10));
+    }
+  }
+  ::closedir(d);
+  return newest;
+}
+
+// Deletes every WAL segment and snapshot (plus orphaned .tmp files) so the
+// leader's snapshot becomes the sole local history. Local state diverged
+// from the leader's timeline (or fell off its retained log), so none of it
+// may survive into the reseeded store.
+void WipeDataDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  std::vector<std::string> doomed;
+  while (dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.starts_with("snap-") || name.starts_with("wal-")) doomed.push_back(name);
+  }
+  ::closedir(d);
+  for (const std::string& name : doomed) {
+    const std::string path = dir + "/" + name;
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      throw Error("cannot wipe follower data dir: " + path + ": " + ErrnoString(errno));
+    }
+  }
+  persist::FsyncDir(dir);
+}
+
+// tmp + fsync + rename + dir fsync, same discipline as
+// DurableEngine::WriteSnapshotFile: a half-written bootstrap snapshot must
+// never be loadable.
+void WriteSnapshotAtomically(const std::string& dir, uint64_t lsn, const std::string& bytes) {
+  const std::string path = dir + "/" + SnapshotName(lsn);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw Error("cannot create bootstrap snapshot: " + tmp + ": " + ErrnoString(errno));
+  const char* data = bytes.data();
+  size_t remaining = bytes.size();
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw Error("bootstrap snapshot write failed: " + tmp + ": " + ErrnoString(errno));
+    }
+    data += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw Error("bootstrap snapshot fsync failed: " + tmp + ": " + ErrnoString(errno));
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw Error("bootstrap snapshot rename failed: " + path + ": " + ErrnoString(errno));
+  }
+  persist::FsyncDir(dir);
+}
+
+// One REPLICATE round trip; throws on transport failure or a leader-side
+// error (e.g. the leader is itself a follower, or not durable).
+api::ReplicateResult PullOnce(TtkvClient& client, const FollowerOptions& options,
+                              uint64_t since_lsn) {
+  api::Command pull;
+  pull.op = api::ReplicateCmd{options.follower_id, since_lsn, options.max_records_per_pull};
+  api::Result reply = client.Apply(pull);
+  if (const auto* err = std::get_if<api::ErrorResult>(&reply.op)) {
+    throw StoreError("leader refused REPLICATE: " + err->message);
+  }
+  auto* rep = std::get_if<api::ReplicateResult>(&reply.op);
+  if (rep == nullptr) throw WireError("unexpected reply type to REPLICATE");
+  return std::move(*rep);
+}
+
+}  // namespace
+
+void BootstrapFromLeader(const std::string& data_dir, const FollowerOptions& options) {
+  if (::mkdir(data_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw Error("cannot create data dir: " + data_dir + ": " + ErrnoString(errno));
+  }
+  // The anchor DurableEngine recovery will resume from: everything at or
+  // below it is (claimed) locally durable, so the leader's log must reach
+  // anchor + 1 for an incremental catch-up to be safe.
+  const persist::WalScan scan = persist::Wal::Scan(data_dir);
+  const uint64_t anchor = std::max(scan.last_lsn, NewestSnapshotLsn(data_dir));
+
+  TtkvClient client(options.leader_host, options.leader_port);
+  const api::ReplicateResult probe = PullOnce(client, options, anchor);
+  if (probe.snapshot_lsn == 0) return;  // Log reachable: recover locally, tail the rest.
+
+  // The leader shipped a snapshot: local history is stale or divergent.
+  // Replace it wholesale; recovery then boots from the leader's image
+  // exactly as the leader itself would.
+  WipeDataDir(data_dir);
+  WriteSnapshotAtomically(data_dir, probe.snapshot_lsn, probe.snapshot);
+}
+
+Follower::Follower(persist::DurableEngine& engine, FollowerOptions options)
+    : engine_(engine), options_(std::move(options)) {}
+
+Follower::~Follower() { Stop(); }
+
+void Follower::Start() {
+  const lockdep::guard lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  applied_lsn_.store(engine_.wal().last_lsn(), std::memory_order_relaxed);
+  thread_ = std::thread(&Follower::PullLoop, this);
+}
+
+void Follower::Stop() {
+  // Claim the join under the lock so concurrent Stop() calls (PROMOTE
+  // racing shutdown) cannot double-join; latecomers return immediately.
+  std::thread doomed;
+  {
+    const lockdep::guard lock(mu_);
+    stopping_ = true;
+    if (!started_) return;
+    started_ = false;
+    doomed = std::move(thread_);
+  }
+  cv_.notify_all();
+  if (doomed.joinable()) doomed.join();
+}
+
+std::string Follower::last_error() const {
+  const lockdep::guard lock(mu_);
+  return last_error_;
+}
+
+void Follower::SetError(const std::string& message) {
+  const lockdep::guard lock(mu_);
+  last_error_ = message;
+}
+
+bool Follower::SleepFor(double seconds) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds));
+  lockdep::relock_guard lock(mu_);
+  while (!stopping_) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+  }
+  return !stopping_;
+}
+
+void Follower::PullLoop() {
+  TtkvClient client(options_.leader_host, options_.leader_port);
+  for (;;) {
+    {
+      const lockdep::guard lock(mu_);
+      if (stopping_) return;
+    }
+    try {
+      const uint64_t cursor = engine_.wal().last_lsn();
+      api::ReplicateResult reply = PullOnce(client, options_, cursor);
+      if (reply.snapshot_lsn != 0) {
+        // The leader truncated its log past our cursor while we were
+        // running. Installing a snapshot under a live engine is not
+        // possible (recovery is construction-time), so halt and demand a
+        // restart — bootstrap will install it.
+        resync_required_.store(true, std::memory_order_relaxed);
+        SetError("leader log no longer reaches lsn " + std::to_string(cursor + 1) +
+                 " (leader at " + std::to_string(reply.leader_lsn) +
+                 "); restart this follower to re-bootstrap from a snapshot");
+        return;
+      }
+      if (!reply.records.empty()) {
+        std::vector<persist::WalRecord> records;
+        records.reserve(reply.records.size());
+        for (api::ReplicateResult::Entry& e : reply.records) {
+          records.push_back(persist::WalRecord{e.lsn, std::move(e.payload)});
+        }
+        engine_.ApplyReplicated(records);
+        applied_lsn_.store(engine_.wal().last_lsn(), std::memory_order_relaxed);
+        SetError("");
+        continue;  // Behind: drain the backlog without idling.
+      }
+      applied_lsn_.store(engine_.wal().last_lsn(), std::memory_order_relaxed);
+      SetError("");
+      if (!SleepFor(options_.poll_interval_seconds)) return;
+    } catch (const Error& e) {
+      // Transport hiccup, leader restart, or a stream gap: back off and
+      // re-pull. The cursor is re-read from the WAL each round, so a
+      // half-applied batch resumes exactly where the flush stopped.
+      SetError(e.what());
+      client.Close();
+      if (!SleepFor(options_.retry_backoff_seconds)) return;
+    }
+  }
+}
+
+}  // namespace ocasta::replica

@@ -1,0 +1,102 @@
+// Follower — pull-based WAL shipping from a leader daemon.
+//
+// A follower is an ordinary durable daemon whose mutations come from the
+// leader's log instead of from clients. Bootstrap runs BEFORE the engine
+// is constructed: BootstrapFromLeader probes the leader with the local
+// recovery anchor; if the leader's log still reaches it, the local dir is
+// kept as-is, otherwise the dir is wiped and reseeded with the leader's
+// newest snapshot (an encoded DurableSnapshot, so op-counter totals ride
+// along). Normal DurableEngine recovery then loads that state, and the
+// Follower pull thread takes over: it repeatedly sends
+// REPLICATE(follower_id, since_lsn = local wal last_lsn) and feeds the
+// returned records through DurableEngine::ApplyReplicated — append + apply
+// at the leader's exact LSNs, so a promoted follower is byte-equivalent to
+// the leader recovering from its own disk.
+//
+// since_lsn doubles as the durability ack (ApplyReplicated returns after
+// the local flush), which is what --acks quorum on the leader waits for.
+//
+// If the leader answers a LIVE pull with a snapshot (its log was truncated
+// past our cursor — the follower fell hopelessly behind), the pull loop
+// halts with resync_required(): restarting the follower re-runs bootstrap,
+// which installs the snapshot. See docs/REPLICATION.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/lockdep.h"
+#include "common/thread_safety.h"
+#include "persist/durable_engine.h"
+
+namespace ocasta::replica {
+
+struct FollowerOptions {
+  std::string leader_host = "127.0.0.1";
+  uint16_t leader_port = 0;
+  // Stable identity for quorum accounting on the leader. Empty = anonymous
+  // (the leader serves the stream but grants no quorum standing).
+  std::string follower_id;
+  // Idle delay between pulls once caught up. While behind, the loop pulls
+  // back-to-back with no delay.
+  double poll_interval_seconds = 0.02;
+  // Delay before retrying after a transport or stream error.
+  double retry_backoff_seconds = 0.2;
+  // Record-count cap per REPLICATE request (the leader also applies its
+  // own byte cap).
+  uint32_t max_records_per_pull = 4096;
+};
+
+// Pre-engine bootstrap: decides whether the local data dir can catch up
+// from the leader's log, and if not, wipes it and installs the leader's
+// snapshot so DurableEngine recovery boots from the leader's state.
+// Throws Error when the leader is unreachable or refuses replication.
+void BootstrapFromLeader(const std::string& data_dir, const FollowerOptions& options);
+
+class Follower {
+ public:
+  // `engine` must outlive the Follower; Stop() is called on destruction.
+  Follower(persist::DurableEngine& engine, FollowerOptions options);
+  ~Follower();
+
+  Follower(const Follower&) = delete;
+  Follower& operator=(const Follower&) = delete;
+
+  void Start();
+  // Idempotent; joins the pull thread. Promotion calls this, after which
+  // the engine is an ordinary leader-capable durable engine.
+  void Stop();
+
+  // Highest leader LSN durably applied locally (0 before the first pull).
+  uint64_t applied_lsn() const { return applied_lsn_.load(std::memory_order_relaxed); }
+
+  // True when the leader's log no longer reaches our cursor: the pull loop
+  // has halted and a restart (re-bootstrap) is required.
+  bool resync_required() const { return resync_required_.load(std::memory_order_relaxed); }
+
+  // Last pull error ("" when healthy); for STATUS surfaces and logs.
+  std::string last_error() const OCASTA_EXCLUDES(mu_);
+
+ private:
+  void PullLoop();
+  // Interruptible sleep; returns false when Stop() was requested.
+  bool SleepFor(double seconds) OCASTA_EXCLUDES(mu_);
+  void SetError(const std::string& message) OCASTA_EXCLUDES(mu_);
+
+  persist::DurableEngine& engine_;
+  const FollowerOptions options_;
+
+  mutable lockdep::ordered_mutex mu_{lockdep::kReplicaFollowerClass};
+  lockdep::condvar cv_;
+  std::thread thread_ OCASTA_GUARDED_BY(mu_);
+  bool stopping_ OCASTA_GUARDED_BY(mu_) = false;
+  bool started_ OCASTA_GUARDED_BY(mu_) = false;
+  std::string last_error_ OCASTA_GUARDED_BY(mu_);
+
+  std::atomic<uint64_t> applied_lsn_{0};
+  std::atomic<bool> resync_required_{false};
+};
+
+}  // namespace ocasta::replica

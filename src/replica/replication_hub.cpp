@@ -1,0 +1,108 @@
+#include "replica/replication_hub.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ocasta::replica {
+
+ReplicationHub::ReplicationHub(HubOptions options) : options_(options) {
+  if (obs::MetricsRegistry* m = options_.metrics) {
+    lag_gauge_ = &m->GetGauge("ocasta_replication_lag_records");
+    followers_gauge_ = &m->GetGauge("ocasta_replication_followers");
+    ack_wait_hist_ = &m->GetHistogram("ocasta_replication_quorum_wait_ns");
+    timeouts_ctr_ = &m->GetCounter("ocasta_replication_quorum_timeouts_total");
+  }
+}
+
+uint64_t ReplicationHub::QuorumAckedLocked() const {
+  if (acked_.size() < options_.quorum_followers || options_.quorum_followers == 0) {
+    return options_.quorum_followers == 0 ? UINT64_MAX : 0;
+  }
+  // The quorum LSN is the N-th highest ack: that many followers hold
+  // everything at or below it.
+  std::vector<uint64_t> lsns;
+  lsns.reserve(acked_.size());
+  for (const auto& [id, lsn] : acked_) lsns.push_back(lsn);
+  std::nth_element(lsns.begin(), lsns.begin() + (options_.quorum_followers - 1), lsns.end(),
+                   std::greater<uint64_t>());
+  return lsns[options_.quorum_followers - 1];
+}
+
+void ReplicationHub::OnFollowerAck(const std::string& follower_id, uint64_t acked_lsn,
+                                   uint64_t leader_lsn) {
+  if (follower_id.empty()) return;  // Anonymous probe: no quorum standing.
+  uint64_t max_lag = 0;
+  size_t followers = 0;
+  {
+    const lockdep::guard lock(mu_);
+    uint64_t& slot = acked_[follower_id];
+    // Acks deliberately do NOT ratchet: a follower that re-bootstrapped
+    // (lower cursor) held the old data durably only in its past life — be
+    // conservative and track the lower value, which can only delay quorum,
+    // never lie about durability.
+    slot = acked_lsn;
+    followers = acked_.size();
+    for (const auto& [id, lsn] : acked_) {
+      max_lag = std::max(max_lag, leader_lsn > lsn ? leader_lsn - lsn : 0);
+    }
+  }
+  if (lag_gauge_ != nullptr) lag_gauge_->Set(static_cast<int64_t>(max_lag));
+  if (followers_gauge_ != nullptr) followers_gauge_->Set(static_cast<int64_t>(followers));
+  cv_.notify_all();
+}
+
+void ReplicationHub::Abort() {
+  {
+    const lockdep::guard lock(mu_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+uint64_t ReplicationHub::QuorumAckedLsn() const {
+  const lockdep::guard lock(mu_);
+  return QuorumAckedLocked();
+}
+
+size_t ReplicationHub::follower_count() const {
+  const lockdep::guard lock(mu_);
+  return acked_.size();
+}
+
+void ReplicationHub::WaitQuorum(uint64_t lsn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline =
+      t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(options_.ack_timeout_seconds));
+  {
+    lockdep::relock_guard lock(mu_);
+    while (QuorumAckedLocked() < lsn) {
+      if (aborted_) {
+        throw Error("replication hub shutting down before lsn " + std::to_string(lsn) +
+                    " reached quorum; the write is durable on the leader but NOT replicated");
+      }
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+          QuorumAckedLocked() < lsn) {
+        const size_t followers = acked_.size();
+        lock.unlock();
+        if (timeouts_ctr_ != nullptr) timeouts_ctr_->Inc();
+        throw Error("quorum not reached for lsn " + std::to_string(lsn) + " within " +
+                    std::to_string(options_.ack_timeout_seconds) + "s (" +
+                    std::to_string(followers) + " followers known, " +
+                    std::to_string(options_.quorum_followers) +
+                    " acks required); the write is durable on the leader but NOT replicated");
+      }
+    }
+  }
+  if (ack_wait_hist_ != nullptr) {
+    ack_wait_hist_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                             t0)
+            .count()));
+  }
+}
+
+}  // namespace ocasta::replica

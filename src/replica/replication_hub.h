@@ -1,0 +1,83 @@
+// ReplicationHub — leader-side follower progress and quorum accounting.
+//
+// Replication is PULL-based (docs/REPLICATION.md): a follower repeatedly
+// sends REPLICATE(follower_id, since_lsn) and the leader streams log
+// records off its Wal segments (Wal::ReadFrom). since_lsn is the
+// follower's durability acknowledgement — everything at or below it is
+// appended and fsynced on the follower — so the pull cursor doubles as
+// the ack stream, and the hub is nothing but a map from follower id to
+// the highest LSN it has acked.
+//
+// Under --acks quorum the DurableEngine's commit gate calls WaitQuorum
+// after its own WAL flush: the mutation's ack is withheld until
+// `quorum_followers` followers cover its LSN, or the wait times out and
+// the write is reported failed (durable locally, not replicated — the
+// ambiguity docs/REPLICATION.md spells out).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/lockdep.h"
+#include "common/thread_safety.h"
+#include "obs/metrics.h"
+
+namespace ocasta::replica {
+
+struct HubOptions {
+  // Followers (excluding the leader) whose ack a mutation must collect
+  // before it is acknowledged under --acks quorum.
+  size_t quorum_followers = 1;
+  // WaitQuorum gives up after this long and throws Error.
+  double ack_timeout_seconds = 5.0;
+  // Optional instrumentation: replication lag gauge, quorum ack-wait
+  // histogram, follower count gauge, timeout counter. Must outlive the
+  // hub. Null = off.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class ReplicationHub {
+ public:
+  explicit ReplicationHub(HubOptions options);
+
+  // Records follower progress from a REPLICATE pull, and refreshes the
+  // lag gauge against `leader_lsn` (the serving WAL's last LSN).
+  void OnFollowerAck(const std::string& follower_id, uint64_t acked_lsn,
+                     uint64_t leader_lsn) OCASTA_EXCLUDES(mu_);
+
+  // Highest LSN acked by at least quorum_followers followers (0 when
+  // fewer followers have ever pulled).
+  uint64_t QuorumAckedLsn() const OCASTA_EXCLUDES(mu_);
+
+  // Blocks until QuorumAckedLsn() >= lsn; throws Error after
+  // ack_timeout_seconds. This is the commit gate body for --acks quorum.
+  void WaitQuorum(uint64_t lsn) OCASTA_EXCLUDES(mu_);
+
+  // Shutdown hook: wakes every WaitQuorum waiter and makes current and
+  // future waits throw immediately, so a daemon stopping mid-gate does not
+  // hang for the full ack timeout. Irreversible.
+  void Abort() OCASTA_EXCLUDES(mu_);
+
+  size_t follower_count() const OCASTA_EXCLUDES(mu_);
+
+ private:
+  uint64_t QuorumAckedLocked() const OCASTA_REQUIRES(mu_);
+
+  const HubOptions options_;
+  mutable lockdep::ordered_mutex mu_{lockdep::kReplicationHubClass};
+  lockdep::condvar cv_;
+  // follower id -> highest durably-acked LSN. Followers never vanish: a
+  // dead follower simply stops advancing, which stalls quorum — exactly
+  // the honest behavior (see docs/REPLICATION.md on what quorum does NOT
+  // guarantee).
+  std::map<std::string, uint64_t> acked_ OCASTA_GUARDED_BY(mu_);
+  bool aborted_ OCASTA_GUARDED_BY(mu_) = false;
+
+  obs::Gauge* lag_gauge_ = nullptr;        // ocasta_replication_lag_records
+  obs::Gauge* followers_gauge_ = nullptr;  // ocasta_replication_followers
+  obs::LatencyHistogram* ack_wait_hist_ = nullptr;  // ocasta_replication_quorum_wait_ns
+  obs::Counter* timeouts_ctr_ = nullptr;   // ocasta_replication_quorum_timeouts_total
+};
+
+}  // namespace ocasta::replica

@@ -54,6 +54,12 @@ EventLoop::EventLoop(EventLoopOptions options, Handler handler, ShutdownFn reque
 EventLoop::~EventLoop() {
   RequestStop();
   Join();
+  // Offload workers may still be inside the handler (e.g. a quorum gate
+  // riding out its timeout — TtkvServer aborts the hub on stop, so this is
+  // normally instant). They reference this object, so reap every one
+  // before any member is torn down.
+  for (auto& [seq, thread] : offload_threads_) thread.join();
+  offload_threads_.clear();
   if (wake_fd_ >= 0) ::close(wake_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
 }
@@ -110,6 +116,7 @@ void EventLoop::RegisterPending() {
     }
     auto conn = std::make_unique<Conn>();
     conn->fd = fd;
+    conn->id = next_conn_id_++;
     conn->last_active = std::chrono::steady_clock::now();
     epoll_event ev{};
     ev.events = EPOLLIN;
@@ -142,6 +149,7 @@ void EventLoop::Run() {
         while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
         }
         RegisterPending();
+        DrainOffloadDone();
         continue;
       }
       const auto it = conns_.find(fd);
@@ -179,6 +187,17 @@ void EventLoop::Run() {
     drained_ = true;
   }
   RegisterPending();
+  // Give in-flight offloaded requests a bounded chance to complete so
+  // their replies make the final flush (the hub abort on server stop makes
+  // gated handlers return promptly; the deadline covers everything else).
+  {
+    const auto offload_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    lockdep::relock_guard lock(offload_mu_);
+    while (offload_inflight_count_ > 0 &&
+           offload_cv_.wait_until(lock, offload_deadline) != std::cv_status::timeout) {
+    }
+  }
+  DrainOffloadDone();
   // ONE deadline shared by the whole drain, not per connection: hundreds
   // of parked slow readers must not turn shutdown into minutes.
   const auto drain_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(1);
@@ -264,14 +283,17 @@ bool EventLoop::ProcessConn(Conn* conn) {
     // ParseFrames may have stopped at the high watermark and FlushOut then
     // drained the queue without ever hitting EAGAIN (fast reader): the
     // leftover frames live in userspace, so no epoll event will ever
-    // re-deliver them — re-enter the loop and keep parsing.
-    if (conn->out_bytes < options_.write_high_watermark && HasCompleteFrame(*conn)) {
+    // re-deliver them — re-enter the loop and keep parsing. Not while an
+    // offloaded reply is pending: its completion re-runs ProcessConn, and
+    // spinning here until then would peg the loop.
+    if (!conn->offload_inflight && conn->out_bytes < options_.write_high_watermark &&
+        HasCompleteFrame(*conn)) {
       made_progress = true;
     }
     if (stop_.load(std::memory_order_relaxed)) break;
   }
 
-  if (conn->peer_eof && conn->out.empty()) {
+  if (conn->peer_eof && conn->out.empty() && !conn->offload_inflight) {
     // Every buffered frame has been dispatched and every reply flushed; a
     // partial frame left behind can never complete (mid-frame EOF), so the
     // half-closed peer got everything it had coming.
@@ -293,6 +315,9 @@ bool EventLoop::ParseFrames(Conn* conn) {
   const bool tracing = slog != nullptr && slog->enabled();
   const bool have_frame_ns = options_.metrics.frame_ns != nullptr;
   while (conn->out_bytes < options_.write_high_watermark) {
+    // An offloaded request owns the next reply slot: later frames must
+    // wait for it or replies would leave out of order.
+    if (conn->offload_inflight) break;
     const size_t avail = conn->in.size() - conn->pos;
     if (avail < kFrameHeaderBytes) break;
     const uint32_t len = ReadFrameHeader(conn->in.data() + conn->pos);
@@ -305,6 +330,14 @@ bool EventLoop::ParseFrames(Conn* conn) {
     }
     const std::string_view request(conn->in.data() + conn->pos + kFrameHeaderBytes, len);
     conn->pos += kFrameHeaderBytes + static_cast<size_t>(len);
+
+    // A request that might block (quorum-gated mutation) leaves the loop
+    // thread: dispatching it inline would stall every connection sharing
+    // this loop — including the REPLICATE pulls whose acks open the gate.
+    if (options_.offload && options_.offload(request)) {
+      StartOffload(conn, std::string(request));
+      break;
+    }
 
     std::string reply;
     obs::OpTrace& trace = obs::OpTrace::Current();
@@ -356,17 +389,7 @@ bool EventLoop::ParseFrames(Conn* conn) {
     }
     frames_dispatched_.fetch_add(1, std::memory_order_relaxed);
 
-    // Frame the reply (length prefix + payload). Small replies coalesce
-    // into the queue's tail string so a deep pipeline's worth of replies
-    // becomes a handful of iovecs (and allocations), not one per frame.
-    if (conn->out.empty() || conn->out.back().size() >= (16u << 10)) {
-      conn->out.emplace_back();
-      conn->out.back().reserve(kFrameHeaderBytes + reply.size());
-    }
-    std::string& framed = conn->out.back();
-    AppendFrameHeader(framed, static_cast<uint32_t>(reply.size()));
-    framed.append(reply);
-    conn->out_bytes += kFrameHeaderBytes + reply.size();
+    AppendReply(conn, reply);
 
     if (shutdown_requested) {
       // The reply must reach the client before the daemon dies (the client
@@ -387,6 +410,83 @@ bool EventLoop::ParseFrames(Conn* conn) {
     conn->pos = 0;
   }
   return true;
+}
+
+void EventLoop::AppendReply(Conn* conn, const std::string& reply) {
+  // Frame the reply (length prefix + payload). Small replies coalesce
+  // into the queue's tail string so a deep pipeline's worth of replies
+  // becomes a handful of iovecs (and allocations), not one per frame.
+  if (conn->out.empty() || conn->out.back().size() >= (16u << 10)) {
+    conn->out.emplace_back();
+    conn->out.back().reserve(kFrameHeaderBytes + reply.size());
+  }
+  std::string& framed = conn->out.back();
+  AppendFrameHeader(framed, static_cast<uint32_t>(reply.size()));
+  framed.append(reply);
+  conn->out_bytes += kFrameHeaderBytes + reply.size();
+}
+
+void EventLoop::StartOffload(Conn* conn, std::string request) {
+  conn->offload_inflight = true;
+  const uint64_t seq = next_offload_seq_++;
+  const int fd = conn->fd;
+  const uint64_t conn_id = conn->id;
+  {
+    const lockdep::guard lock(offload_mu_);
+    ++offload_inflight_count_;
+  }
+  // One short-lived thread per offloaded request: these are rare (quorum-
+  // gated mutations), and a pool would serialize unrelated connections'
+  // gates behind each other. The thread's last act is the wake_fd_ write;
+  // the loop joins it from DrainOffloadDone, so no thread outlives the
+  // loop object (the destructor reaps stragglers).
+  offload_threads_.emplace(seq, std::thread([this, seq, fd, conn_id,
+                                             request = std::move(request)] {
+    OffloadDone done;
+    done.seq = seq;
+    done.fd = fd;
+    done.conn_id = conn_id;
+    done.shutdown_requested = handler_(request, &done.reply);
+    {
+      const lockdep::guard lock(offload_mu_);
+      offload_done_.push_back(std::move(done));
+      --offload_inflight_count_;
+    }
+    offload_cv_.notify_all();
+    const uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }));
+}
+
+void EventLoop::DrainOffloadDone() {
+  std::vector<OffloadDone> done;
+  {
+    const lockdep::guard lock(offload_mu_);
+    done.swap(offload_done_);
+  }
+  for (OffloadDone& d : done) {
+    // Reap the worker; it queued this record on its way out, so the join
+    // is (at most) the tail of its exit path.
+    const auto worker = offload_threads_.find(d.seq);
+    if (worker != offload_threads_.end()) {
+      worker->second.join();
+      offload_threads_.erase(worker);
+    }
+    const auto it = conns_.find(d.fd);
+    if (it == conns_.end() || it->second->id != d.conn_id) continue;  // Conn died mid-flight.
+    Conn* conn = it->second.get();
+    conn->offload_inflight = false;
+    frames_dispatched_.fetch_add(1, std::memory_order_relaxed);
+    AppendReply(conn, d.reply);
+    if (d.shutdown_requested) {
+      FlushBlocking(conn, std::chrono::steady_clock::now() + std::chrono::seconds(1));
+      request_shutdown_();
+      continue;
+    }
+    // Resume the connection: frames buffered behind the offloaded one are
+    // parsed now, and the reply queue is flushed.
+    ProcessConn(conn);
+  }
 }
 
 bool EventLoop::FlushOut(Conn* conn) {
@@ -474,6 +574,9 @@ void EventLoop::SweepIdle() {
   const auto limit = std::chrono::duration<double>(options_.idle_timeout_seconds);
   std::vector<int> idle;
   for (const auto& [fd, conn] : conns_) {
+    // A conn waiting on an offloaded reply is busy, not idle — the gate it
+    // is blocked on may legitimately outlast the idle timeout.
+    if (conn->offload_inflight) continue;
     if (now - conn->last_active > limit) idle.push_back(fd);
   }
   for (int fd : idle) {

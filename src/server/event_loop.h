@@ -70,6 +70,17 @@ struct EventLoopOptions {
   // Non-null + enabled() arms per-frame OpTrace tracing and emits slow-op
   // lines for frames whose decode-to-reply latency exceeds its threshold.
   obs::SlowOpLog* slow_log = nullptr;
+  // Requests matching this predicate are dispatched on a short-lived side
+  // thread instead of the loop thread, parking ONLY their own connection
+  // until the reply is posted back (further frames from that connection
+  // wait; every other connection keeps flowing). This exists for handlers
+  // that can legitimately BLOCK — the replication quorum commit gate waits
+  // for follower acks, and those acks arrive as REPLICATE requests that
+  // may be multiplexed onto the same loop: dispatched inline, the gate
+  // would starve the very pulls it is waiting for. Null = everything runs
+  // inline. The predicate must be cheap (it runs on every frame) and may
+  // over-approximate (api::MightMutate).
+  std::function<bool(std::string_view)> offload;
 };
 
 class EventLoop {
@@ -115,6 +126,7 @@ class EventLoop {
   // TSan covers the confinement claim itself.
   struct Conn {
     int fd = -1;
+    uint64_t id = 0;  // Unique per accepted connection: fds are reused, ids are not.
     std::string in;     // Received-but-unparsed bytes; pos is the parse cursor.
     size_t pos = 0;
     std::deque<std::string> out;  // Framed replies awaiting the socket.
@@ -123,7 +135,22 @@ class EventLoop {
     bool want_write = false;      // EPOLLOUT armed.
     bool paused = false;          // EPOLLIN dropped: write queue over high water.
     bool peer_eof = false;        // Client half-closed; flush then close.
+    // An offloaded request is in flight on a side thread: parsing is
+    // paused (reply order!) and the conn is exempt from close-on-eof and
+    // the idle sweep until the reply lands.
+    bool offload_inflight = false;
     std::chrono::steady_clock::time_point last_active;
+  };
+
+  // Reply posted back by an offload worker, keyed by (fd, conn id) so a
+  // connection that died mid-offload (fd possibly reused) drops its reply
+  // instead of corrupting a stranger's stream.
+  struct OffloadDone {
+    uint64_t seq = 0;  // Key into offload_threads_ for reaping.
+    int fd = -1;
+    uint64_t conn_id = 0;
+    std::string reply;
+    bool shutdown_requested = false;
   };
 
   void Run();
@@ -137,6 +164,14 @@ class EventLoop {
   // True when a full frame sits unparsed in `in` (length prefix sane and
   // its payload fully buffered).
   static bool HasCompleteFrame(const Conn& conn);
+  // Frames `reply` onto the conn's output queue (shared by the inline and
+  // offload dispatch paths).
+  void AppendReply(Conn* conn, const std::string& reply);
+  // Hands `request` to a side thread; pauses the conn's parsing until the
+  // reply comes back through DrainOffloadDone (loop thread, wake_fd_).
+  void StartOffload(Conn* conn, std::string request) OCASTA_EXCLUDES(offload_mu_);
+  // Applies queued offload replies and reaps their worker threads.
+  void DrainOffloadDone() OCASTA_EXCLUDES(offload_mu_);
   // Scatter-gather flush of the reply queue; arms/disarms EPOLLOUT.
   // Returns false on a dead socket.
   bool FlushOut(Conn* conn);
@@ -165,6 +200,17 @@ class EventLoop {
   std::vector<int> pending_fds_ OCASTA_GUARDED_BY(pending_mu_);
   // Set by the loop's final drain so late handoffs self-close.
   bool drained_ OCASTA_GUARDED_BY(pending_mu_) = false;
+
+  // Offload plumbing. Workers push completions under offload_mu_ and wake
+  // the loop; the loop applies them and joins the (already-exiting) worker.
+  // offload_threads_ is loop-thread-only (plus the post-Join destructor).
+  lockdep::ordered_mutex offload_mu_{lockdep::kEventLoopOffloadClass};
+  lockdep::condvar offload_cv_;
+  std::vector<OffloadDone> offload_done_ OCASTA_GUARDED_BY(offload_mu_);
+  size_t offload_inflight_count_ OCASTA_GUARDED_BY(offload_mu_) = 0;
+  std::unordered_map<uint64_t, std::thread> offload_threads_;
+  uint64_t next_offload_seq_ = 1;  // Loop thread only.
+  uint64_t next_conn_id_ = 1;      // Loop thread only.
 
   // Conns are touched only by the loop thread.
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;

@@ -29,12 +29,39 @@ ServerOptions NormalizeOptions(ServerOptions options) {
   if (options.metrics == nullptr && options.metrics_port != 0) {
     options.metrics = std::make_shared<obs::MetricsRegistry>();
   }
+  if (options.acks != "leader" && options.acks != "quorum") {
+    throw Error("unknown acks level: " + options.acks + " (expected leader|quorum)");
+  }
+  if (!options.follow_host.empty() && options.data_dir.empty()) {
+    throw Error("--follow requires --data-dir (a follower replicates the leader's log to disk)");
+  }
+  if (options.follower_id.empty()) options.follower_id = "follower@" + options.data_dir;
+  if (options.acks == "quorum" && !options.data_dir.empty()) {
+    // A quorum-gated mutation BLOCKS its event-loop worker until followers
+    // ack — with one worker the followers' REPLICATE pulls could never be
+    // dispatched and every gated write would time out. Keep at least one
+    // worker free for the replication stream; deployments should size
+    // --io-threads past their expected concurrent mutators (see
+    // docs/REPLICATION.md).
+    options.io_threads = std::max<size_t>(options.io_threads == 0 ? 8 : options.io_threads, 2);
+  }
   return options;
+}
+
+bool IsFollowerMode(const ServerOptions& options) { return !options.follow_host.empty(); }
+
+replica::FollowerOptions FollowerOptionsFor(const ServerOptions& options) {
+  replica::FollowerOptions fopts;
+  fopts.leader_host = options.follow_host;
+  fopts.leader_port = options.follow_port;
+  fopts.follower_id = options.follower_id;
+  return fopts;
 }
 
 // The daemon always runs the sharded engine; a data_dir wraps it in the
 // durable decorator via the same factory the CLI uses.
-std::unique_ptr<api::Engine> MakeServerEngine(const ServerOptions& options) {
+std::unique_ptr<api::Engine> MakeServerEngine(const ServerOptions& options,
+                                              replica::ReplicationHub* hub) {
   api::BackendOptions backend;
   backend.backend = "sharded";
   backend.num_shards = options.num_shards;
@@ -43,6 +70,14 @@ std::unique_ptr<api::Engine> MakeServerEngine(const ServerOptions& options) {
   backend.fsync = options.fsync;
   backend.checkpoint_interval_seconds = options.checkpoint_interval_seconds;
   backend.metrics = options.metrics.get();
+  if (hub != nullptr && options.acks == "quorum") {
+    // The quorum commit gate: the engine withholds a mutation's ack until
+    // enough followers cover its LSN. Followers never gate — their
+    // "mutations" arrive via ApplyReplicated, which bypasses Apply (a
+    // promoted follower starts gating only because its own acks option
+    // said so).
+    backend.commit_gate = [hub](uint64_t lsn) { hub->WaitQuorum(lsn); };
+  }
   return api::MakeEngine(backend);
 }
 
@@ -56,8 +91,26 @@ size_t ResolveIoThreads(size_t requested) {
 
 }  // namespace
 
-TtkvServer::TtkvServer(ServerOptions options)
-    : options_(NormalizeOptions(std::move(options))), engine_(MakeServerEngine(options_)) {
+TtkvServer::TtkvServer(ServerOptions options) : options_(NormalizeOptions(std::move(options))) {
+  if (IsFollowerMode(options_)) {
+    // Before the engine exists: decide whether the local dir can catch up
+    // from the leader's log, reseeding it from the leader's snapshot when
+    // not. Normal DurableEngine recovery below then loads that state.
+    replica::BootstrapFromLeader(options_.data_dir, FollowerOptionsFor(options_));
+  }
+  if (!options_.data_dir.empty()) {
+    replica::HubOptions hub;
+    hub.quorum_followers = options_.quorum_followers;
+    hub.ack_timeout_seconds = options_.quorum_timeout_seconds;
+    hub.metrics = options_.metrics.get();
+    hub_ = std::make_unique<replica::ReplicationHub>(hub);
+  }
+  engine_ = MakeServerEngine(options_, hub_.get());
+  durable_ = dynamic_cast<persist::DurableEngine*>(engine_.get());
+  if (IsFollowerMode(options_)) {
+    is_follower_.store(true, std::memory_order_release);
+    follower_ = std::make_unique<replica::Follower>(*durable_, FollowerOptionsFor(options_));
+  }
   if (options_.slow_op_micros > 0) {
     slow_log_ = std::make_unique<obs::SlowOpLog>(options_.slow_op_micros,
                                                  options_.slow_op_log_per_sec);
@@ -97,6 +150,15 @@ void TtkvServer::Start() {
   loop_options.idle_timeout_seconds = options_.idle_timeout_seconds;
   loop_options.metrics = loop_metrics_;
   loop_options.slow_log = slow_log_.get();
+  if (hub_ != nullptr && options_.acks == "quorum") {
+    // Quorum-gated mutations BLOCK waiting for follower acks, and the acks
+    // arrive as REPLICATE requests that may share the same event loop —
+    // dispatched inline, the gate would starve its own acks. Route anything
+    // that might hit the gate to a side thread so only its connection
+    // parks. MightMutate over-approximates (any BATCH, a mutation bound
+    // for NOT_LEADER rejection); those cost one thread hop, not liveness.
+    loop_options.offload = [](std::string_view request) { return api::MightMutate(request); };
+  }
   const size_t io_threads = ResolveIoThreads(options_.io_threads);
   loops_.reserve(io_threads);
   for (size_t i = 0; i < io_threads; ++i) {
@@ -117,6 +179,7 @@ void TtkvServer::Start() {
     metrics_http_->Start();
   }
   accept_thread_ = std::thread(&TtkvServer::AcceptLoop, this);
+  if (follower_ != nullptr) follower_->Start();
 }
 
 uint16_t TtkvServer::metrics_port() const {
@@ -131,6 +194,10 @@ void TtkvServer::RefreshExportGauges() {
 
 void TtkvServer::RequestStop() {
   if (stopping_.exchange(true)) return;
+  // Release quorum gates first: a mutation parked on WaitQuorum would
+  // otherwise hold its offload worker (and the client) for the full ack
+  // timeout while the rest of the daemon is tearing down.
+  if (hub_ != nullptr) hub_->Abort();
   ::shutdown(listen_fd_, SHUT_RDWR);
   for (const auto& loop : loops_) loop->RequestStop();
 }
@@ -145,6 +212,9 @@ void TtkvServer::Wait() {
   const lockdep::guard lock(join_mu_);
   if (accept_thread_.joinable()) accept_thread_.join();
   for (const auto& loop : loops_) loop->Join();
+  // After the joins: the accept join only returns once stop was requested,
+  // so a Wait()-ing daemon keeps tailing its leader until then.
+  if (follower_ != nullptr) follower_->Stop();
   if (metrics_http_ != nullptr) metrics_http_->Stop();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -239,6 +309,62 @@ uint64_t TtkvServer::idle_closed() const {
   return total;
 }
 
+api::Result TtkvServer::ServeReplicate(const api::ReplicateCmd& cmd) {
+  if (durable_ == nullptr) {
+    return api::ErrorResult{"REPLICATE requires a durable daemon (--data-dir)"};
+  }
+  persist::Wal& wal = durable_->wal();
+  const uint64_t leader_lsn = wal.last_lsn();
+  if (hub_ != nullptr) {
+    // since_lsn doubles as the follower's durability ack. Clamp to our own
+    // log: a cursor from a divergent timeline must not inflate quorum.
+    hub_->OnFollowerAck(cmd.follower_id, std::min(cmd.since_lsn, leader_lsn), leader_lsn);
+  }
+  api::ReplicateResult res;
+  res.leader_lsn = leader_lsn;
+  res.follower = is_follower_.load(std::memory_order_acquire);
+  if (cmd.max_records == 0) return res;  // Status probe (ocasta_cli replstat).
+
+  // Cap the reply: a cold follower catches up over many pulls, each
+  // bounded in records and bytes so one REPLICATE cannot monopolize a
+  // worker or balloon a frame.
+  constexpr size_t kMaxReplyBytes = 4u << 20;
+  const size_t max_records = std::min<size_t>(cmd.max_records, 65536);
+  persist::WalTail tail = wal.ReadFrom(cmd.since_lsn + 1, max_records, kMaxReplyBytes);
+  if (tail.reachable) {
+    res.records.reserve(tail.records.size());
+    for (persist::WalRecord& r : tail.records) {
+      res.records.push_back(api::ReplicateResult::Entry{r.lsn, std::move(r.payload)});
+    }
+    return res;
+  }
+  // The log no longer reaches the cursor (checkpoint truncation, or the
+  // follower is from another timeline): bootstrap it with a snapshot.
+  persist::DurableEngine::SnapshotImage image = durable_->CaptureSnapshot();
+  if (image.lsn == 0) {
+    return api::ErrorResult{"follower cursor " + std::to_string(cmd.since_lsn) +
+                            " is ahead of an empty leader log; wipe the follower data dir"};
+  }
+  res.leader_lsn = std::max(leader_lsn, image.lsn);
+  res.snapshot_lsn = image.lsn;
+  res.snapshot = std::move(image.bytes);
+  return res;
+}
+
+api::Result TtkvServer::Promote() {
+  if (!is_follower_.load(std::memory_order_acquire)) {
+    // Idempotent: a failover script that retries PROMOTE after a dropped
+    // reply must not see its (already effective) promotion fail.
+    return api::OkResult{};
+  }
+  // Stop pulling first, then flip the role: after the flip every worker
+  // sees a leader-capable engine whose log ends exactly where the dead
+  // leader's shipped history ended.
+  follower_->Stop();
+  is_follower_.store(false, std::memory_order_release);
+  return api::OkResult{};
+}
+
 bool TtkvServer::HandleRequest(std::string_view request, std::string* reply) {
   // Thin decode → Apply → encode shim: the codec owns every byte layout and
   // the engine owns every operation. The only server-side concerns are
@@ -261,6 +387,24 @@ bool TtkvServer::HandleRequest(std::string_view request, std::string* reply) {
     const api::Command cmd = api::DecodeCommand(request);
     shutdown_requested = std::holds_alternative<api::ShutdownCmd>(cmd.op);
     if (std::holds_alternative<api::MetricsCmd>(cmd.op)) RefreshExportGauges();
+    // Replication control plane (docs/REPLICATION.md): handled here, not in
+    // the engine — the stream is served off the WAL and the role flip is
+    // server state.
+    if (const auto* rep = std::get_if<api::ReplicateCmd>(&cmd.op)) {
+      if (obs::OpTrace::Current().active) obs::OpTrace::Current().op = "REPLICATE";
+      *reply = api::EncodeResult(ServeReplicate(*rep));
+      return false;
+    }
+    if (std::holds_alternative<api::PromoteCmd>(cmd.op)) {
+      *reply = api::EncodeResult(Promote());
+      return false;
+    }
+    if (is_follower_.load(std::memory_order_acquire) && api::IsMutating(cmd)) {
+      // Typed redirect, not an error string: clients fail over on it.
+      *reply = api::EncodeResult(
+          api::NotLeaderResult{options_.follow_host, options_.follow_port});
+      return false;
+    }
     obs::OpTrace& trace = obs::OpTrace::Current();
     if (trace.active) {
       // Identify the op for the slow-op line before dispatch; the engine

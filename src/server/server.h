@@ -31,6 +31,9 @@
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/slow_log.h"
+#include "persist/durable_engine.h"
+#include "replica/follower.h"
+#include "replica/replication_hub.h"
 #include "server/event_loop.h"
 
 namespace ocasta {
@@ -47,6 +50,26 @@ struct ServerOptions {
   std::string data_dir = "";
   std::string fsync = "batch";  // "off" | "batch" | "always".
   double checkpoint_interval_seconds = 0.0;  // 0 = size-triggered only.
+
+  // Replication (docs/REPLICATION.md). A non-empty follow_host starts this
+  // daemon as a FOLLOWER of the leader at follow_host:follow_port: it
+  // bootstraps from the leader (installing its snapshot when the local dir
+  // is empty or stale), tails the leader's WAL, serves reads, and answers
+  // mutations with NOT_LEADER carrying the leader's address. Requires
+  // data_dir (a follower IS a durable daemon; its log is the leader's).
+  std::string follow_host = "";
+  uint16_t follow_port = 0;
+  // Stable identity for quorum accounting on the leader. Empty = derived
+  // from data_dir (stable across restarts, which is what quorum needs).
+  std::string follower_id = "";
+  // Leader-side ack level: "leader" acks a mutation after the local WAL
+  // flush; "quorum" additionally blocks the ack until quorum_followers
+  // followers have durably acked its LSN, failing the request after
+  // quorum_timeout_seconds (the write stays durable locally — see
+  // docs/REPLICATION.md on this ambiguity).
+  std::string acks = "leader";  // "leader" | "quorum".
+  size_t quorum_followers = 1;
+  double quorum_timeout_seconds = 5.0;
 
   // Event-loop sizing and overload policy (docs/SERVER.md).
   size_t io_threads = 1;   // Worker event loops; 0 = one per hardware thread (capped).
@@ -93,6 +116,11 @@ class TtkvServer {
   // ServerOptions::data_dir is set.
   api::Engine& engine() { return *engine_; }
 
+  // Replication introspection (null/false outside the relevant modes).
+  bool is_follower() const { return is_follower_.load(std::memory_order_acquire); }
+  replica::Follower* follower() { return follower_.get(); }
+  replica::ReplicationHub* replication_hub() { return hub_.get(); }
+
   // Lifetime totals.
   uint64_t connections_served() const { return connections_.load(); }
   uint64_t overload_rejections() const { return overload_rejections_.load(); }
@@ -120,10 +148,27 @@ class TtkvServer {
   // concurrently from every worker.
   bool HandleRequest(std::string_view request, std::string* reply);
 
+  // REPLICATE: ack the follower's cursor into the hub, then serve the log
+  // tail from since_lsn + 1 — or a full snapshot when the log no longer
+  // reaches it. max_records == 0 is a pure status probe (leader_lsn only).
+  api::Result ServeReplicate(const api::ReplicateCmd& cmd);
+
+  // PROMOTE: stop tailing the leader and start accepting mutations.
+  api::Result Promote();
+
   void RequestStop();
 
   ServerOptions options_;
+  // Declared before engine_: the engine's commit gate (quorum acks) calls
+  // into the hub, so the engine must be destroyed first.
+  std::unique_ptr<replica::ReplicationHub> hub_;
   std::unique_ptr<api::Engine> engine_;
+  // The engine itself when durable (replication source/sink); else null.
+  persist::DurableEngine* durable_ = nullptr;
+  // Declared after engine_: the pull thread applies into the engine, so it
+  // must stop and be destroyed before the engine goes away.
+  std::unique_ptr<replica::Follower> follower_;
+  std::atomic<bool> is_follower_{false};
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;

@@ -451,6 +451,14 @@ api::Result ShardedTtkv::Apply(const api::Command& cmd) {
     if (const auto* batch = std::get_if<api::BatchCmd>(&cmd.op)) {
       return api::BatchResult{ApplyBatch(std::span(batch->commands))};
     }
+    // Replication ops are daemon-level: the server answers them before
+    // engine dispatch when a WAL exists (see TtkvServer::HandleRequest).
+    if (std::holds_alternative<api::ReplicateCmd>(cmd.op)) {
+      throw Error("REPLICATE requires a durable daemon (--data-dir)");
+    }
+    if (std::holds_alternative<api::PromoteCmd>(cmd.op)) {
+      throw Error("PROMOTE requires a daemon started as a follower");
+    }
     throw Error("unhandled command");
   } catch (const Error& e) {
     return api::ErrorResult{e.what()};

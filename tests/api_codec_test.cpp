@@ -38,6 +38,9 @@ std::vector<Command> SampleCommands() {
   nested.commands.push_back(PingCmd{});
   batch.commands.push_back(std::move(nested));
   cmds.push_back(std::move(batch));
+  cmds.push_back(ReplicateCmd{"follower-1", 7, 128});
+  cmds.push_back(ReplicateCmd{"", 0, 0});  // Anonymous status probe.
+  cmds.push_back(PromoteCmd{});
   return cmds;
 }
 
@@ -93,6 +96,19 @@ std::vector<Result> SampleResults() {
   batch.results.push_back(ErrorResult{"inner"});
   batch.results.push_back(ValueResult{Value(1)});
   results.push_back(std::move(batch));
+  results.push_back(NotLeaderResult{"127.0.0.1", 7341});
+  results.push_back(NotLeaderResult{});  // Follower with no known leader address.
+  ReplicateResult tail;  // Log-tail variant, served by a follower.
+  tail.leader_lsn = 42;
+  tail.follower = true;
+  tail.records.push_back(ReplicateResult::Entry{41, "put-bytes"});
+  tail.records.push_back(ReplicateResult::Entry{42, "delete-bytes"});
+  results.push_back(std::move(tail));
+  ReplicateResult seed;  // Snapshot-bootstrap variant.
+  seed.leader_lsn = 99;
+  seed.snapshot_lsn = 99;
+  seed.snapshot = "durable-snapshot-image";
+  results.push_back(std::move(seed));
   return results;
 }
 #if defined(__GNUC__) && !defined(__clang__)

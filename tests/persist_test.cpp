@@ -238,6 +238,65 @@ TEST(WalTest, ResetToRestartsNumbering) {
   EXPECT_THROW(wal.ResetTo(5), Error);
 }
 
+TEST(WalTest, ReadFromServesBoundedContiguousTail) {
+  TempDir dir;
+  WriteLog(dir.path, 10, /*segment_bytes=*/128);  // Force rotation mid-run.
+  Wal wal(dir.path, WalOptions{.segment_bytes = 128});
+  wal.TakeRecovered();
+
+  // Full log from the start.
+  WalTail all = wal.ReadFrom(1, 100, 1u << 20);
+  ASSERT_TRUE(all.reachable);
+  ASSERT_EQ(all.records.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(all.records[static_cast<size_t>(i)].lsn, static_cast<uint64_t>(i + 1));
+    EXPECT_EQ(all.records[static_cast<size_t>(i)].payload, PutPayload(i));
+  }
+
+  // Mid-log start across a segment boundary, record-capped.
+  const WalTail mid = wal.ReadFrom(5, 3, 1u << 20);
+  ASSERT_TRUE(mid.reachable);
+  ASSERT_EQ(mid.records.size(), 3u);
+  EXPECT_EQ(mid.records[0].lsn, 5u);
+  EXPECT_EQ(mid.records[2].lsn, 7u);
+
+  // Caught-up reader: reachable with nothing to send.
+  const WalTail caught_up = wal.ReadFrom(11, 100, 1u << 20);
+  EXPECT_TRUE(caught_up.reachable);
+  EXPECT_TRUE(caught_up.records.empty());
+
+  // A cursor AHEAD of the log (divergent timeline) is not reachable.
+  EXPECT_FALSE(wal.ReadFrom(12, 100, 1u << 20).reachable);
+
+  // The byte cap never starves the first record, however tiny.
+  const WalTail tiny = wal.ReadFrom(1, 100, 1);
+  ASSERT_TRUE(tiny.reachable);
+  EXPECT_EQ(tiny.records.size(), 1u);
+}
+
+TEST(WalTest, ReadFromBehindTruncationIsUnreachable) {
+  TempDir dir;
+  WriteLog(dir.path, 12, /*segment_bytes=*/128);
+  Wal wal(dir.path, WalOptions{.segment_bytes = 128});
+  wal.TakeRecovered();
+  ASSERT_GT(wal.TruncateThrough(6), 0u);  // Drops fully-covered segments.
+
+  // What survives is exactly what a scan sees; everything from its first
+  // record on is reachable, anything earlier is not — the follower holding
+  // such a cursor must reseed from a snapshot.
+  const WalScan scan = Wal::Scan(dir.path);
+  ASSERT_FALSE(scan.records.empty());
+  const uint64_t first = scan.records.front().lsn;
+  ASSERT_GT(first, 1u);  // Truncation really dropped the head of the log.
+
+  EXPECT_FALSE(wal.ReadFrom(1, 100, 1u << 20).reachable);
+  EXPECT_FALSE(wal.ReadFrom(first - 1, 100, 1u << 20).reachable);
+  const WalTail tail = wal.ReadFrom(first, 100, 1u << 20);
+  ASSERT_TRUE(tail.reachable);
+  EXPECT_EQ(tail.records.front().lsn, first);
+  EXPECT_EQ(tail.records.back().lsn, 12u);
+}
+
 TEST(PersistTest, FsyncPolicyNamesRoundTrip) {
   EXPECT_EQ(FsyncPolicyByName("off"), FsyncPolicy::kOff);
   EXPECT_EQ(FsyncPolicyByName("batch"), FsyncPolicy::kBatch);
@@ -523,6 +582,132 @@ TEST(DurableEngineTest, ShardedImportSnapshotMatchesLocalRecovery) {
     EXPECT_EQ(rec.write_count, other->write_count);
     EXPECT_EQ(rec.delete_count, other->delete_count);
   }
+}
+
+TEST(DurableEngineTest, FallsBackThroughEveryRetainedSnapshot) {
+  // Recovery must walk EVERY retained snapshot newest-first, not just try
+  // the newest and give up: with retained_snapshots = 3 and the two newest
+  // generations corrupt, the oldest still anchors recovery and the log
+  // replays the difference.
+  TempDir dir;
+  DurableOptions options;
+  options.retained_snapshots = 3;
+  {
+    auto engine = OpenLocal(dir.path, options);
+    api::Put(*engine, "/g", Value(int64_t{1}), Seconds(1));
+    engine->Checkpoint();  // snap @ 1
+    api::Put(*engine, "/g", Value(int64_t{2}), Seconds(2));
+    engine->Checkpoint();  // snap @ 2
+    api::Put(*engine, "/g", Value(int64_t{3}), Seconds(3));
+    engine->Checkpoint();  // snap @ 3
+    api::Put(*engine, "/g", Value(int64_t{4}), Seconds(4));
+  }
+  auto snaps = SnapshotFiles(dir.path);
+  ASSERT_EQ(snaps.size(), 3u);
+  WriteFile(snaps[2], "garbage");                                   // Newest: corrupt.
+  WriteFile(snaps[1], ReadFile(snaps[1]).substr(0, 3));             // Middle: torn.
+
+  auto engine = OpenLocal(dir.path, options);
+  EXPECT_EQ(engine->recovery().snapshot_lsn, 1u);  // Fell back twice.
+  EXPECT_EQ(engine->recovery().replayed, 3u);      // Records 2, 3, 4.
+  EXPECT_EQ(api::Get(*engine, "/g"), Value(int64_t{4}));
+  EXPECT_EQ(api::History(*engine, "/g")->versions.size(), 4u);
+}
+
+TEST(DurableEngineTest, AllSnapshotsCorruptFallsBackToBareLogReplay) {
+  // When every snapshot is unreadable but the log still reaches record 1,
+  // nothing is actually lost: recovery must boot from an empty store and
+  // replay the whole log instead of refusing (the refusal is reserved for
+  // the provably-partial case where truncation already ate the head).
+  TempDir dir;
+  {
+    auto engine = OpenLocal(dir.path);  // Default: big segments, nothing truncated.
+    api::Put(*engine, "/b", Value(int64_t{1}), Seconds(1));
+    engine->Checkpoint();
+    api::Put(*engine, "/b", Value(int64_t{2}), Seconds(2));
+    engine->Checkpoint();
+    api::Put(*engine, "/b", Value(int64_t{3}), Seconds(3));
+  }
+  for (const std::string& snap : SnapshotFiles(dir.path)) WriteFile(snap, "corrupt");
+
+  auto engine = OpenLocal(dir.path);
+  EXPECT_EQ(engine->recovery().snapshot_lsn, 0u);  // No snapshot anchored.
+  EXPECT_EQ(engine->recovery().replayed, 3u);      // The full log.
+  EXPECT_EQ(api::Get(*engine, "/b"), Value(int64_t{3}));
+  EXPECT_EQ(api::History(*engine, "/b")->versions.size(), 3u);
+}
+
+TEST(DurableEngineTest, StatsTotalsSurviveRestart) {
+  // The stats contract (docs/DURABILITY.md): STATS presents LIFETIME
+  // op-counter totals, so a checkpoint must persist them (OCDS header) and
+  // recovery must baseline the fresh inner engine with them. Before the
+  // wrapper, every restart silently reset puts/gets/deletes to zero.
+  TempDir dir;
+  {
+    auto engine = OpenLocal(dir.path);
+    api::Put(*engine, "/s/a", Value(int64_t{1}), Seconds(1));
+    api::Put(*engine, "/s/b", Value(int64_t{2}), Seconds(2));
+    api::Get(*engine, "/s/a");
+    api::Get(*engine, "/s/a");
+    api::Get(*engine, "/s/b");
+    api::Delete(*engine, "/s/b", Seconds(3));
+    engine->Checkpoint();
+    // One more put AFTER the checkpoint: replayed from the log, so the
+    // recovered total must be baseline + replay, not just the baseline.
+    api::Put(*engine, "/s/c", Value(int64_t{3}), Seconds(4));
+  }
+  auto engine = OpenLocal(dir.path);
+  const EngineStats stats = api::Stats(*engine);
+  EXPECT_EQ(stats.puts, 3u);
+  EXPECT_EQ(stats.gets, 3u);
+  EXPECT_EQ(stats.deletes, 1u);
+
+  // And the counters keep counting from there.
+  api::Put(*engine, "/s/d", Value(int64_t{4}), Seconds(5));
+  api::Get(*engine, "/s/a");
+  const EngineStats after = api::Stats(*engine);
+  EXPECT_EQ(after.puts, 4u);
+  EXPECT_EQ(after.gets, 4u);
+}
+
+TEST(DurableEngineTest, DurableSnapshotCodecRoundTripsAndReadsLegacyImages) {
+  DurableSnapshot snap;
+  snap.puts = 7;
+  snap.gets = 11;
+  snap.deletes = 2;
+  snap.ttkv.record_write("/c/k", Value("v"), Seconds(1));
+  const DurableSnapshot decoded = DecodeDurableSnapshot(EncodeDurableSnapshot(snap));
+  EXPECT_EQ(decoded.puts, 7u);
+  EXPECT_EQ(decoded.gets, 11u);
+  EXPECT_EQ(decoded.deletes, 2u);
+  EXPECT_EQ(decoded.ttkv.Serialize(), snap.ttkv.Serialize());
+
+  // A pre-wrapper file is the bare TTKV image: readable, totals unknown.
+  const DurableSnapshot legacy = DecodeDurableSnapshot(snap.ttkv.Serialize());
+  EXPECT_EQ(legacy.puts, 0u);
+  EXPECT_EQ(legacy.ttkv.Serialize(), snap.ttkv.Serialize());
+}
+
+TEST(DurableEngineTest, LegacyBareSnapshotFileStillAnchorsRecovery) {
+  // A data dir written before the OCDS wrapper holds bare TTKV images;
+  // they must keep loading (with zero baselines) rather than bricking the
+  // store on upgrade.
+  TempDir dir;
+  TTKV image;
+  image.record_write("/old/key", Value("survives"), Seconds(1));
+  image.record_write("/old/key2", Value(int64_t{5}), Seconds(2));
+  char name[64];
+  std::snprintf(name, sizeof(name), "snap-%020llu.ttkv", 2ull);
+  WriteFile(dir.path + "/" + name, image.Serialize());
+
+  auto engine = OpenLocal(dir.path);
+  EXPECT_EQ(engine->recovery().snapshot_lsn, 2u);
+  EXPECT_EQ(api::Get(*engine, "/old/key"), Value("survives"));
+  EXPECT_EQ(api::Stats(*engine).puts, 0u);  // Totals unknown for legacy images.
+
+  // New writes append past the legacy seam.
+  api::Put(*engine, "/new/key", Value(int64_t{9}), Seconds(3));
+  EXPECT_EQ(api::Stats(*engine).puts, 1u);
 }
 
 TEST(DurableEngineTest, BackendNameAndPassThroughs) {

@@ -80,9 +80,9 @@ expect_fail "wire: bumped kMinProtocolVersion" "CHANGED: kMinProtocolVersion" wi
 cp "$ROOT/src/api/codec.h" "$TMP/codec.h"
 
 # New unblessed tag: additions must be reviewed, then --update'd.
-sed 's/kMetrics = 15,/kMetrics = 15,\n  kReplicate = 16,/' \
+sed 's/kPromote = 17,/kPromote = 17,\n  kFence = 18,/' \
   "$ROOT/src/api/codec.h" > "$TMP/codec.h"
-expect_fail "wire: unblessed new OpTag" "ADDED: OpTag::kReplicate" wire
+expect_fail "wire: unblessed new OpTag" "ADDED: OpTag::kFence" wire
 cp "$ROOT/src/api/codec.h" "$TMP/codec.h"
 
 # Frame cap change in the other header.

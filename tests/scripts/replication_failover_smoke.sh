@@ -1,0 +1,204 @@
+#!/usr/bin/env bash
+# Partition/crash torture test for WAL-shipping replication with follower
+# failover (docs/REPLICATION.md).
+#
+# Each iteration:
+#   1. starts a LEADER with --acks quorum --quorum-followers 1 and TWO
+#      followers tailing it;
+#   2. drives batches of PUTs; a batch counts as acknowledged ONLY when the
+#      CLI exits 0 — under quorum acks that means every write in it was
+#      durable on the leader AND acked by at least one follower;
+#   3. kill -9s the LEADER mid-load from a background killer;
+#   4. promotes the follower with the HIGHER last LSN (the quorum contract:
+#      an acked write is guaranteed on the most caught-up follower, not on
+#      every follower);
+#   5. verifies every acknowledged write reads back with its exact value
+#      from the promoted follower, that the counter key's history is the
+#      intact acked prefix, and that the promoted daemon accepts new writes.
+#
+# Zero quorum-acked-write loss, every iteration, or the test fails.
+#
+# Usage: replication_failover_smoke.sh <path-to-ocasta_cli> [iterations]
+# Iterations default to $REPL_SMOKE_ITERS, then 20.
+set -u
+
+CLI="$1"
+ITERS="${2:-${REPL_SMOKE_ITERS:-20}}"
+DIR="$(mktemp -d)"
+LEADER_PID=""
+F1_PID=""
+F2_PID=""
+KILLER_PID=""
+
+cleanup() {
+  [ -n "$KILLER_PID" ] && kill "$KILLER_PID" 2>/dev/null
+  for pid in "$LEADER_PID" "$F1_PID" "$F2_PID"; do
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null
+  done
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  for log in leader f1 f2; do
+    [ -f "$DIR/$log.log" ] && tail -n 20 "$DIR/$log.log" | sed "s/^/  $log.log: /" >&2
+  done
+  exit 1
+}
+
+# start_daemon <name> <data-dir> <extra flags...>; sets DAEMON_PID and PORT.
+start_daemon() {
+  local name="$1" data="$2"
+  shift 2
+  rm -f "$DIR/$name.port"
+  "$CLI" serve --port 0 --shards 4 --data-dir "$data" --fsync batch \
+         --port-file "$DIR/$name.port" "$@" > "$DIR/$name.log" 2>&1 &
+  DAEMON_PID=$!
+  for _ in $(seq 1 200); do
+    [ -s "$DIR/$name.port" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "$name died during startup"
+    sleep 0.05
+  done
+  [ -s "$DIR/$name.port" ] || fail "$name did not write its port file"
+  PORT="$(tr -d '[:space:]' < "$DIR/$name.port")"
+}
+
+# Parses `replstat` output (role=<r> last_lsn=<n>) for the daemon on $1.
+last_lsn_of() {
+  "$CLI" replstat --port "$1" 2>/dev/null | sed -n 's/.*last_lsn=\([0-9]*\).*/\1/p'
+}
+
+emit_batch() {
+  local iter="$1" batch="$2" k
+  for k in $(seq 1 10); do
+    echo "put seq/$iter/$batch/$k $k"
+  done
+  echo "put ctr/$iter $batch"
+}
+
+TOTAL_ACKED=0
+
+for ITER in $(seq 1 "$ITERS"); do
+  start_daemon leader "$DIR/leader-$ITER" \
+    --acks quorum --quorum-followers 1 --quorum-timeout 5 --io-threads 2
+  LEADER_PID=$DAEMON_PID
+  LEADER_PORT=$PORT
+
+  start_daemon f1 "$DIR/f1-$ITER" --follow "127.0.0.1:$LEADER_PORT" --follower-id f1
+  F1_PID=$DAEMON_PID
+  F1_PORT=$PORT
+  start_daemon f2 "$DIR/f2-$ITER" --follow "127.0.0.1:$LEADER_PORT" --follower-id f2
+  F2_PID=$DAEMON_PID
+  F2_PORT=$PORT
+
+  # Batch 1 doubles as the warm-up: it can only ack once a follower has
+  # bootstrapped and started acking pulls, so retry it until the quorum
+  # pipeline is demonstrably live — THEN unleash the killer.
+  ACKED=0
+  for _ in $(seq 1 10); do
+    if emit_batch "$ITER" 1 | "$CLI" batch --port "$LEADER_PORT" > /dev/null 2>&1; then
+      ACKED=1
+      break
+    fi
+    kill -0 "$LEADER_PID" 2>/dev/null || fail "iter $ITER: leader died before first ack"
+  done
+  [ "$ACKED" -eq 1 ] || fail "iter $ITER: quorum pipeline never came up"
+
+  ( sleep "$(printf '0.%03d' $(( (RANDOM % 301) + 50 )))"; kill -9 "$LEADER_PID" 2>/dev/null ) &
+  KILLER_PID=$!
+
+  BATCH=1
+  while kill -0 "$LEADER_PID" 2>/dev/null; do
+    BATCH=$((BATCH + 1))
+    if emit_batch "$ITER" "$BATCH" | "$CLI" batch --port "$LEADER_PORT" > /dev/null 2>&1; then
+      ACKED=$BATCH
+    else
+      break
+    fi
+  done
+  wait "$KILLER_PID" 2>/dev/null
+  KILLER_PID=""
+  wait "$LEADER_PID" 2>/dev/null
+  LEADER_PID=""
+  TOTAL_ACKED=$((TOTAL_ACKED + ACKED))
+
+  # Failover: promote the most caught-up follower. With quorum-followers=1
+  # the released LSN is the HIGHEST follower ack, so only the max-LSN
+  # follower is guaranteed to hold every acked write.
+  LSN1="$(last_lsn_of "$F1_PORT")"
+  LSN2="$(last_lsn_of "$F2_PORT")"
+  [ -n "$LSN1" ] && [ -n "$LSN2" ] || fail "iter $ITER: replstat failed (f1='$LSN1' f2='$LSN2')"
+  if [ "$LSN1" -ge "$LSN2" ]; then
+    NEW_PORT=$F1_PORT; NEW_NAME=f1; OTHER_PORT=$F2_PORT; OTHER_PID=$F2_PID
+  else
+    NEW_PORT=$F2_PORT; NEW_NAME=f2; OTHER_PORT=$F1_PORT; OTHER_PID=$F1_PID
+  fi
+  "$CLI" promote --port "$NEW_PORT" > /dev/null 2>&1 \
+    || fail "iter $ITER: promote $NEW_NAME failed"
+  # Promotion is idempotent: a failover script retrying after a dropped
+  # reply must see success, not an error.
+  "$CLI" promote --port "$NEW_PORT" > /dev/null 2>&1 \
+    || fail "iter $ITER: re-promote $NEW_NAME was not idempotent"
+
+  # Every quorum-acked put must read back with its exact value.
+  for b in $(seq 1 "$ACKED"); do
+    for k in $(seq 1 10); do
+      echo "get seq/$ITER/$b/$k"
+    done
+  done > "$DIR/gets.txt"
+  "$CLI" batch --port "$NEW_PORT" < "$DIR/gets.txt" > "$DIR/got.txt" 2>&1 \
+    || fail "iter $ITER: verification batch failed on $NEW_NAME (acked=$ACKED)"
+  LINE=0
+  for b in $(seq 1 "$ACKED"); do
+    for k in $(seq 1 10); do
+      LINE=$((LINE + 1))
+      GOT="$(sed -n "${LINE}p" "$DIR/got.txt")"
+      [ "$GOT" = "$k" ] || fail "iter $ITER: lost quorum-acked write seq/$ITER/$b/$k on $NEW_NAME (got '$GOT')"
+    done
+  done
+
+  # ctr/<iter> history: the acked prefix must be exactly 1, 2, ...; the
+  # batch in flight at the kill may legitimately add ONE more entry
+  # (replicated but never acked to the client).
+  "$CLI" remote history "ctr/$ITER" --port "$NEW_PORT" > "$DIR/hist.txt" 2>&1 \
+    || fail "iter $ITER: history ctr/$ITER failed"
+  awk -v acked="$ACKED" '
+    /^  \[/ {
+      n += 1
+      value = $NF
+      if (n <= acked && value != n) {
+        printf "history entry %d is %s, want %d\n", n, value, n; exit 1
+      }
+      if (value <= prev) { printf "history not increasing at entry %d\n", n; exit 1 }
+      prev = value
+    }
+    END {
+      if (n < acked) { printf "history has %d entries, acked %d\n", n, acked; exit 1 }
+      if (n > acked + 1) { printf "history has %d entries for %d acked\n", n, acked; exit 1 }
+    }' "$DIR/hist.txt" || fail "iter $ITER: ctr history broken: $(cat "$DIR/hist.txt")"
+
+  # The promoted daemon is a real leader: it takes writes again.
+  if ! printf 'put post/%s promoted\nget post/%s\n' "$ITER" "$ITER" \
+       | "$CLI" batch --port "$NEW_PORT" | grep -q promoted; then
+    fail "iter $ITER: promoted $NEW_NAME rejected a new write"
+  fi
+
+  "$CLI" remote shutdown --port "$NEW_PORT" > /dev/null 2>&1 \
+    || fail "iter $ITER: shutdown of promoted $NEW_NAME failed"
+  # The stale follower is still tailing a dead address; SHUTDOWN is not a
+  # mutation, so it must work there too.
+  OTHER_PORT=$([ "$NEW_NAME" = f1 ] && echo "$F2_PORT" || echo "$F1_PORT")
+  "$CLI" remote shutdown --port "$OTHER_PORT" > /dev/null 2>&1 \
+    || kill -9 "$OTHER_PID" 2>/dev/null
+  wait "$F1_PID" 2>/dev/null
+  wait "$F2_PID" 2>/dev/null
+  F1_PID=""
+  F2_PID=""
+  rm -rf "$DIR/leader-$ITER" "$DIR/f1-$ITER" "$DIR/f2-$ITER"
+  echo "iter $ITER/$ITERS: $ACKED acked batches survived leader kill -9 (promoted $NEW_NAME)"
+done
+
+[ "$TOTAL_ACKED" -gt 0 ] || fail "no batch was ever acknowledged across $ITERS iterations"
+
+echo "OK: $ITERS/$ITERS iterations, $TOTAL_ACKED quorum-acked batches, zero acked writes lost"

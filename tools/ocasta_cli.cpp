@@ -30,6 +30,17 @@
 //       --metrics           enable metrics without the HTTP listener
 //       --slow-op-micros <n>  log requests slower than n µs (0 = off)
 //       --slow-op-log-per-sec <n>  slow-op line rate cap (default 10)
+//       --follow <host:port>  run as a FOLLOWER of that leader: bootstrap,
+//                             tail its WAL, serve reads, redirect mutations
+//                             (NOT_LEADER); requires --data-dir
+//       --follower-id <id>  stable quorum identity (default from data-dir)
+//       --acks <leader|quorum>  mutation ack level (default leader)
+//       --quorum-followers <n>  follower acks required under quorum (default 1)
+//       --quorum-timeout <s>    quorum wait before failing the write (default 5)
+//   promote [--host --port]               flip a follower into a leader
+//   replstat [--host --port]              print a daemon's replication state
+//       (role guess, last LSN via a REPLICATE status probe) — scripts use
+//       it to promote the most caught-up follower
 //   metrics [--host --port] [--prom] [--watch]
 //       fetch the daemon's metrics snapshot over the wire (METRICS op);
 //       default renders a table (latencies in µs), --prom renders
@@ -63,6 +74,7 @@
 #include "api/backends.h"
 #include "api/engine.h"
 #include "apps/catalog.h"
+#include "client/ttkv_client.h"
 #include "clustering/engine.h"
 #include "common/error.h"
 #include "common/flags.h"
@@ -88,7 +100,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: ocasta_cli "
-      "<record|stats|cluster|snapshot|history|repair|serve|remote|batch|metrics|list> ...\n"
+      "<record|stats|cluster|snapshot|history|repair|serve|promote|replstat|remote|batch|"
+      "metrics|list> ...\n"
       "run 'ocasta_cli list' to see machines, applications and scenarios\n");
   return 2;
 }
@@ -249,9 +262,26 @@ int CmdServe(const Args& args) {
   }
   options.slow_op_micros = args.GetDouble("slow-op-micros", 0.0);
   options.slow_op_log_per_sec = args.GetDouble("slow-op-log-per-sec", 10.0);
+  const std::string follow = args.Get("follow", "");
+  if (!follow.empty()) {
+    const size_t colon = follow.rfind(':');
+    if (colon == std::string::npos) throw Error("--follow expects host:port");
+    options.follow_host = follow.substr(0, colon);
+    options.follow_port = static_cast<uint16_t>(std::stoul(follow.substr(colon + 1)));
+  }
+  options.follower_id = args.Get("follower-id", "");
+  options.acks = args.Get("acks", "leader");
+  options.quorum_followers = static_cast<size_t>(args.GetInt("quorum-followers", 1));
+  options.quorum_timeout_seconds = args.GetDouble("quorum-timeout", 5.0);
   TtkvServer server(options);
   server.Start();
-  if (options.data_dir.empty()) {
+  if (!options.follow_host.empty()) {
+    std::printf(
+        "ocastad FOLLOWER on 127.0.0.1:%u tailing %s:%u (durable in %s; reads only, "
+        "mutations redirect)\n",
+        static_cast<unsigned>(server.port()), options.follow_host.c_str(),
+        static_cast<unsigned>(options.follow_port), options.data_dir.c_str());
+  } else if (options.data_dir.empty()) {
     std::printf("ocastad listening on 127.0.0.1:%u (%zu shards, %zu io threads, in-memory)\n",
                 static_cast<unsigned>(server.port()), options.num_shards,
                 server.io_threads());
@@ -273,6 +303,28 @@ int CmdServe(const Args& args) {
   server.Wait();
   std::printf("ocastad stopped after %llu connections\n",
               static_cast<unsigned long long>(server.connections_served()));
+  return 0;
+}
+
+int CmdPromote(const Args& args) {
+  TtkvClient client(args.Get("host", "127.0.0.1"),
+                    static_cast<uint16_t>(args.GetInt("port", kDefaultPort)));
+  client.Promote();
+  std::printf("promoted: daemon at %s:%d now accepts mutations\n",
+              args.Get("host", "127.0.0.1").c_str(),
+              static_cast<int>(args.GetInt("port", kDefaultPort)));
+  return 0;
+}
+
+int CmdReplstat(const Args& args) {
+  TtkvClient client(args.Get("host", "127.0.0.1"),
+                    static_cast<uint16_t>(args.GetInt("port", kDefaultPort)));
+  // An anonymous status probe (max_records == 0): the daemon answers with
+  // its role and last LSN only, and grants no quorum standing to the
+  // empty id.
+  const api::ReplicateResult status = client.Replicate("", 0, 0);
+  std::printf("role=%s last_lsn=%llu\n", status.follower ? "follower" : "leader",
+              static_cast<unsigned long long>(status.leader_lsn));
   return 0;
 }
 
@@ -614,6 +666,8 @@ int main(int argc, char** argv) {
     if (command == "history") return CmdHistory(args);
     if (command == "repair") return CmdRepair(args);
     if (command == "serve") return CmdServe(args);
+    if (command == "promote") return CmdPromote(args);
+    if (command == "replstat") return CmdReplstat(args);
     if (command == "remote") return CmdRemote(args);
     if (command == "batch") return CmdBatch(args);
     if (command == "metrics") return CmdMetrics(args);
